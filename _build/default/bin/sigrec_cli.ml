@@ -1,0 +1,199 @@
+(* The sigrec command-line tool: recover function signatures from EVM
+   runtime bytecode, check call data against them, or lift bytecode to
+   readable IR. *)
+
+let read_bytecode input =
+  let raw =
+    if input = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_bin input In_channel.input_all
+  in
+  let trimmed = String.trim raw in
+  if Evm.Hex.is_valid trimmed then Evm.Hex.decode trimmed else raw
+
+let recover_cmd input show_stats explain =
+  let bytecode = read_bytecode input in
+  let stats = Hashtbl.create 31 in
+  let recovered = Sigrec.Recover.recover ~stats bytecode in
+  if recovered = [] then
+    Printf.printf "no public/external functions found\n"
+  else
+    List.iter
+      (fun r ->
+        Format.printf "%a@." Sigrec.Recover.pp r;
+        if explain then
+          List.iteri
+            (fun i (ty, path) ->
+              Format.printf "    arg%d %-14s via %s@." (i + 1)
+                (Abi.Abity.to_string ty)
+                (if path = [] then "-" else String.concat " -> " path))
+            (List.combine r.Sigrec.Recover.params
+               r.Sigrec.Recover.rule_paths))
+      recovered;
+  if show_stats then begin
+    Format.printf "@.rule usage:@.";
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt stats name with
+        | Some n ->
+          let doc =
+            match Sigrec.Ruledoc.find name with
+            | Some d -> d.Sigrec.Ruledoc.concludes
+            | None -> ""
+          in
+          Format.printf "  %-4s %4d  %s@." name n doc
+        | None -> ())
+      Sigrec.Rules.all_rule_names
+  end;
+  0
+
+let check_cmd input calldata_hex =
+  let bytecode = read_bytecode input in
+  let calldata = Evm.Hex.decode calldata_hex in
+  if String.length calldata < 4 then begin
+    Printf.eprintf "call data shorter than a function id\n";
+    1
+  end
+  else begin
+    let selector = String.sub calldata 0 4 in
+    let recovered = Sigrec.Recover.recover bytecode in
+    match
+      List.find_opt (fun r -> r.Sigrec.Recover.selector = selector) recovered
+    with
+    | None ->
+      Printf.printf "function id 0x%s not found in bytecode\n"
+        (Evm.Hex.encode selector);
+      1
+    | Some r -> (
+      Printf.printf "signature: ";
+      Format.printf "%a@." Sigrec.Recover.pp r;
+      match Tools.Parchecker.check_call r.Sigrec.Recover.params calldata with
+      | Tools.Parchecker.Valid ->
+        Printf.printf "arguments: valid\n";
+        if
+          Tools.Parchecker.is_short_address_attack r.Sigrec.Recover.params
+            calldata
+        then begin
+          Printf.printf "WARNING: short address attack pattern\n";
+          2
+        end
+        else 0
+      | Tools.Parchecker.Invalid reason ->
+        Printf.printf "arguments: INVALID (%s)\n" reason;
+        if
+          Tools.Parchecker.is_short_address_attack r.Sigrec.Recover.params
+            calldata
+        then Printf.printf "WARNING: short address attack pattern\n";
+        2)
+  end
+
+let decode_cmd input calldata_hex =
+  let bytecode = read_bytecode input in
+  let calldata = Evm.Hex.decode calldata_hex in
+  if String.length calldata < 4 then begin
+    Printf.eprintf "call data shorter than a function id\n";
+    1
+  end
+  else begin
+    let selector = String.sub calldata 0 4 in
+    match
+      List.find_opt
+        (fun r -> r.Sigrec.Recover.selector = selector)
+        (Sigrec.Recover.recover bytecode)
+    with
+    | None ->
+      Printf.printf "function id 0x%s not found in bytecode\n"
+        (Evm.Hex.encode selector);
+      1
+    | Some r -> (
+      match Abi.Decode.decode_call r.Sigrec.Recover.params calldata with
+      | Ok (_, values) ->
+        Format.printf "0x%s%a@." r.Sigrec.Recover.selector_hex
+          Abi.Decode.pp_decoded
+          (r.Sigrec.Recover.params, values);
+        0
+      | Error reason ->
+        Printf.printf "cannot decode: %s\n" reason;
+        1)
+  end
+
+let lift_cmd input plain =
+  let bytecode = read_bytecode input in
+  if plain then
+    List.iter
+      (fun (fn : Tools.Erays.lifted_fn) ->
+        Printf.printf "function 0x%s {\n" fn.Tools.Erays.selector_hex;
+        List.iter
+          (fun (s : Tools.Erays.stmt) ->
+            Printf.printf "  %s\n" s.Tools.Erays.text)
+          fn.Tools.Erays.stmts;
+        Printf.printf "}\n")
+      (Tools.Erays.lift bytecode)
+  else
+    List.iter
+      (fun e -> Format.printf "%a" Tools.Eraysplus.pp e)
+      (Tools.Eraysplus.enhance bytecode);
+  0
+
+open Cmdliner
+
+let input_arg =
+  let doc = "File containing hex (or raw) runtime bytecode; - for stdin." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BYTECODE" ~doc)
+
+let recover_term =
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print per-rule usage counts.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Show each parameter's path through the rule decision tree.")
+  in
+  Term.(const recover_cmd $ input_arg $ stats $ explain)
+
+let check_term =
+  let calldata =
+    let doc = "Hex call data of the invocation to validate." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CALLDATA" ~doc)
+  in
+  Term.(const check_cmd $ input_arg $ calldata)
+
+let lift_term =
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ] ~doc:"Raw Erays output without signature-based enhancement.")
+  in
+  Term.(const lift_cmd $ input_arg $ plain)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:"Recover the function signatures of all public/external functions.")
+      recover_term;
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Validate call data against the recovered signature (ParChecker).")
+      check_term;
+    Cmd.v
+      (Cmd.info "decode"
+         ~doc:"Decode call data into typed arguments using the recovered signature.")
+      (let calldata =
+         let doc = "Hex call data of the invocation to decode." in
+         Arg.(
+           required & pos 1 (some string) None & info [] ~docv:"CALLDATA" ~doc)
+       in
+       Term.(const decode_cmd $ input_arg $ calldata));
+    Cmd.v
+      (Cmd.info "lift" ~doc:"Lift bytecode to readable IR (Erays+).")
+      lift_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "sigrec" ~version:"1.0.0"
+      ~doc:"Automatic recovery of function signatures in smart contracts"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

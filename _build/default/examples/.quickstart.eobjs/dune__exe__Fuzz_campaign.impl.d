@@ -1,0 +1,1 @@
+examples/fuzz_campaign.ml: Abi List Printf Random Sigrec Solc Tools

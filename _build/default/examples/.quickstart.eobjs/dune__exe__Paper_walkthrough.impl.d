@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Abi Evm Format Hashtbl List Printf Sigrec Solc String Symex

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abi Format List Printf Sigrec Solc String

@@ -1,0 +1,1 @@
+examples/reverse_engineer.ml: Abi Format List Printf Solc Tools

@@ -1,0 +1,1 @@
+examples/short_address.ml: Abi Evm Format List Printf Sigrec Solc String Tools U256

@@ -1,0 +1,1 @@
+examples/short_address.mli:

@@ -1,0 +1,47 @@
+(* Fuzzing with recovered signatures (paper §6.2): the same fuzzer,
+   the same budget, with and without knowing the parameter types.
+
+   Run with: dune exec examples/fuzz_campaign.exe *)
+
+let () =
+  let n = 40 in
+  let samples = Solc.Corpus.fuzz_set ~seed:2024 ~n in
+  Printf.printf
+    "fuzzing %d contracts with planted traps, budget 96 executions each\n\n" n;
+  let with_sig = ref 0 and without = ref 0 in
+  List.iteri
+    (fun i sample ->
+      let code = sample.Solc.Corpus.code in
+      let fsig = Solc.Corpus.truth sample in
+      (* ContractFuzzer: first recover the signature from bytecode,
+         then generate well-typed arguments *)
+      let recovered = List.hd (Sigrec.Recover.recover code) in
+      let rng = Random.State.make [| 42; i |] in
+      let aware =
+        Tools.Fuzzer.run_campaign ~rng ~code
+          ~selector:recovered.Sigrec.Recover.selector
+          (Tools.Fuzzer.Signature_aware recovered.Sigrec.Recover.params)
+      in
+      (* ContractFuzzer-: same fuzzer, random byte sequences *)
+      let rng = Random.State.make [| 42; i |] in
+      let raw =
+        Tools.Fuzzer.run_campaign ~rng ~code
+          ~selector:(Abi.Funsig.selector fsig) Tools.Fuzzer.Raw
+      in
+      if aware.Tools.Fuzzer.bug_found then incr with_sig;
+      if raw.Tools.Fuzzer.bug_found then incr without;
+      if i < 10 then
+        Printf.printf "  %-28s signature-aware: %-12s raw: %s\n"
+          (Abi.Funsig.canonical fsig)
+          (match aware.Tools.Fuzzer.first_hit with
+          | Some k -> Printf.sprintf "hit @%d" k
+          | None -> "no hit")
+          (match raw.Tools.Fuzzer.first_hit with
+          | Some k -> Printf.sprintf "hit @%d" k
+          | None -> "no hit"))
+    samples;
+  Printf.printf "\nbugs found with recovered signatures:    %d/%d\n" !with_sig n;
+  Printf.printf "bugs found with raw byte-sequence input: %d/%d\n" !without n;
+  if !without > 0 then
+    Printf.printf "improvement: +%.0f%% (paper reports +23%%)\n"
+      (100.0 *. float (!with_sig - !without) /. float !without)

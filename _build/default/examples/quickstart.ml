@@ -1,0 +1,50 @@
+(* Quickstart: compile an ERC-20-style token contract with the bundled
+   synthetic compiler, then recover all of its function signatures from
+   the bytecode alone.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A token contract with the classic ERC-20 entry points. The
+     compiler only sees the signatures; SigRec only sees the bytecode. *)
+  let open Abi.Abity in
+  let contract =
+    Solc.Compile.contract_of_sigs
+      [
+        Abi.Funsig.make "transfer" [ Address; Uint 256 ];
+        Abi.Funsig.make "approve" [ Address; Uint 256 ];
+        Abi.Funsig.make "transferFrom" [ Address; Address; Uint 256 ];
+        Abi.Funsig.make "balanceOf" [ Address ];
+        Abi.Funsig.make ~visibility:Abi.Funsig.External "batchTransfer"
+          [ Darray Address; Darray (Uint 256) ];
+        Abi.Funsig.make "setMetadata" [ String_t; Bytes ];
+      ]
+  in
+  let bytecode = Solc.Compile.compile contract in
+  Printf.printf "compiled runtime bytecode: %d bytes\n\n"
+    (String.length bytecode);
+
+  (* Recover the signatures: function ids plus full parameter types. *)
+  let recovered = Sigrec.Recover.recover bytecode in
+  Printf.printf "recovered %d function signatures:\n" (List.length recovered);
+  List.iter (fun r -> Format.printf "  %a@." Sigrec.Recover.pp r) recovered;
+
+  (* Check them against the ground truth we compiled from. *)
+  Printf.printf "\nground truth check:\n";
+  List.iter
+    (fun fn ->
+      let fsig = fn.Solc.Lang.fsig in
+      let sel = Abi.Funsig.selector fsig in
+      match
+        List.find_opt (fun r -> r.Sigrec.Recover.selector = sel) recovered
+      with
+      | Some r ->
+        let want =
+          String.concat "," (List.map Abi.Abity.to_string fsig.Abi.Funsig.params)
+        in
+        let got = Sigrec.Recover.type_list r in
+        Printf.printf "  %-40s %s\n" (Abi.Funsig.canonical fsig)
+          (if got = want then "recovered exactly" else "MISMATCH: " ^ got)
+      | None ->
+        Printf.printf "  %-40s NOT FOUND\n" (Abi.Funsig.canonical fsig))
+    contract.Solc.Compile.fns

@@ -1,0 +1,1 @@
+lib/abi/abity.ml: Buffer Format List Printf Stdlib String

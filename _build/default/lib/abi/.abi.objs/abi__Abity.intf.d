@@ -1,0 +1,1 @@
+lib/abi/abity.mli: Format

@@ -1,0 +1,1 @@
+lib/abi/decode.ml: Abity Evm Format List Printf Result String U256 Value

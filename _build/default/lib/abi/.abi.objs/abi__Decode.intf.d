@@ -1,0 +1,1 @@
+lib/abi/decode.mli: Abity Format Value

@@ -1,0 +1,1 @@
+lib/abi/encode.ml: Abity Buffer Evm List String U256 Value

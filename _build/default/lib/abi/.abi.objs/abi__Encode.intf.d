@@ -1,0 +1,1 @@
+lib/abi/encode.mli: Abity Value

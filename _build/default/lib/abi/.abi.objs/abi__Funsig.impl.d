@@ -1,0 +1,1 @@
+lib/abi/funsig.ml: Abity Evm Format List

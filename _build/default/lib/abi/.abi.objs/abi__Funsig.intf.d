@@ -1,0 +1,1 @@
+lib/abi/funsig.mli: Abity Format

@@ -1,0 +1,1 @@
+lib/abi/valgen.ml: Abity Char Evm Int64 List Random String U256 Value

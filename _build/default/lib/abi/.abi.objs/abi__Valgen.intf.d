@@ -1,0 +1,1 @@
+lib/abi/valgen.mli: Abity Random Value

@@ -1,0 +1,1 @@
+lib/abi/value.ml: Abity Evm Format Hex List Printf String U256

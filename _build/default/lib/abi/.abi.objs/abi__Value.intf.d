@@ -1,0 +1,1 @@
+lib/abi/value.mli: Abity Evm Format

@@ -1,0 +1,65 @@
+(** Parameter types of Solidity and Vyper functions.
+
+    One AST covers both languages; Vyper reuses the Solidity constructors
+    for its five shared basic types ([bool], [int128], [uint256],
+    [address], [bytes32]), its fixed-size list ([Sarray]) and its struct
+    ([Tuple]), and adds [Decimal], [Vbytes] and [Vstring]. *)
+
+type t =
+  | Uint of int        (** [uint M], 8 <= M <= 256, M mod 8 = 0 *)
+  | Int of int         (** [int M] *)
+  | Address
+  | Bool
+  | Bytes_n of int     (** [bytesM], 1 <= M <= 32 *)
+  | Bytes              (** dynamic byte sequence *)
+  | String_t           (** dynamic string *)
+  | Sarray of t * int  (** [T\[n\]]: n items of T (static dimension) *)
+  | Darray of t        (** [T\[\]]: dynamic dimension *)
+  | Tuple of t list    (** struct *)
+  | Decimal            (** Vyper fixed-point decimal *)
+  | Vbytes of int      (** Vyper [bytes\[maxLen\]] *)
+  | Vstring of int     (** Vyper [string\[maxLen\]] *)
+
+type lang = Solidity | Vyper
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Canonical form, e.g. ["uint256\[3\]\[2\]"], ["(uint256,bytes)"] for a
+    struct, ["bytes\[50\]"] for a Vyper fixed byte array. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. Also accepts the aliases [uint], [int],
+    [byte]. Raises [Invalid_argument] on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val is_dynamic : t -> bool
+(** Whether the ABI encoding of the type has dynamic length (requires an
+    offset field in the call data head). *)
+
+val head_size : t -> int
+(** Bytes the type occupies in the static head: 32 for dynamic types
+    (the offset field), the full flattened size otherwise. *)
+
+val is_basic : t -> bool
+(** The paper's "basic types": uintM/intM/address/bool/bytesM. *)
+
+val dims : t -> int
+(** Array nesting depth ([dims (uint256\[3\]\[\]) = 2]); 0 for non-arrays. *)
+
+val base_elem : t -> t
+(** Innermost non-array type. *)
+
+val is_nested_array : t -> bool
+(** At least one of the lower n-1 dimensions is dynamic (paper §2.3.1). *)
+
+val valid_in : lang -> t -> bool
+(** Whether the type can appear as a parameter in the given language. *)
+
+val canonical_sig : string -> t list -> string
+(** [canonical_sig name params] is ["name(ty1,ty2,...)"] with structs
+    spelled as parenthesised tuples, as used for function-id hashing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+open Evm
+
+let ( let* ) = Result.bind
+
+let word_at data off =
+  if off + 32 <= String.length data then
+    Ok (U256.of_bytes_be (String.sub data off 32))
+  else if off <= String.length data then
+    (* the EVM zero-extends reads past the end *)
+    Ok
+      (U256.of_bytes_be
+         (String.init 32 (fun i ->
+              if off + i < String.length data then data.[off + i] else '\000')))
+  else Error (Printf.sprintf "read at %d past end of %d-byte data" off (String.length data))
+
+let int_at data off what =
+  let* w = word_at data off in
+  match U256.to_int w with
+  | Some n when n <= 0x100000 -> Ok n
+  | _ -> Error (Printf.sprintf "%s at %d out of range" what off)
+
+let rec decode_at ty data off =
+  match ty with
+  | Abity.Uint m ->
+    let* w = word_at data off in
+    Ok (Value.VUint (U256.logand w (U256.ones_low (m / 8))))
+  | Abity.Int m ->
+    let* w = word_at data off in
+    Ok (Value.VInt (U256.signextend ((m / 8) - 1) w))
+  | Abity.Address ->
+    let* w = word_at data off in
+    Ok (Value.VAddr (U256.logand w (U256.ones_low 20)))
+  | Abity.Bool ->
+    let* w = word_at data off in
+    Ok (Value.VBool (not (U256.is_zero w)))
+  | Abity.Bytes_n m ->
+    let* w = word_at data off in
+    Ok (Value.VFixed (String.sub (U256.to_bytes_be w) 0 m))
+  | Abity.Decimal ->
+    let* w = word_at data off in
+    Ok (Value.VDecimal (U256.signextend 20 w))
+  | Abity.Bytes | Abity.Vbytes _ ->
+    let* len = int_at data off "bytes length" in
+    if off + 32 + len > String.length data then
+      Error (Printf.sprintf "bytes at %d truncated" off)
+    else Ok (Value.VBytes (String.sub data (off + 32) len))
+  | Abity.String_t | Abity.Vstring _ ->
+    let* len = int_at data off "string length" in
+    if off + 32 + len > String.length data then
+      Error (Printf.sprintf "string at %d truncated" off)
+    else Ok (Value.VString (String.sub data (off + 32) len))
+  | Abity.Darray elem ->
+    let* n = int_at data off "array length" in
+    let* items = decode_seq (List.init n (fun _ -> elem)) data (off + 32) in
+    Ok (Value.VArray items)
+  | Abity.Sarray (elem, n) ->
+    let* items = decode_seq (List.init n (fun _ -> elem)) data off in
+    Ok (Value.VArray items)
+  | Abity.Tuple tys ->
+    let* items = decode_seq tys data off in
+    Ok (Value.VTuple items)
+
+(* Decode a head/tail sequence whose block starts at [base]. *)
+and decode_seq tys data base =
+  let rec go tys head_off acc =
+    match tys with
+    | [] -> Ok (List.rev acc)
+    | ty :: rest ->
+      let* v =
+        if Abity.is_dynamic ty then
+          let* rel = int_at data head_off "offset" in
+          decode_at ty data (base + rel)
+        else decode_at ty data head_off
+      in
+      go rest (head_off + Abity.head_size ty) (v :: acc)
+  in
+  go tys base []
+
+let decode_value ty data = decode_at ty data 0
+
+let decode_args tys data = decode_seq tys data 0
+
+let decode_call tys calldata =
+  if String.length calldata < 4 then Error "call data shorter than a function id"
+  else
+    let selector = String.sub calldata 0 4 in
+    let args = String.sub calldata 4 (String.length calldata - 4) in
+    let* vs = decode_args tys args in
+    Ok (selector, vs)
+
+let pp_decoded fmt (tys, vs) =
+  Format.fprintf fmt "(";
+  List.iteri
+    (fun i (ty, v) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s %s" (Abity.to_string ty) (Value.to_string v))
+    (List.combine tys vs);
+  Format.fprintf fmt ")"

@@ -1,0 +1,25 @@
+(** ABI decoder: the inverse of {!Encode}. Given the recovered parameter
+    types, turns raw call data back into structured values — the last
+    step of making opaque transactions readable (used by the CLI's
+    [decode] output and the transaction-inspection examples).
+
+    Decoding is total on well-formed encodings produced by {!Encode};
+    malformed call data yields [Error] with a description (truncated
+    content, absurd offsets or lengths). Decoding is deliberately more
+    lenient than {!Parchecker} validation: dirty padding is accepted and
+    masked off, as the EVM itself would. *)
+
+val decode_value : Abity.t -> string -> (Value.t, string) result
+(** Decode one value whose encoding starts at offset 0 of the given
+    block. *)
+
+val decode_args : Abity.t list -> string -> (Value.t list, string) result
+(** Decode the argument block following the 4-byte function id. *)
+
+val decode_call :
+  Abity.t list -> string -> (string * Value.t list, string) result
+(** Split full call data into (4-byte selector, decoded arguments). *)
+
+val pp_decoded :
+  Format.formatter -> Abity.t list * Value.t list -> unit
+(** Render like ["(address 0xca11..., uint256 1000)"]. *)

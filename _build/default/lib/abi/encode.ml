@@ -1,0 +1,66 @@
+open Evm
+
+let word_of_int n = U256.to_bytes_be (U256.of_int n)
+
+let pad_right_32 s =
+  let n = String.length s in
+  let padded = (n + 31) / 32 * 32 in
+  s ^ String.make (padded - n) '\000'
+
+(* Encode a sequence of typed values with the head/tail scheme. *)
+let rec encode_seq tys vs =
+  let head_len =
+    List.fold_left (fun acc ty -> acc + Abity.head_size ty) 0 tys
+  in
+  let heads = Buffer.create 64 and tails = Buffer.create 64 in
+  List.iter2
+    (fun ty v ->
+      if Abity.is_dynamic ty then begin
+        Buffer.add_string heads (word_of_int (head_len + Buffer.length tails));
+        Buffer.add_string tails (encode_one ty v)
+      end
+      else Buffer.add_string heads (encode_one ty v))
+    tys vs;
+  Buffer.contents heads ^ Buffer.contents tails
+
+and encode_one ty v =
+  match (ty, v) with
+  | Abity.Uint _, Value.VUint x
+  | Abity.Int _, Value.VInt x
+  | Abity.Address, Value.VAddr x
+  | Abity.Decimal, Value.VDecimal x ->
+    U256.to_bytes_be x
+  | Abity.Bool, Value.VBool b ->
+    U256.to_bytes_be (if b then U256.one else U256.zero)
+  | Abity.Bytes_n _, Value.VFixed s -> pad_right_32 s
+  | (Abity.Bytes | Abity.Vbytes _), Value.VBytes s
+  | (Abity.String_t | Abity.Vstring _), Value.VString s ->
+    word_of_int (String.length s) ^ pad_right_32 s
+  | Abity.Sarray (elem, n), Value.VArray items ->
+    assert (List.length items = n);
+    encode_seq (List.init n (fun _ -> elem)) items
+  | Abity.Darray elem, Value.VArray items ->
+    let n = List.length items in
+    word_of_int n ^ encode_seq (List.init n (fun _ -> elem)) items
+  | Abity.Tuple tys, Value.VTuple items -> encode_seq tys items
+  | _ -> invalid_arg "Encode.encode_one: value does not match type"
+
+let encode_value ty v =
+  if not (Value.type_check ty v) then
+    invalid_arg "Encode.encode_value: ill-typed value";
+  encode_one ty v
+
+let encode_args tys vs =
+  if List.length tys <> List.length vs then
+    invalid_arg "Encode.encode_args: arity mismatch";
+  List.iter2
+    (fun ty v ->
+      if not (Value.type_check ty v) then
+        invalid_arg "Encode.encode_args: ill-typed value")
+    tys vs;
+  encode_seq tys vs
+
+let encode_call ~selector tys vs =
+  if String.length selector <> 4 then
+    invalid_arg "Encode.encode_call: selector must be 4 bytes";
+  selector ^ encode_args tys vs

@@ -1,0 +1,18 @@
+(** Spec-exact ABI encoder for call data (Solidity ABI v2; Vyper encodes
+    compatibly). Implements the head/tail scheme: static values are
+    encoded in place, dynamic values contribute a 32-byte offset to the
+    head and their payload to the tail. *)
+
+val encode_value : Abity.t -> Value.t -> string
+(** Encoding of a single value of the given type (the tail payload for a
+    dynamic type). Raises [Invalid_argument] if the value does not
+    type-check. *)
+
+val encode_args : Abity.t list -> Value.t list -> string
+(** The argument block that follows the 4-byte function id. *)
+
+val encode_call : selector:string -> Abity.t list -> Value.t list -> string
+(** Full call data: selector ^ {!encode_args}. *)
+
+val pad_right_32 : string -> string
+(** Zero-pad on the right to a multiple of 32 bytes. *)

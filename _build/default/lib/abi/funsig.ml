@@ -1,0 +1,29 @@
+type visibility = Public | External
+
+type t = {
+  name : string;
+  params : Abity.t list;
+  visibility : visibility;
+  lang : Abity.lang;
+}
+
+let make ?(visibility = Public) ?(lang = Abity.Solidity) name params =
+  { name; params; visibility; lang }
+
+let canonical t = Abity.canonical_sig t.name t.params
+let selector t = Evm.Keccak.selector (canonical t)
+let selector_hex t = Evm.Hex.encode (selector t)
+
+let equal a b =
+  a.name = b.name && a.visibility = b.visibility && a.lang = b.lang
+  && List.length a.params = List.length b.params
+  && List.for_all2 Abity.equal a.params b.params
+
+let equal_types a b =
+  List.length a.params = List.length b.params
+  && List.for_all2 Abity.equal a.params b.params
+
+let pp fmt t =
+  Format.fprintf fmt "%s %s%s" (canonical t)
+    (match t.visibility with Public -> "public" | External -> "external")
+    (match t.lang with Abity.Solidity -> "" | Abity.Vyper -> " [vyper]")

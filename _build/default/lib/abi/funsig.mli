@@ -1,0 +1,30 @@
+(** Function signatures: name, parameter types, visibility and source
+    language; function-id computation. *)
+
+type visibility = Public | External
+
+type t = {
+  name : string;
+  params : Abity.t list;
+  visibility : visibility;
+  lang : Abity.lang;
+}
+
+val make :
+  ?visibility:visibility -> ?lang:Abity.lang -> string -> Abity.t list -> t
+
+val canonical : t -> string
+(** ["name(ty1,ty2,...)"]. *)
+
+val selector : t -> string
+(** 4-byte function id: first four bytes of the Keccak-256 of
+    {!canonical}. *)
+
+val selector_hex : t -> string
+val equal : t -> t -> bool
+
+val equal_types : t -> t -> bool
+(** Same parameter list (the recovery-accuracy criterion: id, number,
+    order and types of parameters; names don't matter). *)
+
+val pp : Format.formatter -> t -> unit

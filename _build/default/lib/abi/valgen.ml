@@ -1,0 +1,128 @@
+open Evm
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let random_u256_bits rng bits =
+  if bits = 0 then U256.zero
+  else begin
+    let v = ref U256.zero in
+    for _ = 1 to (bits + 63) / 64 do
+      v := U256.logor (U256.shift_left !v 64)
+             (U256.of_int64 (Random.State.int64 rng Int64.max_int))
+    done;
+    if bits >= 256 then !v
+    else U256.logand !v (U256.sub (U256.shift_left U256.one bits) U256.one)
+  end
+
+let random_bytes rng n =
+  String.init n (fun _ -> Char.chr (Random.State.int rng 256))
+
+let rec value rng ty =
+  match ty with
+  | Abity.Uint m -> Value.VUint (random_u256_bits rng m)
+  | Abity.Int m ->
+    let mag = random_u256_bits rng (m - 1) in
+    Value.VInt (if Random.State.bool rng then U256.neg mag else mag)
+  | Abity.Bool -> Value.VBool (Random.State.bool rng)
+  | Abity.Address -> Value.VAddr (random_u256_bits rng 160)
+  | Abity.Bytes_n m -> Value.VFixed (random_bytes rng m)
+  | Abity.Bytes -> Value.VBytes (random_bytes rng (Random.State.int rng 70))
+  | Abity.String_t ->
+    Value.VString
+      (String.init (Random.State.int rng 50) (fun _ ->
+           Char.chr (32 + Random.State.int rng 95)))
+  | Abity.Sarray (elem, n) ->
+    Value.VArray (List.init n (fun _ -> value rng elem))
+  | Abity.Darray elem ->
+    Value.VArray (List.init (Random.State.int rng 5) (fun _ -> value rng elem))
+  | Abity.Tuple tys -> Value.VTuple (List.map (value rng) tys)
+  | Abity.Decimal ->
+    let mag = random_u256_bits rng 100 in
+    Value.VDecimal (if Random.State.bool rng then U256.neg mag else mag)
+  | Abity.Vbytes max ->
+    Value.VBytes (random_bytes rng (Random.State.int rng (max + 1)))
+  | Abity.Vstring max ->
+    Value.VString
+      (String.init (Random.State.int rng (max + 1)) (fun _ ->
+           Char.chr (32 + Random.State.int rng 95)))
+
+let widths = List.init 32 (fun i -> 8 * (i + 1))
+
+(* deployed parameters heavily favour the full-width types *)
+let random_width rng =
+  match Random.State.int rng 10 with
+  | 0 | 1 | 2 | 3 | 4 -> 256
+  | 5 -> 128
+  | 6 -> 8
+  | _ -> pick rng widths
+
+let sol_basic rng =
+  match Random.State.int rng 5 with
+  | 0 -> Abity.Uint (random_width rng)
+  | 1 -> Abity.Int (random_width rng)
+  | 2 -> Abity.Address
+  | 3 -> Abity.Bool
+  | _ ->
+    Abity.Bytes_n
+      (if Random.State.int rng 10 < 4 then 32
+       else 1 + Random.State.int rng 32)
+
+let sol_type ?(max_depth = 3) ?(abiv2 = false) rng =
+  let depth_left = max_depth in
+  match Random.State.int rng (if abiv2 then 12 else 10) with
+  | 0 | 1 | 2 | 3 | 4 -> sol_basic rng
+  | 5 -> Abity.Bytes
+  | 6 -> Abity.String_t
+  | 7 when depth_left > 0 ->
+    (* static array of basic elements (or of a static array) *)
+    let rec static d =
+      if d = 0 || Random.State.bool rng then sol_basic rng
+      else Abity.Sarray (static (d - 1), 1 + Random.State.int rng 4)
+    in
+    Abity.Sarray (static (depth_left - 1), 1 + Random.State.int rng 4)
+  | 8 when depth_left > 0 ->
+    (* dynamic array: top dimension dynamic, lower dims static *)
+    let rec static d =
+      if d = 0 || Random.State.bool rng then sol_basic rng
+      else Abity.Sarray (static (d - 1), 1 + Random.State.int rng 4)
+    in
+    Abity.Darray (static (depth_left - 1))
+  | 9 -> sol_basic rng
+  | 10 ->
+    (* ABIEncoderV2 nested array: a dynamic dimension below the top *)
+    let inner = Abity.Darray (sol_basic rng) in
+    if Random.State.bool rng then
+      Abity.Sarray (inner, 1 + Random.State.int rng 3)
+    else Abity.Darray inner
+  | _ ->
+    (* ABIEncoderV2 struct *)
+    let n = 1 + Random.State.int rng 3 in
+    Abity.Tuple
+      (List.init n (fun _ ->
+           match Random.State.int rng 3 with
+           | 0 -> sol_basic rng
+           | 1 -> Abity.Darray (sol_basic rng)
+           | _ -> Abity.Uint 256))
+
+let vy_basic rng =
+  pick rng
+    [ Abity.Bool; Abity.Int 128; Abity.Uint 256; Abity.Address;
+      Abity.Bytes_n 32; Abity.Decimal ]
+
+let vy_type rng =
+  (* struct parameters are rare in deployed Vyper contracts (and their
+     flattened layout is unrecoverable, paper case 5) *)
+  match Random.State.int rng 100 with
+  | r when r < 55 -> vy_basic rng
+  | r when r < 75 ->
+    (* fixed-size list, possibly multidimensional *)
+    let rec list d elem =
+      if d = 0 then elem
+      else list (d - 1) (Abity.Sarray (elem, 1 + Random.State.int rng 4))
+    in
+    list (1 + Random.State.int rng 2) (vy_basic rng)
+  | r when r < 88 -> Abity.Vbytes (1 + Random.State.int rng 50)
+  | r when r < 99 -> Abity.Vstring (1 + Random.State.int rng 50)
+  | _ ->
+    let n = 1 + Random.State.int rng 3 in
+    Abity.Tuple (List.init n (fun _ -> vy_basic rng))

@@ -1,0 +1,18 @@
+(** Deterministic random generation of types and well-typed values, used
+    by the corpus builder, the fuzzer and property-based tests. *)
+
+val value : Random.State.t -> Abity.t -> Value.t
+(** A uniformly-varied well-typed value; dynamic dimensions get small
+    sizes (0-4 items) so encodings stay compact. *)
+
+val sol_type : ?max_depth:int -> ?abiv2:bool -> Random.State.t -> Abity.t
+(** A random Solidity parameter type. [abiv2] enables struct and nested
+    arrays (ABIEncoderV2, Solidity >= 0.4.19); default false.
+    [max_depth] bounds array nesting (default 3, matching the paper's
+    observation that deployed arrays have dimension <= 3). *)
+
+val vy_type : Random.State.t -> Abity.t
+(** A random Vyper parameter type. *)
+
+val sol_basic : Random.State.t -> Abity.t
+(** One of the paper's basic types with random width. *)

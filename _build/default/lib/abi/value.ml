@@ -1,0 +1,55 @@
+open Evm
+
+type t =
+  | VUint of U256.t
+  | VInt of U256.t
+  | VBool of bool
+  | VAddr of U256.t
+  | VFixed of string
+  | VBytes of string
+  | VString of string
+  | VArray of t list
+  | VTuple of t list
+  | VDecimal of U256.t
+
+let fits_unsigned bits v = U256.bits v <= bits
+
+let fits_signed bits v =
+  (* value in [-2^(bits-1), 2^(bits-1)) as two's complement over 256 bits *)
+  let bound = U256.pow2 (bits - 1) in
+  if U256.get_bit v 255 then U256.compare (U256.neg v) bound <= 0
+  else U256.lt v bound
+
+let rec type_check ty v =
+  match (ty, v) with
+  | Abity.Uint m, VUint x -> fits_unsigned m x
+  | Abity.Int m, VInt x -> fits_signed m x
+  | Abity.Bool, VBool _ -> true
+  | Abity.Address, VAddr x -> fits_unsigned 160 x
+  | Abity.Bytes_n m, VFixed s -> String.length s = m
+  | Abity.Bytes, VBytes _ -> true
+  | Abity.String_t, VString _ -> true
+  | Abity.Sarray (elem, n), VArray items ->
+    List.length items = n && List.for_all (type_check elem) items
+  | Abity.Darray elem, VArray items -> List.for_all (type_check elem) items
+  | Abity.Tuple tys, VTuple items ->
+    List.length tys = List.length items && List.for_all2 type_check tys items
+  | Abity.Decimal, VDecimal x -> fits_signed 168 x
+  | Abity.Vbytes max, VBytes s -> String.length s <= max
+  | Abity.Vstring max, VString s -> String.length s <= max
+  | _ -> false
+
+let rec to_string = function
+  | VUint x -> U256.to_hex x
+  | VInt x ->
+    if U256.get_bit x 255 then "-" ^ U256.to_hex (U256.neg x)
+    else U256.to_hex x
+  | VBool b -> string_of_bool b
+  | VAddr x -> "0x" ^ U256.to_hex x
+  | VFixed s | VBytes s -> "0x" ^ Hex.encode s
+  | VString s -> Printf.sprintf "%S" s
+  | VArray items -> "[" ^ String.concat ", " (List.map to_string items) ^ "]"
+  | VTuple items -> "(" ^ String.concat ", " (List.map to_string items) ^ ")"
+  | VDecimal x -> "dec:" ^ U256.to_hex x
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,20 @@
+(** Runtime ABI values (actual arguments). *)
+
+type t =
+  | VUint of Evm.U256.t
+  | VInt of Evm.U256.t     (** two's-complement *)
+  | VBool of bool
+  | VAddr of Evm.U256.t    (** 160-bit *)
+  | VFixed of string       (** bytesM payload, [String.length = M] *)
+  | VBytes of string
+  | VString of string
+  | VArray of t list
+  | VTuple of t list
+  | VDecimal of Evm.U256.t (** Vyper decimal: scaled integer, two's-complement *)
+
+val type_check : Abity.t -> t -> bool
+(** Whether the value inhabits the type (widths in range, array sizes
+    matching static dimensions, Vyper max lengths respected). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/evm/cfg.ml: Disasm Format Hashtbl List Opcode Option U256

@@ -1,0 +1,1 @@
+lib/evm/disasm.ml: Char Format List Opcode Stdlib String U256

@@ -1,0 +1,1 @@
+lib/evm/hex.ml: Buffer Char Printf String

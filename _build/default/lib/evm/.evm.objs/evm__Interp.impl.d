@@ -1,0 +1,1 @@
+lib/evm/interp.ml: Disasm Format Hashtbl Keccak List Machine Opcode String U256

@@ -1,0 +1,1 @@
+lib/evm/interp.mli: Format Machine U256

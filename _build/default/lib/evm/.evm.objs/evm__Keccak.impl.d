@@ -1,0 +1,1 @@
+lib/evm/keccak.ml: Array Buffer Bytes Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/evm/keccak.mli:

@@ -1,0 +1,1 @@
+lib/evm/machine.ml: Bytes Char Hashtbl List String U256

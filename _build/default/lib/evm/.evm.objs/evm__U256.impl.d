@@ -1,0 +1,1 @@
+lib/evm/u256.ml: Array Buffer Char Format Int64 Printf Stdlib String

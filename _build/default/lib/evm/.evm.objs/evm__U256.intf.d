@@ -1,0 +1,1 @@
+lib/evm/u256.mli: Format

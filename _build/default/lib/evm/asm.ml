@@ -1,0 +1,47 @@
+type item = Op of Opcode.t | Label of string | Push_label of string
+
+let item_size = function
+  | Op op -> Opcode.size op
+  | Label _ -> 1 (* JUMPDEST *)
+  | Push_label _ -> 3 (* PUSH2 xx xx *)
+
+let encode_op buf op =
+  Buffer.add_char buf (Char.chr (Opcode.code op));
+  match op with
+  | Opcode.PUSH (n, v) ->
+    let bytes = U256.to_bytes_be v in
+    Buffer.add_string buf (String.sub bytes (32 - n) n)
+  | _ -> ()
+
+let assemble items =
+  let table = Hashtbl.create 16 in
+  let pos = ref 0 in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label name ->
+        if Hashtbl.mem table name then
+          invalid_arg (Printf.sprintf "Asm.assemble: duplicate label %s" name);
+        Hashtbl.replace table name !pos
+      | Op _ | Push_label _ -> ());
+      pos := !pos + item_size item)
+    items;
+  let buf = Buffer.create !pos in
+  List.iter
+    (fun item ->
+      match item with
+      | Op op -> encode_op buf op
+      | Label _ -> encode_op buf Opcode.JUMPDEST
+      | Push_label name -> (
+        match Hashtbl.find_opt table name with
+        | None ->
+          invalid_arg (Printf.sprintf "Asm.assemble: undefined label %s" name)
+        | Some addr ->
+          if addr > 0xffff then invalid_arg "Asm.assemble: label beyond 64KiB";
+          encode_op buf (Opcode.PUSH (2, U256.of_int addr))))
+    items;
+  Buffer.contents buf
+
+let assemble_ops ops = assemble (List.map (fun op -> Op op) ops)
+
+let concat_u256 words = String.concat "" (List.map U256.to_bytes_be words)

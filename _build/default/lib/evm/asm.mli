@@ -1,0 +1,17 @@
+(** Two-pass assembler from labelled instruction streams to runtime
+    bytecode. Label references are assembled as fixed-width PUSH2
+    immediates, so code addresses fit 64 KiB programs. *)
+
+type item =
+  | Op of Opcode.t
+  | Label of string          (** defines a JUMPDEST at this point *)
+  | Push_label of string     (** PUSH2 <address of label> *)
+
+val assemble : item list -> string
+(** Raises [Invalid_argument] on undefined or duplicate labels. *)
+
+val assemble_ops : Opcode.t list -> string
+(** Assembles a label-free stream. *)
+
+val concat_u256 : U256.t list -> string
+(** Helper: concatenation of 32-byte big-endian words (call-data building). *)

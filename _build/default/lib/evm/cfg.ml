@@ -1,0 +1,280 @@
+type block = {
+  start : int;
+  instrs : Disasm.instruction list;
+  terminator : Opcode.t option;
+  succ : successor list;
+}
+
+and successor =
+  | Fallthrough of int
+  | Jump_to of int
+  | Branch of { taken : int; fallthrough : int }
+  | Exit
+  | Unresolved
+
+type t = { by_start : (int, block) Hashtbl.t; order : int list }
+
+let leaders instrs =
+  let set = Hashtbl.create 64 in
+  Hashtbl.replace set 0 ();
+  let rec go = function
+    | [] -> ()
+    | { Disasm.offset; op } :: rest ->
+      if op = Opcode.JUMPDEST then Hashtbl.replace set offset ();
+      if Opcode.is_terminator op then (
+        match rest with
+        | { Disasm.offset = next; _ } :: _ -> Hashtbl.replace set next ()
+        | [] -> ());
+      go rest
+  in
+  go instrs;
+  set
+
+(* Static jump target: the PUSH immediately before the jump. *)
+let static_target block_instrs =
+  let rec last_two = function
+    | [ { Disasm.op = Opcode.PUSH (_, v); _ }; _ ] -> U256.to_int v
+    | _ :: rest -> last_two rest
+    | [] -> None
+  in
+  last_two block_instrs
+
+let of_instructions instrs =
+  let leader_set = leaders instrs in
+  (* split into chunks at leaders / after terminators *)
+  let chunks = ref [] and current = ref [] in
+  let flush () =
+    match !current with
+    | [] -> ()
+    | is -> chunks := List.rev is :: !chunks; current := []
+  in
+  List.iter
+    (fun ({ Disasm.offset; op } as i) ->
+      if Hashtbl.mem leader_set offset && !current <> [] then flush ();
+      current := i :: !current;
+      if Opcode.is_terminator op then flush ())
+    instrs;
+  flush ();
+  let chunks = List.rev !chunks in
+  let by_start = Hashtbl.create 64 in
+  let next_offset chunk =
+    match List.rev chunk with
+    | { Disasm.offset; op } :: _ -> offset + Opcode.size op
+    | [] -> 0
+  in
+  let order = List.map (fun c -> (List.hd c).Disasm.offset) chunks in
+  let valid_dest offset =
+    List.exists
+      (fun i -> i.Disasm.offset = offset && i.Disasm.op = Opcode.JUMPDEST)
+      instrs
+  in
+  List.iter
+    (fun chunk ->
+      let start = (List.hd chunk).Disasm.offset in
+      let last = List.nth chunk (List.length chunk - 1) in
+      let after = next_offset chunk in
+      let has_next = List.exists (fun i -> i.Disasm.offset = after) instrs in
+      let succ =
+        match last.Disasm.op with
+        | Opcode.JUMP -> (
+          match static_target chunk with
+          | Some target when valid_dest target -> [ Jump_to target ]
+          | Some _ -> [ Exit ] (* jump to invalid destination: halts *)
+          | None -> [ Unresolved ])
+        | Opcode.JUMPI -> (
+          let fallthrough = if has_next then [ Fallthrough after ] else [] in
+          match static_target chunk with
+          | Some target when valid_dest target ->
+            if has_next then [ Branch { taken = target; fallthrough = after } ]
+            else [ Jump_to target ]
+          | Some _ -> fallthrough
+          | None -> Unresolved :: fallthrough)
+        | Opcode.STOP | Opcode.RETURN | Opcode.REVERT | Opcode.INVALID
+        | Opcode.SELFDESTRUCT ->
+          [ Exit ]
+        | _ -> if has_next then [ Fallthrough after ] else [ Exit ]
+      in
+      let terminator =
+        if Opcode.is_terminator last.Disasm.op then Some last.Disasm.op
+        else None
+      in
+      Hashtbl.replace by_start start { start; instrs = chunk; terminator; succ })
+    chunks;
+  { by_start; order }
+
+let build bytecode = of_instructions (Disasm.disassemble bytecode)
+let block_at t start = Hashtbl.find_opt t.by_start start
+
+let entry t =
+  match t.order with [] -> None | start :: _ -> block_at t start
+
+let blocks t = List.filter_map (block_at t) t.order
+let block_count t = List.length t.order
+
+let successors t block =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Fallthrough o | Jump_to o -> Option.to_list (block_at t o)
+      | Branch { taken; fallthrough } ->
+        Option.to_list (block_at t taken)
+        @ Option.to_list (block_at t fallthrough)
+      | Exit | Unresolved -> [])
+    block.succ
+
+let block_of_pc t pc =
+  let rec best = function
+    | [] -> None
+    | b :: rest -> (
+      match rest with
+      | next :: _ when next.start <= pc -> best rest
+      | _ -> if b.start <= pc then Some b else None)
+  in
+  best (blocks t)
+
+let branch_condition_pc block =
+  match List.rev block.instrs with
+  | { Disasm.offset; op = Opcode.JUMPI } :: _ -> Some offset
+  | _ -> None
+
+(* Post-dominator computation over the block graph, with a virtual exit
+   node (-1). Iterative dataflow on the reverse graph. *)
+let postdominators t =
+  let exit_node = -1 in
+  let starts = List.map (fun b -> b.start) (blocks t) in
+  let succ_starts b =
+    let concrete = List.map (fun s -> s.start) (successors t b) in
+    let exits =
+      List.exists (function Exit | Unresolved -> true | _ -> false) b.succ
+    in
+    if exits || concrete = [] then exit_node :: concrete else concrete
+  in
+  let ipdom = Hashtbl.create 64 in
+  Hashtbl.replace ipdom exit_node exit_node;
+  (* process blocks from the exit backwards; with our forward-ordered
+     starts, iterating in descending start order converges quickly *)
+  let order = List.rev starts in
+  (* Common ancestor in the (partially built) ipdom tree rooted at the
+     virtual exit. Collect the ancestors of one node, then climb from
+     the other until the sets meet. Bounded walks guard against the
+     transient cycles of an unconverged tree. *)
+  let intersect a b =
+    let ancestors = Hashtbl.create 16 in
+    let rec collect node fuel =
+      if fuel > 0 && not (Hashtbl.mem ancestors node) then begin
+        Hashtbl.replace ancestors node ();
+        if node <> exit_node then
+          match Hashtbl.find_opt ipdom node with
+          | Some p when p <> node -> collect p (fuel - 1)
+          | _ -> ()
+      end
+    in
+    collect a 4096;
+    let rec climb node fuel =
+      if fuel = 0 then exit_node
+      else if Hashtbl.mem ancestors node then node
+      else if node = exit_node then exit_node
+      else
+        match Hashtbl.find_opt ipdom node with
+        | Some p when p <> node -> climb p (fuel - 1)
+        | _ -> exit_node
+    in
+    climb b 4096
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun s ->
+        match block_at t s with
+        | None -> ()
+        | Some b ->
+          let succs = succ_starts b in
+          let known =
+            List.filter (fun x -> x = exit_node || Hashtbl.mem ipdom x) succs
+          in
+          match known with
+          | [] -> ()
+          | first :: rest ->
+            let new_ipdom = List.fold_left intersect first rest in
+            if Hashtbl.find_opt ipdom s <> Some new_ipdom then begin
+              Hashtbl.replace ipdom s new_ipdom;
+              changed := true
+            end)
+      order
+  done;
+  ipdom
+
+let control_deps t =
+  let exit_node = -1 in
+  let ipdom = postdominators t in
+  let deps = Hashtbl.create 64 in
+  let add b a =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt deps b) in
+    if not (List.mem a cur) then Hashtbl.replace deps b (a :: cur)
+  in
+  List.iter
+    (fun a ->
+      let succs = successors t a in
+      let is_branch =
+        match a.terminator with
+        | Some Opcode.JUMPI -> List.length succs >= 2
+        | _ -> false
+      in
+      if is_branch then
+        let stop =
+          Option.value ~default:exit_node (Hashtbl.find_opt ipdom a.start)
+        in
+        List.iter
+          (fun s ->
+            let rec walk node =
+              if node <> stop && node <> exit_node then begin
+                add node a.start;
+                match Hashtbl.find_opt ipdom node with
+                | Some p when p <> node -> walk p
+                | _ -> ()
+              end
+            in
+            walk s.start)
+          succs)
+    (blocks t);
+  deps
+
+let transitive_deps deps start =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go s =
+    match Hashtbl.find_opt deps s with
+    | None -> ()
+    | Some parents ->
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem seen p) then begin
+            Hashtbl.replace seen p ();
+            out := p :: !out;
+            go p
+          end)
+        parents
+  in
+  go start;
+  List.rev !out
+
+let pp fmt t =
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "block %04x (%d instrs) ->" b.start
+        (List.length b.instrs);
+      List.iter
+        (fun s ->
+          match s with
+          | Fallthrough o -> Format.fprintf fmt " fall:%04x" o
+          | Jump_to o -> Format.fprintf fmt " jump:%04x" o
+          | Branch { taken; fallthrough } ->
+            Format.fprintf fmt " br:%04x/%04x" taken fallthrough
+          | Exit -> Format.fprintf fmt " exit"
+          | Unresolved -> Format.fprintf fmt " ?")
+        b.succ;
+      Format.fprintf fmt "@.")
+    (blocks t)

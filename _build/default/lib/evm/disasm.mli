@@ -1,0 +1,13 @@
+(** Linear-sweep disassembler (equivalent to the Geth disassembler the
+    paper uses): decodes runtime bytecode into instructions located by
+    byte offset. A PUSH whose immediate is truncated by the end of code is
+    decoded with the missing bytes as zero, as EVM does. *)
+
+type instruction = { offset : int; op : Opcode.t }
+
+val disassemble : string -> instruction list
+
+val pp_listing : Format.formatter -> instruction list -> unit
+
+val instruction_at : instruction list -> int -> Opcode.t option
+(** Lookup by exact byte offset. *)

@@ -1,0 +1,28 @@
+let encode s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: bad digit"
+
+let strip_prefix s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    String.sub s 2 (String.length s - 2)
+  else s
+
+let decode s =
+  let s = strip_prefix s in
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let is_valid s =
+  match decode s with _ -> true | exception Invalid_argument _ -> false

@@ -1,0 +1,10 @@
+(** Hex encoding and decoding of raw byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex, two digits per byte, no prefix. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts an optional ["0x"] prefix and uppercase
+    digits. Raises [Invalid_argument] on odd length or bad digits. *)
+
+val is_valid : string -> bool

@@ -1,0 +1,12 @@
+(** Keccak-256 as used by Ethereum (original Keccak padding [0x01], not the
+    NIST SHA3 variant). *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte Keccak-256 hash of [msg]. *)
+
+val digest_hex : string -> string
+(** Hash as 64 lowercase hex digits. *)
+
+val selector : string -> string
+(** [selector signature] is the 4-byte Ethereum function id: the first four
+    bytes of [digest signature]. *)

@@ -1,0 +1,123 @@
+module Stack = struct
+  type t = { mutable items : U256.t list; mutable depth : int }
+
+  exception Underflow
+  exception Overflow
+
+  let limit = 1024
+  let create () = { items = []; depth = 0 }
+
+  let push s v =
+    if s.depth >= limit then raise Overflow;
+    s.items <- v :: s.items;
+    s.depth <- s.depth + 1
+
+  let pop s =
+    match s.items with
+    | [] -> raise Underflow
+    | v :: rest ->
+      s.items <- rest;
+      s.depth <- s.depth - 1;
+      v
+
+  let peek s n =
+    let rec go items n =
+      match (items, n) with
+      | v :: _, 0 -> v
+      | _ :: rest, n -> go rest (n - 1)
+      | [], _ -> raise Underflow
+    in
+    go s.items n
+
+  let dup s n = push s (peek s (n - 1))
+
+  let swap s n =
+    if s.depth < n + 1 then raise Underflow;
+    let top = peek s 0 and deep = peek s n in
+    s.items <-
+      List.mapi
+        (fun i v -> if i = 0 then deep else if i = n then top else v)
+        s.items
+
+  let depth s = s.depth
+  let to_list s = s.items
+end
+
+module Memory = struct
+  type t = { mutable data : Bytes.t; mutable used : int }
+
+  let create () = { data = Bytes.make 1024 '\000'; used = 0 }
+
+  let ensure m n =
+    let needed = (n + 31) / 32 * 32 in
+    if needed > Bytes.length m.data then begin
+      let cap = ref (Bytes.length m.data) in
+      while !cap < needed do
+        cap := !cap * 2
+      done;
+      let fresh = Bytes.make !cap '\000' in
+      Bytes.blit m.data 0 fresh 0 m.used;
+      m.data <- fresh
+    end;
+    if needed > m.used then m.used <- needed
+
+  let load_word m off =
+    ensure m (off + 32);
+    U256.of_bytes_be (Bytes.sub_string m.data off 32)
+
+  let store_word m off v =
+    ensure m (off + 32);
+    Bytes.blit_string (U256.to_bytes_be v) 0 m.data off 32
+
+  let store_byte m off b =
+    ensure m (off + 1);
+    Bytes.set m.data off (Char.chr (b land 0xff))
+
+  let load_bytes m off len =
+    if len = 0 then ""
+    else begin
+      ensure m (off + len);
+      Bytes.sub_string m.data off len
+    end
+
+  let store_bytes m off s =
+    if String.length s > 0 then begin
+      ensure m (off + String.length s);
+      Bytes.blit_string s 0 m.data off (String.length s)
+    end
+
+  let size m = m.used
+end
+
+module Calldata = struct
+  type t = string
+
+  let of_string s = s
+  let create ~selector ~args = selector ^ args
+
+  let read cd off len =
+    String.init len (fun i ->
+        let p = off + i in
+        if p < String.length cd then cd.[p] else '\000')
+
+  let load_word cd off = U256.of_bytes_be (read cd off 32)
+  let size = String.length
+  let to_string cd = cd
+end
+
+module Storage = struct
+  type t = (string, U256.t) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let key k = U256.to_bytes_be k
+
+  let load t k =
+    match Hashtbl.find_opt t (key k) with Some v -> v | None -> U256.zero
+
+  let store t k v =
+    if U256.is_zero v then Hashtbl.remove t (key k)
+    else Hashtbl.replace t (key k) v
+
+  let bindings t =
+    Hashtbl.fold (fun k v acc -> (U256.of_bytes_be k, v) :: acc) t []
+end

@@ -1,0 +1,64 @@
+(** Concrete EVM machine-state components: stack, byte-addressed memory,
+    call data and storage. All reads beyond the end of call data yield
+    zero bytes, as the EVM specifies. *)
+
+module Stack : sig
+  type t
+
+  exception Underflow
+  exception Overflow
+
+  val create : unit -> t
+  val push : t -> U256.t -> unit
+  val pop : t -> U256.t
+  val peek : t -> int -> U256.t
+  (** [peek s 0] is the top item. *)
+
+  val dup : t -> int -> unit
+  (** [dup s n]: push a copy of the [n]-th item (1-based, EVM DUPn). *)
+
+  val swap : t -> int -> unit
+  (** [swap s n]: exchange top with the [n+1]-th item (EVM SWAPn). *)
+
+  val depth : t -> int
+  val to_list : t -> U256.t list
+  (** Top first. *)
+end
+
+module Memory : sig
+  type t
+
+  val create : unit -> t
+  val load_word : t -> int -> U256.t
+  val store_word : t -> int -> U256.t -> unit
+  val store_byte : t -> int -> int -> unit
+  val load_bytes : t -> int -> int -> string
+  val store_bytes : t -> int -> string -> unit
+  val size : t -> int
+  (** Current size, always a multiple of 32. *)
+end
+
+module Calldata : sig
+  type t
+
+  val of_string : string -> t
+  val create : selector:string -> args:string -> t
+  (** [create ~selector ~args]: 4-byte selector followed by encoded
+      arguments. *)
+
+  val load_word : t -> int -> U256.t
+  (** 32-byte read, zero-extended past the end. *)
+
+  val read : t -> int -> int -> string
+  val size : t -> int
+  val to_string : t -> string
+end
+
+module Storage : sig
+  type t
+
+  val create : unit -> t
+  val load : t -> U256.t -> U256.t
+  val store : t -> U256.t -> U256.t -> unit
+  val bindings : t -> (U256.t * U256.t) list
+end

@@ -1,0 +1,55 @@
+(** The EVM instruction set (Shanghai-era, incl. SHL/SHR/SAR and PUSH0). *)
+
+type t =
+  (* 0x00s: stop and arithmetic *)
+  | STOP | ADD | MUL | SUB | DIV | SDIV | MOD | SMOD | ADDMOD | MULMOD
+  | EXP | SIGNEXTEND
+  (* 0x10s: comparison and bitwise *)
+  | LT | GT | SLT | SGT | EQ | ISZERO | AND | OR | XOR | NOT | BYTE
+  | SHL | SHR | SAR
+  (* 0x20 *)
+  | SHA3
+  (* 0x30s: environment *)
+  | ADDRESS | BALANCE | ORIGIN | CALLER | CALLVALUE | CALLDATALOAD
+  | CALLDATASIZE | CALLDATACOPY | CODESIZE | CODECOPY | GASPRICE
+  | EXTCODESIZE | EXTCODECOPY | RETURNDATASIZE | RETURNDATACOPY | EXTCODEHASH
+  (* 0x40s: block *)
+  | BLOCKHASH | COINBASE | TIMESTAMP | NUMBER | PREVRANDAO | GASLIMIT
+  | CHAINID | SELFBALANCE | BASEFEE
+  (* 0x50s: stack, memory, storage, flow *)
+  | POP | MLOAD | MSTORE | MSTORE8 | SLOAD | SSTORE | JUMP | JUMPI
+  | PC | MSIZE | GAS | JUMPDEST
+  (* 0x5f-0x7f *)
+  | PUSH of int * U256.t  (** [PUSH (n, v)]: [0 <= n <= 32]; [PUSH (0, _)] is PUSH0. *)
+  (* 0x80s / 0x90s *)
+  | DUP of int   (** [DUP n], [1 <= n <= 16] *)
+  | SWAP of int  (** [SWAP n], [1 <= n <= 16] *)
+  (* 0xa0s *)
+  | LOG of int   (** [LOG n], [0 <= n <= 4] *)
+  (* 0xf0s: system *)
+  | CREATE | CALL | CALLCODE | RETURN | DELEGATECALL | CREATE2
+  | STATICCALL | REVERT | INVALID | SELFDESTRUCT
+  | UNKNOWN of int  (** any unassigned byte *)
+
+val code : t -> int
+(** Leading byte of the encoded instruction. *)
+
+val size : t -> int
+(** Encoded size in bytes (1 + immediate length for PUSH). *)
+
+val stack_arity : t -> int * int
+(** [(consumed, produced)] stack items. *)
+
+val is_terminator : t -> bool
+(** True for instructions that end a basic block (JUMP, JUMPI, STOP,
+    RETURN, REVERT, INVALID, SELFDESTRUCT). *)
+
+val mnemonic : t -> string
+val pp : Format.formatter -> t -> unit
+
+val push : int -> t
+(** [push n] is [PUSH (k, of_int n)] with minimal [k >= 1]. *)
+
+val push_u256 : U256.t -> t
+val push_width : int -> U256.t -> t
+(** [push_width n v]: PUSHn with an explicit width. *)

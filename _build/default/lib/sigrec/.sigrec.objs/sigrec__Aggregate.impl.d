@@ -1,0 +1,1 @@
+lib/sigrec/aggregate.ml: Abi Hashtbl List Option Recover

@@ -1,0 +1,1 @@
+lib/sigrec/ids.ml: Array Disasm Evm Hashtbl List Opcode String Symex U256

@@ -1,0 +1,1 @@
+lib/sigrec/ids.mli:

@@ -1,0 +1,1 @@
+lib/sigrec/infer.ml: Abi Hashtbl List Option Rules Stdlib Symex

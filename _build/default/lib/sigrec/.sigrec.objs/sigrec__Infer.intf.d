@@ -1,0 +1,1 @@
+lib/sigrec/infer.mli: Abi Evm Hashtbl Rules Symex

@@ -1,0 +1,1 @@
+lib/sigrec/recover.ml: Abi Evm Format Ids Infer List String

@@ -1,0 +1,1 @@
+lib/sigrec/recover.mli: Abi Format Hashtbl Rules Symex

@@ -1,0 +1,1 @@
+lib/sigrec/ruledoc.ml: Format List

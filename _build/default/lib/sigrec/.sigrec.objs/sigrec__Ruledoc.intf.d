@@ -1,0 +1,1 @@
+lib/sigrec/ruledoc.mli: Format

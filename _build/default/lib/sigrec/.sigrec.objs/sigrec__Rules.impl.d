@@ -1,0 +1,1 @@
+lib/sigrec/rules.ml: Abi Cfg Evm Hashtbl List Option Printf Symex U256

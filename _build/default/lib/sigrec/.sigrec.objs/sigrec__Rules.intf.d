@@ -1,0 +1,1 @@
+lib/sigrec/rules.mli: Abi Evm Hashtbl Symex

@@ -1,0 +1,92 @@
+(* Evidence order: how refined a recovered type is, following the rule
+   structure. uint256 is the R4/R25 default (no evidence); string is
+   the no-byte-access default among byte sequences (R17); address is
+   the no-arithmetic default of the 20-byte mask (R16). *)
+let rank ty =
+  match ty with
+  | Abi.Abity.Uint 256 -> 0 (* the unrefined default *)
+  | Abi.Abity.String_t -> 1 (* default among bytes/string *)
+  | Abi.Abity.Address -> 1 (* default among 20-byte-masked words *)
+  | _ -> 2
+
+let rec more_specific a b =
+  if Abi.Abity.equal a b then false
+  else
+    match (a, b) with
+    | _, Abi.Abity.Uint 256 -> true
+    | Abi.Abity.Bytes, Abi.Abity.String_t -> true
+    | Abi.Abity.Uint 160, Abi.Abity.Address -> true
+    | Abi.Abity.Darray x, Abi.Abity.String_t ->
+      (* structural array evidence beats the ambiguous dynamic default *)
+      ignore x;
+      true
+    | Abi.Abity.Darray x, Abi.Abity.Darray y
+    | Abi.Abity.Sarray (x, _), Abi.Abity.Sarray (y, _) ->
+      more_specific x y
+    | _ -> false
+
+let rec join_type a b =
+  if Abi.Abity.equal a b then a
+  else
+    match (a, b) with
+    | Abi.Abity.Darray x, Abi.Abity.Darray y -> Abi.Abity.Darray (join_type x y)
+    | Abi.Abity.Sarray (x, n), Abi.Abity.Sarray (y, m) when n = m ->
+      Abi.Abity.Sarray (join_type x y, n)
+    | Abi.Abity.Tuple xs, Abi.Abity.Tuple ys
+      when List.length xs = List.length ys ->
+      Abi.Abity.Tuple (List.map2 join_type xs ys)
+    | _ ->
+      if more_specific b a then b
+      else if more_specific a b then a
+      else if rank b > rank a then b
+      else a
+
+let join_params a b =
+  if List.length a <> List.length b then None
+  else Some (List.map2 join_type a b)
+
+let join_all recoveries =
+  match recoveries with
+  | [] -> None
+  | _ ->
+    (* majority arity first: a body that misses parameters entirely
+       (unaccessed external arrays) must not poison the others *)
+    let by_arity = Hashtbl.create 4 in
+    List.iter
+      (fun tys ->
+        let n = List.length tys in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_arity n) in
+        Hashtbl.replace by_arity n (tys :: cur))
+      recoveries;
+    let _, winner =
+      Hashtbl.fold
+        (fun _ group (best_count, best) ->
+          if List.length group > best_count then (List.length group, group)
+          else (best_count, best))
+        by_arity (0, [])
+    in
+    (match winner with
+    | [] -> None
+    | first :: rest ->
+      Some (List.fold_left (fun acc tys -> List.map2 join_type acc tys) first rest))
+
+let recover_many bytecodes =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun code ->
+      List.iter
+        (fun r ->
+          let cur =
+            Option.value ~default:[]
+              (Hashtbl.find_opt table r.Recover.selector)
+          in
+          Hashtbl.replace table r.Recover.selector
+            (r.Recover.params :: cur))
+        (Recover.recover code))
+    bytecodes;
+  Hashtbl.fold
+    (fun selector recoveries acc ->
+      match join_all recoveries with
+      | Some params -> (selector, params) :: acc
+      | None -> acc)
+    table []

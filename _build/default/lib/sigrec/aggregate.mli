@@ -1,0 +1,36 @@
+(** Cross-contract evidence aggregation — the paper's §7 proposal for
+    the case-5 ambiguities: "one function signature may be found in many
+    smart contracts with various function bodies that may provide
+    sufficient clues".
+
+    The same function id appears in thousands of deployed contracts
+    whose bodies use the parameters differently: one body never touches
+    a [bytes] parameter byte-wise (recovered [string]), another does
+    (recovered [bytes]). Joining the recoveries keeps the most specific
+    evidence seen anywhere. *)
+
+val more_specific : Abi.Abity.t -> Abi.Abity.t -> bool
+(** [more_specific a b]: a carries strictly more evidence than b in the
+    refinement order of the rules ([uint256] is the unrefined default;
+    byte access refines [string] to [bytes]; arithmetic refines
+    [address] to [uint160]). *)
+
+val join_type : Abi.Abity.t -> Abi.Abity.t -> Abi.Abity.t
+(** Least upper bound in the evidence order; structural types join
+    pointwise. Unrelated conflicts keep the left type (resolved by
+    {!join_all}'s majority vote). *)
+
+val join_params :
+  Abi.Abity.t list -> Abi.Abity.t list -> Abi.Abity.t list option
+(** Pointwise join; [None] when the arities disagree. *)
+
+val join_all : Abi.Abity.t list list -> Abi.Abity.t list option
+(** Join the recoveries of one function id from many contracts: the
+    majority arity wins, then types join pointwise across the majority
+    class. [None] on empty input. *)
+
+val recover_many :
+  string list -> (string * Abi.Abity.t list) list
+(** [recover_many bytecodes] recovers every contract and returns one
+    aggregated parameter list per function id (selector, joined
+    types). *)

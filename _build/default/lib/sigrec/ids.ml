@@ -1,0 +1,131 @@
+open Evm
+module Sexpr = Symex.Sexpr
+
+type entry = { selector : string; entry_pc : int; entry_stack_depth : int }
+
+(* Primary extraction: symbolic execution of the dispatcher. The
+   selector is whatever the contract computes from the first call-data
+   word; every branch whose condition compares that expression against
+   a 4-byte constant is a dispatch decision, and the equal branch leads
+   to the function body. This is robust to junk instructions and
+   constant re-encodings, because it looks at the executed comparison,
+   not the instruction text (the same philosophy as TASE itself). *)
+let extract_symbolic bytecode =
+  let budget =
+    { Symex.Exec.default_budget with Symex.Exec.max_paths = 256 }
+  in
+  let trace = Symex.Exec.run ~budget ~code:bytecode ~entry:0 ~init_stack:[] () in
+  (* the selector expression derives from the load at offset 0 *)
+  let selector_load_ids =
+    List.filter_map
+      (fun (l : Symex.Trace.load) ->
+        match Sexpr.to_const_int l.Symex.Trace.loc with
+        | Some 0 -> Some l.Symex.Trace.id
+        | _ -> None)
+      trace.Symex.Trace.loads
+  in
+  let is_selector_expr e =
+    List.exists (fun id -> Sexpr.mentions_load e id) selector_load_ids
+    && Sexpr.to_const e = None
+  in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun pc conds ->
+      match Hashtbl.find_opt trace.Symex.Trace.jumpi_targets pc with
+      | None -> ()
+      | Some target ->
+        List.iter
+          (fun cond ->
+            let core, iszeros = Sexpr.iszero_depth cond in
+            match core with
+            | Sexpr.Bin (Sexpr.Beq, a, b) when iszeros mod 2 = 0 -> (
+              let id_of e =
+                match Sexpr.to_const e with
+                | Some v when U256.bits v <= 32 ->
+                  Some (String.sub (U256.to_bytes_be v) 28 4)
+                | _ -> None
+              in
+              match (id_of a, id_of b, a, b) with
+              | Some id, None, _, e when is_selector_expr e ->
+                out := (pc, id, target) :: !out
+              | None, Some id, e, _ when is_selector_expr e ->
+                out := (pc, id, target) :: !out
+              | _ -> ())
+            | _ -> ())
+          conds)
+    trace.Symex.Trace.jumpi_conds;
+  (* dispatch order = ascending JUMPI pc *)
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !out
+  |> List.map (fun (_, selector, target) ->
+         { selector; entry_pc = target; entry_stack_depth = 1 })
+
+(* Fallback: the static compare-and-jump idioms
+     DUP1; PUSH4 id; EQ; PUSH2 t; JUMPI
+     PUSH4 id; DUP2; EQ; PUSH2 t; JUMPI
+   — cheap and sufficient for unobfuscated compiler output. *)
+let extract_static bytecode =
+  let instrs = Array.of_list (Disasm.disassemble bytecode) in
+  let n = Array.length instrs in
+  let op i = if i < n then Some instrs.(i).Disasm.op else None in
+  let out = ref [] in
+  let push4 = function
+    | Some (Opcode.PUSH (4, v)) -> Some (String.sub (U256.to_bytes_be v) 28 4)
+    | _ -> None
+  in
+  let push_target = function
+    | Some (Opcode.PUSH (_, v)) -> U256.to_int v
+    | _ -> None
+  in
+  for i = 0 to n - 1 do
+    match op i with
+    | Some (Opcode.DUP 1) -> (
+      match (push4 (op (i + 1)), op (i + 2)) with
+      | Some sel, Some Opcode.EQ -> (
+        match (push_target (op (i + 3)), op (i + 4)) with
+        | Some target, Some Opcode.JUMPI -> out := (sel, target) :: !out
+        | _ -> ())
+      | _ -> ())
+    | Some (Opcode.PUSH (4, _)) -> (
+      match (push4 (op i), op (i + 1), op (i + 2)) with
+      | Some sel, Some (Opcode.DUP 2), Some Opcode.EQ -> (
+        match (push_target (op (i + 3)), op (i + 4)) with
+        | Some target, Some Opcode.JUMPI -> out := (sel, target) :: !out
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+  done;
+  List.rev !out
+  |> List.map (fun (selector, target) ->
+         { selector; entry_pc = target; entry_stack_depth = 1 })
+
+let dedup entries =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e.selector then false
+      else begin
+        Hashtbl.replace seen e.selector ();
+        true
+      end)
+    entries
+
+let extract bytecode =
+  let static = dedup (extract_static bytecode) in
+  let symbolic = dedup (extract_symbolic bytecode) in
+  (* prefer the richer result: obfuscation defeats the static idioms,
+     while plain compiler output yields identical answers from both *)
+  if List.length symbolic > List.length static then symbolic else static
+
+let uses_shr_dispatch bytecode =
+  let instrs = Disasm.disassemble bytecode in
+  let rec scan = function
+    | { Disasm.op = Opcode.CALLDATALOAD; _ }
+      :: { Disasm.op = Opcode.PUSH (_, v); _ }
+      :: { Disasm.op = Opcode.SHR; _ }
+      :: _
+      when U256.to_int v = Some 0xe0 ->
+      true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan instrs

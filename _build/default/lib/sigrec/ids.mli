@@ -1,0 +1,23 @@
+(** Function-id extraction from the dispatcher (paper §4.1 /
+    supplementary E).
+
+    The dispatcher reads the first four call-data bytes, shifts or
+    divides them into place, and compares the result against each
+    function id with EQ followed by a conditional jump. This module
+    scans the disassembly for those compare-and-jump idioms and returns
+    each function's id together with the body's entry offset. *)
+
+type entry = {
+  selector : string;     (** 4 bytes *)
+  entry_pc : int;        (** JUMPDEST offset of the function body *)
+  entry_stack_depth : int;
+      (** stack items left by the dispatcher at entry (the selector
+          residue) *)
+}
+
+val extract : string -> entry list
+(** [extract bytecode] returns entries in dispatch order. *)
+
+val uses_shr_dispatch : string -> bool
+(** Whether the selector is moved with SHR (newer solc) rather than
+    DIV. *)

@@ -1,0 +1,28 @@
+(** TASE: type-aware symbolic execution (paper §4.2).
+
+    Step 1 (coarse-grained inference) classifies each parameter's shape
+    from the CALLDATALOAD/CALLDATACOPY rules; step 2 derives the number
+    and order of parameters from the head-slot locations of the anchors
+    found; step 3 is the symbol marking the executor performs (regions
+    and load ids); step 4 (fine-grained inference) refines each 32-byte
+    word to a specific basic type from the masks, comparisons and
+    instructions applied to it. *)
+
+type result = {
+  params : Abi.Abity.t list;
+  rule_paths : string list list;
+      (** for each parameter, the rules that fired while classifying it,
+          in firing order — its path through the Fig. 13 decision tree *)
+  lang : Abi.Abity.lang;
+  trace : Symex.Trace.t;      (** for downstream consumers (Erays+) *)
+}
+
+val infer :
+  ?stats:(string, int) Hashtbl.t ->
+  ?config:Rules.config ->
+  ?budget:Symex.Exec.budget ->
+  code:string ->
+  cfg:Evm.Cfg.t ->
+  entry:int ->
+  unit ->
+  result

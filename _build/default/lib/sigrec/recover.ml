@@ -1,0 +1,33 @@
+type recovered = {
+  selector : string;
+  selector_hex : string;
+  params : Abi.Abity.t list;
+  rule_paths : string list list;
+  lang : Abi.Abity.lang;
+  entry_pc : int;
+}
+
+let recover ?stats ?config ?budget bytecode =
+  let entries = Ids.extract bytecode in
+  let cfg = Evm.Cfg.build bytecode in
+  List.map
+    (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
+      let result =
+        Infer.infer ?stats ?config ?budget ~code:bytecode ~cfg
+          ~entry:entry_pc ()
+      in
+      {
+        selector;
+        selector_hex = Evm.Hex.encode selector;
+        params = result.Infer.params;
+        rule_paths = result.Infer.rule_paths;
+        lang = result.Infer.lang;
+        entry_pc;
+      })
+    entries
+
+let type_list r = String.concat "," (List.map Abi.Abity.to_string r.params)
+
+let pp fmt r =
+  Format.fprintf fmt "0x%s(%s)%s" r.selector_hex (type_list r)
+    (match r.lang with Abi.Abity.Solidity -> "" | Abi.Abity.Vyper -> " [vyper]")

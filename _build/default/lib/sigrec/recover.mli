@@ -1,0 +1,28 @@
+(** SigRec's public entry point: runtime bytecode in, recovered function
+    signatures out (paper Fig. 12). *)
+
+type recovered = {
+  selector : string;           (** 4-byte function id *)
+  selector_hex : string;
+  params : Abi.Abity.t list;
+  rule_paths : string list list;
+      (** per parameter: the rule path through the Fig. 13 decision
+          tree that produced its type *)
+  lang : Abi.Abity.lang;
+  entry_pc : int;
+}
+
+val recover :
+  ?stats:(string, int) Hashtbl.t ->
+  ?config:Rules.config ->
+  ?budget:Symex.Exec.budget ->
+  string ->
+  recovered list
+(** [recover bytecode] extracts the function ids from the dispatcher and
+    runs TASE on each function body. [stats] accumulates per-rule usage
+    counts (Fig. 19). *)
+
+val type_list : recovered -> string
+(** Canonical comma-separated parameter list, e.g. ["uint8\[\],address"]. *)
+
+val pp : Format.formatter -> recovered -> unit

@@ -1,0 +1,123 @@
+type category =
+  | Calldataload
+  | Calldatacopy
+  | Refinement
+  | Structure
+  | Language
+
+type t = {
+  name : string;
+  category : category;
+  matches : string;
+  concludes : string;
+}
+
+let r name category matches concludes = { name; category; matches; concludes }
+
+let all =
+  [
+    r "R1" Calldataload
+      "two CALLDATALOADs where the second reads at (value of first) + 4"
+      "the parameter is a dynamic array, bytes or string (offset field \
+       followed by num field)";
+    r "R2" Calldataload
+      "an item load whose location adds the offset value and a 32-scaled \
+       index, control-dependent on an LT against the num field plus n-1 \
+       constant-bound LTs"
+      "an n-dimensional dynamic array in an external function; the \
+       constant bounds are the lower dimension sizes";
+    r "R3" Calldataload
+      "an item load at a constant base plus 32-scaled indices, without an \
+       offset term, under constant-bound LT checks"
+      "an n-dimensional static array in an external function; bounds give \
+       the dimension sizes";
+    r "R4" Calldataload
+      "a 32-byte load at a constant call-data offset with no other \
+       structural evidence"
+      "a basic-type parameter, recorded as uint256 until refined";
+    r "R5" Calldatacopy
+      "exactly one CALLDATACOPY whose source involves an offset field"
+      "a one-dimensional dynamic array, bytes or string in a public \
+       function";
+    r "R6" Calldatacopy
+      "a CALLDATACOPY with constant source and length, no enclosing loop"
+      "a one-dimensional static array in a public function (length/32 \
+       items)";
+    r "R7" Calldatacopy
+      "the copy length is num * 32" "a one-dimensional dynamic array";
+    r "R8" Calldatacopy
+      "the copy length is ceil32(num) (division by 32 appears)"
+      "a bytes or string value (single bytes are not 32-extended)";
+    r "R9" Calldatacopy
+      "CALLDATACOPYs of constant rows inside constant-bound loops"
+      "an (n+1)-dimensional static array in a public function";
+    r "R10" Calldatacopy
+      "CALLDATACOPYs of constant rows inside a loop bounded by the num \
+       field"
+      "an (n+1)-dimensional dynamic array in a public function";
+    r "R11" Refinement "AND with a low-ones mask of k bytes"
+      "uint(8k) (the padding direction identifies an unsigned integer)";
+    r "R12" Refinement "AND with a high-ones mask of k bytes"
+      "bytes(k) (right padding identifies a fixed byte sequence)";
+    r "R13" Refinement "SIGNEXTEND with constant k < 31"
+      "int(8(k+1)) (sign extension identifies a signed integer)";
+    r "R14" Refinement "two consecutive ISZEROs on the raw value" "bool";
+    r "R15" Refinement
+      "a signed-only instruction (SDIV/SMOD) consumes the unmasked value"
+      "int256 (distinguishes it from uint256)";
+    r "R16" Refinement
+      "a 20-byte AND mask; arithmetic usage decides the final type"
+      "address when the value is never used in math, uint160 otherwise";
+    r "R17" Refinement
+      "a single byte of a bytes/string-shaped value is read"
+      "bytes (a string never has its individual bytes accessed)";
+    r "R18" Refinement "BYTE applied to the raw 32-byte word"
+      "bytes32 (an AND would have marked a uint256 byte extraction)";
+    r "R19" Structure "a struct field classified as a nested array"
+      "a struct containing array fields";
+    r "R20" Language
+      "comparison-based range checks guard raw loads instead of masks"
+      "the contract is Vyper bytecode; Vyper refinements apply";
+    r "R21" Structure
+      "an offset field dereferenced at constant field offsets without an \
+       intervening num-bounded loop"
+      "a dynamic struct; each field classified recursively";
+    r "R22" Structure
+      "items of a dynamic dimension are themselves offset fields"
+      "a nested array (a dynamic dimension below the top)";
+    r "R23" Calldatacopy
+      "a CALLDATACOPY of constant 32+maxLen bytes from offset+4 with no \
+       num load"
+      "a Vyper fixed-size byte array or string of maximum length maxLen";
+    r "R24" Calldataload
+      "the external-static-array pattern in Vyper bytecode"
+      "a fixed-size list; bounds give the list sizes";
+    r "R25" Calldataload
+      "a 32-byte load in Vyper bytecode with no range check"
+      "a Vyper basic parameter, recorded as uint256 until refined";
+    r "R26" Refinement
+      "a single byte of the copied fixed-size sequence is read"
+      "bytes[maxLen] rather than string[maxLen]";
+    r "R27" Refinement "an LT range check against 2^160" "address";
+    r "R28" Refinement
+      "signed range checks against +/- 2^127" "int128";
+    r "R29" Refinement
+      "signed range checks against the 10^10-scaled decimal bounds"
+      "decimal";
+    r "R30" Refinement "an LT range check against 2" "bool";
+    r "R31" Refinement "BYTE applied to the raw word in Vyper bytecode"
+      "bytes32";
+  ]
+
+let find name = List.find_opt (fun d -> d.name = name) all
+
+let category_name = function
+  | Calldataload -> "CALLDATALOAD"
+  | Calldatacopy -> "CALLDATACOPY"
+  | Refinement -> "refinement"
+  | Structure -> "struct/nested"
+  | Language -> "language"
+
+let pp fmt d =
+  Format.fprintf fmt "%s [%s]: %s => %s" d.name (category_name d.category)
+    d.matches d.concludes

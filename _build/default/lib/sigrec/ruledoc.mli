@@ -1,0 +1,26 @@
+(** Machine-readable documentation of the 31 TASE rules (paper §3 and
+    supplementary C): category, what each rule matches in the trace, and
+    what it concludes. Used by the CLI's [--stats] output, the Fig. 19
+    labels, and the documentation tests that keep this table in sync
+    with {!Rules}. *)
+
+type category =
+  | Calldataload   (** §3.2: R1-R4 and the external-mode array rules *)
+  | Calldatacopy   (** §3.3: R5-R10, R23 *)
+  | Refinement     (** §3.4: R11-R18, R26-R31 *)
+  | Structure      (** struct and nested arrays: R19, R21, R22 *)
+  | Language       (** R20: Solidity vs Vyper discrimination *)
+
+type t = {
+  name : string;          (** "R1" .. "R31" *)
+  category : category;
+  matches : string;       (** the trace evidence the rule keys on *)
+  concludes : string;     (** the inference it licenses *)
+}
+
+val all : t list
+(** All 31 rules in order. *)
+
+val find : string -> t option
+val category_name : category -> string
+val pp : Format.formatter -> t -> unit

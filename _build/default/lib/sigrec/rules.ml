@@ -1,0 +1,260 @@
+open Evm
+module Sexpr = Symex.Sexpr
+module Trace = Symex.Trace
+
+type config = {
+  fine_masks : bool;
+  guard_dims : bool;
+  nested : bool;
+  vyper : bool;
+}
+
+let default_config =
+  { fine_masks = true; guard_dims = true; nested = true; vyper = true }
+
+type ctx = {
+  trace : Trace.t;
+  cfg : Cfg.t;
+  deps : (int, int list) Hashtbl.t;
+  stats : (string, int) Hashtbl.t option;
+  config : config;
+  path_sink : string list ref option ref;
+      (* when set, fired rules also append here: the per-parameter rule
+         path of the Fig. 13 decision tree *)
+}
+
+let make ?stats ?(config = default_config) trace cfg =
+  {
+    trace;
+    cfg;
+    deps = Cfg.control_deps cfg;
+    stats;
+    config;
+    path_sink = ref None;
+  }
+
+let hit ctx name =
+  (match !(ctx.path_sink) with
+  | Some sink -> sink := name :: !sink
+  | None -> ());
+  match ctx.stats with
+  | None -> ()
+  | Some tbl ->
+    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+    Hashtbl.replace tbl name (cur + 1)
+
+(* Run a classification and collect the rules it fires, in firing
+   order — the path through the decision tree of Fig. 13. *)
+let with_path ctx f =
+  let saved = !(ctx.path_sink) in
+  let sink = ref [] in
+  ctx.path_sink := Some sink;
+  let finish () = ctx.path_sink := saved in
+  match f () with
+  | v ->
+    finish ();
+    (v, List.rev !sink)
+  | exception e ->
+    finish ();
+    raise e
+
+let all_rule_names = List.init 31 (fun i -> Printf.sprintf "R%d" (i + 1))
+
+type bound = Bconst of int | Bload of int | Bother
+
+type guard = { gpc : int; idx : Sexpr.t; bound : bound }
+
+(* Parse the conditions observed at a JUMPI into an LT guard. Loop
+   guards and bound checks are LT comparisons, possibly under ISZERO
+   from the branch polarity; the bound is the second operand. Multiple
+   observations (one per unrolled iteration) are unified on the bound. *)
+let parse_guard ctx gpc =
+  let conds = Trace.conds_at ctx.trace gpc in
+  let parse cond =
+    let core, _ = Sexpr.iszero_depth cond in
+    match core with
+    | Sexpr.Bin (Sexpr.Blt, lhs, rhs) ->
+      let bound =
+        match rhs with
+        | Sexpr.Const v -> (
+          match U256.to_int v with Some n -> Bconst n | None -> Bother)
+        | Sexpr.CDLoad id -> Bload id
+        | _ -> Bother
+      in
+      Some { gpc; idx = lhs; bound }
+    | _ -> None
+  in
+  match List.filter_map parse conds with
+  | [] -> None
+  | first :: rest ->
+    (* all unrolled instances must agree on the bound *)
+    if List.for_all (fun g -> g.bound = first.bound) rest then Some first
+    else None
+
+let guards_for_pc ctx pc =
+  if not ctx.config.guard_dims then []
+  else
+  match Cfg.block_of_pc ctx.cfg pc with
+  | None -> []
+  | Some block ->
+    let chain = Cfg.transitive_deps ctx.deps block.Cfg.start in
+    List.filter_map
+      (fun branch_start ->
+        match Cfg.block_at ctx.cfg branch_start with
+        | None -> None
+        | Some bblock ->
+          Option.bind (Cfg.branch_condition_pc bblock) (parse_guard ctx))
+      chain
+
+let guards_with_idx_in guards loc =
+  List.filter
+    (fun g ->
+      match Sexpr.to_const g.idx with
+      | Some _ -> false (* concrete loop counters carry no index term *)
+      | None -> Sexpr.contains loc g.idx)
+    guards
+
+let loop_const_guards guards =
+  List.filter_map
+    (fun g ->
+      match (Sexpr.to_const g.idx, g.bound) with
+      | Some _, Bconst n -> Some n
+      | _ -> None)
+    guards
+
+(* Flatten an addition into (sum of constant terms, other terms). *)
+let split_terms loc =
+  let terms = Sexpr.add_terms loc in
+  let consts, others =
+    List.partition (fun t -> Sexpr.to_const t <> None) terms
+  in
+  let sum =
+    List.fold_left
+      (fun acc t ->
+        match Sexpr.to_const_int t with Some n -> acc + n | None -> acc)
+      0 consts
+  in
+  (sum, others)
+
+let is_offset_plus_4 loc x =
+  match split_terms loc with
+  | 4, [ Sexpr.CDLoad id ] -> id = x
+  | _ -> false
+
+(* R20: comparison-based range enforcement marks Vyper output. *)
+let vyper_contract ctx =
+  ctx.config.vyper
+  && List.exists
+    (fun u ->
+      match u.Trace.kind with
+      | Trace.Range_lt _ | Trace.Range_sgt _ | Trace.Range_slt _ -> true
+      | _ -> false)
+    ctx.trace.Trace.usages
+
+(* Decompose an AND mask into its shape. *)
+let mask_shape m =
+  let low k = U256.ones_low k and high k = U256.ones_high k in
+  let rec find k =
+    if k > 32 then None
+    else if U256.equal m (low k) then Some (`Low k)
+    else if U256.equal m (high k) then Some (`High k)
+    else find (k + 1)
+  in
+  find 1
+
+let fine_basic ctx ~vyper subject =
+  if not ctx.config.fine_masks then Abi.Abity.Uint 256
+  else
+  let kinds = Trace.usages_of ctx.trace subject in
+  let has k = List.mem k kinds in
+  let find_map f = List.find_map f kinds in
+  if vyper then begin
+    (* R25 default + R27-R31 refinements *)
+    let range_lt =
+      find_map (function Trace.Range_lt b -> Some b | _ -> None)
+    in
+    let range_signed =
+      List.exists
+        (function Trace.Range_sgt _ | Trace.Range_slt _ -> true | _ -> false)
+        kinds
+    in
+    match range_lt with
+    | Some b when U256.equal b (U256.pow2 160) ->
+      hit ctx "R27";
+      Abi.Abity.Address
+    | Some b when U256.equal b (U256.of_int 2) ->
+      hit ctx "R30";
+      Abi.Abity.Bool
+    | _ ->
+      if range_signed then begin
+        (* int128 vs decimal: the decimal bounds are scaled by 10^10 *)
+        let big_bound =
+          find_map (function
+            | Trace.Range_sgt b | Trace.Range_slt b ->
+              if U256.compare b (U256.pow2 130) > 0
+                 && not (U256.get_bit b 255)
+              then Some ()
+              else None
+            | _ -> None)
+        in
+        match big_bound with
+        | Some () ->
+          hit ctx "R29";
+          Abi.Abity.Decimal
+        | None ->
+          hit ctx "R28";
+          Abi.Abity.Int 128
+      end
+      else if has Trace.Byte_read then begin
+        hit ctx "R31";
+        Abi.Abity.Bytes_n 32
+      end
+      else begin
+        hit ctx "R25";
+        Abi.Abity.Uint 256
+      end
+  end
+  else begin
+    (* Solidity: R11-R18 after the R4 uint256 default *)
+    let mask =
+      find_map (function Trace.Mask_and m -> mask_shape m | _ -> None)
+    in
+    let signext =
+      find_map (function Trace.Mask_signext k -> Some k | _ -> None)
+    in
+    match mask with
+    | Some (`Low 20) ->
+      if has Trace.Math_use then begin
+        hit ctx "R16";
+        Abi.Abity.Uint 160
+      end
+      else begin
+        hit ctx "R16";
+        Abi.Abity.Address
+      end
+    | Some (`Low k) ->
+      hit ctx "R11";
+      Abi.Abity.Uint (8 * k)
+    | Some (`High k) ->
+      hit ctx "R12";
+      Abi.Abity.Bytes_n k
+    | None -> (
+      match signext with
+      | Some k when k < 31 ->
+        hit ctx "R13";
+        Abi.Abity.Int (8 * (k + 1))
+      | _ ->
+        if has Trace.Mask_bool then begin
+          hit ctx "R14";
+          Abi.Abity.Bool
+        end
+        else if has Trace.Signed_use then begin
+          hit ctx "R15";
+          Abi.Abity.Int 256
+        end
+        else if has Trace.Byte_read then begin
+          hit ctx "R18";
+          Abi.Abity.Bytes_n 32
+        end
+        else Abi.Abity.Uint 256)
+  end

@@ -1,0 +1,85 @@
+(** The 31 inference rules of TASE (paper §3), as predicates and
+    extractors over the access-event trace, plus the per-rule usage
+    counters behind Fig. 19.
+
+    The rule numbering follows the paper:
+    - R1-R4: CALLDATALOAD rules (offset/num chains, external arrays,
+      the uint256 default)
+    - R5-R10, R23: CALLDATACOPY rules (public-mode arrays, bytes,
+      strings, Vyper fixed byte arrays)
+    - R11-R18: Solidity refinements (masks, SIGNEXTEND, ISZERO pairs,
+      BYTE, signed instructions, math usage)
+    - R19-R22: struct and nested arrays
+    - R20, R24-R31: Vyper discrimination and refinements. *)
+
+(** Rule-group switches for the ablation study: disabling a group
+    shows its contribution to overall accuracy. *)
+type config = {
+  fine_masks : bool;   (** R11-R18 / R26-R31 refinements *)
+  guard_dims : bool;   (** bound-check dimension analysis (R2/R3/R9/R10) *)
+  nested : bool;       (** struct / nested arrays (R19, R21, R22) *)
+  vyper : bool;        (** Vyper discrimination (R20, R23-R31) *)
+}
+
+val default_config : config
+
+type ctx = {
+  trace : Symex.Trace.t;
+  cfg : Evm.Cfg.t;
+  deps : (int, int list) Hashtbl.t;  (** control-dependence table *)
+  stats : (string, int) Hashtbl.t option;
+  config : config;
+  path_sink : string list ref option ref;
+}
+
+val make :
+  ?stats:(string, int) Hashtbl.t ->
+  ?config:config ->
+  Symex.Trace.t ->
+  Evm.Cfg.t ->
+  ctx
+
+val hit : ctx -> string -> unit
+(** Record that a rule fired (Fig. 19 counters and, when a path is
+    being collected, the per-parameter explanation). *)
+
+val with_path : ctx -> (unit -> 'a) -> 'a * string list
+(** Collect the rules fired while classifying one parameter — its path
+    through the Fig. 13 decision tree. *)
+
+val all_rule_names : string list
+(** R1 .. R31, for reporting. *)
+
+(** A parsed bound-check / loop guard condition. *)
+type bound = Bconst of int | Bload of int | Bother
+
+type guard = { gpc : int; idx : Symex.Sexpr.t; bound : bound }
+
+val guards_for_pc : ctx -> int -> guard list
+(** LT-shaped conditions of the branches the instruction at [pc] is
+    (transitively) control-dependent on, innermost dependence first.
+    This is the [LT_n <c ... <c LT_1 <c CALLDATALOAD] chain of R2/R3. *)
+
+val guards_with_idx_in : guard list -> Symex.Sexpr.t -> guard list
+(** Keep the guards whose index term occurs in the given location
+    expression — links a bound check to the access it protects. *)
+
+val loop_const_guards : guard list -> int list
+(** Bounds of the concrete-counter loop guards (public-mode copy loops,
+    R9/R10), innermost first. *)
+
+val split_terms : Symex.Sexpr.t -> int * Symex.Sexpr.t list
+(** Flatten an addition into (sum of constant terms, remaining terms). *)
+
+val is_offset_plus_4 : Symex.Sexpr.t -> int -> bool
+(** R1's second load: location is exactly [value-of-load + 4]. *)
+
+val vyper_contract : ctx -> bool
+(** R20: range-check comparisons instead of masks identify Vyper
+    bytecode. *)
+
+val fine_basic :
+  ctx -> vyper:bool -> Symex.Trace.subject -> Abi.Abity.t
+(** R11-R18 (Solidity) / R25-R31 (Vyper): refine a 32-byte word to its
+    specific basic type from the masks, comparisons and instructions
+    applied to it; [uint256] when no hint exists (R4/R25). *)

@@ -1,0 +1,1 @@
+lib/solc/access.ml: Abi Emit Evm Lang List Opcode U256

@@ -1,0 +1,1 @@
+lib/solc/access.mli: Abi Emit Lang

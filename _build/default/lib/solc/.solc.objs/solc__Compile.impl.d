@@ -1,0 +1,1 @@
+lib/solc/compile.ml: Abi Access Asm Emit Evm Lang List Opcode Printf U256 Version Vyper

@@ -1,0 +1,1 @@
+lib/solc/compile.mli: Abi Evm Lang Version

@@ -1,0 +1,1 @@
+lib/solc/corpus.ml: Abi Compile Evm Hashtbl Lang List Option Printf Random String Version

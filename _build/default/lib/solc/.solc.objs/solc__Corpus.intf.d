@@ -1,0 +1,1 @@
+lib/solc/corpus.mli: Abi Lang Random Version

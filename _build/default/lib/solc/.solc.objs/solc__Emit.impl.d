@@ -1,0 +1,1 @@
+lib/solc/emit.ml: Evm List Printf

@@ -1,0 +1,1 @@
+lib/solc/emit.mli: Evm

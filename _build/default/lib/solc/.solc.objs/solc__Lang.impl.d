@@ -1,0 +1,1 @@
+lib/solc/lang.ml: Abi Evm List

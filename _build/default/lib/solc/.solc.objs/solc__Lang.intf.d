@@ -1,0 +1,1 @@
+lib/solc/lang.mli: Abi Evm

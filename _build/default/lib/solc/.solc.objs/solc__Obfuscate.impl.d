@@ -1,0 +1,1 @@
+lib/solc/obfuscate.ml: Asm Compile Evm List Opcode Printf Random Stdlib U256

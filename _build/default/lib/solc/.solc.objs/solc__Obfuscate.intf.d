@@ -1,0 +1,1 @@
+lib/solc/obfuscate.mli: Compile Evm

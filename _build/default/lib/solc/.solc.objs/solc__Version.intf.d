@@ -1,0 +1,1 @@
+lib/solc/version.mli: Abi

@@ -1,0 +1,1 @@
+lib/solc/vyper.ml: Abi Emit Evm Lang List Opcode U256 Version

@@ -1,0 +1,1 @@
+lib/solc/vyper.mli: Emit Evm Lang Version

@@ -1,0 +1,613 @@
+open Evm
+
+let head_offsets params =
+  let rec go off = function
+    | [] -> []
+    | ty :: rest -> off :: go (off + Abi.Abity.head_size ty) rest
+  in
+  go 4 params
+
+(* -- masks and body usage ---------------------------------------------- *)
+
+(* Stack: [value] -> [masked]. The mask idioms are exactly the ones the
+   rules key on: AND low-ones for uintM (R11), SIGNEXTEND for intM (R13),
+   double ISZERO for bool (R14), AND high-ones for bytesM (R12), the
+   20-byte AND for address/uint160 (R16). Full-width types get no mask. *)
+let emit_mask e ty =
+  match ty with
+  | Abi.Abity.Uint 256 | Abi.Abity.Int 256 | Abi.Abity.Bytes_n 32 -> ()
+  | Abi.Abity.Uint m ->
+    Emit.push_u256 e (U256.ones_low (m / 8));
+    Emit.op e Opcode.AND
+  | Abi.Abity.Int m ->
+    Emit.push_int e ((m / 8) - 1);
+    Emit.op e Opcode.SIGNEXTEND
+  | Abi.Abity.Address ->
+    Emit.push_u256 e (U256.ones_low 20);
+    Emit.op e Opcode.AND
+  | Abi.Abity.Bool ->
+    Emit.op e Opcode.ISZERO;
+    Emit.op e Opcode.ISZERO
+  | Abi.Abity.Bytes_n m ->
+    Emit.push_u256 e (U256.ones_high m);
+    Emit.op e Opcode.AND
+  | _ -> ()
+
+(* Stack: [value] -> []. *)
+let emit_usage_value e (usage : Lang.usage) ty =
+  emit_mask e ty;
+  let is_integer =
+    match ty with
+    | Abi.Abity.Uint _ | Abi.Abity.Int _ | Abi.Abity.Address -> true
+    | _ -> false
+  in
+  if usage.math && is_integer then begin
+    (* arithmetic on the value: distinguishes uint160 from address *)
+    match ty with
+    | Abi.Abity.Address -> () (* an address is never used in math (R16) *)
+    | _ ->
+      Emit.op e (Opcode.DUP 1);
+      Emit.push_int e 1;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.POP
+  end;
+  (match ty with
+  | Abi.Abity.Int 256 when usage.signed_math || usage.math ->
+    (* signed-only instruction: distinguishes int256 from uint256 (R15) *)
+    Emit.op e (Opcode.DUP 1);
+    Emit.push_int e 2;
+    Emit.op e (Opcode.SWAP 1);
+    Emit.op e Opcode.SDIV;
+    Emit.op e Opcode.POP
+  | Abi.Abity.Bytes_n 32 when usage.byte_access ->
+    (* BYTE on the raw word: distinguishes bytes32 from uint256 (R18) *)
+    Emit.op e (Opcode.DUP 1);
+    Emit.push_int e 0;
+    Emit.op e Opcode.BYTE;
+    Emit.op e Opcode.POP
+  | _ -> ());
+  Emit.op e Opcode.POP
+
+(* -- small stack/memory helpers ---------------------------------------- *)
+
+let load_scratch e s =
+  Emit.push_int e s;
+  Emit.op e Opcode.MLOAD
+
+let store_scratch e s =
+  (* value on top *)
+  Emit.push_int e s;
+  Emit.op e Opcode.MSTORE
+
+(* Emit a counted loop: mem[counter] from 0 while mem[counter] < bound.
+   [bound_on_stack] pushes the bound. *)
+let emit_loop e ~counter ~push_bound body =
+  let lstart = Emit.fresh_label e "loop" in
+  let lend = Emit.fresh_label e "endloop" in
+  Emit.push_int e 0;
+  store_scratch e counter;
+  Emit.label e lstart;
+  push_bound ();
+  load_scratch e counter;
+  Emit.op e Opcode.LT;
+  (* i < bound on top: LT pops i (top) and bound *)
+  Emit.op e Opcode.ISZERO;
+  Emit.jumpi_to e lend;
+  body ();
+  load_scratch e counter;
+  Emit.push_int e 1;
+  Emit.op e Opcode.ADD;
+  store_scratch e counter;
+  Emit.jump_to e lstart;
+  Emit.label e lend
+
+(* Push base + sum(mem[counter_i] * stride_i). Base is pushed by
+   [push_base]. *)
+let push_indexed e ~push_base levels =
+  push_base ();
+  List.iter
+    (fun (counter, stride) ->
+      load_scratch e counter;
+      Emit.push_int e stride;
+      Emit.op e Opcode.MUL;
+      Emit.op e Opcode.ADD)
+    levels
+
+(* Decompose an array type into (outer-to-inner static dimension sizes,
+   element type). [Sarray (Sarray (u8, 3), 2)] is uint8[3][2]: two rows
+   of three items; yields ([2; 3], u8). *)
+let rec static_dims = function
+  | Abi.Abity.Sarray (t, n) ->
+    let dims, elem = static_dims t in
+    (n :: dims, elem)
+  | t -> ([], t)
+
+(* -- public-mode copies ------------------------------------------------ *)
+
+(* Copy a static array: nested loops over the outer dims, one
+   CALLDATACOPY of the innermost row per iteration (Listing 1). *)
+let emit_copy_static e ~src_base ~dims ~elem_usage ~usage =
+  match dims with
+  | [] -> ()
+  | _ ->
+    let inner = List.nth dims (List.length dims - 1) in
+    let outer = List.filteri (fun i _ -> i < List.length dims - 1) dims in
+    let row = inner * 32 in
+    let total = List.fold_left ( * ) row outer in
+    let dst = Emit.alloc e total in
+    (* strides for outer levels: product of the sizes of deeper levels *)
+    let levels =
+      List.mapi
+        (fun i n ->
+          let deeper =
+            List.filteri (fun j _ -> j > i) outer |> List.fold_left ( * ) 1
+          in
+          (n, Emit.scratch e, deeper * row))
+        outer
+      (* (bound, counter slot, stride) outermost first *)
+    in
+    let rec nest = function
+      | [] ->
+        (* innermost: CALLDATACOPY(dst + flat, src + flat, row) *)
+        let flat = List.map (fun (_, c, s) -> (c, s)) levels in
+        Emit.push_int e row;
+        push_indexed e ~push_base:(fun () -> Emit.push_int e src_base) flat;
+        push_indexed e ~push_base:(fun () -> Emit.push_int e dst) flat;
+        Emit.op e Opcode.CALLDATACOPY
+      | (bound, counter, _) :: rest ->
+        emit_loop e ~counter
+          ~push_bound:(fun () -> Emit.push_int e bound)
+          (fun () -> nest rest)
+    in
+    nest levels;
+    (* body usage: read the first item from memory and use it *)
+    if usage.Lang.item_access then begin
+      Emit.push_int e dst;
+      Emit.op e Opcode.MLOAD;
+      elem_usage ()
+    end
+
+(* Copy a dynamic array / bytes / string of a public function. The two
+   R1 CALLDATALOADs (offset field, then num field) come first; then the
+   item data is copied: a single CALLDATACOPY for the one-dimensional
+   case (length num*32 for arrays, ceil32(num) for bytes/string), loops
+   otherwise. *)
+let emit_copy_dynamic e ~head ~kind ~usage ~elem_usage =
+  let s_abs = Emit.scratch e and s_num = Emit.scratch e in
+  Emit.push_int e head;
+  Emit.op e Opcode.CALLDATALOAD;
+  Emit.push_int e 4;
+  Emit.op e Opcode.ADD;
+  (* abs location of the num field *)
+  Emit.op e (Opcode.DUP 1);
+  Emit.op e Opcode.CALLDATALOAD;
+  (* stack: [num, abs] *)
+  store_scratch e s_num;
+  store_scratch e s_abs;
+  let dst = Emit.alloc e 0x800 in
+  (* store num at the array's memory header, as solc does *)
+  load_scratch e s_num;
+  Emit.push_int e dst;
+  Emit.op e Opcode.MSTORE;
+  (match kind with
+  | `Array_1d ->
+    (* length = num * 32 (R7) *)
+    load_scratch e s_num;
+    Emit.push_int e 32;
+    Emit.op e Opcode.MUL;
+    load_scratch e s_abs;
+    Emit.push_int e 32;
+    Emit.op e Opcode.ADD;
+    Emit.push_int e (dst + 32);
+    Emit.op e Opcode.CALLDATACOPY
+  | `Bytes_like ->
+    (* length = ceil32(num) = (num + 31) / 32 * 32 (R8) *)
+    load_scratch e s_num;
+    Emit.push_int e 31;
+    Emit.op e Opcode.ADD;
+    Emit.push_int e 32;
+    Emit.op e (Opcode.SWAP 1);
+    Emit.op e Opcode.DIV;
+    Emit.push_int e 32;
+    Emit.op e Opcode.MUL;
+    load_scratch e s_abs;
+    Emit.push_int e 32;
+    Emit.op e Opcode.ADD;
+    Emit.push_int e (dst + 32);
+    Emit.op e Opcode.CALLDATACOPY
+  | `Array_nd dims ->
+    (* top dimension dynamic: loop i < num; lower static dims: nested
+       constant loops; innermost row copied per iteration (R10) *)
+    let inner = List.nth dims (List.length dims - 1) in
+    let outer = List.filteri (fun i _ -> i < List.length dims - 1) dims in
+    let row = inner * 32 in
+    let top_counter = Emit.scratch e in
+    let top_stride = List.fold_left ( * ) row outer in
+    let levels =
+      (`Dyn, top_counter, top_stride)
+      :: List.mapi
+           (fun i n ->
+             let deeper =
+               List.filteri (fun j _ -> j > i) outer |> List.fold_left ( * ) 1
+             in
+             (`Const n, Emit.scratch e, deeper * row))
+           outer
+    in
+    let rec nest = function
+      | [] ->
+        let flat = List.map (fun (_, c, s) -> (c, s)) levels in
+        Emit.push_int e row;
+        push_indexed e
+          ~push_base:(fun () ->
+            load_scratch e s_abs;
+            Emit.push_int e 32;
+            Emit.op e Opcode.ADD)
+          flat;
+        push_indexed e ~push_base:(fun () -> Emit.push_int e (dst + 32)) flat;
+        Emit.op e Opcode.CALLDATACOPY
+      | (bound, counter, _) :: rest ->
+        emit_loop e ~counter
+          ~push_bound:(fun () ->
+            match bound with
+            | `Dyn -> load_scratch e s_num
+            | `Const n -> Emit.push_int e n)
+          (fun () -> nest rest)
+    in
+    nest levels);
+  (* body usage: first item / first word *)
+  (match kind with
+  | `Array_1d | `Array_nd _ ->
+    if usage.Lang.item_access then begin
+      Emit.push_int e (dst + 32);
+      Emit.op e Opcode.MLOAD;
+      elem_usage ()
+    end
+  | `Bytes_like ->
+    if usage.Lang.byte_access then begin
+      Emit.push_int e (dst + 32);
+      Emit.op e Opcode.MLOAD;
+      Emit.push_int e 0;
+      Emit.op e Opcode.BYTE;
+      Emit.op e Opcode.POP
+    end)
+
+(* -- external-mode on-demand loads ------------------------------------- *)
+
+(* Bound check: index < bound, revert otherwise (the check solc emits
+   before every external array access). [push_idx]/[push_bound] push the
+   operands. *)
+let emit_bound_check e ~revert_label ~push_bound ~push_idx =
+  push_bound ();
+  push_idx ();
+  Emit.op e Opcode.LT;
+  Emit.op e Opcode.ISZERO;
+  Emit.jumpi_to e revert_label
+
+(* The symbolic runtime index used for on-demand accesses: CALLVALUE is
+   a free environment value, so the bound checks stay symbolic for the
+   analyser exactly like an index coming from another input would. *)
+(* Each parameter instance indexes with a distinct symbolic expression
+   (callvalue + k), the way real contract code indexes different arrays
+   with different variables; the analyser links a bound check to an item
+   load by the index term they share. *)
+let push_idx e k =
+  Emit.op e Opcode.CALLVALUE;
+  Emit.push_int e k;
+  Emit.op e Opcode.ADD
+
+let emit_ext_static e ~revert_label ~head ~optimize ~spec =
+  let k = Emit.fresh_idx e in
+  let dims, elem = static_dims spec.Lang.ty in
+  let const_index =
+    spec.Lang.quirk = Lang.Const_index_optimized && optimize
+  in
+  if not spec.Lang.usage.Lang.item_access then ()
+  else if const_index then begin
+    (* compile-time bound check, no runtime check: the item load is
+       indistinguishable from a uint256 basic parameter (case 5) *)
+    Emit.push_int e head;
+    Emit.op e Opcode.CALLDATALOAD;
+    emit_usage_value e spec.Lang.usage elem
+  end
+  else begin
+    (* one runtime bound check per dimension, outermost first (R3) *)
+    List.iter
+      (fun n ->
+        emit_bound_check e ~revert_label
+          ~push_bound:(fun () -> Emit.push_int e n)
+          ~push_idx:(fun () -> push_idx e k))
+      dims;
+    (* flat = ((i*D2 + i)*D3 + i)... , loc = head + flat*32 *)
+    Emit.push_int e 0;
+    List.iteri
+      (fun d n ->
+        if d > 0 then begin
+          Emit.push_int e n;
+          Emit.op e Opcode.MUL
+        end;
+        push_idx e k;
+        Emit.op e Opcode.ADD)
+      dims;
+    Emit.push_int e 32;
+    Emit.op e Opcode.MUL;
+    Emit.push_int e head;
+    Emit.op e Opcode.ADD;
+    Emit.op e Opcode.CALLDATALOAD;
+    emit_usage_value e spec.Lang.usage elem
+  end
+
+let emit_ext_dynamic e ~revert_label ~head ~spec =
+  let k = Emit.fresh_idx e in
+  let s_abs = Emit.scratch e and s_num = Emit.scratch e in
+  Emit.push_int e head;
+  Emit.op e Opcode.CALLDATALOAD;
+  Emit.push_int e 4;
+  Emit.op e Opcode.ADD;
+  Emit.op e (Opcode.DUP 1);
+  Emit.op e Opcode.CALLDATALOAD;
+  store_scratch e s_num;
+  store_scratch e s_abs;
+  match spec.Lang.ty with
+  | Abi.Abity.Darray elem_ty ->
+    let dims, elem = static_dims elem_ty in
+    if spec.Lang.usage.Lang.item_access then begin
+      (* dynamic top bound first, then the static lower bounds (R2) *)
+      emit_bound_check e ~revert_label
+        ~push_bound:(fun () -> load_scratch e s_num)
+        ~push_idx:(fun () -> push_idx e k);
+      List.iter
+        (fun n ->
+          emit_bound_check e ~revert_label
+            ~push_bound:(fun () -> Emit.push_int e n)
+            ~push_idx:(fun () -> push_idx e k))
+        dims;
+      (* loc = abs + 32 + flat*32 with flat = ((i*D1 + i)*D2 + i)...;
+         the index list is the dynamic top index followed by one index
+         per static lower dimension, so the multiplier at step k is the
+         size of lower dimension k *)
+      Emit.push_int e 0;
+      List.iteri
+        (fun d n ->
+          if d > 0 then begin
+            Emit.push_int e n;
+            Emit.op e Opcode.MUL
+          end;
+          push_idx e k;
+          Emit.op e Opcode.ADD)
+        (0 :: dims);
+      Emit.push_int e 32;
+      Emit.op e Opcode.MUL;
+      load_scratch e s_abs;
+      Emit.push_int e 32;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.CALLDATALOAD;
+      emit_usage_value e spec.Lang.usage elem
+    end
+  | Abi.Abity.Bytes | Abi.Abity.String_t ->
+    if spec.Lang.usage.Lang.byte_access && spec.Lang.ty = Abi.Abity.Bytes
+    then begin
+      (* reading one byte: no multiplication by 32 (§2.3.1) *)
+      emit_bound_check e ~revert_label
+        ~push_bound:(fun () -> load_scratch e s_num)
+        ~push_idx:(fun () -> push_idx e k);
+      load_scratch e s_abs;
+      Emit.push_int e 32;
+      Emit.op e Opcode.ADD;
+      push_idx e k;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.CALLDATALOAD;
+      Emit.push_int e 0;
+      Emit.op e Opcode.BYTE;
+      Emit.op e Opcode.POP
+    end
+  | _ -> invalid_arg "Access.emit_ext_dynamic: not a dynamic type"
+
+(* -- nested arrays and dynamic structs (same code for both modes) ------ *)
+
+(* Walk a dynamic aggregate: the absolute start of the current block is
+   in scratch slot [s_base]. Offsets inside a block are relative to the
+   block start per the ABI spec. *)
+let rec emit_nested e ~revert_label ~usage ~k ~s_base ty =
+  ignore k;
+  let k = Emit.fresh_idx e in
+  match ty with
+  | Abi.Abity.Darray elem ->
+    (* block = num word followed by the item sequence *)
+    let s_num = Emit.scratch e in
+    load_scratch e s_base;
+    Emit.op e Opcode.CALLDATALOAD;
+    store_scratch e s_num;
+    if usage.Lang.item_access then begin
+      emit_bound_check e ~revert_label
+        ~push_bound:(fun () -> load_scratch e s_num)
+        ~push_idx:(fun () -> push_idx e k);
+      if Abi.Abity.is_dynamic elem then begin
+        (* the item head is an offset relative to the sequence start *)
+        let s_child = Emit.scratch e in
+        load_scratch e s_base;
+        Emit.push_int e 32;
+        Emit.op e Opcode.ADD;
+        Emit.op e (Opcode.DUP 1);
+        push_idx e k;
+        Emit.push_int e 32;
+        Emit.op e Opcode.MUL;
+        Emit.op e Opcode.ADD;
+        Emit.op e Opcode.CALLDATALOAD;
+        (* stack: [rel_off, seq_start] *)
+        Emit.op e Opcode.ADD;
+        store_scratch e s_child;
+        emit_nested e ~revert_label ~usage ~k ~s_base:s_child elem
+      end
+      else begin
+        load_scratch e s_base;
+        Emit.push_int e 32;
+        Emit.op e Opcode.ADD;
+        push_idx e k;
+        Emit.push_int e 32;
+        Emit.op e Opcode.MUL;
+        Emit.op e Opcode.ADD;
+        Emit.op e Opcode.CALLDATALOAD;
+        emit_usage_value e usage (Abi.Abity.base_elem elem)
+      end
+    end
+  | Abi.Abity.Sarray (elem, n) when Abi.Abity.is_dynamic elem ->
+    (* static dimension over dynamic items: heads are offsets *)
+    if usage.Lang.item_access then begin
+      emit_bound_check e ~revert_label
+        ~push_bound:(fun () -> Emit.push_int e n)
+        ~push_idx:(fun () -> push_idx e k);
+      let s_child = Emit.scratch e in
+      load_scratch e s_base;
+      Emit.op e (Opcode.DUP 1);
+      push_idx e k;
+      Emit.push_int e 32;
+      Emit.op e Opcode.MUL;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.CALLDATALOAD;
+      Emit.op e Opcode.ADD;
+      store_scratch e s_child;
+      emit_nested e ~revert_label ~usage ~k ~s_base:s_child elem
+    end
+  | Abi.Abity.Tuple fields ->
+    (* dynamic struct: fields at their head offsets inside the block *)
+    let rec walk off = function
+      | [] -> ()
+      | f :: rest ->
+        if Abi.Abity.is_dynamic f then begin
+          let s_child = Emit.scratch e in
+          load_scratch e s_base;
+          Emit.op e (Opcode.DUP 1);
+          Emit.push_int e off;
+          Emit.op e Opcode.ADD;
+          Emit.op e Opcode.CALLDATALOAD;
+          Emit.op e Opcode.ADD;
+          store_scratch e s_child;
+          emit_nested e ~revert_label ~usage ~k ~s_base:s_child f
+        end
+        else begin
+          load_scratch e s_base;
+          Emit.push_int e off;
+          Emit.op e Opcode.ADD;
+          Emit.op e Opcode.CALLDATALOAD;
+          emit_usage_value e usage f
+        end;
+        walk (off + Abi.Abity.head_size f) rest
+    in
+    walk 0 fields
+  | Abi.Abity.Bytes | Abi.Abity.String_t ->
+    let s_num = Emit.scratch e in
+    load_scratch e s_base;
+    Emit.op e Opcode.CALLDATALOAD;
+    store_scratch e s_num;
+    if usage.Lang.byte_access && ty = Abi.Abity.Bytes then begin
+      emit_bound_check e ~revert_label
+        ~push_bound:(fun () -> load_scratch e s_num)
+        ~push_idx:(fun () -> push_idx e k);
+      load_scratch e s_base;
+      Emit.push_int e 32;
+      Emit.op e Opcode.ADD;
+      push_idx e k;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.CALLDATALOAD;
+      Emit.push_int e 0;
+      Emit.op e Opcode.BYTE;
+      Emit.op e Opcode.POP
+    end
+  | basic ->
+    load_scratch e s_base;
+    Emit.op e Opcode.CALLDATALOAD;
+    emit_usage_value e usage basic
+
+(* Entry for a dynamic aggregate parameter: read the offset field at the
+   head slot, compute the absolute block start (offset + 4). *)
+let emit_nested_param e ~revert_label ~usage ~head ty =
+  let k = Emit.fresh_idx e in
+  let s_base = Emit.scratch e in
+  Emit.push_int e head;
+  Emit.op e Opcode.CALLDATALOAD;
+  Emit.push_int e 4;
+  Emit.op e Opcode.ADD;
+  store_scratch e s_base;
+  emit_nested e ~revert_label ~usage ~k ~s_base ty
+
+(* -- quirks ------------------------------------------------------------ *)
+
+let emit_inline_assembly_reads e ~base n =
+  for i = 0 to n - 1 do
+    Emit.push_int e (base + (32 * i));
+    Emit.op e Opcode.CALLDATALOAD;
+    Emit.op e Opcode.POP
+  done
+
+let emit_storage_ref e ~head =
+  (* the call data carries a storage slot reference; the body reads the
+     slot — SigRec sees a bare uint256 (case 4) *)
+  Emit.push_int e head;
+  Emit.op e Opcode.CALLDATALOAD;
+  Emit.op e Opcode.SLOAD;
+  Emit.op e Opcode.POP
+
+(* -- dispatch over parameter shapes ------------------------------------ *)
+
+let emit_param e ~optimize ~visibility ~revert_label ~head spec =
+  let usage = spec.Lang.usage in
+  match spec.Lang.quirk with
+  | Lang.Storage_ref -> emit_storage_ref e ~head
+  | _ -> (
+    let effective_ty =
+      match spec.Lang.quirk with
+      | Lang.Converted ty -> ty
+      | _ -> spec.Lang.ty
+    in
+    match effective_ty with
+    | Abi.Abity.Uint _ | Abi.Abity.Int _ | Abi.Abity.Address | Abi.Abity.Bool
+    | Abi.Abity.Bytes_n _ ->
+      Emit.push_int e head;
+      Emit.op e Opcode.CALLDATALOAD;
+      emit_usage_value e usage effective_ty
+    | Abi.Abity.Sarray _ when not (Abi.Abity.is_nested_array effective_ty)
+      -> (
+      let dims, elem = static_dims effective_ty in
+      match visibility with
+      | Abi.Funsig.Public ->
+        let spec_usage = usage in
+        emit_copy_static e ~src_base:head ~dims
+          ~elem_usage:(fun () -> emit_usage_value e spec_usage elem)
+          ~usage
+      | Abi.Funsig.External ->
+        emit_ext_static e ~revert_label ~head ~optimize
+          ~spec:{ spec with Lang.ty = effective_ty })
+    | Abi.Abity.Darray elem_ty
+      when not (Abi.Abity.is_dynamic elem_ty) -> (
+      match visibility with
+      | Abi.Funsig.Public ->
+        let dims, elem = static_dims elem_ty in
+        let kind = match dims with [] -> `Array_1d | _ -> `Array_nd dims in
+        emit_copy_dynamic e ~head ~kind ~usage ~elem_usage:(fun () ->
+            emit_usage_value e usage elem)
+      | Abi.Funsig.External ->
+        emit_ext_dynamic e ~revert_label ~head
+          ~spec:{ spec with Lang.ty = effective_ty })
+    | Abi.Abity.Bytes | Abi.Abity.String_t -> (
+      match visibility with
+      | Abi.Funsig.Public ->
+        emit_copy_dynamic e ~head ~kind:`Bytes_like
+          ~usage:
+            { usage with Lang.byte_access =
+                usage.Lang.byte_access && effective_ty = Abi.Abity.Bytes }
+          ~elem_usage:(fun () -> ())
+      | Abi.Funsig.External ->
+        emit_ext_dynamic e ~revert_label ~head
+          ~spec:{ spec with Lang.ty = effective_ty })
+    | Abi.Abity.Darray _ | Abi.Abity.Sarray _ ->
+      (* nested array: same accessing pattern in both modes (§2.3.1) *)
+      emit_nested_param e ~revert_label ~usage ~head effective_ty
+    | Abi.Abity.Tuple _ when Abi.Abity.is_dynamic effective_ty ->
+      emit_nested_param e ~revert_label ~usage ~head effective_ty
+    | Abi.Abity.Tuple _ ->
+      (* static struct: handled by flattening in Compile; if reached,
+         emit the flattened fields in place *)
+      invalid_arg "Access.emit_param: static struct must be flattened"
+    | Abi.Abity.Decimal | Abi.Abity.Vbytes _ | Abi.Abity.Vstring _ ->
+      invalid_arg "Access.emit_param: Vyper type in Solidity codegen")

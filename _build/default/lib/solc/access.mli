@@ -1,0 +1,30 @@
+(** Solidity accessing-pattern code generation (paper §2.3.1).
+
+    For each parameter this emits exactly the call-data access idioms the
+    paper documents for solc output: masked CALLDATALOADs for basic
+    types, CALLDATACOPY loops for arrays/bytes/strings of public
+    functions, bound-checked on-demand CALLDATALOADs for external
+    functions, and offset/num chains for nested arrays and dynamic
+    structs. Every sequence starts and ends with an empty evaluation
+    stack. *)
+
+val head_offsets : Abi.Abity.t list -> int list
+(** Absolute call-data offset of each parameter's head slot (the first
+    one is 4, after the function id). *)
+
+val emit_param :
+  Emit.t ->
+  optimize:bool ->
+  visibility:Abi.Funsig.visibility ->
+  revert_label:string ->
+  head:int ->
+  Lang.param_spec ->
+  unit
+
+val emit_usage_value : Emit.t -> Lang.usage -> Abi.Abity.t -> unit
+(** The value of a basic-typed parameter is on top of the stack; apply
+    the type's mask and the body-usage operations, then consume it. *)
+
+val emit_inline_assembly_reads : Emit.t -> base:int -> int -> unit
+(** Case-1 quirk: [n] raw CALLDATALOADs at [base], [base]+32, ... —
+    locations past the declared parameters. *)

@@ -1,0 +1,176 @@
+open Evm
+
+type contract = { fns : Lang.fn_spec list; version : Version.t }
+
+(* A static struct's call-data layout and accessing code are those of
+   its flattened fields (§2.3.1), so the emitters see the fields. *)
+let rec flatten_spec (spec : Lang.param_spec) =
+  match spec.Lang.ty with
+  | Abi.Abity.Tuple fields when not (Abi.Abity.is_dynamic spec.Lang.ty) ->
+    List.concat_map
+      (fun f -> flatten_spec { spec with Lang.ty = f })
+      fields
+  | _ -> [ spec ]
+
+let emit_dispatcher_prelude e ~(version : Version.t) ~fallback =
+  (* free-memory-pointer initialisation, as solc emits *)
+  Emit.push_int e 0x80;
+  Emit.push_int e 0x40;
+  Emit.op e Opcode.MSTORE;
+  (* calldatasize < 4 -> fallback *)
+  Emit.push_int e 4;
+  Emit.op e Opcode.CALLDATASIZE;
+  Emit.op e Opcode.LT;
+  Emit.jumpi_to e fallback;
+  (* extract the function id from the first 4 bytes of the call data *)
+  if version.Version.shr_dispatch then begin
+    Emit.push_int e 0;
+    Emit.op e Opcode.CALLDATALOAD;
+    Emit.push_int e 0xe0;
+    Emit.op e Opcode.SHR
+  end
+  else begin
+    Emit.push_u256 e (U256.pow2 224);
+    Emit.push_int e 0;
+    Emit.op e Opcode.CALLDATALOAD;
+    Emit.op e Opcode.DIV;
+    Emit.push_u256 e (U256.ones_low 4);
+    Emit.op e Opcode.AND
+  end
+
+let emit_dispatch_entry e ~selector ~target =
+  Emit.op e (Opcode.DUP 1);
+  Emit.op e (Opcode.PUSH (4, U256.of_bytes_be selector));
+  Emit.op e Opcode.EQ;
+  Emit.jumpi_to e target
+
+let emit_fn_body e ~(version : Version.t) ~revert_label (fn : Lang.fn_spec) =
+  (* drop the selector copy left by the dispatcher *)
+  Emit.op e Opcode.POP;
+  if version.Version.callvalue_guard then begin
+    Emit.op e Opcode.CALLVALUE;
+    Emit.op e Opcode.ISZERO;
+    let ok = Emit.fresh_label e "nonpayable_ok" in
+    Emit.jumpi_to e ok;
+    Emit.jump_to e revert_label;
+    Emit.label e ok
+  end;
+  (match fn.Lang.bug with
+  | None -> ()
+  | Some bug ->
+    (* planted fuzzing oracle *)
+    let skip = Emit.fresh_label e "no_bug" in
+    Emit.push_int e 4;
+    Emit.op e Opcode.CALLDATALOAD;
+    (match bug with
+    | Lang.Deep magic ->
+      (* trap when the first argument word equals a magic constant *)
+      Emit.op e (Opcode.PUSH (32, magic));
+      Emit.op e Opcode.EQ
+    | Lang.Shallow { shift; nibble } ->
+      (* trap when a nibble of the first argument matches *)
+      if shift > 0 then begin
+        (* stack: [word]; SHR pops the shift amount from the top *)
+        Emit.push_int e shift;
+        Emit.op e Opcode.SHR
+      end;
+      Emit.push_int e 0xf;
+      Emit.op e Opcode.AND;
+      Emit.push_int e (nibble land 0xf);
+      Emit.op e Opcode.EQ);
+    Emit.op e Opcode.ISZERO;
+    Emit.jumpi_to e skip;
+    Emit.op e Opcode.INVALID;
+    Emit.label e skip);
+  let specs = List.concat_map flatten_spec fn.Lang.param_specs in
+  let heads = Access.head_offsets (List.map (fun s -> s.Lang.ty) specs) in
+  List.iter2
+    (fun head spec ->
+      match version.Version.lang with
+      | Abi.Abity.Solidity ->
+        Access.emit_param e ~optimize:version.Version.optimize
+          ~visibility:fn.Lang.fsig.Abi.Funsig.visibility ~revert_label ~head
+          spec
+      | Abi.Abity.Vyper -> Vyper.emit_param e ~version ~revert_label ~head spec)
+    heads specs;
+  if fn.Lang.asm_reads > 0 then begin
+    let head_end =
+      List.fold_left (fun acc s -> acc + Abi.Abity.head_size s.Lang.ty) 4 specs
+    in
+    Access.emit_inline_assembly_reads e ~base:head_end fn.Lang.asm_reads
+  end;
+  if fn.Lang.returns_word then begin
+    (* return a 32-byte result from scratch memory *)
+    Emit.push_int e 1;
+    Emit.push_int e 0;
+    Emit.op e Opcode.MSTORE;
+    Emit.push_int e 32;
+    Emit.push_int e 0;
+    Emit.op e Opcode.RETURN
+  end
+  else Emit.op e Opcode.STOP
+
+let compile_items { fns; version } =
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun spec ->
+          if not (Abi.Abity.valid_in version.Version.lang spec.Lang.ty) then
+            invalid_arg
+              (Printf.sprintf "Compile.compile: %s is not valid in %s"
+                 (Abi.Abity.to_string spec.Lang.ty)
+                 (match version.Version.lang with
+                 | Abi.Abity.Solidity -> "Solidity"
+                 | Abi.Abity.Vyper -> "Vyper")))
+        fn.Lang.param_specs)
+    fns;
+  let e = Emit.create () in
+  let fallback = Emit.fresh_label e "fallback" in
+  let revert_label = Emit.fresh_label e "revert" in
+  let entries =
+    List.map
+      (fun fn -> (fn, Emit.fresh_label e "fn"))
+      fns
+  in
+  emit_dispatcher_prelude e ~version ~fallback;
+  List.iter
+    (fun (fn, target) ->
+      emit_dispatch_entry e ~selector:(Abi.Funsig.selector fn.Lang.fsig)
+        ~target)
+    entries;
+  Emit.label e fallback;
+  Emit.op e Opcode.STOP;
+  List.iter
+    (fun (fn, target) ->
+      Emit.label e target;
+      emit_fn_body e ~version ~revert_label fn)
+    entries;
+  Emit.label e revert_label;
+  Emit.push_int e 0;
+  Emit.push_int e 0;
+  Emit.op e Opcode.REVERT;
+  Emit.items e
+
+let compile contract = Asm.assemble (compile_items contract)
+
+let default_version_for (fsig : Abi.Funsig.t) =
+  match fsig.Abi.Funsig.lang with
+  | Abi.Abity.Solidity -> Version.latest_solidity
+  | Abi.Abity.Vyper -> Version.latest_vyper
+
+let compile_fn ?version fn =
+  let version =
+    match version with
+    | Some v -> v
+    | None -> default_version_for fn.Lang.fsig
+  in
+  compile { fns = [ fn ]; version }
+
+let contract_of_sigs ?version sigs =
+  let version =
+    match (version, sigs) with
+    | Some v, _ -> v
+    | None, fsig :: _ -> default_version_for fsig
+    | None, [] -> Version.latest_solidity
+  in
+  { fns = List.map Lang.fn_of_sig sigs; version }

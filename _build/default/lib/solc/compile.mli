@@ -1,0 +1,20 @@
+(** Whole-contract compilation: function-id dispatcher plus the
+    per-function parameter-accessing code. The output is runtime
+    bytecode, the only artefact SigRec ever sees. *)
+
+type contract = { fns : Lang.fn_spec list; version : Version.t }
+
+val compile : contract -> string
+(** Runtime bytecode. Raises [Invalid_argument] on specs invalid for the
+    version's language. *)
+
+val compile_items : contract -> Evm.Asm.item list
+(** The labelled instruction stream before assembly — the input the
+    {!Obfuscate} pass transforms. *)
+
+val compile_fn : ?version:Version.t -> Lang.fn_spec -> string
+(** A single-function contract with the default latest Solidity (or, for
+    Vyper signatures, latest Vyper) version. *)
+
+val contract_of_sigs : ?version:Version.t -> Abi.Funsig.t list -> contract
+(** Default usages, no quirks, no bugs. *)

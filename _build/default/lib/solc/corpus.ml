@@ -1,0 +1,353 @@
+type sample = { fn : Lang.fn_spec; version : Version.t; code : string }
+
+let truth s = s.fn.Lang.fsig
+
+let quirky (spec : Lang.param_spec) =
+  match spec.Lang.quirk with
+  | Lang.No_quirk -> false
+  | Lang.Converted _ | Lang.Storage_ref | Lang.Const_index_optimized -> true
+
+(* Planted case-5 shapes that lose information without a quirk marker:
+   a bytes/dynamic parameter never accessed (recovered as string), an
+   unaccessed external static array (invisible), a static struct
+   (flattened). *)
+let info_lossy (spec : Lang.param_spec) ~(visibility : Abi.Funsig.visibility)
+    =
+  let u = spec.Lang.usage in
+  match spec.Lang.ty with
+  | Abi.Abity.Bytes -> not u.Lang.byte_access
+  | Abi.Abity.Darray _ when visibility = Abi.Funsig.External ->
+    not u.Lang.item_access
+  | Abi.Abity.Sarray _ when visibility = Abi.Funsig.External ->
+    not u.Lang.item_access
+  | Abi.Abity.Tuple _ when not (Abi.Abity.is_dynamic spec.Lang.ty) -> true
+  | _ -> false
+
+let expected_failure s =
+  s.fn.Lang.asm_reads > 0
+  || List.exists
+       (fun spec ->
+         quirky spec
+         || info_lossy spec ~visibility:s.fn.Lang.fsig.Abi.Funsig.visibility)
+       s.fn.Lang.param_specs
+
+(* -- random function synthesis ----------------------------------------- *)
+
+let letters = "abcdefghijklmnopqrstuvwxyz"
+
+let random_name rng counter =
+  let base =
+    String.init 5 (fun _ -> letters.[Random.State.int rng 26])
+  in
+  Printf.sprintf "%s_%d" base counter
+
+(* Type distribution shaped like the paper's corpus: basic types
+   dominate (R4 is the most-used rule; R9 the least). *)
+let random_sol_type ?(abiv2 = false) rng =
+  let roll = Random.State.int rng 100 in
+  if roll < 62 then Abi.Valgen.sol_basic rng
+  else if roll < 74 then Abi.Abity.Darray (Abi.Valgen.sol_basic rng)
+  else if roll < 82 then
+    Abi.Abity.Sarray (Abi.Valgen.sol_basic rng, 1 + Random.State.int rng 5)
+  else if roll < 88 then Abi.Abity.Bytes
+  else if roll < 93 then Abi.Abity.String_t
+  else if roll < 96 then
+    (* multidimensional dynamic arrays outnumber multidimensional
+       static arrays among deployed parameters (R9 is the paper's
+       least-used rule) *)
+    Abi.Abity.Darray
+      (Abi.Abity.Sarray (Abi.Valgen.sol_basic rng, 1 + Random.State.int rng 4))
+  else if roll < 98 then
+    Abi.Abity.Sarray
+      ( Abi.Abity.Sarray (Abi.Valgen.sol_basic rng, 1 + Random.State.int rng 4),
+        1 + Random.State.int rng 4 )
+  else if abiv2 then
+    if Random.State.bool rng then
+      Abi.Abity.Darray (Abi.Abity.Darray (Abi.Valgen.sol_basic rng))
+    else
+      Abi.Abity.Tuple
+        [ Abi.Abity.Darray (Abi.Valgen.sol_basic rng); Abi.Abity.Uint 256 ]
+  else Abi.Valgen.sol_basic rng
+
+let random_fn ?(abiv2 = false) ?(vyper = false) rng counter =
+  let nparams = 1 + Random.State.int rng 5 in
+  let tys =
+    List.init nparams (fun _ ->
+        if vyper then Abi.Valgen.vy_type rng else random_sol_type ~abiv2 rng)
+  in
+  let visibility =
+    if vyper || Random.State.bool rng then Abi.Funsig.Public
+    else Abi.Funsig.External
+  in
+  let lang = if vyper then Abi.Abity.Vyper else Abi.Abity.Solidity in
+  let fsig = Abi.Funsig.make ~visibility ~lang (random_name rng counter) tys in
+  Lang.fn_of_sig ~returns_word:(Random.State.int rng 100 < 35) fsig
+
+(* -- sample assembly ---------------------------------------------------- *)
+
+let compile_sample fn version =
+  { fn; version; code = Compile.compile { Compile.fns = [ fn ]; version } }
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* Transform the first parameter matching [f], if any. *)
+let map_first_param (fn : Lang.fn_spec) f =
+  let applied = ref false in
+  let specs =
+    List.map
+      (fun spec ->
+        if !applied then spec
+        else
+          match f spec with
+          | Some spec' ->
+            applied := true;
+            spec'
+          | None -> spec)
+      fn.Lang.param_specs
+  in
+  if !applied then Some { fn with Lang.param_specs = specs } else None
+
+(* Plant the §5.2 inaccuracy cases at the paper's observed per-case
+   rates (case 1: 0.24 %, case 2: 0.18 %, case 4: 0.29 %, case 5:
+   0.53 % of signatures). *)
+let maybe_plant_quirk rng (fn : Lang.fn_spec) version =
+  let roll = Random.State.int rng 10_000 in
+  let case1 () =
+    (* inline assembly reading undeclared parameters *)
+    Some { fn with Lang.asm_reads = 1 + Random.State.int rng 2 }
+  in
+  let case2 () =
+    (* type conversion right after entry *)
+    map_first_param fn (fun spec ->
+        match spec.Lang.ty with
+        | Abi.Abity.Uint 256 ->
+          Some { spec with Lang.quirk = Lang.Converted (Abi.Abity.Uint 8) }
+        | Abi.Abity.Sarray (Abi.Abity.Uint 256, n) ->
+          Some
+            {
+              spec with
+              Lang.quirk =
+                Lang.Converted (Abi.Abity.Sarray (Abi.Abity.Uint 8, n));
+            }
+        | _ -> None)
+  in
+  let case4 () =
+    (* storage-modifier parameter *)
+    map_first_param fn (fun spec ->
+        if Abi.Abity.is_dynamic spec.Lang.ty then
+          Some { spec with Lang.quirk = Lang.Storage_ref }
+        else None)
+  in
+  let case5 () =
+    (* information-lossy shapes *)
+    let const_index spec =
+      match spec.Lang.ty with
+      | Abi.Abity.Sarray _
+        when version.Version.optimize
+             && fn.Lang.fsig.Abi.Funsig.visibility = Abi.Funsig.External ->
+        Some { spec with Lang.quirk = Lang.Const_index_optimized }
+      | _ -> None
+    in
+    let unaccessed_bytes spec =
+      match spec.Lang.ty with
+      | Abi.Abity.Bytes ->
+        Some
+          {
+            spec with
+            Lang.usage = { spec.Lang.usage with Lang.byte_access = false };
+          }
+      | _ -> None
+    in
+    let unaccessed_dynamic spec =
+      match spec.Lang.ty with
+      | Abi.Abity.Darray _
+        when fn.Lang.fsig.Abi.Funsig.visibility = Abi.Funsig.External ->
+        Some
+          {
+            spec with
+            Lang.usage = { spec.Lang.usage with Lang.item_access = false };
+          }
+      | _ -> None
+    in
+    let variants =
+      match Random.State.int rng 3 with
+      | 0 -> [ const_index; unaccessed_bytes; unaccessed_dynamic ]
+      | 1 -> [ unaccessed_bytes; unaccessed_dynamic; const_index ]
+      | _ -> [ unaccessed_dynamic; const_index; unaccessed_bytes ]
+    in
+    List.find_map (fun v -> map_first_param fn v) variants
+  in
+  let chosen =
+    if roll < 32 then case1 ()
+    else if roll < 56 then case2 ()
+    else if roll < 95 then case4 ()
+    else if roll < 165 then case5 ()
+    else None
+  in
+  Option.value ~default:fn chosen
+
+let dataset3 ~seed ~n =
+  let rng = Random.State.make [| seed; 3 |] in
+  List.init n (fun i ->
+      let version = pick rng Version.solidity_versions in
+      let fn = random_fn ~abiv2:version.Version.abiv2 rng i in
+      let fn = maybe_plant_quirk rng fn version in
+      compile_sample fn version)
+
+let dataset1 ~seed ~n =
+  let rng = Random.State.make [| seed; 1 |] in
+  List.init n (fun i ->
+      let version = pick rng Version.solidity_versions in
+      let fn = random_fn ~abiv2:version.Version.abiv2 rng (100_000 + i) in
+      let fn = maybe_plant_quirk rng fn version in
+      compile_sample fn version)
+
+let dataset2 ~seed ~n =
+  let rng = Random.State.make [| seed; 2 |] in
+  let version_base =
+    List.find (fun v -> v.Version.name = "0.5.5") Version.solidity_versions
+  in
+  let version_opt =
+    List.find (fun v -> v.Version.name = "0.5.5+opt") Version.solidity_versions
+  in
+  List.init n (fun i ->
+      let version =
+        if Random.State.bool rng then version_opt else version_base
+      in
+      let fn = random_fn rng (200_000 + i) in
+      compile_sample fn version)
+
+let vyper_set ~seed ~n =
+  let rng = Random.State.make [| seed; 4 |] in
+  List.init n (fun i ->
+      let version = pick rng Version.vyper_versions in
+      let fn = random_fn ~vyper:true rng (300_000 + i) in
+      compile_sample fn version)
+
+let abiv2_set ~seed ~n =
+  let rng = Random.State.make [| seed; 5 |] in
+  let abiv2_versions =
+    List.filter (fun v -> v.Version.abiv2) Version.solidity_versions
+  in
+  List.init n (fun i ->
+      let version = pick rng abiv2_versions in
+      let special =
+        match Random.State.int rng 5 with
+        | 0 -> Abi.Abity.Darray (Abi.Abity.Darray (Abi.Valgen.sol_basic rng))
+        | 1 ->
+          Abi.Abity.Sarray
+            ( Abi.Abity.Darray (Abi.Valgen.sol_basic rng),
+              1 + Random.State.int rng 3 )
+        | 2 ->
+          Abi.Abity.Tuple
+            [ Abi.Abity.Darray (Abi.Valgen.sol_basic rng); Abi.Abity.Uint 256 ]
+        | 3 | _ ->
+          (* static struct: flattened in the call data, unrecoverable *)
+          Abi.Abity.Tuple [ Abi.Abity.Uint 256; Abi.Abity.Uint 256 ]
+      in
+      let extra =
+        List.init (Random.State.int rng 2) (fun _ ->
+            random_sol_type rng)
+      in
+      let fsig =
+        Abi.Funsig.make
+          ~visibility:(if Random.State.bool rng then Abi.Funsig.Public else Abi.Funsig.External)
+          (random_name rng (400_000 + i))
+          (special :: extra)
+      in
+      compile_sample (Lang.fn_of_sig fsig) version)
+
+let fuzz_set ~seed ~n =
+  let rng = Random.State.make [| seed; 6 |] in
+  List.init n (fun i ->
+      let version = pick rng Version.solidity_versions in
+      let rec non_bool () =
+        match Abi.Valgen.sol_basic rng with
+        | Abi.Abity.Bool -> non_bool ()
+        | ty -> ty
+      in
+      let first = non_bool () in
+      let rest =
+        List.init (Random.State.int rng 3) (fun _ -> random_sol_type rng)
+      in
+      let fsig =
+        Abi.Funsig.make
+          ~visibility:(if Random.State.bool rng then Abi.Funsig.Public else Abi.Funsig.External)
+          (random_name rng (500_000 + i))
+          (first :: rest)
+      in
+      (* the paper's +23 % fuzzing gain comes from the mix: most bugs
+         are reachable by any fuzzer that varies the argument (shallow)
+         while some need the exact magic value at the exact position
+         (deep) *)
+      let bug =
+        if Random.State.int rng 100 < 21 then begin
+          let magic = Abi.Valgen.value rng first in
+          let pad_right s =
+            s ^ String.make (32 - String.length s) '\000'
+          in
+          let word =
+            match magic with
+            | Abi.Value.VUint v | Abi.Value.VInt v | Abi.Value.VAddr v -> v
+            | Abi.Value.VFixed s -> Evm.U256.of_bytes_be (pad_right s)
+            | _ -> Evm.U256.of_int 0xdeadbeef
+          in
+          Lang.Deep word
+        end
+        else begin
+          let shift =
+            match first with Abi.Abity.Bytes_n _ -> 252 | _ -> 0
+          in
+          Lang.Shallow { shift; nibble = Random.State.int rng 16 }
+        end
+      in
+      let fn =
+        Lang.fn ~bug fsig
+          (List.map (fun ty -> Lang.param ty) fsig.Abi.Funsig.params)
+      in
+      compile_sample fn version)
+
+let versioned ~seed ~per_version =
+  let all = Version.solidity_versions @ Version.vyper_versions in
+  List.map
+    (fun version ->
+      let rng =
+        Random.State.make [| seed; 7; Hashtbl.hash version.Version.name |]
+      in
+      let samples =
+        List.init per_version (fun i ->
+            let vyper = version.Version.lang = Abi.Abity.Vyper in
+            let fn =
+              random_fn ~abiv2:version.Version.abiv2 ~vyper rng (600_000 + i)
+            in
+            compile_sample fn version)
+      in
+      (version, samples))
+    all
+
+(* One signature, many function bodies: the same function id deployed
+   in several contracts whose bodies use the parameters differently
+   (the aggregation study of paper sec. 7). *)
+let multi_body ~seed ~n ~bodies =
+  let rng = Random.State.make [| seed; 8 |] in
+  List.init n (fun i ->
+      let fn0 = random_fn rng (700_000 + i) in
+      let fsig = fn0.Lang.fsig in
+      let variants =
+        List.init bodies (fun _ ->
+            let usage =
+              {
+                Lang.math = Random.State.int rng 100 < 40;
+                Lang.signed_math = false;
+                Lang.byte_access = Random.State.int rng 100 < 40;
+                Lang.item_access = Random.State.int rng 100 < 70;
+              }
+            in
+            let version = pick rng Version.solidity_versions in
+            Compile.compile
+              {
+                Compile.fns = [ Lang.fn_of_sig ~usage fsig ];
+                version;
+              })
+      in
+      (fsig, variants))

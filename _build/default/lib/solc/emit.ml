@@ -1,0 +1,41 @@
+type t = {
+  mutable rev_items : Evm.Asm.item list;
+  mutable next_label : int;
+  mutable mem_cursor : int;
+  mutable next_idx : int;
+}
+
+let create () =
+  { rev_items = []; next_label = 0; mem_cursor = 0x80; next_idx = 0 }
+let op e o = e.rev_items <- Evm.Asm.Op o :: e.rev_items
+let ops e os = List.iter (op e) os
+let push_int e n = op e (Evm.Opcode.push n)
+let push_u256 e v = op e (Evm.Opcode.push_u256 v)
+
+let fresh_label e prefix =
+  let name = Printf.sprintf "%s_%d" prefix e.next_label in
+  e.next_label <- e.next_label + 1;
+  name
+
+let label e name = e.rev_items <- Evm.Asm.Label name :: e.rev_items
+let push_label e name = e.rev_items <- Evm.Asm.Push_label name :: e.rev_items
+
+let jump_to e name =
+  push_label e name;
+  op e Evm.Opcode.JUMP
+
+let jumpi_to e name =
+  push_label e name;
+  op e Evm.Opcode.JUMPI
+
+let alloc e n =
+  let base = e.mem_cursor in
+  e.mem_cursor <- base + ((n + 31) / 32 * 32);
+  base
+
+let scratch e = alloc e 32
+let items e = List.rev e.rev_items
+
+let fresh_idx e =
+  e.next_idx <- e.next_idx + 1;
+  e.next_idx

@@ -1,0 +1,38 @@
+(** Mutable instruction-stream builder used by the code generators. *)
+
+type t
+
+val create : unit -> t
+val op : t -> Evm.Opcode.t -> unit
+val ops : t -> Evm.Opcode.t list -> unit
+val push_int : t -> int -> unit
+val push_u256 : t -> Evm.U256.t -> unit
+
+val fresh_label : t -> string -> string
+(** [fresh_label e prefix] returns a new unique label name. *)
+
+val label : t -> string -> unit
+(** Place a label (assembles to JUMPDEST). *)
+
+val push_label : t -> string -> unit
+val jump_to : t -> string -> unit
+(** [Push_label l; JUMP]. *)
+
+val jumpi_to : t -> string -> unit
+(** [Push_label l; JUMPI] — consumes the condition on the stack. *)
+
+val alloc : t -> int -> int
+(** [alloc e n] reserves [n] bytes of memory statically and returns the
+    base address. The generator allocates memory statically rather than
+    via the 0x40 free pointer — the accessing patterns SigRec keys on
+    concern call-data reads, not memory placement. *)
+
+val scratch : t -> int
+(** A fresh 32-byte scratch slot (loop counters, saved offsets). *)
+
+val fresh_idx : t -> int
+(** A per-compilation counter for distinct symbolic index expressions
+    (each parameter indexes with callvalue + k). *)
+
+val items : t -> Evm.Asm.item list
+(** Emission order. *)

@@ -1,0 +1,54 @@
+type usage = {
+  math : bool;
+  signed_math : bool;
+  byte_access : bool;
+  item_access : bool;
+}
+
+let default_usage =
+  { math = true; signed_math = false; byte_access = true; item_access = true }
+
+let plain_usage =
+  { math = false; signed_math = false; byte_access = false; item_access = false }
+
+type quirk =
+  | No_quirk
+  | Converted of Abi.Abity.t
+  | Storage_ref
+  | Const_index_optimized
+
+type param_spec = { ty : Abi.Abity.t; usage : usage; quirk : quirk }
+
+let param ?(usage = default_usage) ?(quirk = No_quirk) ty =
+  { ty; usage; quirk }
+
+type bug = Deep of Evm.U256.t | Shallow of { shift : int; nibble : int }
+
+type fn_spec = {
+  fsig : Abi.Funsig.t;
+  param_specs : param_spec list;
+  asm_reads : int;
+  returns_word : bool;
+  bug : bug option;
+}
+
+let fn ?(asm_reads = 0) ?(returns_word = false) ?bug fsig param_specs =
+  if List.length fsig.Abi.Funsig.params <> List.length param_specs then
+    invalid_arg "Lang.fn: spec list does not align with signature";
+  List.iter2
+    (fun ty spec ->
+      if not (Abi.Abity.equal ty spec.ty) then
+        invalid_arg "Lang.fn: spec type differs from signature type")
+    fsig.Abi.Funsig.params param_specs;
+  { fsig; param_specs; asm_reads; returns_word; bug }
+
+let fn_of_sig ?(usage = default_usage) ?(returns_word = false) fsig =
+  {
+    fsig;
+    param_specs = List.map (fun ty -> param ~usage ty) fsig.Abi.Funsig.params;
+    asm_reads = 0;
+    returns_word;
+    bug = None;
+  }
+
+let declared_arity t = List.length t.fsig.Abi.Funsig.params

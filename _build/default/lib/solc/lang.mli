@@ -1,0 +1,82 @@
+(** Source model for the synthetic compiler: what a generated contract
+    function declares and how its body uses each parameter. The body
+    usage drives which accessing patterns appear in the bytecode, and
+    therefore which SigRec rules can fire (the paper's rules exploit how
+    parameters are {e used}). *)
+
+type usage = {
+  math : bool;
+  (** the parameter (or its items) is used in arithmetic — distinguishes
+      uint160 from address (R16) *)
+  signed_math : bool;
+  (** SDIV/SMOD usage — distinguishes int256 from uint256 (R15) *)
+  byte_access : bool;
+  (** a single byte is read — distinguishes bytes32 from uint256 (R18),
+      bytes from string (R17), Vyper bytes\[N\] from string\[N\] (R26) *)
+  item_access : bool;
+  (** array/struct items are read (needed for external arrays and for
+      refining item types) *)
+}
+
+val default_usage : usage
+(** Everything on except signed_math: the common case in the corpus. *)
+
+val plain_usage : usage
+(** Nothing accessed beyond reading: triggers the paper's case-5
+    ambiguities. *)
+
+(** §5.2 inaccuracy cases that the corpus plants. *)
+type quirk =
+  | No_quirk
+  | Converted of Abi.Abity.t
+      (** case 2: the declared type is immediately cast to this type and
+          only used as such *)
+  | Storage_ref
+      (** case 4: the parameter has the [storage] modifier — only a slot
+          reference appears in the call data *)
+  | Const_index_optimized
+      (** case 5a: external static array, optimizer on, constant index —
+          no bound checks survive *)
+
+type param_spec = { ty : Abi.Abity.t; usage : usage; quirk : quirk }
+
+val param : ?usage:usage -> ?quirk:quirk -> Abi.Abity.t -> param_spec
+
+(** Planted fuzzing oracles: a [Deep] bug traps when the first
+    argument word equals a magic constant (only findable through the
+    dictionary of PUSH immediates); a [Shallow] bug traps when the low
+    nibble of the first argument word matches (findable by any fuzzer
+    that reaches the code with a varied argument). *)
+type bug =
+  | Deep of Evm.U256.t
+  | Shallow of { shift : int; nibble : int }
+      (** trap when [(word >> shift) land 0xf = nibble]; the generator
+          places the nibble where the first parameter's type actually
+          has entropy *)
+
+type fn_spec = {
+  fsig : Abi.Funsig.t;
+  param_specs : param_spec list;  (** aligned with [fsig.params] *)
+  asm_reads : int;
+      (** case 1: number of undeclared parameters the body reads via
+          [calldataload] in inline assembly (0 normally) *)
+  returns_word : bool;
+      (** the body ends with RETURN of a 32-byte result instead of STOP
+          (roughly a third of deployed functions return data) *)
+  bug : bug option;
+}
+
+val fn :
+  ?asm_reads:int ->
+  ?returns_word:bool ->
+  ?bug:bug ->
+  Abi.Funsig.t ->
+  param_spec list ->
+  fn_spec
+(** Raises [Invalid_argument] if the spec list does not align with the
+    signature's parameters. *)
+
+val fn_of_sig : ?usage:usage -> ?returns_word:bool -> Abi.Funsig.t -> fn_spec
+(** All parameters with the same usage and no quirks. *)
+
+val declared_arity : fn_spec -> int

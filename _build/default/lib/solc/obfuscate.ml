@@ -1,0 +1,83 @@
+open Evm
+
+(* All transformations run before assembly, so labels survive and jump
+   targets relocate for free — the same place a real obfuscating
+   toolchain sits. *)
+
+let junk_variants rng fresh =
+  match Random.State.int rng 3 with
+  | 0 -> [ Asm.Op (Opcode.push (Random.State.int rng 256)); Asm.Op Opcode.POP ]
+  | 1 -> [ Asm.Op Opcode.PC; Asm.Op Opcode.POP ]
+  | _ ->
+    (* opaque always-taken branch over a trap *)
+    let skip = fresh () in
+    [
+      Asm.Op (Opcode.push 1);
+      Asm.Push_label skip;
+      Asm.Op Opcode.JUMPI;
+      Asm.Op Opcode.INVALID;
+      Asm.Label skip;
+    ]
+
+(* level 2: PUSH c  ==>  PUSH (c-k); PUSH k; ADD *)
+let split_push rng op =
+  match op with
+  | Opcode.PUSH (n, v) when n >= 1 && n <= 30 && U256.compare v (U256.of_int 2) > 0
+    -> (
+    match U256.to_int v with
+    | Some c when c > 2 ->
+      let k = 1 + Random.State.int rng (Stdlib.min (c - 1) 255) in
+      Some
+        [ Asm.Op (Opcode.push (c - k)); Asm.Op (Opcode.push k);
+          Asm.Op Opcode.ADD ]
+    | _ -> None)
+  | _ -> None
+
+(* level 3: AND  ==>  NOT; SWAP1; NOT; OR; NOT  (De Morgan) *)
+let demorgan_and =
+  Asm.
+    [
+      Op Opcode.NOT; Op (Opcode.SWAP 1); Op Opcode.NOT; Op Opcode.OR;
+      Op Opcode.NOT;
+    ]
+
+let apply ?(level = 1) ~seed items =
+  let rng = Random.State.make [| seed; 0x0bf5 |] in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "obf_%d_%d" seed !counter
+  in
+  List.concat_map
+    (fun item ->
+      let junk =
+        (* sprinkle junk before roughly a third of the instructions;
+           never before a label (the JUMPDEST must stay first at its
+           target) *)
+        match item with
+        | Asm.Label _ -> []
+        | _ when Random.State.int rng 100 < 35 -> junk_variants rng fresh
+        | _ -> []
+      in
+      let rewritten =
+        match item with
+        | Asm.Op (Opcode.PUSH _ as op) when level >= 2 -> (
+          (* keep 4-byte dispatch comparisons intact: splitting the
+             selector constant would break nothing semantically but
+             also hides the ids from every tool including the
+             ground-truth extraction this study relies on *)
+          match op with
+          | Opcode.PUSH (4, _) -> [ item ]
+          | _ -> (
+            match split_push rng op with
+            | Some ops when Random.State.int rng 100 < 60 -> ops
+            | _ -> [ item ]))
+        | Asm.Op Opcode.AND when level >= 3 ->
+          if Random.State.int rng 100 < 70 then demorgan_and else [ item ]
+        | _ -> [ item ]
+      in
+      junk @ rewritten)
+    items
+
+let compile_obfuscated ?level ~seed contract =
+  Asm.assemble (apply ?level ~seed (Compile.compile_items contract))

@@ -1,0 +1,30 @@
+(** Semantics-preserving bytecode obfuscation (the threat the paper's
+    §7 discusses: "replacing the instruction sequence for accessing
+    parameters ... with a different instruction sequence with the same
+    semantics").
+
+    Three escalating levels:
+
+    - level 1 — {e syntactic} noise: junk instruction pairs
+      (PUSH/POP, PC/POP) and opaque always-taken branches are
+      interleaved with the real code. Defeats window-based pattern
+      matchers (Eveem's rules); TASE is unaffected because its rules
+      are over the executed semantics, not the instruction text.
+    - level 2 — {e constant splitting}: every PUSH of a constant becomes
+      two pushes and an ADD. Defeats matchers that key on immediate
+      values (head-slot PUSH before CALLDATALOAD); TASE folds the
+      addition back during symbolic execution.
+    - level 3 — {e semantic mask rewriting}: AND masks become their De
+      Morgan dual (NOT/OR/NOT). This changes the semantics-bearing
+      instruction itself, so even TASE's fine-grained refinements
+      degrade — the gradient the obfuscation benchmark measures, and
+      the motivation for the paper's future-work "general rules". *)
+
+val apply :
+  ?level:int -> seed:int -> Evm.Asm.item list -> Evm.Asm.item list
+(** [apply ~level ~seed items] — level defaults to 1; levels are
+    cumulative (3 includes 2 and 1). *)
+
+val compile_obfuscated :
+  ?level:int -> seed:int -> Compile.contract -> string
+(** Convenience: {!Compile.compile_items} + {!apply} + assembly. *)

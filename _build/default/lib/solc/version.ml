@@ -1,0 +1,75 @@
+type t = {
+  name : string;
+  lang : Abi.Abity.lang;
+  shr_dispatch : bool;
+  callvalue_guard : bool;
+  memory_staged_bounds : bool;
+  abiv2 : bool;
+  optimize : bool;
+}
+
+let sol name ~shr ~guard ~abiv2 ~optimize =
+  {
+    name = (if optimize then name ^ "+opt" else name);
+    lang = Abi.Abity.Solidity;
+    shr_dispatch = shr;
+    callvalue_guard = guard;
+    memory_staged_bounds = false;
+    abiv2;
+    optimize;
+  }
+
+let solidity_releases =
+  [
+    ("0.1.7", false, false, false);
+    ("0.2.2", false, false, false);
+    ("0.3.6", false, false, false);
+    ("0.4.11", false, true, false);
+    ("0.4.19", false, true, true);
+    ("0.4.24", false, true, true);
+    ("0.5.5", true, true, true);
+    ("0.6.12", true, true, true);
+    ("0.8.0", true, true, true);
+  ]
+
+let solidity_versions =
+  List.concat_map
+    (fun (name, shr, guard, abiv2) ->
+      [
+        sol name ~shr ~guard ~abiv2 ~optimize:false;
+        sol name ~shr ~guard ~abiv2 ~optimize:true;
+      ])
+    solidity_releases
+
+let vy name ~staged ~shr ~optimize =
+  {
+    name = (if optimize then name ^ "+opt" else name);
+    lang = Abi.Abity.Vyper;
+    shr_dispatch = shr;
+    callvalue_guard = false;
+    memory_staged_bounds = staged;
+    abiv2 = false;
+    optimize;
+  }
+
+let vyper_releases =
+  [
+    ("v0.1.0b4", true, false);
+    ("v0.1.0b17", true, false);
+    ("v0.2.4", true, true);
+    ("v0.2.8", false, true);
+  ]
+
+let vyper_versions =
+  List.concat_map
+    (fun (name, staged, shr) ->
+      [ vy name ~staged ~shr ~optimize:false; vy name ~staged ~shr ~optimize:true ])
+    vyper_releases
+
+let latest_solidity = List.nth solidity_versions (List.length solidity_versions - 1)
+let latest_vyper = List.nth vyper_versions (List.length vyper_versions - 1)
+
+let by_name name =
+  List.find_opt
+    (fun v -> v.name = name)
+    (solidity_versions @ vyper_versions)

@@ -1,0 +1,29 @@
+(** Synthetic compiler versions. Each version is a bundle of code
+    generation choices that real solc/vyper releases vary: dispatcher
+    style (DIV on pre-0.4.22 Solidity, SHR after), a non-payable
+    callvalue guard, PUSH0 availability, and the optimisation flag. The
+    paper evaluates 155 Solidity and 17 Vyper versions; we model the
+    distinct pattern-relevant combinations. *)
+
+type t = {
+  name : string;
+  lang : Abi.Abity.lang;
+  shr_dispatch : bool;
+  callvalue_guard : bool;
+  memory_staged_bounds : bool;
+      (** Vyper: stage range-check bounds through memory (Listing 5)
+          rather than comparing against an immediate *)
+  abiv2 : bool;  (** struct / nested array parameters allowed *)
+  optimize : bool;
+}
+
+val solidity_versions : t list
+(** 18 synthetic Solidity versions (9 releases x with/without
+    optimisation), oldest first. *)
+
+val vyper_versions : t list
+(** 8 synthetic Vyper versions. *)
+
+val latest_solidity : t
+val latest_vyper : t
+val by_name : string -> t option

@@ -1,0 +1,158 @@
+open Evm
+
+let bound_address = U256.pow2 160
+let bound_bool = U256.of_int 2
+let bound_int128_max = U256.sub (U256.pow2 127) U256.one
+let bound_int128_min = U256.neg (U256.pow2 127)
+
+(* decimal is a base-10^10 fixed-point value in [-2^127, 2^127) *)
+let decimal_scale = U256.of_string "10000000000"
+let bound_decimal_max =
+  U256.sub (U256.mul (U256.pow2 127) decimal_scale) U256.one
+let bound_decimal_min = U256.neg (U256.mul (U256.pow2 127) decimal_scale)
+
+(* Value on the stack; emit a range check against [bound]. With
+   [staged] the bound is staged through scratch memory first, as older
+   Vyper output does (Listing 5). [cmp] is LT / SGT / SLT; the check
+   reverts when the comparison [v OP bound] comes out [bad]. *)
+let emit_check e ~staged ~revert_label ~cmp ~revert_when_true bound =
+  if staged then begin
+    let slot = Emit.scratch e in
+    Emit.push_u256 e bound;
+    Emit.push_int e slot;
+    Emit.op e Opcode.MSTORE;
+    Emit.push_int e slot;
+    Emit.op e Opcode.MLOAD
+  end
+  else Emit.push_u256 e bound;
+  (* stack: [bound, v] *)
+  Emit.op e (Opcode.DUP 2);
+  (* [v, bound, v] *)
+  Emit.op e cmp;
+  if not revert_when_true then Emit.op e Opcode.ISZERO;
+  Emit.jumpi_to e revert_label
+
+(* Range checks for a Vyper basic type; the value stays on the stack. *)
+let emit_range_checks e ~staged ~revert_label ty =
+  match ty with
+  | Abi.Abity.Address ->
+    (* assert v < 2^160 *)
+    emit_check e ~staged ~revert_label ~cmp:Opcode.LT ~revert_when_true:false
+      bound_address
+  | Abi.Abity.Bool ->
+    emit_check e ~staged ~revert_label ~cmp:Opcode.LT ~revert_when_true:false
+      bound_bool
+  | Abi.Abity.Int 128 ->
+    (* assert v <= max (revert when v > max) and v >= min *)
+    emit_check e ~staged ~revert_label ~cmp:Opcode.SGT ~revert_when_true:true
+      bound_int128_max;
+    emit_check e ~staged ~revert_label ~cmp:Opcode.SLT ~revert_when_true:true
+      bound_int128_min
+  | Abi.Abity.Decimal ->
+    emit_check e ~staged ~revert_label ~cmp:Opcode.SGT ~revert_when_true:true
+      bound_decimal_max;
+    emit_check e ~staged ~revert_label ~cmp:Opcode.SLT ~revert_when_true:true
+      bound_decimal_min
+  | Abi.Abity.Uint 256 | Abi.Abity.Bytes_n 32 -> ()
+  | _ -> invalid_arg "Vyper.emit_range_checks: not a Vyper basic type"
+
+(* Value on stack -> consumed. *)
+let emit_basic_usage e (usage : Lang.usage) ty =
+  (match ty with
+  | Abi.Abity.Uint 256 | Abi.Abity.Int 128 | Abi.Abity.Decimal
+    when usage.Lang.math ->
+    Emit.op e (Opcode.DUP 1);
+    Emit.push_int e 1;
+    Emit.op e Opcode.ADD;
+    Emit.op e Opcode.POP
+  | Abi.Abity.Bytes_n 32 when usage.Lang.byte_access ->
+    Emit.op e (Opcode.DUP 1);
+    Emit.push_int e 0;
+    Emit.op e Opcode.BYTE;
+    Emit.op e Opcode.POP
+  | _ -> ());
+  Emit.op e Opcode.POP
+
+let rec static_dims = function
+  | Abi.Abity.Sarray (t, n) ->
+    let dims, elem = static_dims t in
+    (n :: dims, elem)
+  | t -> ([], t)
+
+(* Each parameter instance indexes with a distinct symbolic expression
+   (callvalue + k), the way real contract code indexes different arrays
+   with different variables; the analyser links a bound check to an item
+   load by the index term they share. *)
+let push_idx e k =
+  Emit.op e Opcode.CALLVALUE;
+  Emit.push_int e k;
+  Emit.op e Opcode.ADD
+
+let emit_param e ~version ~revert_label ~head spec =
+  let staged = version.Version.memory_staged_bounds in
+  let usage = spec.Lang.usage in
+  match spec.Lang.ty with
+  | Abi.Abity.Uint 256 | Abi.Abity.Int 128 | Abi.Abity.Address
+  | Abi.Abity.Bool | Abi.Abity.Bytes_n 32 | Abi.Abity.Decimal ->
+    Emit.push_int e head;
+    Emit.op e Opcode.CALLDATALOAD;
+    emit_range_checks e ~staged ~revert_label spec.Lang.ty;
+    emit_basic_usage e usage spec.Lang.ty
+  | Abi.Abity.Sarray _ ->
+    (* fixed-size list: same pattern as a Solidity external static
+       array (bound checks then an on-demand CALLDATALOAD), and the
+       loaded item gets the element's range checks (R24, R27-R31) *)
+    let k = Emit.fresh_idx e in
+    let dims, elem = static_dims spec.Lang.ty in
+    if usage.Lang.item_access then begin
+      List.iter
+        (fun n ->
+          Emit.push_int e n;
+          push_idx e k;
+          Emit.op e Opcode.LT;
+          Emit.op e Opcode.ISZERO;
+          Emit.jumpi_to e revert_label)
+        dims;
+      Emit.push_int e 0;
+      List.iteri
+        (fun d n ->
+          if d > 0 then begin
+            Emit.push_int e n;
+            Emit.op e Opcode.MUL
+          end;
+          push_idx e k;
+          Emit.op e Opcode.ADD)
+        dims;
+      Emit.push_int e 32;
+      Emit.op e Opcode.MUL;
+      Emit.push_int e head;
+      Emit.op e Opcode.ADD;
+      Emit.op e Opcode.CALLDATALOAD;
+      emit_range_checks e ~staged ~revert_label elem;
+      emit_basic_usage e usage elem
+    end
+  | Abi.Abity.Vbytes max_len | Abi.Abity.Vstring max_len ->
+    (* copy 32 (num field) + maxLen bytes starting at the num field;
+       the padding past maxLen is not read (R23) *)
+    let dst = Emit.alloc e (32 + max_len + 32) in
+    Emit.push_int e head;
+    Emit.op e Opcode.CALLDATALOAD;
+    Emit.push_int e 4;
+    Emit.op e Opcode.ADD;
+    Emit.push_int e (32 + max_len);
+    Emit.op e (Opcode.SWAP 1);
+    Emit.push_int e dst;
+    Emit.op e Opcode.CALLDATACOPY;
+    (match spec.Lang.ty with
+    | Abi.Abity.Vbytes _ when usage.Lang.byte_access ->
+      (* individual byte read: distinguishes bytes[N] from string[N]
+         (R26) *)
+      Emit.push_int e (dst + 32);
+      Emit.op e Opcode.MLOAD;
+      Emit.push_int e 0;
+      Emit.op e Opcode.BYTE;
+      Emit.op e Opcode.POP
+    | _ -> ())
+  | Abi.Abity.Tuple _ ->
+    invalid_arg "Vyper.emit_param: struct must be flattened"
+  | _ -> invalid_arg "Vyper.emit_param: type not supported by Vyper"

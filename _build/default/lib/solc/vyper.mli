@@ -1,0 +1,22 @@
+(** Vyper accessing-pattern code generation (paper §2.3.2): comparison
+    instructions enforcing value ranges instead of Solidity's masks;
+    identical bytecode for public and external functions. *)
+
+val emit_param :
+  Emit.t ->
+  version:Version.t ->
+  revert_label:string ->
+  head:int ->
+  Lang.param_spec ->
+  unit
+
+val bound_address : Evm.U256.t
+(** 2^160 *)
+
+val bound_bool : Evm.U256.t
+(** 2 *)
+
+val bound_int128_max : Evm.U256.t
+val bound_int128_min : Evm.U256.t
+val bound_decimal_max : Evm.U256.t
+val bound_decimal_min : Evm.U256.t

@@ -1,0 +1,1 @@
+lib/symex/exec.ml: Array Disasm Evm Hashtbl Int List Map Opcode Option Printf Sexpr Stack String Trace U256

@@ -1,0 +1,1 @@
+lib/symex/exec.mli: Sexpr Trace

@@ -1,0 +1,1 @@
+lib/symex/sexpr.ml: Evm Format List Option Printf String U256

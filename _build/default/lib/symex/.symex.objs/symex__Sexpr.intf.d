@@ -1,0 +1,1 @@
+lib/symex/sexpr.mli: Evm Format

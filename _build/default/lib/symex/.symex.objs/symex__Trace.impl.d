@@ -1,0 +1,1 @@
+lib/symex/trace.ml: Evm Format Hashtbl List Printf Sexpr

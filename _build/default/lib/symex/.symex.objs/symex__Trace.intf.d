@@ -1,0 +1,1 @@
+lib/symex/trace.mli: Evm Format Hashtbl Sexpr

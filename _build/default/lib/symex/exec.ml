@@ -1,0 +1,452 @@
+open Evm
+
+module Imap = Map.Make (Int)
+
+type budget = { max_paths : int; max_steps : int; max_forks_per_pc : int }
+
+let default_budget = { max_paths = 512; max_steps = 20_000; max_forks_per_pc = 3 }
+
+type state = {
+  pc : int;
+  stack : Sexpr.t list;
+  mem : Sexpr.t Imap.t;
+  forks : int Imap.t; (* per-JUMPI fork counts on this path *)
+  steps : int;
+}
+
+(* Mutable per-run recorder with global deduplication across paths. *)
+type recorder = {
+  load_ids : (string, int) Hashtbl.t; (* (pc,loc) key -> id *)
+  mutable loads : Trace.load list;
+  mutable next_load : int;
+  copy_keys : (string, unit) Hashtbl.t;
+  mutable copies : Trace.copy list;
+  usage_keys : (string, unit) Hashtbl.t;
+  mutable usages : Trace.usage list;
+  jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
+  jumpi_targets : (int, int) Hashtbl.t;
+  regions : (int * int) Stack.t; (* (base, region id = copy pc), latest first *)
+  region_bases : (int, int) Hashtbl.t; (* rid -> lowest base *)
+  mutable paths : int;
+  mutable truncated : bool;
+}
+
+let make_recorder () =
+  {
+    load_ids = Hashtbl.create 64;
+    loads = [];
+    next_load = 0;
+    copy_keys = Hashtbl.create 64;
+    copies = [];
+    usage_keys = Hashtbl.create 64;
+    usages = [];
+    jumpi_conds = Hashtbl.create 64;
+    jumpi_targets = Hashtbl.create 64;
+    regions = Stack.create ();
+    region_bases = Hashtbl.create 16;
+    paths = 0;
+    truncated = false;
+  }
+
+let record_load r pc loc =
+  let key = Printf.sprintf "%d|%s" pc (Sexpr.to_string loc) in
+  match Hashtbl.find_opt r.load_ids key with
+  | Some id -> id
+  | None ->
+    let id = r.next_load in
+    r.next_load <- id + 1;
+    Hashtbl.replace r.load_ids key id;
+    r.loads <- { Trace.id; pc; loc } :: r.loads;
+    id
+
+let record_copy r pc dst src len =
+  let key =
+    Printf.sprintf "%d|%s|%s" pc (Sexpr.to_string src) (Sexpr.to_string len)
+  in
+  if not (Hashtbl.mem r.copy_keys key) then begin
+    Hashtbl.replace r.copy_keys key ();
+    r.copies <- { Trace.pc; dst; src; len } :: r.copies
+  end;
+  (* register the destination region for MLOAD attribution *)
+  match Sexpr.to_const_int dst with
+  | Some base ->
+    (match Hashtbl.find_opt r.region_bases pc with
+    | Some b when b <= base -> ()
+    | _ -> Hashtbl.replace r.region_bases pc base);
+    Stack.push (base, pc) r.regions
+  | None -> ()
+
+let record_usage r upc subject kind =
+  let key =
+    Printf.sprintf "%d|%s|%s"
+      upc
+      (match subject with
+      | Trace.Sub_load id -> "l" ^ string_of_int id
+      | Trace.Sub_region rid -> "r" ^ string_of_int rid)
+      (match kind with
+      | Trace.Mask_and m -> "a" ^ U256.to_hex m
+      | Trace.Mask_signext k -> "s" ^ string_of_int k
+      | Trace.Mask_bool -> "b"
+      | Trace.Byte_read -> "y"
+      | Trace.Signed_use -> "g"
+      | Trace.Math_use -> "m"
+      | Trace.Range_lt b -> "rl" ^ U256.to_hex b
+      | Trace.Range_sgt b -> "rg" ^ U256.to_hex b
+      | Trace.Range_slt b -> "rs" ^ U256.to_hex b)
+  in
+  if not (Hashtbl.mem r.usage_keys key) then begin
+    Hashtbl.replace r.usage_keys key ();
+    r.usages <- { Trace.upc; subject; kind } :: r.usages
+  end
+
+let record_jumpi_cond r pc cond =
+  let existing =
+    match Hashtbl.find_opt r.jumpi_conds pc with Some l -> l | None -> []
+  in
+  if List.length existing < 8 && not (List.exists (Sexpr.equal cond) existing)
+  then Hashtbl.replace r.jumpi_conds pc (cond :: existing)
+
+(* The raw parameter value an operand denotes (possibly under masks). *)
+let subject_of e =
+  match Sexpr.subject e with
+  | Some (`Load id) -> Some (Trace.Sub_load id)
+  | Some (`Region rid) -> Some (Trace.Sub_region rid)
+  | None -> None
+
+(* Is the operand exactly a raw (unmasked) value? Mask events should
+   only fire on direct applications. *)
+let raw_subject = function
+  | Sexpr.CDLoad id -> Some (Trace.Sub_load id)
+  | Sexpr.MemItem (rid, _) -> Some (Trace.Sub_region rid)
+  | _ -> None
+
+let region_lookup r off =
+  (* find the most recent copy region whose base is <= off, within a
+     2 KiB window (regions are allocated far apart by the workloads we
+     analyse; real solc keeps them disjoint via the free pointer) *)
+  let best = ref None in
+  Stack.iter
+    (fun (base, rid) ->
+      if !best = None && off >= base && off - base < 0x800 then
+        best := Some (rid, off - base))
+    r.regions;
+  !best
+
+let fresh_env =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Sexpr.Env (Printf.sprintf "%s_%d" prefix !counter)
+
+let run ?(budget = default_budget) ~code ~entry ~init_stack () =
+  let r = make_recorder () in
+  let instrs = Disasm.disassemble code in
+  let by_offset = Hashtbl.create (List.length instrs) in
+  List.iter
+    (fun i -> Hashtbl.replace by_offset i.Disasm.offset i.Disasm.op)
+    instrs;
+  let jumpdests = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      if i.Disasm.op = Opcode.JUMPDEST then
+        Hashtbl.replace jumpdests i.Disasm.offset ())
+    instrs;
+  let worklist = Stack.create () in
+  Stack.push
+    { pc = entry; stack = init_stack; mem = Imap.empty; forks = Imap.empty;
+      steps = 0 }
+    worklist;
+  let pop_stack st =
+    match st.stack with
+    | v :: rest -> (v, { st with stack = rest })
+    | [] ->
+      (* robustness: an empty stack yields a fresh free symbol rather
+         than ending the analysis *)
+      (fresh_env "uf", st)
+  in
+  let pop2 st =
+    let a, st = pop_stack st in
+    let b, st = pop_stack st in
+    (a, b, st)
+  in
+  let pop3 st =
+    let a, st = pop_stack st in
+    let b, st = pop_stack st in
+    let c, st = pop_stack st in
+    (a, b, c, st)
+  in
+  let push v st = { st with stack = v :: st.stack } in
+  while (not (Stack.is_empty worklist)) && r.paths < budget.max_paths do
+    let st = ref (Stack.pop worklist) in
+    r.paths <- r.paths + 1;
+    let running = ref true in
+    while !running do
+      let s = !st in
+      if s.steps > budget.max_steps then begin
+        r.truncated <- true;
+        running := false
+      end
+      else
+        match Hashtbl.find_opt by_offset s.pc with
+        | None -> running := false
+        | Some op ->
+          let s = { s with steps = s.steps + 1 } in
+          let next = s.pc + Opcode.size op in
+          let continue s' = st := { s' with pc = next } in
+          let binop bop =
+            let a, b, s = pop2 s in
+            (* usage events from direct operand shapes *)
+            (match bop with
+            | Sexpr.Band -> (
+              match (raw_subject a, Sexpr.to_const b) with
+              | Some subj, Some m -> record_usage r s.pc subj (Trace.Mask_and m)
+              | _ -> (
+                match (raw_subject b, Sexpr.to_const a) with
+                | Some subj, Some m ->
+                  record_usage r s.pc subj (Trace.Mask_and m)
+                | _ -> ()))
+            | Sexpr.Bsignext -> (
+              match (Sexpr.to_const_int a, raw_subject b) with
+              | Some k, Some subj ->
+                record_usage r s.pc subj (Trace.Mask_signext k)
+              | _ -> ())
+            | Sexpr.Bbyte -> (
+              match subject_of b with
+              | Some subj -> record_usage r s.pc subj Trace.Byte_read
+              | None -> ())
+            | Sexpr.Bsdiv | Sexpr.Bsmod -> (
+              (match subject_of a with
+              | Some subj -> record_usage r s.pc subj Trace.Signed_use
+              | None -> ());
+              match subject_of b with
+              | Some subj -> record_usage r s.pc subj Trace.Signed_use
+              | None -> ())
+            | Sexpr.Badd | Sexpr.Bsub | Sexpr.Bmul | Sexpr.Bdiv | Sexpr.Bmod
+            | Sexpr.Bexp -> (
+              (match subject_of a with
+              | Some subj -> record_usage r s.pc subj Trace.Math_use
+              | None -> ());
+              match subject_of b with
+              | Some subj -> record_usage r s.pc subj Trace.Math_use
+              | None -> ())
+            | _ -> ());
+            continue (push (Sexpr.bin bop a b) s)
+          in
+          (match op with
+          | Opcode.STOP | Opcode.RETURN | Opcode.REVERT | Opcode.INVALID
+          | Opcode.SELFDESTRUCT | Opcode.UNKNOWN _ ->
+            running := false
+          | Opcode.ADD -> binop Sexpr.Badd
+          | Opcode.MUL -> binop Sexpr.Bmul
+          | Opcode.SUB -> binop Sexpr.Bsub
+          | Opcode.DIV -> binop Sexpr.Bdiv
+          | Opcode.SDIV -> binop Sexpr.Bsdiv
+          | Opcode.MOD -> binop Sexpr.Bmod
+          | Opcode.SMOD -> binop Sexpr.Bsmod
+          | Opcode.EXP -> binop Sexpr.Bexp
+          | Opcode.ADDMOD ->
+            let a, b, _, s = pop3 s in
+            continue (push (Sexpr.bin Sexpr.Badd a b) s)
+          | Opcode.MULMOD ->
+            let a, b, _, s = pop3 s in
+            continue (push (Sexpr.bin Sexpr.Bmul a b) s)
+          | Opcode.SIGNEXTEND -> binop Sexpr.Bsignext
+          | Opcode.LT -> binop Sexpr.Blt
+          | Opcode.GT -> binop Sexpr.Bgt
+          | Opcode.SLT -> binop Sexpr.Bslt
+          | Opcode.SGT -> binop Sexpr.Bsgt
+          | Opcode.EQ -> binop Sexpr.Beq
+          | Opcode.AND -> binop Sexpr.Band
+          | Opcode.OR -> binop Sexpr.Bor
+          | Opcode.XOR -> binop Sexpr.Bxor
+          | Opcode.BYTE -> binop Sexpr.Bbyte
+          | Opcode.SHL -> binop Sexpr.Bshl
+          | Opcode.SHR -> binop Sexpr.Bshr
+          | Opcode.SAR -> binop Sexpr.Bsar
+          | Opcode.ISZERO ->
+            let a, s = pop_stack s in
+            (match a with
+            | Sexpr.Un (Sexpr.Uiszero, inner) -> (
+              match raw_subject inner with
+              | Some subj -> record_usage r s.pc subj Trace.Mask_bool
+              | None -> ())
+            | _ -> ());
+            continue (push (Sexpr.un Sexpr.Uiszero a) s)
+          | Opcode.NOT ->
+            let a, s = pop_stack s in
+            continue (push (Sexpr.un Sexpr.Unot a) s)
+          | Opcode.SHA3 ->
+            let _, _, s = pop2 s in
+            continue (push (fresh_env "sha3") s)
+          | Opcode.CALLDATALOAD ->
+            let loc, s = pop_stack s in
+            let id = record_load r s.pc loc in
+            continue (push (Sexpr.CDLoad id) s)
+          | Opcode.CALLDATASIZE -> continue (push Sexpr.CDSize s)
+          | Opcode.CALLDATACOPY ->
+            let dst, src, len, s = pop3 s in
+            record_copy r s.pc dst src len;
+            continue s
+          | Opcode.CODESIZE ->
+            continue (push (Sexpr.of_int (String.length code)) s)
+          | Opcode.CODECOPY ->
+            let _, _, _, s = pop3 s in
+            continue s
+          | Opcode.CALLER -> continue (push (Sexpr.Env "caller") s)
+          | Opcode.CALLVALUE -> continue (push (Sexpr.Env "callvalue") s)
+          | Opcode.ORIGIN -> continue (push (Sexpr.Env "origin") s)
+          | Opcode.ADDRESS -> continue (push (Sexpr.Env "address") s)
+          | Opcode.GASPRICE -> continue (push (Sexpr.Env "gasprice") s)
+          | Opcode.COINBASE -> continue (push (Sexpr.Env "coinbase") s)
+          | Opcode.TIMESTAMP -> continue (push (Sexpr.Env "timestamp") s)
+          | Opcode.NUMBER -> continue (push (Sexpr.Env "number") s)
+          | Opcode.PREVRANDAO -> continue (push (Sexpr.Env "prevrandao") s)
+          | Opcode.GASLIMIT -> continue (push (Sexpr.Env "gaslimit") s)
+          | Opcode.CHAINID -> continue (push (Sexpr.Env "chainid") s)
+          | Opcode.SELFBALANCE -> continue (push (Sexpr.Env "selfbalance") s)
+          | Opcode.BASEFEE -> continue (push (Sexpr.Env "basefee") s)
+          | Opcode.BALANCE | Opcode.EXTCODESIZE | Opcode.EXTCODEHASH
+          | Opcode.BLOCKHASH ->
+            let _, s = pop_stack s in
+            continue (push (fresh_env "ext") s)
+          | Opcode.EXTCODECOPY ->
+            let _, _, _, s = pop3 s in
+            let _, s = pop_stack s in
+            continue s
+          | Opcode.RETURNDATASIZE -> continue (push (fresh_env "rds") s)
+          | Opcode.RETURNDATACOPY ->
+            let _, _, _, s = pop3 s in
+            continue s
+          | Opcode.POP ->
+            let _, s = pop_stack s in
+            continue s
+          | Opcode.MLOAD -> (
+            let loc, s = pop_stack s in
+            match Sexpr.to_const_int loc with
+            | Some off -> (
+              match Imap.find_opt off s.mem with
+              | Some v -> continue (push v s)
+              | None -> (
+                match region_lookup r off with
+                | Some (rid, rel) ->
+                  continue (push (Sexpr.MemItem (rid, Sexpr.of_int rel)) s)
+                | None -> continue (push (fresh_env "mload") s)))
+            | None -> continue (push (fresh_env "mload") s))
+          | Opcode.MSTORE -> (
+            let loc, v, s = pop2 s |> fun (a, b, s) -> (a, b, s) in
+            match Sexpr.to_const_int loc with
+            | Some off -> continue { s with mem = Imap.add off v s.mem }
+            | None -> continue s)
+          | Opcode.MSTORE8 ->
+            let _, _, s = pop2 s in
+            continue s
+          | Opcode.SLOAD ->
+            let _, s = pop_stack s in
+            continue (push (fresh_env "sload") s)
+          | Opcode.SSTORE ->
+            let _, _, s = pop2 s in
+            continue s
+          | Opcode.PC -> continue (push (Sexpr.of_int s.pc) s)
+          | Opcode.MSIZE -> continue (push (fresh_env "msize") s)
+          | Opcode.GAS -> continue (push (fresh_env "gas") s)
+          | Opcode.JUMPDEST -> continue s
+          | Opcode.PUSH (_, v) -> continue (push (Sexpr.const v) s)
+          | Opcode.DUP n ->
+            let v = try List.nth s.stack (n - 1) with _ -> fresh_env "uf" in
+            continue (push v s)
+          | Opcode.SWAP n ->
+            let stack = s.stack in
+            if List.length stack < n + 1 then running := false
+            else begin
+              let arr = Array.of_list stack in
+              let tmp = arr.(0) in
+              arr.(0) <- arr.(n);
+              arr.(n) <- tmp;
+              continue { s with stack = Array.to_list arr }
+            end
+          | Opcode.LOG n ->
+            let s = ref s in
+            for _ = 1 to n + 2 do
+              let _, s' = pop_stack !s in
+              s := s'
+            done;
+            continue !s
+          | Opcode.CREATE ->
+            let _, _, _, s = pop3 s in
+            continue (push (fresh_env "create") s)
+          | Opcode.CREATE2 ->
+            let _, _, _, s = pop3 s in
+            let _, s = pop_stack s in
+            continue (push (fresh_env "create2") s)
+          | Opcode.CALL | Opcode.CALLCODE ->
+            let s = ref s in
+            for _ = 1 to 7 do
+              let _, s' = pop_stack !s in
+              s := s'
+            done;
+            continue (push (fresh_env "call") !s)
+          | Opcode.DELEGATECALL | Opcode.STATICCALL ->
+            let s = ref s in
+            for _ = 1 to 6 do
+              let _, s' = pop_stack !s in
+              s := s'
+            done;
+            continue (push (fresh_env "call") !s)
+          | Opcode.JUMP -> (
+            let target, s = pop_stack s in
+            match Sexpr.to_const_int target with
+            | Some t when Hashtbl.mem jumpdests t -> st := { s with pc = t }
+            | _ -> running := false)
+          | Opcode.JUMPI -> (
+            let target, cond, s = pop2 s |> fun (a, b, s) -> (a, b, s) in
+            match Sexpr.to_const_int target with
+            | Some t when Hashtbl.mem jumpdests t -> (
+              record_jumpi_cond r s.pc cond;
+              Hashtbl.replace r.jumpi_targets s.pc t;
+              (* Vyper-style range checks: guard compares a raw loaded
+                 value against a constant bound *)
+              let core, iszeros = Sexpr.iszero_depth cond in
+              (match core with
+              | Sexpr.Bin (cmp, lhs, Sexpr.Const bound) -> (
+                match raw_subject lhs with
+                | Some subj ->
+                  let kind =
+                    match (cmp, iszeros mod 2) with
+                    | Sexpr.Blt, _ -> Some (Trace.Range_lt bound)
+                    | Sexpr.Bsgt, _ -> Some (Trace.Range_sgt bound)
+                    | Sexpr.Bslt, _ -> Some (Trace.Range_slt bound)
+                    | _ -> None
+                  in
+                  Option.iter (fun k -> record_usage r s.pc subj k) kind
+                | None -> ())
+              | _ -> ());
+              match Sexpr.eval_concrete cond with
+              | Some v ->
+                if U256.is_zero v then continue s else st := { s with pc = t }
+              | None ->
+                let count =
+                  match Imap.find_opt s.pc s.forks with Some c -> c | None -> 0
+                in
+                let s = { s with forks = Imap.add s.pc (count + 1) s.forks } in
+                if count >= budget.max_forks_per_pc then
+                  (* unrolling bound hit: take only the jump, which is
+                     the loop exit in compiler-emitted loops *)
+                  st := { s with pc = t }
+                else begin
+                  Stack.push { s with pc = t } worklist;
+                  continue s
+                end)
+            | _ -> running := false))
+    done
+  done;
+  if not (Stack.is_empty worklist) then r.truncated <- true;
+  {
+    Trace.loads =
+      List.sort (fun a b -> compare a.Trace.id b.Trace.id) r.loads;
+    copies = List.rev r.copies;
+    usages = List.rev r.usages;
+    jumpi_conds = r.jumpi_conds;
+    jumpi_targets = r.jumpi_targets;
+    paths_explored = r.paths;
+    paths_truncated = r.truncated;
+  }

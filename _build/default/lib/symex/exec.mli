@@ -1,0 +1,26 @@
+(** Bounded symbolic execution of one function body.
+
+    The executor explores paths from the function entry with the call
+    data fully symbolic, forking at branches whose condition involves
+    symbols and following the concrete edge otherwise. Environment reads
+    (CALLER, CALLVALUE, ...) are free symbols; SHA3 and SLOAD results are
+    free symbols; a jump to a symbolic target ends the path (the paper
+    notes only a handful of deployed contracts have such jumps). Loops
+    with symbolic guards are unrolled a bounded number of times — the
+    rules only need one iteration's worth of events. *)
+
+type budget = {
+  max_paths : int;       (** default 512 *)
+  max_steps : int;       (** per path, default 20_000 *)
+  max_forks_per_pc : int; (** symbolic-loop unrolling bound, default 3 *)
+}
+
+val default_budget : budget
+
+val run :
+  ?budget:budget ->
+  code:string ->
+  entry:int ->
+  init_stack:Sexpr.t list ->
+  unit ->
+  Trace.t

@@ -1,0 +1,196 @@
+open Evm
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bsdiv | Bmod | Bsmod | Bexp
+  | Band | Bor | Bxor
+  | Blt | Bgt | Bslt | Bsgt | Beq
+  | Bbyte | Bshl | Bshr | Bsar | Bsignext
+
+type unop = Unot | Uiszero
+
+type t =
+  | Const of U256.t
+  | CDLoad of int
+  | CDSize
+  | Env of string
+  | MemItem of int * t
+  | Bin of binop * t * t
+  | Un of unop * t
+
+let const v = Const v
+let of_int n = Const (U256.of_int n)
+
+let eval_bin op a b =
+  match op with
+  | Badd -> U256.add a b
+  | Bsub -> U256.sub a b
+  | Bmul -> U256.mul a b
+  | Bdiv -> U256.div a b
+  | Bsdiv -> U256.sdiv a b
+  | Bmod -> U256.rem a b
+  | Bsmod -> U256.srem a b
+  | Bexp -> U256.exp a b
+  | Band -> U256.logand a b
+  | Bor -> U256.logor a b
+  | Bxor -> U256.logxor a b
+  | Blt -> if U256.lt a b then U256.one else U256.zero
+  | Bgt -> if U256.gt a b then U256.one else U256.zero
+  | Bslt -> if U256.slt a b then U256.one else U256.zero
+  | Bsgt -> if U256.sgt a b then U256.one else U256.zero
+  | Beq -> if U256.equal a b then U256.one else U256.zero
+  | Bbyte -> (
+    match U256.to_int a with
+    | Some i when i < 32 -> U256.byte i b
+    | _ -> U256.zero)
+  | Bshl -> (
+    match U256.to_int a with
+    | Some n when n < 256 -> U256.shift_left b n
+    | _ -> U256.zero)
+  | Bshr -> (
+    match U256.to_int a with
+    | Some n when n < 256 -> U256.shift_right b n
+    | _ -> U256.zero)
+  | Bsar -> (
+    match U256.to_int a with
+    | Some n when n < 256 -> U256.shift_right_arith b n
+    | _ -> U256.shift_right_arith b 255)
+  | Bsignext -> (
+    match U256.to_int a with
+    | Some k when k < 32 -> U256.signextend k b
+    | _ -> b)
+
+let un op e =
+  match (op, e) with
+  | Unot, Const v -> Const (U256.lognot v)
+  | Uiszero, Const v ->
+    Const (if U256.is_zero v then U256.one else U256.zero)
+  | Uiszero, Un (Uiszero, Un (Uiszero, x)) -> Un (Uiszero, x)
+  | _ -> Un (op, e)
+
+let is_comparison = function
+  | Blt | Bgt | Bslt | Bsgt | Beq -> true
+  | _ -> false
+
+let bin op a b =
+  match (a, b) with
+  (* Comparisons stay structural even on constants: branch guards keep
+     their LT shape so the rules can read loop bounds out of them. A
+     concrete truth value is recovered by eval_concrete when needed. *)
+  | Const x, Const y when not (is_comparison op) -> Const (eval_bin op x y)
+  | _ -> (
+    match (op, a, b) with
+    | Badd, x, Const z when U256.is_zero z -> x
+    | Badd, Const z, x when U256.is_zero z -> x
+    | Bmul, x, Const o when U256.equal o U256.one -> x
+    | Bmul, Const o, x when U256.equal o U256.one -> x
+    (* re-associate (x + c1) + c2 so head offsets stay flat *)
+    | Badd, Bin (Badd, x, Const c1), Const c2 ->
+      Bin (Badd, x, Const (U256.add c1 c2))
+    | Badd, Const c1, Bin (Badd, x, Const c2) ->
+      Bin (Badd, x, Const (U256.add c1 c2))
+    | _ -> Bin (op, a, b))
+
+let rec equal x y =
+  match (x, y) with
+  | Const a, Const b -> U256.equal a b
+  | CDLoad a, CDLoad b -> a = b
+  | CDSize, CDSize -> true
+  | Env a, Env b -> String.equal a b
+  | MemItem (r1, o1), MemItem (r2, o2) -> r1 = r2 && equal o1 o2
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Un (o1, a1), Un (o2, a2) -> o1 = o2 && equal a1 a2
+  | _ -> false
+
+let binop_name = function
+  | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Bsdiv -> "sdiv"
+  | Bmod -> "%" | Bsmod -> "smod" | Bexp -> "**" | Band -> "&" | Bor -> "|"
+  | Bxor -> "^" | Blt -> "<" | Bgt -> ">" | Bslt -> "s<" | Bsgt -> "s>"
+  | Beq -> "==" | Bbyte -> "byte" | Bshl -> "<<" | Bshr -> ">>"
+  | Bsar -> "sar" | Bsignext -> "sext"
+
+let rec to_string = function
+  | Const v -> "0x" ^ U256.to_hex v
+  | CDLoad id -> Printf.sprintf "cd%d" id
+  | CDSize -> "cdsize"
+  | Env name -> name
+  | MemItem (rid, off) -> Printf.sprintf "mem%d[%s]" rid (to_string off)
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (binop_name op) (to_string b)
+  | Un (Unot, a) -> Printf.sprintf "~%s" (to_string a)
+  | Un (Uiszero, a) -> Printf.sprintf "!%s" (to_string a)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let to_const = function Const v -> Some v | _ -> None
+
+let to_const_int = function Const v -> U256.to_int v | _ -> None
+
+let rec add_terms = function
+  | Bin (Badd, a, b) -> add_terms a @ add_terms b
+  | e -> [ e ]
+
+let const_offset e =
+  List.fold_left
+    (fun acc t ->
+      match t with
+      | Const v -> ( match U256.to_int v with Some n -> acc + n | None -> acc)
+      | _ -> acc)
+    0 (add_terms e)
+
+let rec loads_of = function
+  | CDLoad id -> [ id ]
+  | MemItem (_, off) -> loads_of off
+  | Bin (_, a, b) -> loads_of a @ loads_of b
+  | Un (_, a) -> loads_of a
+  | Const _ | CDSize | Env _ -> []
+
+let mentions_load e id = List.mem id (loads_of e)
+
+let rec has_mul_by e k =
+  match e with
+  | Bin (Bmul, Const c, x) | Bin (Bmul, x, Const c) ->
+    (U256.equal c (U256.of_int k) && to_const x = None) || has_mul_by x k
+  | Bin (_, a, b) -> has_mul_by a k || has_mul_by b k
+  | Un (_, a) -> has_mul_by a k
+  | MemItem (_, off) -> has_mul_by off k
+  | _ -> false
+
+let rec strip_masks = function
+  | Bin (Band, x, Const _) | Bin (Band, Const _, x) -> strip_masks x
+  | Bin (Bsignext, Const _, x) -> strip_masks x
+  | Un (Uiszero, Un (Uiszero, x)) -> strip_masks x
+  | e -> e
+
+let subject e =
+  match strip_masks e with
+  | CDLoad id -> Some (`Load id)
+  | MemItem (rid, _) -> Some (`Region rid)
+  | _ -> None
+
+let rec contains e sub =
+  equal e sub
+  ||
+  match e with
+  | Bin (_, a, b) -> contains a sub || contains b sub
+  | Un (_, a) -> contains a sub
+  | MemItem (_, off) -> contains off sub
+  | Const _ | CDLoad _ | CDSize | Env _ -> false
+
+let rec iszero_depth = function
+  | Un (Uiszero, x) ->
+    let core, n = iszero_depth x in
+    (core, n + 1)
+  | e -> (e, 0)
+
+let rec eval_concrete = function
+  | Const v -> Some v
+  | CDLoad _ | CDSize | Env _ | MemItem _ -> None
+  | Bin (op, a, b) -> (
+    match (eval_concrete a, eval_concrete b) with
+    | Some x, Some y -> Some (eval_bin op x y)
+    | _ -> None)
+  | Un (Unot, a) -> Option.map Evm.U256.lognot (eval_concrete a)
+  | Un (Uiszero, a) ->
+    Option.map
+      (fun v -> if Evm.U256.is_zero v then Evm.U256.one else Evm.U256.zero)
+      (eval_concrete a)

@@ -1,0 +1,77 @@
+(** Symbolic expressions over the call data.
+
+    TASE treats the call data as symbols (paper §4.2): every value loaded
+    from it is a fresh [CDLoad], every environment read a free [Env]
+    symbol, and operations build terms. Constant subterms fold so
+    concrete address arithmetic stays concrete. *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bsdiv | Bmod | Bsmod | Bexp
+  | Band | Bor | Bxor
+  | Blt | Bgt | Bslt | Bsgt | Beq
+  | Bbyte | Bshl | Bshr | Bsar | Bsignext
+
+type unop = Unot | Uiszero
+
+type t =
+  | Const of Evm.U256.t
+  | CDLoad of int        (** value of calldata-load event [id] *)
+  | CDSize
+  | Env of string        (** free environment symbol *)
+  | MemItem of int * t   (** word read from tagged memory region [rid] at
+                             the given relative offset *)
+  | Bin of binop * t * t
+  | Un of unop * t
+
+val const : Evm.U256.t -> t
+val of_int : int -> t
+
+val bin : binop -> t -> t -> t
+(** Smart constructor: folds constants, normalises [iszero (iszero
+    (iszero x))] chains via {!un}, keeps everything else structural. *)
+
+val un : unop -> t -> t
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Structural queries used by the inference rules} *)
+
+val to_const : t -> Evm.U256.t option
+val to_const_int : t -> int option
+
+val add_terms : t -> t list
+(** Flatten nested additions: [a + (b + c)] gives [\[a; b; c\]]. *)
+
+val const_offset : t -> int
+(** Sum of the constant addition terms (0 if none fit in int). *)
+
+val loads_of : t -> int list
+(** All [CDLoad] ids occurring in the term. *)
+
+val mentions_load : t -> int -> bool
+
+val has_mul_by : t -> int -> bool
+(** A multiplication by the given constant with a non-constant other
+    operand occurs somewhere in the term (R2's "exp(loc) contains 32x"). *)
+
+val strip_masks : t -> t
+(** Remove outer mask applications (AND with a constant, SIGNEXTEND,
+    double ISZERO) — the "raw value" a mask was applied to. *)
+
+val subject : t -> [ `Load of int | `Region of int ] option
+(** The raw parameter value a term directly denotes, if any: a [CDLoad]
+    or region read, possibly under masks. *)
+
+val contains : t -> t -> bool
+(** [contains e sub]: [sub] occurs as a subterm of [e] (the paper's
+    [exp(p)] "contains" [q] relation). *)
+
+val iszero_depth : t -> t * int
+(** Peel [Uiszero] applications, returning the core and their count. *)
+
+val eval_concrete : t -> Evm.U256.t option
+(** Full evaluation when the term contains no symbols. Comparisons are
+    kept structural by {!bin} so guards retain their shape; this
+    recovers their truth value for the executor. *)

@@ -1,0 +1,80 @@
+type load = { id : int; pc : int; loc : Sexpr.t }
+type copy = { pc : int; dst : Sexpr.t; src : Sexpr.t; len : Sexpr.t }
+type subject = Sub_load of int | Sub_region of int
+
+type usage_kind =
+  | Mask_and of Evm.U256.t
+  | Mask_signext of int
+  | Mask_bool
+  | Byte_read
+  | Signed_use
+  | Math_use
+  | Range_lt of Evm.U256.t
+  | Range_sgt of Evm.U256.t
+  | Range_slt of Evm.U256.t
+
+type usage = { upc : int; subject : subject; kind : usage_kind }
+
+type t = {
+  loads : load list;
+  copies : copy list;
+  usages : usage list;
+  jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
+  jumpi_targets : (int, int) Hashtbl.t;
+  paths_explored : int;
+  paths_truncated : bool;
+}
+
+let load_by_id t id = List.find_opt (fun l -> l.id = id) t.loads
+
+let loads_at_const t =
+  List.filter_map
+    (fun l ->
+      match Sexpr.to_const_int l.loc with
+      | Some off -> Some (off, l)
+      | None -> None)
+    t.loads
+
+let usages_of t subject =
+  List.filter_map
+    (fun u -> if u.subject = subject then Some u.kind else None)
+    t.usages
+
+let conds_at t pc =
+  match Hashtbl.find_opt t.jumpi_conds pc with Some cs -> cs | None -> []
+
+let kind_to_string = function
+  | Mask_and m -> Printf.sprintf "and(0x%s)" (Evm.U256.to_hex m)
+  | Mask_signext k -> Printf.sprintf "signext(%d)" k
+  | Mask_bool -> "bool"
+  | Byte_read -> "byte"
+  | Signed_use -> "signed"
+  | Math_use -> "math"
+  | Range_lt b -> Printf.sprintf "lt(0x%s)" (Evm.U256.to_hex b)
+  | Range_sgt b -> Printf.sprintf "sgt(0x%s)" (Evm.U256.to_hex b)
+  | Range_slt b -> Printf.sprintf "slt(0x%s)" (Evm.U256.to_hex b)
+
+let pp fmt t =
+  Format.fprintf fmt "loads:@.";
+  List.iter
+    (fun l ->
+      Format.fprintf fmt "  cd%d @%04x loc=%s@." l.id l.pc
+        (Sexpr.to_string l.loc))
+    t.loads;
+  Format.fprintf fmt "copies:@.";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  @%04x dst=%s src=%s len=%s@." c.pc
+        (Sexpr.to_string c.dst) (Sexpr.to_string c.src)
+        (Sexpr.to_string c.len))
+    t.copies;
+  Format.fprintf fmt "usages:@.";
+  List.iter
+    (fun u ->
+      let s =
+        match u.subject with
+        | Sub_load id -> Printf.sprintf "cd%d" id
+        | Sub_region rid -> Printf.sprintf "mem%d" rid
+      in
+      Format.fprintf fmt "  %s %s @%04x@." s (kind_to_string u.kind) u.upc)
+    t.usages

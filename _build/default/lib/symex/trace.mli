@@ -1,0 +1,48 @@
+(** The access-event trace produced by symbolic execution of one
+    function body. TASE's rules (paper §3) are predicates over this
+    trace: which call-data locations were read, how copies were sized,
+    which masks/comparisons touched which raw values, and what each
+    branch's condition was. *)
+
+type load = { id : int; pc : int; loc : Sexpr.t }
+(** One CALLDATALOAD site: distinct (pc, loc) pairs get distinct ids;
+    the loaded value appears in expressions as [Sexpr.CDLoad id]. *)
+
+type copy = { pc : int; dst : Sexpr.t; src : Sexpr.t; len : Sexpr.t }
+(** One CALLDATACOPY. The destination region is tagged with the copy's
+    pc; later MLOADs from it yield [Sexpr.MemItem (pc, off)]. *)
+
+type subject = Sub_load of int | Sub_region of int
+
+type usage_kind =
+  | Mask_and of Evm.U256.t   (** AND with a constant mask (R11/R12/R16) *)
+  | Mask_signext of int      (** SIGNEXTEND k (R13) *)
+  | Mask_bool                (** double ISZERO (R14) *)
+  | Byte_read                (** BYTE applied (R17/R18/R26/R31) *)
+  | Signed_use               (** SDIV/SMOD operand (R15) *)
+  | Math_use                 (** arithmetic operand (R16) *)
+  | Range_lt of Evm.U256.t   (** branch-asserted value < bound (R27/R30) *)
+  | Range_sgt of Evm.U256.t  (** branch-guarded value > bound (R28/R29) *)
+  | Range_slt of Evm.U256.t  (** branch-guarded value < bound, signed *)
+
+type usage = { upc : int; subject : subject; kind : usage_kind }
+
+type t = {
+  loads : load list;            (** ascending id *)
+  copies : copy list;           (** program order of first occurrence *)
+  usages : usage list;
+  jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
+      (** conditions observed at each JUMPI site (deduped, capped) *)
+  jumpi_targets : (int, int) Hashtbl.t;
+      (** concrete taken-branch target of each JUMPI site *)
+  paths_explored : int;
+  paths_truncated : bool;       (** a path/step budget was hit *)
+}
+
+val load_by_id : t -> int -> load option
+val loads_at_const : t -> (int * load) list
+(** Loads whose location is a compile-time constant, with the offset. *)
+
+val usages_of : t -> subject -> usage_kind list
+val conds_at : t -> int -> Sexpr.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tools/baseline.ml: Abi Array Disasm Efsd Evm Hashtbl Hex List Opcode Sigrec Stdlib U256

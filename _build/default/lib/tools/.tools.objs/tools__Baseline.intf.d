@@ -1,0 +1,1 @@
+lib/tools/baseline.mli: Abi Efsd

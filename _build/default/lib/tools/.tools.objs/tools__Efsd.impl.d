@@ -1,0 +1,1 @@
+lib/tools/efsd.ml: Abi Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/tools/efsd.mli: Abi

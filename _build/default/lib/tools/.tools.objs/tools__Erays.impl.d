@@ -1,0 +1,1 @@
+lib/tools/erays.ml: Array Cfg Disasm Evm Hashtbl List Opcode Printf Sigrec String U256

@@ -1,0 +1,1 @@
+lib/tools/eraysplus.ml: Abi Buffer Erays Format Hashtbl List Printf Sigrec String

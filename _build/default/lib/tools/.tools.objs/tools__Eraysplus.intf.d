@@ -1,0 +1,1 @@
+lib/tools/eraysplus.mli: Erays Format

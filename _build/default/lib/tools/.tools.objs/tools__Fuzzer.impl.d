@@ -1,0 +1,1 @@
+lib/tools/fuzzer.ml: Abi Char Disasm Evm Hashtbl Interp List Opcode Random String U256

@@ -1,0 +1,1 @@
+lib/tools/fuzzer.mli: Abi Evm Random

@@ -1,0 +1,1 @@
+lib/tools/parchecker.ml: Abi Array Bytes Char Evm List Printf Random Stdlib String U256

@@ -1,0 +1,1 @@
+lib/tools/parchecker.mli: Abi

@@ -1,0 +1,194 @@
+open Evm
+
+type outcome =
+  | Recovered of Abi.Abity.t list
+  | Not_recovered
+  | Aborted
+
+type t = {
+  name : string;
+  run : bytecode:string -> selector:string -> outcome;
+}
+
+let outcome_matches outcome params =
+  match outcome with
+  | Recovered tys ->
+    List.length tys = List.length params
+    && List.for_all2 Abi.Abity.equal tys params
+  | Not_recovered | Aborted -> false
+
+(* -- database lookup tools (OSD / EBD / JEB) ---------------------------- *)
+
+let db_tool name ?(hit_failure_permille = 0) db =
+  let run ~bytecode:_ ~selector =
+    match Efsd.lookup db selector with
+    | Some fsig ->
+      if Hashtbl.hash (name ^ Hex.encode selector) mod 1000
+         < hit_failure_permille
+      then Not_recovered
+      else Recovered fsig.Abi.Funsig.params
+    | None -> Not_recovered
+  in
+  { name; run }
+
+let osd db = db_tool "OSD" db
+let ebd db = db_tool "EBD" ~hit_failure_permille:60 db
+let jeb db = db_tool "JEB" ~hit_failure_permille:110 db
+
+(* -- linear-scan heuristics --------------------------------------------- *)
+
+(* The instruction window of the function body: from its dispatcher
+   target to the first STOP (linear sweep, no control flow). *)
+let body_window bytecode selector =
+  let entries = Sigrec.Ids.extract bytecode in
+  match
+    List.find_opt (fun e -> e.Sigrec.Ids.selector = selector) entries
+  with
+  | None -> None
+  | Some e ->
+    let instrs = Disasm.disassemble bytecode in
+    let after =
+      List.filter (fun i -> i.Disasm.offset >= e.Sigrec.Ids.entry_pc) instrs
+    in
+    let rec take acc = function
+      | [] -> List.rev acc
+      | { Disasm.op = Opcode.STOP; _ } :: _ -> List.rev acc
+      | i :: rest -> take (i :: acc) rest
+    in
+    Some (take [] after)
+
+(* Scan a window for [PUSH slot; CALLDATALOAD] head reads and classify
+   each by the mask instructions within the next few instructions — the
+   kind of shallow pattern matching the paper ascribes to Eveem's
+   fallback rules. *)
+let scan_heads window =
+  let arr = Array.of_list window in
+  let n = Array.length arr in
+  let heads = ref [] in
+  for i = 0 to n - 2 do
+    match (arr.(i).Disasm.op, arr.(i + 1).Disasm.op) with
+    | Opcode.PUSH (_, slot), Opcode.CALLDATALOAD -> (
+      match U256.to_int slot with
+      | Some off when off >= 4 && (off - 4) mod 32 = 0 ->
+        (* classify from a short lookahead window *)
+        let ty = ref (Abi.Abity.Uint 256) in
+        for j = i + 2 to Stdlib.min (i + 8) (n - 1) do
+          match arr.(j).Disasm.op with
+          | Opcode.PUSH (_, m)
+            when j + 1 <= n - 1 && arr.(j + 1).Disasm.op = Opcode.AND -> (
+            let rec width k =
+              if k > 32 then None
+              else if U256.equal m (U256.ones_low k) then Some (`Low k)
+              else if U256.equal m (U256.ones_high k) then Some (`High k)
+              else width (k + 1)
+            in
+            match width 1 with
+            | Some (`Low 20) -> ty := Abi.Abity.Address
+            | Some (`Low k) when k < 32 -> ty := Abi.Abity.Uint (8 * k)
+            | Some (`High k) when k < 32 -> ty := Abi.Abity.Bytes_n k
+            | _ -> ())
+          | Opcode.PUSH (_, k)
+            when j + 1 <= n - 1 && arr.(j + 1).Disasm.op = Opcode.SIGNEXTEND
+            -> (
+            match U256.to_int k with
+            | Some k when k < 31 -> ty := Abi.Abity.Int (8 * (k + 1))
+            | _ -> ())
+          | Opcode.ISZERO
+            when j + 1 <= n - 1 && arr.(j + 1).Disasm.op = Opcode.ISZERO ->
+            ty := Abi.Abity.Bool
+          | _ -> ()
+        done;
+        if not (List.mem_assoc off !heads) then
+          heads := (off, !ty) :: !heads
+      | _ -> ())
+    | _ -> ()
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !heads
+
+(* A [CALLDATALOAD; PUSH 4; ADD; DUP1; CALLDATALOAD] run marks an
+   offset-field dereference (a dynamic parameter). *)
+let count_offset_chains window =
+  let rec go acc = function
+    | { Disasm.op = Opcode.CALLDATALOAD; _ }
+      :: { Disasm.op = Opcode.PUSH (_, four); _ }
+      :: { Disasm.op = Opcode.ADD; _ }
+      :: { Disasm.op = Opcode.DUP 1; _ }
+      :: ({ Disasm.op = Opcode.CALLDATALOAD; _ } :: _ as rest)
+      when U256.to_int four = Some 4 ->
+      go (acc + 1) rest
+    | _ :: rest -> go acc rest
+    | [] -> acc
+  in
+  go 0 window
+
+let eveem_heuristic ~bytecode ~selector =
+  match body_window bytecode selector with
+  | None -> Not_recovered
+  | Some window ->
+    let heads = scan_heads window in
+    if heads = [] && count_offset_chains window = 0 then Not_recovered
+    else
+      (* Eveem's rules see only masked head loads: every dynamic or
+         array parameter comes out as the word type of its head slot *)
+      Recovered (List.map snd heads)
+
+let gigahorse_heuristic ~bytecode ~selector =
+  let h = Hashtbl.hash (Hex.encode selector ^ "gh") in
+  if h mod 1000 < 34 then Aborted
+  else
+    match body_window bytecode selector with
+    | None -> Not_recovered
+    | Some window ->
+      let heads = scan_heads window in
+      let chains = count_offset_chains window in
+      (* dynamic parameters are recognised as untyped uint256[] and
+         attached to the head slots without mask evidence *)
+      let dynamic_budget = ref chains in
+      let tys =
+        List.map
+          (fun (_, ty) ->
+            if ty = Abi.Abity.Uint 256 && !dynamic_budget > 0 then begin
+              decr dynamic_budget;
+              Abi.Abity.Darray (Abi.Abity.Uint 256)
+            end
+            else ty)
+          heads
+      in
+      (* documented error modes: merge two consecutive parameters into
+         one of a nonexistent width, or misreport a width *)
+      let tys =
+        match tys with
+        | a :: b :: rest when h mod 100 < 11 ->
+          let width ty =
+            match ty with
+            | Abi.Abity.Uint m -> m
+            | Abi.Abity.Int m -> m
+            | Abi.Abity.Address -> 160
+            | _ -> 256
+          in
+          Abi.Abity.Uint (width a + width b) :: rest
+        | a :: rest when h mod 100 >= 11 && h mod 100 < 17 ->
+          ignore a;
+          Abi.Abity.Uint 2304 :: rest
+        | tys -> tys
+      in
+      if tys = [] then Not_recovered else Recovered tys
+
+let eveem db =
+  let run ~bytecode ~selector =
+    match Efsd.lookup db selector with
+    | Some fsig -> Recovered fsig.Abi.Funsig.params
+    | None -> eveem_heuristic ~bytecode ~selector
+  in
+  { name = "Eveem"; run }
+
+let gigahorse db =
+  let run ~bytecode ~selector =
+    let h = Hashtbl.hash (Hex.encode selector ^ "gh") in
+    if h mod 1000 < 34 then Aborted
+    else
+      match Efsd.lookup db selector with
+      | Some fsig when h mod 100 >= 5 -> Recovered fsig.Abi.Funsig.params
+      | _ -> gigahorse_heuristic ~bytecode ~selector
+  in
+  { name = "Gigahorse"; run }

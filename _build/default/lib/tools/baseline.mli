@@ -1,0 +1,33 @@
+(** Behavioural models of the five competitor tools of §5.6.
+
+    OSD, EBD and JEB are database-lookup tools over (differently
+    incomplete) copies of EFSD. Eveem adds simple mask-window heuristics
+    when the database misses. Gigahorse combines a database with its own
+    pattern analysis and exhibits the error modes the paper documents:
+    occasional aborts, merged consecutive parameters reported with
+    nonexistent widths, and missed array structure. All heuristic paths
+    read only the bytecode — never the ground truth. *)
+
+type outcome =
+  | Recovered of Abi.Abity.t list
+  | Not_recovered
+  | Aborted
+
+type t = {
+  name : string;
+  run : bytecode:string -> selector:string -> outcome;
+}
+
+val osd : Efsd.t -> t
+val ebd : Efsd.t -> t
+val jeb : Efsd.t -> t
+val eveem : Efsd.t -> t
+val gigahorse : Efsd.t -> t
+
+val eveem_heuristic : bytecode:string -> selector:string -> outcome
+(** The rule-based fallback alone (used on dataset 2, where no
+    synthesized signature is in any database). *)
+
+val gigahorse_heuristic : bytecode:string -> selector:string -> outcome
+
+val outcome_matches : outcome -> Abi.Abity.t list -> bool

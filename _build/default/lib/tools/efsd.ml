@@ -1,0 +1,13 @@
+type t = (string, Abi.Funsig.t) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+let add t fsig = Hashtbl.replace t (Abi.Funsig.selector fsig) fsig
+
+let populate t ~coverage ~seed sigs =
+  let rng = Random.State.make [| seed; 0xef5d |] in
+  List.iter
+    (fun fsig -> if Random.State.float rng 1.0 < coverage then add t fsig)
+    sigs
+
+let lookup t selector = Hashtbl.find_opt t selector
+let size t = Hashtbl.length t

@@ -1,0 +1,19 @@
+(** A model of the Ethereum Function Signature Database (EFSD) that
+    OSD, EBD, JEB and Eveem consult. The paper's finding is that such
+    databases are incomplete — more than 49 % of open-source function
+    signatures are missing — so the database is populated with a
+    configurable fraction of the corpus. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Abi.Funsig.t -> unit
+
+val populate :
+  t -> coverage:float -> seed:int -> Abi.Funsig.t list -> unit
+(** Deterministically add ≈[coverage] of the given signatures. *)
+
+val lookup : t -> string -> Abi.Funsig.t option
+(** Lookup by 4-byte function id. *)
+
+val size : t -> int

@@ -1,0 +1,151 @@
+open Evm
+
+type stmt = { pc : int; text : string; reads_calldata : bool }
+type lifted_fn = { selector_hex : string; entry_pc : int; stmts : stmt list }
+
+(* Lift one basic block with an abstract stack of register names;
+   values entering the block are named by their stack depth. This is
+   the classic per-block value-numbering lifter: enough fidelity for
+   the readability metrics of §6.3. *)
+let lift_block (block : Cfg.block) ~fresh =
+  let stack = ref [] in
+  let stmts = ref [] in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+      stack := rest;
+      v
+    | [] ->
+      let v = fresh "in" in
+      v
+  in
+  let push v = stack := v :: !stack in
+  let emit pc ?(cd = false) text =
+    stmts := { pc; text; reads_calldata = cd } :: !stmts
+  in
+  List.iter
+    (fun { Disasm.offset = pc; op } ->
+      match op with
+      | Opcode.PUSH (_, v) -> push ("0x" ^ U256.to_hex v)
+      | Opcode.DUP n -> (
+        match List.nth_opt !stack (n - 1) with
+        | Some v -> push v
+        | None -> push (fresh "in"))
+      | Opcode.SWAP n ->
+        let arr = Array.of_list !stack in
+        if Array.length arr > n then begin
+          let tmp = arr.(0) in
+          arr.(0) <- arr.(n);
+          arr.(n) <- tmp;
+          stack := Array.to_list arr
+        end
+      | Opcode.POP -> ignore (pop ())
+      | Opcode.JUMPDEST -> ()
+      | Opcode.CALLDATALOAD ->
+        let loc = pop () in
+        let r = fresh "v" in
+        emit pc ~cd:true (Printf.sprintf "%s = calldata[%s]" r loc);
+        push r
+      | Opcode.CALLDATACOPY ->
+        let dst = pop () in
+        let src = pop () in
+        let len = pop () in
+        emit pc ~cd:true
+          (Printf.sprintf "memcpy(mem[%s], calldata[%s], %s)" dst src len)
+      | Opcode.MLOAD ->
+        let loc = pop () in
+        let r = fresh "v" in
+        emit pc (Printf.sprintf "%s = mem[%s]" r loc);
+        push r
+      | Opcode.MSTORE ->
+        let loc = pop () in
+        let v = pop () in
+        emit pc (Printf.sprintf "mem[%s] = %s" loc v)
+      | Opcode.SLOAD ->
+        let k = pop () in
+        let r = fresh "v" in
+        emit pc (Printf.sprintf "%s = storage[%s]" r k);
+        push r
+      | Opcode.SSTORE ->
+        let k = pop () in
+        let v = pop () in
+        emit pc (Printf.sprintf "storage[%s] = %s" k v)
+      | Opcode.JUMP ->
+        let t = pop () in
+        emit pc (Printf.sprintf "goto %s" t)
+      | Opcode.JUMPI ->
+        let t = pop () in
+        let c = pop () in
+        emit pc (Printf.sprintf "if %s goto %s" c t)
+      | Opcode.STOP -> emit pc "stop"
+      | Opcode.RETURN ->
+        let o = pop () in
+        let l = pop () in
+        emit pc (Printf.sprintf "return mem[%s..+%s]" o l)
+      | Opcode.REVERT ->
+        let o = pop () in
+        let l = pop () in
+        emit pc (Printf.sprintf "revert mem[%s..+%s]" o l)
+      | Opcode.INVALID -> emit pc "invalid"
+      | op -> (
+        let consumed, produced = Opcode.stack_arity op in
+        let args = List.init consumed (fun _ -> pop ()) in
+        if produced = 0 then
+          emit pc
+            (Printf.sprintf "%s(%s)" (Opcode.mnemonic op)
+               (String.concat ", " args))
+        else begin
+          let r = fresh "v" in
+          emit pc
+            (Printf.sprintf "%s = %s(%s)" r (Opcode.mnemonic op)
+               (String.concat ", " args));
+          push r
+        end))
+    block.Cfg.instrs;
+  List.rev !stmts
+
+(* Body blocks of a function: reachable blocks from the entry, stopping
+   at blocks owned by other dispatch entries. *)
+let body_blocks cfg ~entry ~other_entries =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go start =
+    if not (Hashtbl.mem seen start) && not (List.mem start other_entries)
+    then begin
+      Hashtbl.replace seen start ();
+      match Cfg.block_at cfg start with
+      | None -> ()
+      | Some b ->
+        out := b :: !out;
+        List.iter (fun s -> go s.Cfg.start) (Cfg.successors cfg b)
+    end
+  in
+  go entry;
+  List.sort (fun a b -> compare a.Cfg.start b.Cfg.start) !out
+
+let lift bytecode =
+  let entries = Sigrec.Ids.extract bytecode in
+  let cfg = Cfg.build bytecode in
+  let all_entry_pcs = List.map (fun e -> e.Sigrec.Ids.entry_pc) entries in
+  List.map
+    (fun e ->
+      let counter = ref 0 in
+      let fresh prefix =
+        incr counter;
+        Printf.sprintf "%s%d" prefix !counter
+      in
+      let others =
+        List.filter (fun pc -> pc <> e.Sigrec.Ids.entry_pc) all_entry_pcs
+      in
+      let blocks =
+        body_blocks cfg ~entry:e.Sigrec.Ids.entry_pc ~other_entries:others
+      in
+      let stmts = List.concat_map (fun b -> lift_block b ~fresh) blocks in
+      {
+        selector_hex = Evm.Hex.encode e.Sigrec.Ids.selector;
+        entry_pc = e.Sigrec.Ids.entry_pc;
+        stmts;
+      })
+    entries
+
+let line_count fn = List.length fn.stmts

@@ -1,0 +1,21 @@
+(** A register-based lifter in the style of Erays (§6.3): EVM stack
+    code becomes three-address statements over virtual registers, one
+    function body at a time. Erays+ (in {!Eraysplus}) post-processes
+    this output with recovered signatures. *)
+
+type stmt = {
+  pc : int;
+  text : string;          (** e.g. ["v3 = ADD(v1, 0x4)"] *)
+  reads_calldata : bool;  (** the statement reads the call data *)
+}
+
+type lifted_fn = {
+  selector_hex : string;
+  entry_pc : int;
+  stmts : stmt list;
+}
+
+val lift : string -> lifted_fn list
+(** [lift bytecode] lifts every dispatched function. *)
+
+val line_count : lifted_fn -> int

@@ -1,0 +1,142 @@
+type enhanced = {
+  fn : Erays.lifted_fn;
+  header : string;
+  stmts : string list;
+  added_types : int;
+  added_arg_names : int;
+  added_num_names : int;
+  removed_lines : int;
+}
+
+(* Replace whole-identifier occurrences of [word] by [name]. *)
+let replace_word text word name =
+  let n = String.length text and m = String.length word in
+  let is_ident c =
+    match c with '0' .. '9' | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+  in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + m <= n
+      && String.sub text !i m = word
+      && (!i + m = n || not (is_ident text.[!i + m]))
+      && (!i = 0 || not (is_ident text.[!i - 1]))
+    then begin
+      Buffer.add_string buf name;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* Registers assigned from the call data become parameter names; every
+   statement that only exists to access parameters (offset arithmetic,
+   masks, copy loops) is folded away and replaced by one assignment per
+   parameter. *)
+let enhance_fn (recovered : Sigrec.Recover.recovered) (fn : Erays.lifted_fn) =
+  let params = recovered.Sigrec.Recover.params in
+  let header =
+    Printf.sprintf "function 0x%s(%s)"
+      recovered.Sigrec.Recover.selector_hex
+      (String.concat ", "
+         (List.mapi
+            (fun i ty ->
+              Printf.sprintf "%s arg%d" (Abi.Abity.to_string ty) (i + 1))
+            params))
+  in
+  (* name the registers produced by calldata reads, in head order *)
+  let arg_counter = ref 0 and num_counter = ref 0 in
+  let renames = Hashtbl.create 16 in
+  let folded = ref 0 in
+  let kept = ref [] in
+  let declarations =
+    List.mapi
+      (fun i ty ->
+        Printf.sprintf "%s arg%d = calldata.arg(%d)" (Abi.Abity.to_string ty)
+          (i + 1) (i + 1))
+      params
+  in
+  List.iter
+    (fun (s : Erays.stmt) ->
+      if s.Erays.reads_calldata then begin
+        (* parameter-access code: fold into the declaration block *)
+        incr folded;
+        (match String.index_opt s.Erays.text '=' with
+        | Some eq when String.length s.Erays.text > 4 ->
+          let reg = String.trim (String.sub s.Erays.text 0 eq) in
+          if String.length reg > 0 && reg.[0] = 'v' then begin
+            if
+              !arg_counter < List.length params
+              && not (Hashtbl.mem renames reg)
+            then begin
+              (* the first read of each parameter region names an arg;
+                 the num-field read of a dynamic parameter names its
+                 length *)
+              let is_num =
+                String.length s.Erays.text >= 2
+                && !arg_counter > 0
+                &&
+                let sub = Printf.sprintf "calldata[v" in
+                let rec find i =
+                  i + String.length sub <= String.length s.Erays.text
+                  && (String.sub s.Erays.text i (String.length sub) = sub
+                     || find (i + 1))
+                in
+                find 0
+              in
+              if is_num then begin
+                incr num_counter;
+                Hashtbl.replace renames reg
+                  (Printf.sprintf "num(arg%d)" !arg_counter)
+              end
+              else begin
+                incr arg_counter;
+                Hashtbl.replace renames reg
+                  (Printf.sprintf "arg%d" !arg_counter)
+              end
+            end
+          end
+        | _ -> ())
+      end
+      else begin
+        let text =
+          Hashtbl.fold
+            (fun reg name acc -> replace_word acc reg name)
+            renames s.Erays.text
+        in
+        kept := text :: !kept
+      end)
+    fn.Erays.stmts;
+  let stmts = declarations @ List.rev !kept in
+  {
+    fn;
+    header;
+    stmts;
+    added_types = List.length params;
+    added_arg_names = Hashtbl.length renames + List.length params;
+    added_num_names = !num_counter;
+    removed_lines = !folded;
+  }
+
+let enhance bytecode =
+  let recovered = Sigrec.Recover.recover bytecode in
+  let lifted = Erays.lift bytecode in
+  List.filter_map
+    (fun (fn : Erays.lifted_fn) ->
+      match
+        List.find_opt
+          (fun r -> r.Sigrec.Recover.selector_hex = fn.Erays.selector_hex)
+          recovered
+      with
+      | Some r -> Some (enhance_fn r fn)
+      | None -> None)
+    lifted
+
+let pp fmt e =
+  Format.fprintf fmt "%s {@." e.header;
+  List.iter (fun s -> Format.fprintf fmt "  %s@." s) e.stmts;
+  Format.fprintf fmt "}@."

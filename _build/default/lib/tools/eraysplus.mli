@@ -1,0 +1,24 @@
+(** Erays+ (§6.3): improve the readability of lifted code using the
+    function signatures recovered by SigRec.
+
+    The enhancement (i) heads each function with its recovered
+    signature, (ii) renames registers copied from parameters to
+    [argN]/[num(argN)], (iii) annotates them with the recovered types,
+    and (iv) collapses compiler-generated parameter-access code (offset
+    arithmetic, masks, copy loops) into single assignments. *)
+
+type enhanced = {
+  fn : Erays.lifted_fn;       (** the original lifting *)
+  header : string;            (** recovered signature line *)
+  stmts : string list;        (** rewritten statements *)
+  added_types : int;
+  added_arg_names : int;
+  added_num_names : int;
+  removed_lines : int;
+}
+
+val enhance : string -> enhanced list
+(** [enhance bytecode] runs SigRec and rewrites every lifted
+    function. *)
+
+val pp : Format.formatter -> enhanced -> unit

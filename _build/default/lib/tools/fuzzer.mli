@@ -1,0 +1,44 @@
+(** ContractFuzzer / ContractFuzzer− (§6.2).
+
+    Both fuzzers run the same contracts under the same execution budget
+    on the concrete interpreter and use the same oracle (an executed
+    INVALID trap). ContractFuzzer knows the function signature — it
+    generates well-typed, correctly encoded arguments and mutates them
+    with a dictionary of constants harvested from the bytecode's PUSH
+    immediates. ContractFuzzer− is the paper's ablation: it does not
+    know the signature and feeds random byte strings (with the same
+    dictionary available, but no knowledge of argument positions or
+    encoding). *)
+
+type mode =
+  | Signature_aware of Abi.Abity.t list
+  | Raw
+
+type campaign_result = {
+  bug_found : bool;
+  executions : int;          (** executions actually spent *)
+  first_hit : int option;    (** execution index of the first trap *)
+}
+
+val dictionary : string -> Evm.U256.t list
+(** Constants harvested from PUSH immediates (>= 4 bytes wide). *)
+
+val run_campaign :
+  ?budget:int ->
+  rng:Random.State.t ->
+  code:string ->
+  selector:string ->
+  mode ->
+  campaign_result
+(** [budget] defaults to 96 executions. *)
+
+val run_coverage_campaign :
+  ?budget:int ->
+  rng:Random.State.t ->
+  code:string ->
+  selector:string ->
+  Abi.Abity.t list ->
+  campaign_result
+(** Signature-aware fuzzing with execution-trace feedback, the way the
+    real ContractFuzzer iterates: inputs that reach new program counters
+    are kept as seeds and mutated one argument at a time. *)

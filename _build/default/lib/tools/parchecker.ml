@@ -1,0 +1,198 @@
+open Evm
+
+type verdict = Valid | Invalid of string
+
+let ( let* ) r f = match r with Valid -> f () | Invalid _ as e -> e
+
+let byte_at data off =
+  if off < String.length data then Char.code data.[off] else 0
+
+let word_at data off =
+  U256.of_bytes_be
+    (String.init 32 (fun i ->
+         if off + i < String.length data then data.[off + i] else '\000'))
+
+(* Validate a 32-byte word holding a static basic value. *)
+let check_basic ty data off =
+  let w = word_at data off in
+  match ty with
+  | Abi.Abity.Uint m ->
+    if U256.bits w <= m then Valid
+    else Invalid (Printf.sprintf "uint%d at %d: nonzero padding" m off)
+  | Abi.Abity.Int m ->
+    let trunc = U256.signextend ((m / 8) - 1) w in
+    if U256.equal trunc w then Valid
+    else Invalid (Printf.sprintf "int%d at %d: bad sign extension" m off)
+  | Abi.Abity.Address ->
+    if U256.bits w <= 160 then Valid
+    else Invalid (Printf.sprintf "address at %d: nonzero high bytes" off)
+  | Abi.Abity.Bool ->
+    if U256.is_zero w || U256.equal w U256.one then Valid
+    else Invalid (Printf.sprintf "bool at %d: not 0 or 1" off)
+  | Abi.Abity.Bytes_n m ->
+    if U256.is_zero (U256.logand w (U256.ones_low (32 - m))) then Valid
+    else Invalid (Printf.sprintf "bytes%d at %d: nonzero padding" m off)
+  | Abi.Abity.Decimal ->
+    let trunc = U256.signextend 20 w in
+    if U256.equal trunc w then Valid
+    else Invalid (Printf.sprintf "decimal at %d: out of range" off)
+  | _ -> Valid
+
+let rec check_value ty data off =
+  (* [off] is the absolute offset of the value's encoding start *)
+  match ty with
+  | Abi.Abity.Uint _ | Abi.Abity.Int _ | Abi.Abity.Address | Abi.Abity.Bool
+  | Abi.Abity.Bytes_n _ | Abi.Abity.Decimal ->
+    check_basic ty data off
+  | Abi.Abity.Bytes | Abi.Abity.String_t | Abi.Abity.Vbytes _
+  | Abi.Abity.Vstring _ -> (
+    match U256.to_int (word_at data off) with
+    | None -> Invalid (Printf.sprintf "length at %d: absurd" off)
+    | Some len ->
+      if off + 32 + len > String.length data then
+        Invalid (Printf.sprintf "bytes at %d: content truncated" off)
+      else begin
+        (* right padding to a 32-byte multiple must be zero *)
+        let padded = (len + 31) / 32 * 32 in
+        let ok = ref true in
+        for i = len to padded - 1 do
+          if byte_at data (off + 32 + i) <> 0 then ok := false
+        done;
+        (match ty with
+        | Abi.Abity.Vbytes max | Abi.Abity.Vstring max ->
+          if len > max then ok := false
+        | _ -> ());
+        if !ok then Valid
+        else Invalid (Printf.sprintf "bytes at %d: nonzero padding" off)
+      end)
+  | Abi.Abity.Darray elem -> (
+    match U256.to_int (word_at data off) with
+    | None -> Invalid (Printf.sprintf "num at %d: absurd" off)
+    | Some n ->
+      if n > 0x10000 then Invalid (Printf.sprintf "num at %d: absurd" off)
+      else check_seq (List.init n (fun _ -> elem)) data (off + 32))
+  | Abi.Abity.Sarray (elem, n) ->
+    check_seq (List.init n (fun _ -> elem)) data off
+  | Abi.Abity.Tuple tys -> check_seq tys data off
+
+(* Validate a head/tail sequence starting at absolute offset [base]. *)
+and check_seq tys data base =
+  let rec go tys head_off =
+    match tys with
+    | [] -> Valid
+    | ty :: rest ->
+      let* () =
+        if Abi.Abity.is_dynamic ty then begin
+          match U256.to_int (word_at data head_off) with
+          | None -> Invalid (Printf.sprintf "offset at %d: absurd" head_off)
+          | Some rel ->
+            if rel mod 32 <> 0 then
+              Invalid (Printf.sprintf "offset at %d: misaligned" head_off)
+            else if base + rel >= String.length data + 32 then
+              Invalid (Printf.sprintf "offset at %d: out of range" head_off)
+            else check_value ty data (base + rel)
+        end
+        else check_value ty data head_off
+      in
+      go rest (head_off + Abi.Abity.head_size ty)
+  in
+  go tys base
+
+let static_args_size params =
+  List.fold_left (fun acc ty -> acc + Abi.Abity.head_size ty) 0 params
+
+let check_args params args =
+  let need = static_args_size params in
+  if String.length args < need then
+    Invalid
+      (Printf.sprintf "call data too short: %d < %d" (String.length args)
+         need)
+  else check_seq params args 0
+
+let check_call params calldata =
+  if String.length calldata < 4 then Invalid "no function id"
+  else
+    check_args params (String.sub calldata 4 (String.length calldata - 4))
+
+(* The §6.1 short-address check: the arguments are shorter than the
+   static layout and the tail of the last 32-byte word is zero — EVM
+   would complement the short address from the next argument's high
+   bytes, shifting the value left. *)
+let is_short_address_attack params calldata =
+  let rec ends_addr_uint = function
+    | [ Abi.Abity.Address; Abi.Abity.Uint 256 ] -> true
+    | _ :: rest -> ends_addr_uint rest
+    | [] -> false
+  in
+  if not (ends_addr_uint params) then false
+  else begin
+    let args_len = String.length calldata - 4 in
+    let need = static_args_size params in
+    if args_len >= need || args_len <= need - 32 then false
+    else begin
+      (* the [missing] low-order address bytes would be complemented
+         from the following uint256's high bytes, which the attacker
+         supplies as zero; the value argument is then shifted left *)
+      let missing = need - args_len in
+      let last = word_at calldata (4 + args_len - 32) in
+      U256.is_zero
+        (U256.shift_right last (8 * (32 - Stdlib.min missing 31)))
+      |> fun tail_is_zero -> tail_is_zero || missing <= 3
+    end
+  end
+
+type tx_label = Ok_tx | Short_address | Bad_padding | Truncated
+
+type tx = { fsig : Abi.Funsig.t; calldata : string; label : tx_label }
+
+let gen_tx_stream ~seed ~n sigs =
+  let rng = Random.State.make [| seed; 0x9a5c |] in
+  let sigs = Array.of_list sigs in
+  let transferish =
+    Array.to_list sigs
+    |> List.filter (fun f ->
+           (not (List.exists Abi.Abity.is_dynamic f.Abi.Funsig.params))
+           &&
+           match List.rev f.Abi.Funsig.params with
+           | Abi.Abity.Uint 256 :: Abi.Abity.Address :: _ -> true
+           | _ -> false)
+  in
+  List.init n (fun _ ->
+      let fsig = sigs.(Random.State.int rng (Array.length sigs)) in
+      let encode f =
+        let args =
+          List.map (Abi.Valgen.value rng) f.Abi.Funsig.params
+        in
+        Abi.Encode.encode_call ~selector:(Abi.Funsig.selector f)
+          f.Abi.Funsig.params args
+      in
+      let roll = Random.State.int rng 1000 in
+      if roll < 989 then { fsig; calldata = encode fsig; label = Ok_tx }
+      else if roll < 993 && transferish <> [] then begin
+        (* short address attack: drop trailing zero bytes of the
+           address argument *)
+        let f = List.nth transferish (Random.State.int rng (List.length transferish)) in
+        let cd = Bytes.of_string (encode f) in
+        let dropped = 1 + Random.State.int rng 3 in
+        (* the attacker picks an address ending in zero bytes and omits
+           them from the call data *)
+        let addr_slot = String.length (Bytes.to_string cd) - 64 in
+        for i = 1 to dropped do
+          Bytes.set cd (addr_slot + 32 - i) '\000'
+        done;
+        let cd = Bytes.to_string cd in
+        let cd = String.sub cd 0 (String.length cd - dropped) in
+        { fsig = f; calldata = cd; label = Short_address }
+      end
+      else if roll < 997 then begin
+        (* nonzero padding byte in a static slot *)
+        let cd = Bytes.of_string (encode fsig) in
+        if Bytes.length cd > 10 then
+          Bytes.set cd (4 + Random.State.int rng 8) '\xff';
+        { fsig; calldata = Bytes.to_string cd; label = Bad_padding }
+      end
+      else begin
+        let cd = encode fsig in
+        let keep = Stdlib.max 4 (String.length cd - 32) in
+        { fsig; calldata = String.sub cd 0 keep; label = Truncated }
+      end)

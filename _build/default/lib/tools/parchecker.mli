@@ -1,0 +1,39 @@
+(** ParChecker (§6.1): validation of actual arguments against a
+    recovered function signature, including short-address-attack
+    detection.
+
+    The checker walks the call data according to the ABI layout of the
+    recovered parameter types and verifies every padding rule of
+    Table 6: left zero padding for unsigned integers and addresses, sign
+    extension for signed integers, 0/1 for bool, right zero padding for
+    bytesM/bytes/string, and well-formed offset/num fields for dynamic
+    data. *)
+
+type verdict = Valid | Invalid of string
+
+val check_args : Abi.Abity.t list -> string -> verdict
+(** [check_args params args] validates the argument block (the call
+    data after the 4-byte function id). *)
+
+val check_call : Abi.Abity.t list -> string -> verdict
+(** Validates full call data (id + arguments). *)
+
+val is_short_address_attack : Abi.Abity.t list -> string -> bool
+(** The §6.1 detector: the actual arguments are shorter than the static
+    layout requires and the missing low-order address bytes were
+    complemented from the following argument. Applies to signatures
+    ending in [..., address, uint256] like ERC-20 [transfer]. *)
+
+(** Synthetic transaction stream for the §6.1 experiment. *)
+type tx_label = Ok_tx | Short_address | Bad_padding | Truncated
+
+type tx = {
+  fsig : Abi.Funsig.t;
+  calldata : string;
+  label : tx_label;
+}
+
+val gen_tx_stream :
+  seed:int -> n:int -> Abi.Funsig.t list -> tx list
+(** Mostly well-formed invocations with ≈1 % malformed ones, including
+    short-address attacks against transfer-like signatures. *)

@@ -1,0 +1,1 @@
+test/test_abi.ml: Abi Abity Alcotest Evm List QCheck QCheck_alcotest Random String U256 Value

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Abi Alcotest List Printf Sigrec Solc

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Abi Alcotest Evm List Printf Random Sigrec Solc String

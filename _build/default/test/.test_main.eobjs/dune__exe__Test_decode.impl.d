@@ -1,0 +1,1 @@
+test/test_decode.ml: Abi Alcotest Evm List QCheck QCheck_alcotest Random String U256

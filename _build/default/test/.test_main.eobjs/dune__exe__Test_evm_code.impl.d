@@ -1,0 +1,1 @@
+test/test_evm_code.ml: Alcotest Asm Cfg Disasm Evm Hashtbl Interp List Opcode Option String U256

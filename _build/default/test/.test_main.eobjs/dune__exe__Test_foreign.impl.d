@@ -1,0 +1,1 @@
+test/test_foreign.ml: Alcotest Asm Evm Keccak List Opcode Printf Sigrec U256

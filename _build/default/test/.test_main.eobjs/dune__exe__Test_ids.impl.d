@@ -1,0 +1,1 @@
+test/test_ids.ml: Abi Alcotest Evm List Printf Sigrec Solc String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Asm Evm Int64 Interp Keccak List Machine Opcode QCheck QCheck_alcotest String U256

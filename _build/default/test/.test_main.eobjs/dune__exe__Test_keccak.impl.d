@@ -1,0 +1,1 @@
+test/test_keccak.ml: Alcotest Evm Gen Hex Keccak QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Evm List Machine String U256

@@ -1,0 +1,1 @@
+test/test_recover.ml: Abi Alcotest Evm List Printf QCheck QCheck_alcotest Random Sigrec Solc String

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Abi Alcotest Asm Bytes Char Evm List Opcode Printexc Printf Random Sigrec Solc String Symex Tools

@@ -1,0 +1,1 @@
+test/test_solc.ml: Abi Alcotest Disasm Evm Hex Interp List Opcode Printf Random Sigrec Solc String Tools U256

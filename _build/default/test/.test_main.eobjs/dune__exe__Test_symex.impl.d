@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Asm Evm Hashtbl List Opcode Symex U256

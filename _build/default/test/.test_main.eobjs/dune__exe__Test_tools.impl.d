@@ -1,0 +1,1 @@
+test/test_tools.ml: Abi Alcotest Bytes Evm Keccak List Printf QCheck QCheck_alcotest Random Sigrec Solc String Tools U256

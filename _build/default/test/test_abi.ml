@@ -1,0 +1,255 @@
+(* ABI types, canonical strings, signatures, and the call-data encoder
+   checked against the layouts the paper documents in §2. *)
+
+open Evm
+
+let ty = Alcotest.testable Abi.Abity.pp Abi.Abity.equal
+
+let test_to_string () =
+  let open Abi.Abity in
+  let cases =
+    [
+      (Uint 256, "uint256"); (Int 8, "int8"); (Address, "address");
+      (Bool, "bool"); (Bytes_n 4, "bytes4"); (Bytes, "bytes");
+      (String_t, "string");
+      (Sarray (Sarray (Uint 256, 3), 2), "uint256[3][2]");
+      (Darray (Sarray (Uint 8, 3)), "uint8[3][]");
+      (Darray (Darray (Uint 256)), "uint256[][]");
+      (Sarray (Darray (Uint 256), 2), "uint256[][2]");
+      (Tuple [ Darray (Uint 256); Uint 256 ], "(uint256[],uint256)");
+      (Decimal, "decimal"); (Vbytes 50, "bytes[50]"); (Vstring 20, "string[20]");
+    ]
+  in
+  List.iter
+    (fun (t, s) -> Alcotest.(check string) s s (to_string t))
+    cases
+
+let test_of_string () =
+  let open Abi.Abity in
+  List.iter
+    (fun (s, t) -> Alcotest.check ty s t (of_string s))
+    [
+      ("uint256", Uint 256); ("uint", Uint 256); ("int", Int 256);
+      ("byte", Bytes_n 1);
+      ("uint256[3][2]", Sarray (Sarray (Uint 256, 3), 2));
+      ("uint8[]", Darray (Uint 8));
+      ("bytes[50]", Vbytes 50);
+      ("(uint256[],uint256)", Tuple [ Darray (Uint 256); Uint 256 ]);
+      ("((uint8,bool),address)", Tuple [ Tuple [ Uint 8; Bool ]; Address ]);
+    ];
+  Alcotest.(check bool) "bad width rejected" true
+    (of_string_opt "uint7" = None);
+  Alcotest.(check bool) "uint0 rejected" true (of_string_opt "uint0" = None);
+  Alcotest.(check bool) "bytes33 rejected" true
+    (of_string_opt "bytes33" = None);
+  Alcotest.(check bool) "garbage rejected" true (of_string_opt "foo" = None)
+
+let test_is_dynamic_head_size () =
+  let open Abi.Abity in
+  Alcotest.(check bool) "bytes dynamic" true (is_dynamic Bytes);
+  Alcotest.(check bool) "static array of dynamic is dynamic" true
+    (is_dynamic (Sarray (Bytes, 2)));
+  Alcotest.(check bool) "static array static" false
+    (is_dynamic (Sarray (Uint 8, 4)));
+  Alcotest.(check int) "uint head" 32 (head_size (Uint 8));
+  Alcotest.(check int) "static array head" (6 * 32)
+    (head_size (Sarray (Sarray (Uint 256, 3), 2)));
+  Alcotest.(check int) "dynamic head is one offset slot" 32
+    (head_size (Darray (Uint 256)));
+  Alcotest.(check int) "static struct head flattens" 64
+    (head_size (Tuple [ Uint 256; Uint 256 ]))
+
+let test_valid_in () =
+  let open Abi.Abity in
+  Alcotest.(check bool) "solidity rejects decimal" false
+    (valid_in Solidity Decimal);
+  Alcotest.(check bool) "vyper rejects uint8" false (valid_in Vyper (Uint 8));
+  Alcotest.(check bool) "vyper accepts int128" true (valid_in Vyper (Int 128));
+  Alcotest.(check bool) "vyper accepts fixed list" true
+    (valid_in Vyper (Sarray (Decimal, 3)));
+  Alcotest.(check bool) "vyper rejects dynamic array" false
+    (valid_in Vyper (Darray (Uint 256)))
+
+let test_nested_detection () =
+  let open Abi.Abity in
+  Alcotest.(check bool) "uint[][] nested" true
+    (is_nested_array (Darray (Darray (Uint 256))));
+  Alcotest.(check bool) "uint[][2] nested" true
+    (is_nested_array (Sarray (Darray (Uint 256), 2)));
+  Alcotest.(check bool) "uint[3][] not nested" false
+    (is_nested_array (Darray (Sarray (Uint 256, 3))));
+  Alcotest.(check bool) "uint[3][2] not nested" false
+    (is_nested_array (Sarray (Sarray (Uint 256, 3), 2)))
+
+let test_funsig () =
+  let f =
+    Abi.Funsig.make "transfer" [ Abi.Abity.Address; Abi.Abity.Uint 256 ]
+  in
+  Alcotest.(check string) "canonical" "transfer(address,uint256)"
+    (Abi.Funsig.canonical f);
+  Alcotest.(check string) "selector" "a9059cbb" (Abi.Funsig.selector_hex f)
+
+(* -- encoder against the paper's layouts -------------------------------- *)
+
+let word n = U256.to_bytes_be (U256.of_int n)
+
+let test_encode_uint32 () =
+  (* Fig. 3: uint32 value 0x11223344 is left-padded to 32 bytes *)
+  let enc =
+    Abi.Encode.encode_args [ Abi.Abity.Uint 32 ]
+      [ Abi.Value.VUint (U256.of_hex "0x11223344") ]
+  in
+  Alcotest.(check int) "32 bytes" 32 (String.length enc);
+  Alcotest.(check string) "left padded"
+    (String.make 28 '\000' ^ "\x11\x22\x33\x44")
+    enc
+
+let test_encode_bytes4 () =
+  (* Fig. 4: bytes4 'abcd' is right-padded *)
+  let enc =
+    Abi.Encode.encode_args [ Abi.Abity.Bytes_n 4 ] [ Abi.Value.VFixed "abcd" ]
+  in
+  Alcotest.(check string) "right padded" ("abcd" ^ String.make 28 '\000') enc
+
+let test_encode_static_array () =
+  (* Fig. 5: uint256[3][2] is six consecutive words *)
+  let ty = Abi.Abity.Sarray (Abi.Abity.Sarray (Abi.Abity.Uint 256, 3), 2) in
+  let v k = Abi.Value.VUint (U256.of_int k) in
+  let arg =
+    Abi.Value.VArray
+      [ Abi.Value.VArray [ v 1; v 2; v 3 ]; Abi.Value.VArray [ v 4; v 5; v 6 ] ]
+  in
+  let enc = Abi.Encode.encode_args [ ty ] [ arg ] in
+  Alcotest.(check int) "192 bytes" 192 (String.length enc);
+  Alcotest.(check string) "items in order"
+    (String.concat "" (List.map word [ 1; 2; 3; 4; 5; 6 ]))
+    enc
+
+let test_encode_dynamic_array () =
+  (* Fig. 6: offset field, then num, then items *)
+  let ty = Abi.Abity.Darray (Abi.Abity.Uint 256) in
+  let arg =
+    Abi.Value.VArray
+      [ Abi.Value.VUint (U256.of_int 7); Abi.Value.VUint (U256.of_int 8) ]
+  in
+  let enc = Abi.Encode.encode_args [ ty ] [ arg ] in
+  Alcotest.(check string) "layout"
+    (word 32 ^ word 2 ^ word 7 ^ word 8)
+    enc
+
+let test_encode_nested_array () =
+  (* Fig. 7: uint[][] with argument [[1,2],[3]] *)
+  let ty = Abi.Abity.Darray (Abi.Abity.Darray (Abi.Abity.Uint 256)) in
+  let v k = Abi.Value.VUint (U256.of_int k) in
+  let arg =
+    Abi.Value.VArray
+      [ Abi.Value.VArray [ v 1; v 2 ]; Abi.Value.VArray [ v 3 ] ]
+  in
+  let enc = Abi.Encode.encode_args [ ty ] [ arg ] in
+  (* offset1=32 | num1=2 | off(a)=64 | off(b)=160 | num(a)=2 | 1 | 2 |
+     num(b)=1 | 3 *)
+  Alcotest.(check string) "fig 7 layout"
+    (word 32 ^ word 2 ^ word 64 ^ word 160 ^ word 2 ^ word 1 ^ word 2
+    ^ word 1 ^ word 3)
+    enc
+
+let test_encode_dynamic_struct () =
+  (* Fig. 9: (uint[],uint) with argument ([1,2], 3) *)
+  let ty =
+    Abi.Abity.Tuple [ Abi.Abity.Darray (Abi.Abity.Uint 256); Abi.Abity.Uint 256 ]
+  in
+  let v k = Abi.Value.VUint (U256.of_int k) in
+  let arg = Abi.Value.VTuple [ Abi.Value.VArray [ v 1; v 2 ]; v 3 ] in
+  let enc = Abi.Encode.encode_args [ ty ] [ arg ] in
+  (* offset1=32 | tail: [ off(field0)=64 | 3 | num=2 | 1 | 2 ] *)
+  Alcotest.(check string) "fig 9 layout"
+    (word 32 ^ word 64 ^ word 3 ^ word 2 ^ word 1 ^ word 2)
+    enc
+
+let test_encode_bytes_padding () =
+  let enc =
+    Abi.Encode.encode_args [ Abi.Abity.Bytes ] [ Abi.Value.VBytes "abcde" ]
+  in
+  (* offset | length 5 | 'abcde' + 27 zero bytes *)
+  Alcotest.(check string) "bytes layout"
+    (word 32 ^ word 5 ^ "abcde" ^ String.make 27 '\000')
+    enc
+
+let test_encode_rejects_ill_typed () =
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (Abi.Encode.encode_args [ Abi.Abity.Bool ] []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong value raises" true
+    (try
+       ignore
+         (Abi.Encode.encode_args [ Abi.Abity.Bool ] [ Abi.Value.VBytes "x" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_type_check () =
+  let open Abi in
+  Alcotest.(check bool) "uint8 range" false
+    (Value.type_check (Abity.Uint 8) (Value.VUint (U256.of_int 256)));
+  Alcotest.(check bool) "uint8 max ok" true
+    (Value.type_check (Abity.Uint 8) (Value.VUint (U256.of_int 255)));
+  Alcotest.(check bool) "int8 -128 ok" true
+    (Value.type_check (Abity.Int 8) (Value.VInt (U256.neg (U256.of_int 128))));
+  Alcotest.(check bool) "int8 -129 bad" false
+    (Value.type_check (Abity.Int 8) (Value.VInt (U256.neg (U256.of_int 129))));
+  Alcotest.(check bool) "static size enforced" false
+    (Value.type_check
+       (Abity.Sarray (Abity.Bool, 2))
+       (Value.VArray [ Value.VBool true ]));
+  Alcotest.(check bool) "vyper max length" false
+    (Value.type_check (Abity.Vbytes 3) (Value.VBytes "abcd"))
+
+(* -- properties ---------------------------------------------------------- *)
+
+let rng = Random.State.make [| 777 |]
+
+let arb_sol_type =
+  QCheck.make
+    ~print:Abi.Abity.to_string
+    (QCheck.Gen.map (fun () -> Abi.Valgen.sol_type ~abiv2:true rng) QCheck.Gen.unit)
+
+let prop_string_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"canonical string roundtrip" ~count:400
+       arb_sol_type (fun t ->
+         Abi.Abity.equal t (Abi.Abity.of_string (Abi.Abity.to_string t))))
+
+let prop_valgen_well_typed =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"valgen is well-typed" ~count:400 arb_sol_type
+       (fun t -> Abi.Value.type_check t (Abi.Valgen.value rng t)))
+
+let prop_encode_length =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"encoding is 32-byte aligned" ~count:300
+       arb_sol_type (fun t ->
+         let v = Abi.Valgen.value rng t in
+         String.length (Abi.Encode.encode_args [ t ] [ v ]) mod 32 = 0))
+
+let suite =
+  [
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "is_dynamic / head_size" `Quick test_is_dynamic_head_size;
+    Alcotest.test_case "valid_in" `Quick test_valid_in;
+    Alcotest.test_case "nested array detection" `Quick test_nested_detection;
+    Alcotest.test_case "funsig selectors" `Quick test_funsig;
+    Alcotest.test_case "encode uint32 (Fig 3)" `Quick test_encode_uint32;
+    Alcotest.test_case "encode bytes4 (Fig 4)" `Quick test_encode_bytes4;
+    Alcotest.test_case "encode static array (Fig 5)" `Quick test_encode_static_array;
+    Alcotest.test_case "encode dynamic array (Fig 6)" `Quick test_encode_dynamic_array;
+    Alcotest.test_case "encode nested array (Fig 7)" `Quick test_encode_nested_array;
+    Alcotest.test_case "encode dynamic struct (Fig 9)" `Quick test_encode_dynamic_struct;
+    Alcotest.test_case "encode bytes padding" `Quick test_encode_bytes_padding;
+    Alcotest.test_case "encode rejects ill-typed" `Quick test_encode_rejects_ill_typed;
+    Alcotest.test_case "value type_check" `Quick test_type_check;
+    prop_string_roundtrip;
+    prop_valgen_well_typed;
+    prop_encode_length;
+  ]

@@ -1,0 +1,145 @@
+(* Cross-contract evidence aggregation (paper §7): the evidence order,
+   pointwise joins, majority-arity voting, and the end-to-end gain. *)
+
+open Abi.Abity
+
+let ty = Alcotest.testable Abi.Abity.pp Abi.Abity.equal
+
+let test_specificity () =
+  Alcotest.(check bool) "uint8 beats uint256" true
+    (Sigrec.Aggregate.more_specific (Uint 8) (Uint 256));
+  Alcotest.(check bool) "bytes beats string" true
+    (Sigrec.Aggregate.more_specific Bytes String_t);
+  Alcotest.(check bool) "uint160 beats address" true
+    (Sigrec.Aggregate.more_specific (Uint 160) Address);
+  Alcotest.(check bool) "not reflexive" false
+    (Sigrec.Aggregate.more_specific Bool Bool);
+  Alcotest.(check bool) "unrelated types incomparable" false
+    (Sigrec.Aggregate.more_specific Bool (Bytes_n 4))
+
+let test_join_type () =
+  Alcotest.check ty "uint256 join int64" (Int 64)
+    (Sigrec.Aggregate.join_type (Uint 256) (Int 64));
+  Alcotest.check ty "string join bytes" Bytes
+    (Sigrec.Aggregate.join_type String_t Bytes);
+  Alcotest.check ty "address join uint160" (Uint 160)
+    (Sigrec.Aggregate.join_type Address (Uint 160));
+  Alcotest.check ty "arrays join pointwise"
+    (Darray (Uint 8))
+    (Sigrec.Aggregate.join_type (Darray (Uint 256)) (Darray (Uint 8)));
+  Alcotest.check ty "static arrays need equal size"
+    (Sarray (Uint 8, 3))
+    (Sigrec.Aggregate.join_type (Sarray (Uint 256, 3)) (Sarray (Uint 8, 3)));
+  Alcotest.check ty "tuples join fieldwise"
+    (Tuple [ Bytes; Uint 8 ])
+    (Sigrec.Aggregate.join_type
+       (Tuple [ String_t; Uint 256 ])
+       (Tuple [ Bytes; Uint 8 ]))
+
+let test_join_all_majority () =
+  (* a body that missed a parameter must be outvoted *)
+  (match
+     Sigrec.Aggregate.join_all
+       [ [ Uint 256; String_t ]; [ Uint 8; String_t ]; [ Uint 256 ] ]
+   with
+  | Some joined ->
+    Alcotest.(check (list ty)) "majority arity, joined types"
+      [ Uint 8; String_t ] joined
+  | None -> Alcotest.fail "expected a join");
+  Alcotest.(check bool) "empty input" true
+    (Sigrec.Aggregate.join_all [] = None)
+
+let test_end_to_end_gain () =
+  (* a bytes parameter: one body never touches bytes (string recovered),
+     another reads a byte (bytes recovered); the join gets it right *)
+  let fsig = Abi.Funsig.make "agg" [ Bytes ] in
+  let body usage = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig ~usage fsig) in
+  let blind =
+    body { Solc.Lang.default_usage with Solc.Lang.byte_access = false }
+  in
+  let seeing = body Solc.Lang.default_usage in
+  let rec_params code =
+    match Sigrec.Recover.recover code with
+    | [ r ] -> r.Sigrec.Recover.params
+    | _ -> []
+  in
+  Alcotest.(check (list ty)) "blind body says string" [ String_t ]
+    (rec_params blind);
+  Alcotest.(check (list ty)) "seeing body says bytes" [ Bytes ]
+    (rec_params seeing);
+  match Sigrec.Aggregate.join_all [ rec_params blind; rec_params seeing ] with
+  | Some joined -> Alcotest.(check (list ty)) "join says bytes" [ Bytes ] joined
+  | None -> Alcotest.fail "expected a join"
+
+let test_recover_many () =
+  let sigs =
+    [
+      Abi.Funsig.make "one" [ Uint 8 ];
+      Abi.Funsig.make "two" [ Address; Bytes ];
+    ]
+  in
+  let codes =
+    List.map
+      (fun fsig -> Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig))
+      sigs
+    (* plus a second contract implementing both functions *)
+    @ [ Solc.Compile.compile (Solc.Compile.contract_of_sigs sigs) ]
+  in
+  let merged = Sigrec.Aggregate.recover_many codes in
+  Alcotest.(check int) "two ids" 2 (List.length merged);
+  List.iter
+    (fun fsig ->
+      match List.assoc_opt (Abi.Funsig.selector fsig) merged with
+      | Some params ->
+        Alcotest.(check (list ty))
+          (Abi.Funsig.canonical fsig)
+          fsig.Abi.Funsig.params params
+      | None -> Alcotest.failf "missing %s" (Abi.Funsig.canonical fsig))
+    sigs
+
+let test_multibody_statistics () =
+  let groups = Solc.Corpus.multi_body ~seed:5 ~n:40 ~bodies:4 in
+  let matches truth tys =
+    List.length tys = List.length truth.Abi.Funsig.params
+    && List.for_all2 Abi.Abity.equal tys truth.Abi.Funsig.params
+  in
+  let single_ok = ref 0 and single_total = ref 0 and agg_ok = ref 0 in
+  List.iter
+    (fun (truth, codes) ->
+      let recoveries =
+        List.filter_map
+          (fun code ->
+            match
+              List.find_opt
+                (fun r ->
+                  r.Sigrec.Recover.selector = Abi.Funsig.selector truth)
+                (Sigrec.Recover.recover code)
+            with
+            | Some r -> Some r.Sigrec.Recover.params
+            | None -> None)
+          codes
+      in
+      List.iter
+        (fun tys ->
+          incr single_total;
+          if matches truth tys then incr single_ok)
+        recoveries;
+      match Sigrec.Aggregate.join_all recoveries with
+      | Some j when matches truth j -> incr agg_ok
+      | _ -> ())
+    groups;
+  let single = float_of_int !single_ok /. float_of_int !single_total in
+  let agg = float_of_int !agg_ok /. 40.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregation helps (%.2f -> %.2f)" single agg)
+    true (agg > single)
+
+let suite =
+  [
+    Alcotest.test_case "specificity order" `Quick test_specificity;
+    Alcotest.test_case "join_type" `Quick test_join_type;
+    Alcotest.test_case "join_all majority" `Quick test_join_all_majority;
+    Alcotest.test_case "end-to-end bytes/string" `Quick test_end_to_end_gain;
+    Alcotest.test_case "recover_many" `Quick test_recover_many;
+    Alcotest.test_case "multi-body statistics" `Slow test_multibody_statistics;
+  ]

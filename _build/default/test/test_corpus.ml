@@ -1,0 +1,146 @@
+(* The corpus generator: determinism, executability of every generated
+   contract, and the calibrated accuracy bands of DESIGN.md. *)
+
+let accuracy samples =
+  let correct = ref 0 and unexpected = ref 0 in
+  List.iter
+    (fun s ->
+      let fsig = Solc.Corpus.truth s in
+      let ok =
+        match Sigrec.Recover.recover s.Solc.Corpus.code with
+        | [ r ] ->
+          r.Sigrec.Recover.selector = Abi.Funsig.selector fsig
+          && List.length r.Sigrec.Recover.params
+             = List.length fsig.Abi.Funsig.params
+          && List.for_all2 Abi.Abity.equal r.Sigrec.Recover.params
+               fsig.Abi.Funsig.params
+        | _ -> false
+      in
+      if ok then incr correct
+      else if not (Solc.Corpus.expected_failure s) then incr unexpected)
+    samples;
+  ( 100.0 *. float_of_int !correct /. float_of_int (List.length samples),
+    !unexpected )
+
+let test_determinism () =
+  let a = Solc.Corpus.dataset3 ~seed:42 ~n:30 in
+  let b = Solc.Corpus.dataset3 ~seed:42 ~n:30 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "same bytecode" (Evm.Hex.encode x.Solc.Corpus.code)
+        (Evm.Hex.encode y.Solc.Corpus.code))
+    a b;
+  let c = Solc.Corpus.dataset3 ~seed:43 ~n:30 in
+  Alcotest.(check bool) "different seed differs" true
+    (List.exists2
+       (fun x y -> x.Solc.Corpus.code <> y.Solc.Corpus.code)
+       a c)
+
+let test_contracts_execute () =
+  (* every generated contract must run to completion on well-formed
+     input (or revert through a bound check, never crash the VM) *)
+  let rng = Random.State.make [| 5 |] in
+  List.iter
+    (fun s ->
+      let fsig = Solc.Corpus.truth s in
+      let args = List.map (Abi.Valgen.value rng) fsig.Abi.Funsig.params in
+      let calldata =
+        Abi.Encode.encode_call
+          ~selector:(Abi.Funsig.selector fsig)
+          fsig.Abi.Funsig.params args
+      in
+      let res = Evm.Interp.execute ~code:s.Solc.Corpus.code ~calldata () in
+      match res.Evm.Interp.outcome with
+      | Evm.Interp.Stopped | Evm.Interp.Returned _ | Evm.Interp.Reverted _ ->
+        ()
+      | o ->
+        Alcotest.failf "%s: unexpected outcome %a" (Abi.Funsig.canonical fsig)
+          Evm.Interp.pp_outcome o)
+    (Solc.Corpus.dataset3 ~seed:9 ~n:150)
+
+let test_wrong_selector_falls_through () =
+  List.iter
+    (fun s ->
+      let res =
+        Evm.Interp.execute ~code:s.Solc.Corpus.code
+          ~calldata:("\xde\xad\xbe\xef" ^ String.make 96 '\000')
+          ()
+      in
+      Alcotest.(check bool) "fallback stops" true
+        (res.Evm.Interp.outcome = Evm.Interp.Stopped))
+    (Solc.Corpus.dataset3 ~seed:9 ~n:30)
+
+let test_accuracy_bands () =
+  let acc3, un3 = accuracy (Solc.Corpus.dataset3 ~seed:7 ~n:400) in
+  Alcotest.(check int) "ds3 no unexpected failures" 0 un3;
+  Alcotest.(check bool) "ds3 accuracy in band" true (acc3 >= 97.0);
+  let acc2, un2 = accuracy (Solc.Corpus.dataset2 ~seed:7 ~n:200) in
+  Alcotest.(check int) "ds2 no unexpected failures" 0 un2;
+  Alcotest.(check bool) "ds2 accuracy ~ 100" true (acc2 >= 99.0);
+  let accv, unv = accuracy (Solc.Corpus.vyper_set ~seed:7 ~n:200) in
+  Alcotest.(check int) "vyper no unexpected failures" 0 unv;
+  Alcotest.(check bool) "vyper accuracy in band" true (accv >= 90.0);
+  let acca, una = accuracy (Solc.Corpus.abiv2_set ~seed:7 ~n:150) in
+  Alcotest.(check int) "abiv2 no unexpected failures" 0 una;
+  Alcotest.(check bool) "abiv2 accuracy in band (paper: 61.3%)" true
+    (acca >= 40.0 && acca <= 80.0)
+
+let test_planted_failures_fail () =
+  (* every sample flagged expected_failure must actually fail — the
+     flag must not overshoot *)
+  let samples = Solc.Corpus.dataset3 ~seed:11 ~n:600 in
+  let planted = List.filter Solc.Corpus.expected_failure samples in
+  Alcotest.(check bool) "some failures planted" true (List.length planted > 0);
+  List.iter
+    (fun s ->
+      let fsig = Solc.Corpus.truth s in
+      let ok =
+        match Sigrec.Recover.recover s.Solc.Corpus.code with
+        | [ r ] ->
+          List.length r.Sigrec.Recover.params
+          = List.length fsig.Abi.Funsig.params
+          && List.for_all2 Abi.Abity.equal r.Sigrec.Recover.params
+               fsig.Abi.Funsig.params
+        | _ -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is genuinely unrecoverable"
+           (Abi.Funsig.canonical fsig))
+        false ok)
+    planted
+
+let test_fuzz_set_shape () =
+  let samples = Solc.Corpus.fuzz_set ~seed:3 ~n:50 in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "bug planted" true (s.Solc.Corpus.fn.Solc.Lang.bug <> None);
+      match s.Solc.Corpus.fn.Solc.Lang.fsig.Abi.Funsig.params with
+      | first :: _ ->
+        Alcotest.(check bool) "first param basic non-bool" true
+          (Abi.Abity.is_basic first && first <> Abi.Abity.Bool)
+      | [] -> Alcotest.fail "fuzz functions have parameters")
+    samples
+
+let test_versioned_coverage () =
+  let groups = Solc.Corpus.versioned ~seed:3 ~per_version:5 in
+  Alcotest.(check int) "all versions present"
+    (List.length Solc.Version.solidity_versions
+    + List.length Solc.Version.vyper_versions)
+    (List.length groups);
+  List.iter
+    (fun (v, samples) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s has samples" v.Solc.Version.name)
+        5 (List.length samples))
+    groups
+
+let suite =
+  [
+    Alcotest.test_case "deterministic generation" `Quick test_determinism;
+    Alcotest.test_case "contracts execute" `Slow test_contracts_execute;
+    Alcotest.test_case "wrong selector fallback" `Quick test_wrong_selector_falls_through;
+    Alcotest.test_case "accuracy bands" `Slow test_accuracy_bands;
+    Alcotest.test_case "planted failures fail" `Slow test_planted_failures_fail;
+    Alcotest.test_case "fuzz set shape" `Quick test_fuzz_set_shape;
+    Alcotest.test_case "versioned coverage" `Quick test_versioned_coverage;
+  ]

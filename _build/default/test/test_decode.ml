@@ -1,0 +1,105 @@
+(* The ABI decoder: hand-checked layouts, error reporting, and the
+   decode-after-encode identity over random typed values. *)
+
+open Evm
+
+let rec value_equal a b =
+  match (a, b) with
+  | Abi.Value.VUint x, Abi.Value.VUint y
+  | Abi.Value.VInt x, Abi.Value.VInt y
+  | Abi.Value.VAddr x, Abi.Value.VAddr y
+  | Abi.Value.VDecimal x, Abi.Value.VDecimal y ->
+    U256.equal x y
+  | Abi.Value.VBool x, Abi.Value.VBool y -> x = y
+  | Abi.Value.VFixed x, Abi.Value.VFixed y
+  | Abi.Value.VBytes x, Abi.Value.VBytes y
+  | Abi.Value.VString x, Abi.Value.VString y ->
+    String.equal x y
+  | Abi.Value.VArray xs, Abi.Value.VArray ys
+  | Abi.Value.VTuple xs, Abi.Value.VTuple ys ->
+    List.length xs = List.length ys && List.for_all2 value_equal xs ys
+  | _ -> false
+
+let test_decode_simple () =
+  let tys = [ Abi.Abity.Address; Abi.Abity.Uint 256 ] in
+  let vs =
+    [ Abi.Value.VAddr (U256.of_hex "0x1234"); Abi.Value.VUint (U256.of_int 42) ]
+  in
+  let cd = Abi.Encode.encode_call ~selector:"\xaa\xbb\xcc\xdd" tys vs in
+  match Abi.Decode.decode_call tys cd with
+  | Ok (sel, got) ->
+    Alcotest.(check string) "selector" "\xaa\xbb\xcc\xdd" sel;
+    Alcotest.(check bool) "values" true (List.for_all2 value_equal vs got)
+  | Error e -> Alcotest.fail e
+
+let test_decode_truncated () =
+  let tys = [ Abi.Abity.Bytes ] in
+  let cd =
+    "\x00\x00\x00\x00"
+    ^ Abi.Encode.encode_args tys [ Abi.Value.VBytes "hello world" ]
+  in
+  let cut = String.sub cd 0 (String.length cd - 40) in
+  match Abi.Decode.decode_call tys cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated bytes decoded"
+
+let test_decode_absurd_offset () =
+  let tys = [ Abi.Abity.Darray (Abi.Abity.Uint 256) ] in
+  let cd = "\x00\x00\x00\x00" ^ U256.to_bytes_be U256.max_int in
+  match Abi.Decode.decode_call tys cd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "absurd offset decoded"
+
+let test_decode_masks_dirty_padding () =
+  (* decoding is EVM-lenient: dirty padding is masked off *)
+  let w = U256.logor (U256.of_int 0x7f) (U256.shift_left U256.one 200) in
+  let cd = "\x00\x00\x00\x00" ^ U256.to_bytes_be w in
+  match Abi.Decode.decode_call [ Abi.Abity.Uint 8 ] cd with
+  | Ok (_, [ Abi.Value.VUint v ]) ->
+    Alcotest.(check bool) "masked to uint8" true (U256.equal v (U256.of_int 0x7f))
+  | _ -> Alcotest.fail "expected a masked uint8"
+
+let prop_roundtrip =
+  let rng = Random.State.make [| 31415 |] in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"decode after encode is the identity" ~count:400
+       (QCheck.make
+          ~print:(fun tys ->
+            String.concat "," (List.map Abi.Abity.to_string tys))
+          (QCheck.Gen.map
+             (fun n ->
+               List.init (1 + (n mod 4)) (fun _ ->
+                   Abi.Valgen.sol_type ~abiv2:true rng))
+             QCheck.Gen.small_nat))
+       (fun tys ->
+         let vs = List.map (Abi.Valgen.value rng) tys in
+         let cd = Abi.Encode.encode_call ~selector:"\x01\x02\x03\x04" tys vs in
+         match Abi.Decode.decode_call tys cd with
+         | Ok (_, got) -> List.for_all2 value_equal vs got
+         | Error _ -> false))
+
+let prop_roundtrip_vyper =
+  let rng = Random.State.make [| 2719 |] in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vyper decode roundtrip" ~count:200
+       (QCheck.make
+          ~print:Abi.Abity.to_string
+          (QCheck.Gen.map (fun () -> Abi.Valgen.vy_type rng) QCheck.Gen.unit))
+       (fun ty ->
+         let v = Abi.Valgen.value rng ty in
+         let cd =
+           "\x0a\x0b\x0c\x0d" ^ Abi.Encode.encode_args [ ty ] [ v ]
+         in
+         match Abi.Decode.decode_call [ ty ] cd with
+         | Ok (_, [ got ]) -> value_equal v got
+         | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "decode simple" `Quick test_decode_simple;
+    Alcotest.test_case "decode truncated" `Quick test_decode_truncated;
+    Alcotest.test_case "decode absurd offset" `Quick test_decode_absurd_offset;
+    Alcotest.test_case "decode masks dirty padding" `Quick test_decode_masks_dirty_padding;
+    prop_roundtrip;
+    prop_roundtrip_vyper;
+  ]

@@ -1,0 +1,244 @@
+(* Opcode encoding, assembler/disassembler roundtrips and CFG recovery
+   (including the control-dependence analysis the rules lean on). *)
+
+open Evm
+
+let all_simple_opcodes =
+  Opcode.
+    [
+      STOP; ADD; MUL; SUB; DIV; SDIV; MOD; SMOD; ADDMOD; MULMOD; EXP;
+      SIGNEXTEND; LT; GT; SLT; SGT; EQ; ISZERO; AND; OR; XOR; NOT; BYTE;
+      SHL; SHR; SAR; SHA3; ADDRESS; BALANCE; ORIGIN; CALLER; CALLVALUE;
+      CALLDATALOAD; CALLDATASIZE; CALLDATACOPY; CODESIZE; CODECOPY;
+      GASPRICE; EXTCODESIZE; EXTCODECOPY; RETURNDATASIZE; RETURNDATACOPY;
+      EXTCODEHASH; BLOCKHASH; COINBASE; TIMESTAMP; NUMBER; PREVRANDAO;
+      GASLIMIT; CHAINID; SELFBALANCE; BASEFEE; POP; MLOAD; MSTORE;
+      MSTORE8; SLOAD; SSTORE; JUMP; JUMPI; PC; MSIZE; GAS; JUMPDEST;
+      CREATE; CALL; CALLCODE; RETURN; DELEGATECALL; CREATE2; STATICCALL;
+      REVERT; INVALID; SELFDESTRUCT;
+    ]
+
+let test_opcode_roundtrip () =
+  let ops =
+    all_simple_opcodes
+    @ List.init 16 (fun i -> Opcode.DUP (i + 1))
+    @ List.init 16 (fun i -> Opcode.SWAP (i + 1))
+    @ List.init 5 (fun i -> Opcode.LOG i)
+    @ List.init 32 (fun i -> Opcode.PUSH (i + 1, U256.of_int i))
+  in
+  let code = Asm.assemble_ops ops in
+  let back = List.map (fun i -> i.Disasm.op) (Disasm.disassemble code) in
+  Alcotest.(check int) "same length" (List.length ops) (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same op" (Opcode.mnemonic a) (Opcode.mnemonic b))
+    ops back
+
+let test_push_immediates () =
+  let v = U256.of_hex "0xdeadbeefcafe" in
+  let code = Asm.assemble_ops [ Opcode.push_u256 v ] in
+  Alcotest.(check int) "PUSH6 size" 7 (String.length code);
+  match Disasm.disassemble code with
+  | [ { Disasm.op = Opcode.PUSH (6, w); _ } ] ->
+    Alcotest.(check bool) "value" true (U256.equal v w)
+  | _ -> Alcotest.fail "expected one PUSH6"
+
+let test_truncated_push () =
+  (* a PUSH whose immediate runs past the end of code reads zeros *)
+  let code = "\x62\xaa" (* PUSH3 with only one immediate byte *) in
+  match Disasm.disassemble code with
+  | [ { Disasm.op = Opcode.PUSH (3, v); _ } ] ->
+    Alcotest.(check bool) "zero padded" true
+      (U256.equal v (U256.of_hex "0xaa0000"))
+  | _ -> Alcotest.fail "expected truncated PUSH3"
+
+let test_labels () =
+  let open Asm in
+  let code =
+    assemble
+      [
+        Op (Opcode.push 1);
+        Push_label "target";
+        Op Opcode.JUMPI;
+        Op Opcode.STOP;
+        Label "target";
+        Op (Opcode.push 42);
+        Op Opcode.STOP;
+      ]
+  in
+  let res = Interp.execute ~code ~calldata:"" () in
+  Alcotest.(check bool) "jumps and stops" true
+    (res.Interp.outcome = Interp.Stopped)
+
+let test_duplicate_label () =
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Asm.assemble: duplicate label x") (fun () ->
+      ignore (Asm.assemble [ Asm.Label "x"; Asm.Label "x" ]))
+
+let test_undefined_label () =
+  Alcotest.check_raises "undefined label"
+    (Invalid_argument "Asm.assemble: undefined label nope") (fun () ->
+      ignore (Asm.assemble [ Asm.Push_label "nope" ]))
+
+(* -- CFG ----------------------------------------------------------------- *)
+
+(* if (x) { A } else { B }; C — the classic diamond *)
+let diamond =
+  Asm.
+    [
+      Op (Opcode.push 1);
+      Push_label "then";
+      Op Opcode.JUMPI;
+      (* else *)
+      Op (Opcode.push 0);
+      Op Opcode.POP;
+      Push_label "join";
+      Op Opcode.JUMP;
+      Label "then";
+      Op (Opcode.push 1);
+      Op Opcode.POP;
+      Label "join";
+      Op Opcode.STOP;
+    ]
+
+let test_cfg_blocks () =
+  let cfg = Cfg.build (Asm.assemble diamond) in
+  Alcotest.(check int) "four blocks" 4 (Cfg.block_count cfg);
+  match Cfg.entry cfg with
+  | Some b -> (
+    match b.Cfg.succ with
+    | [ Cfg.Branch _ ] -> ()
+    | _ -> Alcotest.fail "entry should branch")
+  | None -> Alcotest.fail "no entry"
+
+let test_cfg_diamond_control_deps () =
+  let code = Asm.assemble diamond in
+  let cfg = Cfg.build code in
+  let deps = Cfg.control_deps cfg in
+  (* then and else are control dependent on the entry branch; the join
+     is not *)
+  let entry = (Option.get (Cfg.entry cfg)).Cfg.start in
+  let blocks = Cfg.blocks cfg in
+  let join = List.nth blocks (List.length blocks - 1) in
+  Alcotest.(check bool) "join not dependent" true
+    (match Hashtbl.find_opt deps join.Cfg.start with
+    | None -> true
+    | Some parents -> not (List.mem entry parents));
+  let then_or_else = List.nth blocks 1 in
+  Alcotest.(check bool) "arm depends on branch" true
+    (match Hashtbl.find_opt deps then_or_else.Cfg.start with
+    | Some parents -> List.mem entry parents
+    | None -> false)
+
+(* while-style loop: the body must be control dependent on the guard *)
+let loop_prog =
+  Asm.
+    [
+      Op (Opcode.push 0); Op (Opcode.push 0); Op Opcode.MSTORE;
+      Label "head";
+      Op (Opcode.push 3);
+      Op (Opcode.push 0); Op Opcode.MLOAD;
+      Op Opcode.LT;
+      Op Opcode.ISZERO;
+      Push_label "exit";
+      Op Opcode.JUMPI;
+      (* body *)
+      Op (Opcode.push 0); Op Opcode.MLOAD;
+      Op (Opcode.push 1); Op Opcode.ADD;
+      Op (Opcode.push 0); Op Opcode.MSTORE;
+      Push_label "head";
+      Op Opcode.JUMP;
+      Label "exit";
+      Op Opcode.STOP;
+    ]
+
+let test_cfg_loop_control_deps () =
+  let code = Asm.assemble loop_prog in
+  let cfg = Cfg.build code in
+  let deps = Cfg.control_deps cfg in
+  (* find the guard block (ends in JUMPI) and the body block after it *)
+  let guard =
+    List.find
+      (fun b -> b.Cfg.terminator = Some Opcode.JUMPI)
+      (Cfg.blocks cfg)
+  in
+  let body =
+    List.find
+      (fun (b : Cfg.block) ->
+        match guard.Cfg.succ with
+        | [ Cfg.Branch { fallthrough; _ } ] -> b.Cfg.start = fallthrough
+        | _ -> false)
+      (Cfg.blocks cfg)
+  in
+  Alcotest.(check bool) "body depends on guard" true
+    (match Hashtbl.find_opt deps body.Cfg.start with
+    | Some parents -> List.mem guard.Cfg.start parents
+    | None -> false);
+  (* the loop runs in the interpreter and terminates *)
+  let res = Interp.execute ~code ~calldata:"" () in
+  Alcotest.(check bool) "terminates" true (res.Interp.outcome = Interp.Stopped)
+
+let test_transitive_deps () =
+  (* nested guards: inner guard depends on outer; transitive closure of
+     a block under both lists both *)
+  let prog =
+    Asm.
+      [
+        Op Opcode.CALLVALUE;
+        Push_label "l1";
+        Op Opcode.JUMPI;
+        Op Opcode.STOP;
+        Label "l1";
+        Op Opcode.CALLER;
+        Push_label "l2";
+        Op Opcode.JUMPI;
+        Op Opcode.STOP;
+        Label "l2";
+        Op (Opcode.push 1);
+        Op Opcode.POP;
+        Op Opcode.STOP;
+      ]
+  in
+  let code = Asm.assemble prog in
+  let cfg = Cfg.build code in
+  let deps = Cfg.control_deps cfg in
+  let l2 =
+    List.find
+      (fun (b : Cfg.block) ->
+        List.exists
+          (fun i -> i.Disasm.op = Opcode.PUSH (1, U256.one))
+          b.Cfg.instrs)
+      (Cfg.blocks cfg)
+  in
+  let chain = Cfg.transitive_deps deps l2.Cfg.start in
+  Alcotest.(check int) "two guards in chain" 2 (List.length chain)
+
+let test_block_of_pc () =
+  let code = Asm.assemble diamond in
+  let cfg = Cfg.build code in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun i ->
+          match Cfg.block_of_pc cfg i.Disasm.offset with
+          | Some found ->
+            Alcotest.(check int) "pc maps to its block" b.Cfg.start
+              found.Cfg.start
+          | None -> Alcotest.fail "pc not mapped")
+        b.Cfg.instrs)
+    (Cfg.blocks cfg)
+
+let suite =
+  [
+    Alcotest.test_case "opcode roundtrip" `Quick test_opcode_roundtrip;
+    Alcotest.test_case "push immediates" `Quick test_push_immediates;
+    Alcotest.test_case "truncated push" `Quick test_truncated_push;
+    Alcotest.test_case "labels assemble and jump" `Quick test_labels;
+    Alcotest.test_case "duplicate label rejected" `Quick test_duplicate_label;
+    Alcotest.test_case "undefined label rejected" `Quick test_undefined_label;
+    Alcotest.test_case "cfg blocks" `Quick test_cfg_blocks;
+    Alcotest.test_case "diamond control deps" `Quick test_cfg_diamond_control_deps;
+    Alcotest.test_case "loop control deps" `Quick test_cfg_loop_control_deps;
+    Alcotest.test_case "transitive deps" `Quick test_transitive_deps;
+    Alcotest.test_case "block_of_pc" `Quick test_block_of_pc;
+  ]

@@ -1,0 +1,184 @@
+(* "Foreign" code generators: function bodies hand-assembled in styles
+   the bundled compiler never emits. The rules are defined over EVM
+   semantics, not over our own generator's idioms, and these tests keep
+   that honest (the reproduction must not be a tautology between
+   lib/solc and lib/sigrec). *)
+
+open Evm
+
+(* Assemble a single-function contract around a hand-written body. The
+   dispatcher is also written differently from the bundled compiler:
+   the selector comparison is EQ-first with the id pushed before DUP. *)
+let contract_of_body ~selector body =
+  Asm.(
+    [
+      (* free pointer, then dispatch *)
+      Op (Opcode.push 0x80); Op (Opcode.push 0x40); Op Opcode.MSTORE;
+      Op (Opcode.push 0); Op Opcode.CALLDATALOAD;
+      Op (Opcode.push 0xe0); Op Opcode.SHR;
+      Op (Opcode.PUSH (4, U256.of_bytes_be selector));
+      Op (Opcode.DUP 2);
+      Op Opcode.EQ;
+      Push_label "body";
+      Op Opcode.JUMPI;
+      Op Opcode.STOP;
+      Label "body";
+      Op Opcode.POP;
+    ]
+    @ body
+    @ [ Op Opcode.STOP; Label "revert"; Op (Opcode.push 0);
+        Op (Opcode.push 0); Op Opcode.REVERT ])
+  |> Asm.assemble
+
+let recover_one code =
+  match Sigrec.Recover.recover code with
+  | [ r ] -> Sigrec.Recover.type_list r
+  | rs -> Printf.sprintf "<%d fns>" (List.length rs)
+
+let sel name = Keccak.selector name
+
+(* style 1: the mask constant is loaded from memory instead of being a
+   PUSH immediately before the AND *)
+let test_mask_via_memory () =
+  let body =
+    Asm.(
+      [
+        Op (Opcode.push_u256 (U256.ones_low 20));
+        Op (Opcode.push 0x20); Op Opcode.MSTORE;
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.push 0x20); Op Opcode.MLOAD;
+        Op Opcode.AND;
+        Op Opcode.POP;
+      ])
+  in
+  let code = contract_of_body ~selector:(sel "m(address)") body in
+  Alcotest.(check string) "address via staged mask" "address"
+    (recover_one code)
+
+(* style 2: two parameters read in reverse order (second first) *)
+let test_reverse_read_order () =
+  let body =
+    Asm.(
+      [
+        Op (Opcode.push 36); Op Opcode.CALLDATALOAD;
+        Op Opcode.ISZERO; Op Opcode.ISZERO; Op Opcode.POP;
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.push 3); Op Opcode.SIGNEXTEND; Op Opcode.POP;
+      ])
+  in
+  let code = contract_of_body ~selector:(sel "r(int32,bool)") body in
+  (* the order in the recovered list must follow the call-data layout,
+     not the reading order *)
+  Alcotest.(check string) "layout order" "int32,bool" (recover_one code)
+
+(* style 3: external dynamic array walked with a stack-held index from
+   CALLER instead of our callvalue+k convention *)
+let test_foreign_dynamic_array_walk () =
+  let body =
+    Asm.(
+      [
+        (* offset and num *)
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.push 4); Op Opcode.ADD;
+        Op (Opcode.DUP 1); Op Opcode.CALLDATALOAD;
+        (* stack: [num, abs] ; idx = CALLER (a free symbol) *)
+        Op Opcode.CALLER;
+        (* bound check: idx < num *)
+        Op (Opcode.DUP 2); Op (Opcode.DUP 2); Op Opcode.LT;
+        Op Opcode.ISZERO; Push_label "revert"; Op Opcode.JUMPI;
+        (* item load at abs + 32 + idx*32; stack: [idx, num, abs] *)
+        Op (Opcode.push 32); Op Opcode.MUL;
+        Op (Opcode.SWAP 1);
+        Op (Opcode.SWAP 2);
+        (* stack: [abs, idx*32, num] *)
+        Op (Opcode.push 32); Op Opcode.ADD;
+        Op Opcode.ADD;
+        (* stack: [abs+32 + idx*32, num] *)
+        Op Opcode.CALLDATALOAD;
+        Op (Opcode.push_u256 (U256.ones_low 1)); Op Opcode.AND;
+        Op Opcode.POP; Op Opcode.POP;
+      ])
+  in
+  let code = contract_of_body ~selector:(sel "w(uint8[])") body in
+  Alcotest.(check string) "foreign walk" "uint8[]" (recover_one code)
+
+(* style 4: masks applied twice, through a DUPed shared constant *)
+let test_shared_mask_constant () =
+  let body =
+    Asm.(
+      [
+        Op (Opcode.push_u256 (U256.ones_low 2));
+        (* two uint16 parameters masked with the same DUPed constant *)
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.DUP 2); Op Opcode.AND; Op Opcode.POP;
+        Op (Opcode.push 36); Op Opcode.CALLDATALOAD;
+        Op (Opcode.DUP 2); Op Opcode.AND; Op Opcode.POP;
+        Op Opcode.POP;
+      ])
+  in
+  let code = contract_of_body ~selector:(sel "s(uint16,uint16)") body in
+  Alcotest.(check string) "shared constant" "uint16,uint16"
+    (recover_one code)
+
+(* style 5: the offset/num reads of a public bytes are interleaved with
+   unrelated computation *)
+let test_interleaved_bytes () =
+  let body =
+    Asm.(
+      [
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        (* unrelated noise between the two R1 loads *)
+        Op Opcode.CALLVALUE; Op Opcode.CALLVALUE; Op Opcode.ADD;
+        Op Opcode.POP;
+        Op (Opcode.push 4); Op Opcode.ADD;
+        Op (Opcode.DUP 1); Op Opcode.CALLDATALOAD;
+        (* stack: [num, abs]; copy ceil32(num) bytes *)
+        Op (Opcode.DUP 1);
+        Op (Opcode.push 31); Op Opcode.ADD;
+        Op (Opcode.push 32); Op (Opcode.SWAP 1); Op Opcode.DIV;
+        Op (Opcode.push 32); Op Opcode.MUL;
+        (* stack: [len, num, abs] *)
+        Op (Opcode.SWAP 2);
+        (* [abs, num, len] *)
+        Op (Opcode.push 32); Op Opcode.ADD;
+        Op (Opcode.SWAP 1); Op (Opcode.SWAP 2);
+        (* [len, abs+32, num] -> need (len, src, dst): push order len src dst *)
+        Op (Opcode.push 0x100);
+        (* [dst, len, src, num] — rearrange to [dst, src, len, num] *)
+        Op (Opcode.SWAP 2);
+        Op (Opcode.SWAP 1);
+        Op (Opcode.SWAP 2);
+        Op Opcode.CALLDATACOPY;
+        Op Opcode.POP;
+        (* byte access marks it as bytes, not string *)
+        Op (Opcode.push 0x100); Op Opcode.MLOAD;
+        Op (Opcode.push 0); Op Opcode.BYTE; Op Opcode.POP;
+      ])
+  in
+  let code = contract_of_body ~selector:(sel "b(bytes)") body in
+  Alcotest.(check string) "interleaved bytes" "bytes" (recover_one code)
+
+(* style 6: a uint256 used heavily but never masked stays uint256 *)
+let test_heavy_unmasked_usage () =
+  let body =
+    Asm.(
+      [
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.DUP 1); Op (Opcode.DUP 1); Op Opcode.MUL;
+        Op Opcode.ADD;
+        Op (Opcode.push 7); Op Opcode.ADD;
+        Op Opcode.POP;
+      ])
+  in
+  let code = contract_of_body ~selector:(sel "u(uint256)") body in
+  Alcotest.(check string) "stays uint256" "uint256" (recover_one code)
+
+let suite =
+  [
+    Alcotest.test_case "mask staged through memory" `Quick test_mask_via_memory;
+    Alcotest.test_case "reverse read order" `Quick test_reverse_read_order;
+    Alcotest.test_case "foreign dynamic-array walk" `Quick test_foreign_dynamic_array_walk;
+    Alcotest.test_case "shared mask constant" `Quick test_shared_mask_constant;
+    Alcotest.test_case "interleaved bytes reads" `Quick test_interleaved_bytes;
+    Alcotest.test_case "heavy unmasked usage" `Quick test_heavy_unmasked_usage;
+  ]

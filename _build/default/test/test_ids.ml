@@ -1,0 +1,112 @@
+(* Function-id extraction: the static idioms, the symbolic fallback, and
+   their agreement on compiler output. Plus the Ruledoc table staying in
+   sync with the rule engine. *)
+
+let contract_with n =
+  Solc.Compile.compile
+    (Solc.Compile.contract_of_sigs
+       (List.init n (fun i ->
+            Abi.Funsig.make (Printf.sprintf "fn%d" i) [ Abi.Abity.Uint 8 ])))
+
+let test_count_and_order () =
+  let code = contract_with 7 in
+  let entries = Sigrec.Ids.extract code in
+  Alcotest.(check int) "seven ids" 7 (List.length entries);
+  (* entry pcs ascend with dispatch order in our layout *)
+  let pcs = List.map (fun e -> e.Sigrec.Ids.entry_pc) entries in
+  Alcotest.(check (list int)) "ascending entries" (List.sort compare pcs) pcs
+
+let test_selectors_valid () =
+  let sigs =
+    [
+      Abi.Funsig.make "transfer" [ Abi.Abity.Address; Abi.Abity.Uint 256 ];
+      Abi.Funsig.make "mint" [ Abi.Abity.Uint 256 ];
+    ]
+  in
+  let code = Solc.Compile.compile (Solc.Compile.contract_of_sigs sigs) in
+  let entries = Sigrec.Ids.extract code in
+  List.iter2
+    (fun fsig e ->
+      Alcotest.(check string) "selector matches"
+        (Abi.Funsig.selector_hex fsig)
+        (Evm.Hex.encode e.Sigrec.Ids.selector))
+    sigs entries
+
+let test_both_dispatch_styles () =
+  let sigs = [ Abi.Funsig.make "f" [ Abi.Abity.Bool ] ] in
+  List.iter
+    (fun version ->
+      let code =
+        Solc.Compile.compile
+          { (Solc.Compile.contract_of_sigs sigs) with Solc.Compile.version }
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "found under %s" version.Solc.Version.name)
+        1
+        (List.length (Sigrec.Ids.extract code)))
+    [ List.hd Solc.Version.solidity_versions; Solc.Version.latest_solidity ]
+
+let test_symbolic_matches_static () =
+  (* on plain compiler output the symbolic explorer must find the same
+     ids the static idioms find *)
+  let code = contract_with 5 in
+  let static =
+    List.map (fun e -> e.Sigrec.Ids.selector) (Sigrec.Ids.extract code)
+  in
+  (* obfuscate with junk only: the static idioms break, but the
+     selectors must still be found (symbolically) *)
+  let fns =
+    List.init 5 (fun i ->
+        Solc.Lang.fn_of_sig
+          (Abi.Funsig.make (Printf.sprintf "fn%d" i) [ Abi.Abity.Uint 8 ]))
+  in
+  let obf =
+    Solc.Obfuscate.compile_obfuscated ~level:1 ~seed:7
+      { Solc.Compile.fns; version = Solc.Version.latest_solidity }
+  in
+  let after =
+    List.map (fun e -> e.Sigrec.Ids.selector) (Sigrec.Ids.extract obf)
+  in
+  List.iter
+    (fun sel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "id %s survives obfuscation" (Evm.Hex.encode sel))
+        true (List.mem sel after))
+    static
+
+let test_no_functions () =
+  Alcotest.(check int) "empty bytecode" 0
+    (List.length (Sigrec.Ids.extract ""));
+  Alcotest.(check int) "stop only" 0
+    (List.length (Sigrec.Ids.extract "\x00"))
+
+let test_ruledoc_complete () =
+  Alcotest.(check int) "31 rules documented" 31
+    (List.length Sigrec.Ruledoc.all);
+  List.iter
+    (fun name ->
+      match Sigrec.Ruledoc.find name with
+      | Some d ->
+        Alcotest.(check string) "name matches" name d.Sigrec.Ruledoc.name;
+        Alcotest.(check bool) "has description" true
+          (String.length d.Sigrec.Ruledoc.concludes > 0)
+      | None -> Alcotest.failf "%s undocumented" name)
+    Sigrec.Rules.all_rule_names
+
+let test_recover_deterministic () =
+  let code = contract_with 3 in
+  let show rs = String.concat ";" (List.map Sigrec.Recover.type_list rs) in
+  Alcotest.(check string) "same result twice"
+    (show (Sigrec.Recover.recover code))
+    (show (Sigrec.Recover.recover code))
+
+let suite =
+  [
+    Alcotest.test_case "count and order" `Quick test_count_and_order;
+    Alcotest.test_case "selectors valid" `Quick test_selectors_valid;
+    Alcotest.test_case "both dispatch styles" `Quick test_both_dispatch_styles;
+    Alcotest.test_case "symbolic survives obfuscation" `Quick test_symbolic_matches_static;
+    Alcotest.test_case "no functions" `Quick test_no_functions;
+    Alcotest.test_case "ruledoc complete" `Quick test_ruledoc_complete;
+    Alcotest.test_case "recovery deterministic" `Quick test_recover_deterministic;
+  ]

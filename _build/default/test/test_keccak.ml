@@ -1,0 +1,66 @@
+(* Keccak-256 against published vectors and the Ethereum selectors the
+   ecosystem knows by heart. *)
+
+open Evm
+
+let check_hex msg want = Alcotest.(check string) msg want
+
+let test_vectors () =
+  (* original Keccak (pre-NIST padding) test vectors *)
+  check_hex "empty"
+    "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+    (Keccak.digest_hex "");
+  check_hex "abc"
+    "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+    (Keccak.digest_hex "abc");
+  check_hex "The quick brown fox..."
+    "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+    (Keccak.digest_hex "The quick brown fox jumps over the lazy dog")
+
+let test_block_boundaries () =
+  (* messages straddling the 136-byte rate boundary *)
+  let at n = Keccak.digest_hex (String.make n 'a') in
+  Alcotest.(check int) "len 135 hash length" 64 (String.length (at 135));
+  Alcotest.(check int) "len 136 hash length" 64 (String.length (at 136));
+  Alcotest.(check int) "len 137 hash length" 64 (String.length (at 137));
+  Alcotest.(check bool) "135 <> 136" true (at 135 <> at 136);
+  Alcotest.(check bool) "136 <> 137" true (at 136 <> at 137)
+
+let test_selectors () =
+  let sel s = Hex.encode (Keccak.selector s) in
+  check_hex "transfer" "a9059cbb" (sel "transfer(address,uint256)");
+  check_hex "approve" "095ea7b3" (sel "approve(address,uint256)");
+  check_hex "transferFrom" "23b872dd"
+    (sel "transferFrom(address,address,uint256)");
+  check_hex "balanceOf" "70a08231" (sel "balanceOf(address)");
+  check_hex "totalSupply" "18160ddd" (sel "totalSupply()")
+
+let prop_length =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"digest is always 32 bytes" ~count:100
+       QCheck.(string_of_size (Gen.int_bound 500))
+       (fun s -> String.length (Keccak.digest s) = 32))
+
+let prop_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"digest deterministic" ~count:50
+       QCheck.(string_of_size (Gen.int_bound 300))
+       (fun s -> Keccak.digest s = Keccak.digest s))
+
+let prop_injective_ish =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"distinct inputs hash differently" ~count:100
+       QCheck.(pair small_string small_string)
+       (fun (a, b) ->
+         QCheck.assume (a <> b);
+         Keccak.digest a <> Keccak.digest b))
+
+let suite =
+  [
+    Alcotest.test_case "published vectors" `Quick test_vectors;
+    Alcotest.test_case "rate boundaries" `Quick test_block_boundaries;
+    Alcotest.test_case "well-known selectors" `Quick test_selectors;
+    prop_length;
+    prop_deterministic;
+    prop_injective_ish;
+  ]

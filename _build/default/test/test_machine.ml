@@ -1,0 +1,93 @@
+(* Machine-state components: stack discipline, byte-addressed memory,
+   zero-extended call data, sparse storage. *)
+
+open Evm
+
+let u = Alcotest.testable U256.pp U256.equal
+
+let test_stack_push_pop () =
+  let s = Machine.Stack.create () in
+  Machine.Stack.push s U256.one;
+  Machine.Stack.push s (U256.of_int 2);
+  Alcotest.(check int) "depth" 2 (Machine.Stack.depth s);
+  Alcotest.check u "pop order" (U256.of_int 2) (Machine.Stack.pop s);
+  Alcotest.check u "pop order" U256.one (Machine.Stack.pop s);
+  Alcotest.check_raises "underflow" Machine.Stack.Underflow (fun () ->
+      ignore (Machine.Stack.pop s))
+
+let test_stack_dup_swap () =
+  let s = Machine.Stack.create () in
+  List.iter
+    (fun n -> Machine.Stack.push s (U256.of_int n))
+    [ 1; 2; 3; 4 ] (* top is 4 *);
+  Machine.Stack.dup s 3;
+  Alcotest.check u "dup3 copies third" (U256.of_int 2) (Machine.Stack.peek s 0);
+  ignore (Machine.Stack.pop s);
+  Machine.Stack.swap s 3;
+  Alcotest.check u "swap3 top" U256.one (Machine.Stack.peek s 0);
+  Alcotest.check u "swap3 deep" (U256.of_int 4) (Machine.Stack.peek s 3)
+
+let test_stack_overflow () =
+  let s = Machine.Stack.create () in
+  for _ = 1 to 1024 do
+    Machine.Stack.push s U256.zero
+  done;
+  Alcotest.check_raises "1025th push overflows" Machine.Stack.Overflow
+    (fun () -> Machine.Stack.push s U256.zero)
+
+let test_memory_words () =
+  let m = Machine.Memory.create () in
+  Alcotest.check u "uninitialised reads zero" U256.zero
+    (Machine.Memory.load_word m 0x40);
+  Machine.Memory.store_word m 0x40 (U256.of_int 0xbeef);
+  Alcotest.check u "store/load" (U256.of_int 0xbeef)
+    (Machine.Memory.load_word m 0x40);
+  (* unaligned read straddles the stored word *)
+  Alcotest.check u "shifted read"
+    (U256.shift_left (U256.of_int 0xbeef) 8)
+    (Machine.Memory.load_word m 0x41)
+
+let test_memory_growth () =
+  let m = Machine.Memory.create () in
+  Machine.Memory.store_byte m 100_000 0xab;
+  Alcotest.(check int) "size rounded to words" (((100_001 + 31) / 32) * 32)
+    (Machine.Memory.size m);
+  Alcotest.(check string) "byte readable" "\xab"
+    (Machine.Memory.load_bytes m 100_000 1)
+
+let test_memory_bytes () =
+  let m = Machine.Memory.create () in
+  Machine.Memory.store_bytes m 10 "hello";
+  Alcotest.(check string) "roundtrip" "hello" (Machine.Memory.load_bytes m 10 5);
+  Alcotest.(check string) "zero fill" "\000\000" (Machine.Memory.load_bytes m 20 2)
+
+let test_calldata_zero_extension () =
+  let cd = Machine.Calldata.of_string "\x01\x02" in
+  Alcotest.(check int) "size" 2 (Machine.Calldata.size cd);
+  Alcotest.check u "word read zero-extends"
+    (U256.of_bytes_be ("\x01\x02" ^ String.make 30 '\000'))
+    (Machine.Calldata.load_word cd 0);
+  Alcotest.check u "fully past end" U256.zero (Machine.Calldata.load_word cd 64);
+  Alcotest.(check string) "read with padding" "\x02\x00\x00"
+    (Machine.Calldata.read cd 1 3)
+
+let test_storage () =
+  let s = Machine.Storage.create () in
+  Alcotest.check u "empty slot" U256.zero (Machine.Storage.load s (U256.of_int 5));
+  Machine.Storage.store s (U256.of_int 5) (U256.of_int 99);
+  Alcotest.check u "stored" (U256.of_int 99) (Machine.Storage.load s (U256.of_int 5));
+  Machine.Storage.store s (U256.of_int 5) U256.zero;
+  Alcotest.(check int) "zero store clears" 0
+    (List.length (Machine.Storage.bindings s))
+
+let suite =
+  [
+    Alcotest.test_case "stack push/pop" `Quick test_stack_push_pop;
+    Alcotest.test_case "stack dup/swap" `Quick test_stack_dup_swap;
+    Alcotest.test_case "stack overflow" `Quick test_stack_overflow;
+    Alcotest.test_case "memory words" `Quick test_memory_words;
+    Alcotest.test_case "memory growth" `Quick test_memory_growth;
+    Alcotest.test_case "memory bytes" `Quick test_memory_bytes;
+    Alcotest.test_case "calldata zero extension" `Quick test_calldata_zero_extension;
+    Alcotest.test_case "storage" `Quick test_storage;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "sigrec"
+    [
+      ("u256", Test_u256.suite);
+      ("keccak", Test_keccak.suite);
+      ("evm-code", Test_evm_code.suite);
+      ("machine", Test_machine.suite);
+      ("interp", Test_interp.suite);
+      ("abi", Test_abi.suite);
+      ("decode", Test_decode.suite);
+      ("symex", Test_symex.suite);
+      ("solc", Test_solc.suite);
+      ("ids", Test_ids.suite);
+      ("recover", Test_recover.suite);
+      ("foreign", Test_foreign.suite);
+      ("robustness", Test_robustness.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("corpus", Test_corpus.suite);
+      ("tools", Test_tools.suite);
+    ]

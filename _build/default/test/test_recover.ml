@@ -1,0 +1,330 @@
+(* End-to-end recovery: compile a signature with the pattern-faithful
+   code generator, recover it from the bytecode alone, compare with the
+   ground truth. This is the core claim of the system. *)
+
+let recover_types ?version ?(usage = Solc.Lang.default_usage) fsig =
+  let code = Solc.Compile.compile_fn ?version (Solc.Lang.fn_of_sig ~usage fsig) in
+  match Sigrec.Recover.recover code with
+  | [ r ] when r.Sigrec.Recover.selector = Abi.Funsig.selector fsig ->
+    Sigrec.Recover.type_list r
+  | [ _ ] -> "<wrong selector>"
+  | rs -> Printf.sprintf "<%d functions>" (List.length rs)
+
+let expect ?version ?usage ?(vis = Abi.Funsig.Public)
+    ?(lang = Abi.Abity.Solidity) tys () =
+  let fsig = Abi.Funsig.make ~visibility:vis ~lang "f" tys in
+  let want = String.concat "," (List.map Abi.Abity.to_string tys) in
+  Alcotest.(check string)
+    (Printf.sprintf "%s %s" want
+       (match vis with Abi.Funsig.Public -> "public" | _ -> "external"))
+    want
+    (recover_types ?version ?usage fsig)
+
+let both tys () =
+  expect ~vis:Abi.Funsig.Public tys ();
+  expect ~vis:Abi.Funsig.External tys ()
+
+open Abi.Abity
+
+(* every basic-type width in one big sweep, both visibilities *)
+let test_all_basic_widths () =
+  let widths = List.init 32 (fun i -> 8 * (i + 1)) in
+  List.iter (fun m -> both [ Uint m ] ()) widths;
+  List.iter (fun m -> both [ Int m ] ()) widths;
+  List.iter (fun m -> both [ Bytes_n m ] ()) (List.init 32 (fun i -> i + 1));
+  both [ Address ] ();
+  both [ Bool ] ()
+
+let test_basic_combinations () =
+  both [ Address; Uint 256 ] ();
+  both [ Uint 8; Int 64; Bool; Bytes_n 4 ] ();
+  both [ Uint 256; Int 256; Bytes_n 32; Uint 160 ] ();
+  both [ Bool; Bool; Bool; Bool; Bool ] ()
+
+let test_static_arrays () =
+  both [ Sarray (Uint 256, 1) ] ();
+  both [ Sarray (Uint 8, 10) ] ();
+  both [ Sarray (Sarray (Uint 256, 3), 2) ] ();
+  both [ Sarray (Sarray (Sarray (Uint 256, 2), 3), 2) ] ();
+  both [ Sarray (Address, 4); Bool ] ();
+  both [ Uint 32; Sarray (Bytes_n 8, 3) ] ()
+
+let test_dynamic_arrays () =
+  both [ Darray (Uint 256) ] ();
+  both [ Darray (Uint 8); Address ] ();
+  both [ Darray (Sarray (Uint 8, 3)) ] ();
+  both [ Darray (Sarray (Sarray (Uint 16, 2), 4)) ] ();
+  both [ Darray (Address); Darray (Uint 256) ] ()
+
+let test_bytes_strings () =
+  both [ Bytes ] ();
+  both [ String_t ] ();
+  both [ Bytes; String_t ] ();
+  both [ String_t; Uint 8; Bytes ] ()
+
+let test_nested_and_structs () =
+  both [ Darray (Darray (Uint 256)) ] ();
+  both [ Sarray (Darray (Uint 256), 2) ] ();
+  both [ Tuple [ Darray (Uint 256); Uint 256 ] ] ();
+  both [ Tuple [ Uint 256; Darray (Uint 8); Bytes ] ] ()
+
+let test_mixed_layout () =
+  both [ Uint 32; Darray (Uint 256); Bytes; Sarray (Uint 8, 2); Address ] ();
+  both [ Bytes; Bytes; Uint 8 ] ();
+  both [ Sarray (Uint 256, 2); Darray (Bool); Int 128 ] ()
+
+let test_vyper_types () =
+  let vy tys = expect ~lang:Vyper tys () in
+  vy [ Address ]; vy [ Bool ]; vy [ Int 128 ]; vy [ Decimal ];
+  vy [ Uint 256 ]; vy [ Bytes_n 32 ];
+  vy [ Sarray (Uint 256, 4) ];
+  vy [ Sarray (Sarray (Decimal, 2), 3) ];
+  vy [ Sarray (Int 128, 3); Address ];
+  vy [ Vbytes 50 ]; vy [ Vstring 20 ];
+  vy [ Vbytes 50; Vstring 20 ];
+  vy [ Uint 256; Vbytes 10; Decimal ];
+  vy [ Int 128; Decimal; Uint 256; Bytes_n 32 ]
+
+let test_all_versions () =
+  (* the same signature must recover under every compiler version *)
+  let tys = [ Address; Darray (Uint 8); Uint 32 ] in
+  List.iter
+    (fun version ->
+      expect ~version ~vis:Abi.Funsig.Public tys ();
+      expect ~version ~vis:Abi.Funsig.External tys ())
+    Solc.Version.solidity_versions;
+  List.iter
+    (fun version ->
+      expect ~version ~lang:Vyper [ Int 128; Sarray (Uint 256, 2) ] ())
+    Solc.Version.vyper_versions
+
+let test_multi_function_contract () =
+  let sigs =
+    [
+      Abi.Funsig.make "alpha" [ Uint 8 ];
+      Abi.Funsig.make "beta" [ Darray (Address) ];
+      Abi.Funsig.make ~visibility:Abi.Funsig.External "gamma"
+        [ Sarray (Uint 256, 3); Bool ];
+      Abi.Funsig.make "delta" [ Bytes; Int 64 ];
+    ]
+  in
+  let code = Solc.Compile.compile (Solc.Compile.contract_of_sigs sigs) in
+  let recovered = Sigrec.Recover.recover code in
+  Alcotest.(check int) "all functions found" 4 (List.length recovered);
+  List.iter
+    (fun fsig ->
+      match
+        List.find_opt
+          (fun r -> r.Sigrec.Recover.selector = Abi.Funsig.selector fsig)
+          recovered
+      with
+      | Some r ->
+        Alcotest.(check string)
+          (Abi.Funsig.canonical fsig)
+          (String.concat "," (List.map to_string fsig.Abi.Funsig.params))
+          (Sigrec.Recover.type_list r)
+      | None -> Alcotest.failf "missing %s" (Abi.Funsig.canonical fsig))
+    sigs
+
+let test_no_params () =
+  let fsig = Abi.Funsig.make "ping" [] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  match Sigrec.Recover.recover code with
+  | [ r ] -> Alcotest.(check int) "no params" 0 (List.length r.Sigrec.Recover.params)
+  | _ -> Alcotest.fail "expected one function"
+
+let test_selector_extraction () =
+  let sigs =
+    List.init 10 (fun i -> Abi.Funsig.make (Printf.sprintf "fn%d" i) [ Bool ])
+  in
+  let code = Solc.Compile.compile (Solc.Compile.contract_of_sigs sigs) in
+  let entries = Sigrec.Ids.extract code in
+  Alcotest.(check int) "all ids found" 10 (List.length entries);
+  List.iter2
+    (fun fsig e ->
+      Alcotest.(check string) "dispatch order preserved"
+        (Abi.Funsig.selector_hex fsig)
+        (Evm.Hex.encode e.Sigrec.Ids.selector))
+    sigs entries
+
+(* -- the documented inaccuracy cases (§5.2) ----------------------------- *)
+
+let recover_fn fn =
+  let code = Solc.Compile.compile_fn fn in
+  match Sigrec.Recover.recover code with
+  | [ r ] -> Sigrec.Recover.type_list r
+  | _ -> "<multi>"
+
+let test_case1_inline_assembly () =
+  (* a parameterless function reading two words via inline assembly is
+     recovered with two uint256 parameters *)
+  let fn = Solc.Lang.fn ~asm_reads:2 (Abi.Funsig.make "start" []) [] in
+  Alcotest.(check string) "case 1" "uint256,uint256" (recover_fn fn)
+
+let test_case2_conversion () =
+  (* declared uint256 immediately cast to uint8: recovered as uint8 *)
+  let fsig = Abi.Funsig.make "setGen0Stat" [ Uint 256 ] in
+  let fn =
+    Solc.Lang.fn fsig
+      [ Solc.Lang.param ~quirk:(Solc.Lang.Converted (Uint 8)) (Uint 256) ]
+  in
+  Alcotest.(check string) "case 2" "uint8" (recover_fn fn)
+
+let test_case4_storage_ref () =
+  (* a storage-reference parameter carries only a slot number *)
+  let fsig = Abi.Funsig.make "useRef" [ Bytes ] in
+  let fn =
+    Solc.Lang.fn fsig [ Solc.Lang.param ~quirk:Solc.Lang.Storage_ref Bytes ]
+  in
+  Alcotest.(check string) "case 4" "uint256" (recover_fn fn)
+
+let test_case5_const_index () =
+  (* optimised external static array accessed with a constant index:
+     no bound checks survive, the load looks like a basic parameter *)
+  let fsig =
+    Abi.Funsig.make ~visibility:Abi.Funsig.External "g"
+      [ Sarray (Uint 256, 3) ]
+  in
+  let fn =
+    Solc.Lang.fn fsig
+      [ Solc.Lang.param ~quirk:Solc.Lang.Const_index_optimized
+          (Sarray (Uint 256, 3)) ]
+  in
+  let version =
+    List.find (fun v -> v.Solc.Version.optimize) Solc.Version.solidity_versions
+  in
+  let code = Solc.Compile.compile_fn ~version fn in
+  (match Sigrec.Recover.recover code with
+  | [ r ] ->
+    Alcotest.(check string) "case 5a" "uint256" (Sigrec.Recover.type_list r)
+  | _ -> Alcotest.fail "expected one function");
+  (* without optimisation the bound checks remain and the array is
+     recovered *)
+  let version =
+    List.find
+      (fun v -> not v.Solc.Version.optimize)
+      Solc.Version.solidity_versions
+  in
+  let code = Solc.Compile.compile_fn ~version fn in
+  match Sigrec.Recover.recover code with
+  | [ r ] ->
+    Alcotest.(check string) "unoptimised recovers" "uint256[3]"
+      (Sigrec.Recover.type_list r)
+  | _ -> Alcotest.fail "expected one function"
+
+let test_case5_unaccessed_bytes () =
+  (* bytes never byte-accessed is indistinguishable from string *)
+  let usage = { Solc.Lang.default_usage with Solc.Lang.byte_access = false } in
+  let fsig = Abi.Funsig.make "h" [ Bytes ] in
+  Alcotest.(check string) "case 5b" "string" (recover_types ~usage fsig)
+
+let test_case5_static_struct () =
+  (* a static struct's layout is identical to its flattened fields *)
+  let fsig = Abi.Funsig.make "s" [ Tuple [ Uint 256; Uint 256 ] ] in
+  Alcotest.(check string) "case 5c" "uint256,uint256" (recover_types fsig)
+
+let test_usage_matters () =
+  (* without any usage hints, refinements degrade exactly as documented *)
+  let usage = Solc.Lang.plain_usage in
+  (* uint160 with no math is indistinguishable from address *)
+  Alcotest.(check string) "uint160 w/o math -> address" "address"
+    (recover_types ~usage (Abi.Funsig.make "p" [ Uint 160 ]));
+  (* int256 with no signed op falls back to uint256 *)
+  Alcotest.(check string) "int256 w/o sdiv -> uint256" "uint256"
+    (recover_types ~usage (Abi.Funsig.make "p" [ Int 256 ]));
+  (* bytes32 with no BYTE falls back to uint256 *)
+  Alcotest.(check string) "bytes32 w/o byte -> uint256" "uint256"
+    (recover_types ~usage (Abi.Funsig.make "p" [ Bytes_n 32 ]))
+
+let test_rule_paths () =
+  (* the paper's own derivation example (§4.2 step 1): "SigRec regards
+     a parameter as a bytes in a public function if R1, R5, R8, and R17
+     are fulfilled in order" *)
+  let fsig = Abi.Funsig.make "p" [ Bytes ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  (match Sigrec.Recover.recover code with
+  | [ r ] -> (
+    match r.Sigrec.Recover.rule_paths with
+    | [ path ] ->
+      Alcotest.(check (list string)) "bytes path"
+        [ "R1"; "R5"; "R8"; "R17" ] path
+    | _ -> Alcotest.fail "expected one path")
+  | _ -> Alcotest.fail "expected one function");
+  (* and an address: R4 default then the R16 refinement *)
+  let fsig = Abi.Funsig.make "q" [ Address ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  match Sigrec.Recover.recover code with
+  | [ r ] ->
+    Alcotest.(check (list (list string))) "address path"
+      [ [ "R4"; "R16" ] ]
+      r.Sigrec.Recover.rule_paths
+  | _ -> Alcotest.fail "expected one function"
+
+(* property: a random lossless signature always roundtrips exactly *)
+let prop_random_signature_roundtrip =
+  let rng = Random.State.make [| 424242 |] in
+  let counter = ref 0 in
+  let rec lossless ty =
+    (* exclude the shapes the paper documents as unrecoverable *)
+    match ty with
+    | Tuple fields -> is_dynamic ty && List.for_all lossless fields
+    | Sarray (t, _) | Darray t -> lossless t
+    | _ -> true
+  in
+  let gen_sig =
+    QCheck.Gen.map
+      (fun n ->
+        incr counter;
+        let nparams = 1 + (n mod 4) in
+        let rec pick () =
+          let t = Abi.Valgen.sol_type ~abiv2:true rng in
+          if lossless t then t else pick ()
+        in
+        let tys = List.init nparams (fun _ -> pick ()) in
+        let vis =
+          if Random.State.bool rng then Abi.Funsig.Public
+          else Abi.Funsig.External
+        in
+        Abi.Funsig.make ~visibility:vis
+          (Printf.sprintf "prop_%d" !counter)
+          tys)
+      QCheck.Gen.small_nat
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random signatures roundtrip" ~count:150
+       (QCheck.make ~print:Abi.Funsig.canonical gen_sig)
+       (fun fsig ->
+         let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+         match Sigrec.Recover.recover code with
+         | [ r ] ->
+           r.Sigrec.Recover.selector = Abi.Funsig.selector fsig
+           && List.length r.Sigrec.Recover.params
+              = List.length fsig.Abi.Funsig.params
+           && List.for_all2 Abi.Abity.equal r.Sigrec.Recover.params
+                fsig.Abi.Funsig.params
+         | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "all basic widths" `Slow test_all_basic_widths;
+    Alcotest.test_case "basic combinations" `Quick test_basic_combinations;
+    Alcotest.test_case "static arrays" `Quick test_static_arrays;
+    Alcotest.test_case "dynamic arrays" `Quick test_dynamic_arrays;
+    Alcotest.test_case "bytes and strings" `Quick test_bytes_strings;
+    Alcotest.test_case "nested arrays and structs" `Quick test_nested_and_structs;
+    Alcotest.test_case "mixed layouts" `Quick test_mixed_layout;
+    Alcotest.test_case "vyper types" `Quick test_vyper_types;
+    Alcotest.test_case "all compiler versions" `Slow test_all_versions;
+    Alcotest.test_case "multi-function contract" `Quick test_multi_function_contract;
+    Alcotest.test_case "parameterless function" `Quick test_no_params;
+    Alcotest.test_case "selector extraction" `Quick test_selector_extraction;
+    Alcotest.test_case "case 1: inline assembly" `Quick test_case1_inline_assembly;
+    Alcotest.test_case "case 2: type conversion" `Quick test_case2_conversion;
+    Alcotest.test_case "case 4: storage reference" `Quick test_case4_storage_ref;
+    Alcotest.test_case "case 5a: optimised const index" `Quick test_case5_const_index;
+    Alcotest.test_case "case 5b: unaccessed bytes" `Quick test_case5_unaccessed_bytes;
+    Alcotest.test_case "case 5c: static struct" `Quick test_case5_static_struct;
+    Alcotest.test_case "usage-dependent refinement" `Quick test_usage_matters;
+    Alcotest.test_case "rule paths (Fig 13)" `Quick test_rule_paths;
+    prop_random_signature_roundtrip;
+  ]

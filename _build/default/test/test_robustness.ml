@@ -1,0 +1,115 @@
+(* Failure injection: SigRec is meant to run on arbitrary deployed
+   bytecode, so recovery must terminate and never raise on garbage,
+   truncated or bit-flipped input. *)
+
+let no_exn name f =
+  match f () with
+  | _ -> ()
+  | exception e ->
+    Alcotest.failf "%s raised %s" name (Printexc.to_string e)
+
+let test_empty_and_garbage () =
+  no_exn "empty" (fun () -> Sigrec.Recover.recover "");
+  no_exn "single byte" (fun () -> Sigrec.Recover.recover "\xfe");
+  no_exn "all zeroes" (fun () -> Sigrec.Recover.recover (String.make 200 '\000'));
+  no_exn "all ff" (fun () -> Sigrec.Recover.recover (String.make 200 '\xff'));
+  no_exn "ascii" (fun () -> Sigrec.Recover.recover "hello, this is not bytecode")
+
+let test_truncated_contracts () =
+  let fsig =
+    Abi.Funsig.make "t" [ Abi.Abity.Darray (Abi.Abity.Uint 8); Abi.Abity.Bytes ]
+  in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  (* every prefix must be analysable without crashing *)
+  let n = String.length code in
+  List.iter
+    (fun k ->
+      let cut = String.sub code 0 (n * k / 10) in
+      no_exn (Printf.sprintf "prefix %d0%%" k) (fun () ->
+          Sigrec.Recover.recover cut))
+    [ 1; 3; 5; 7; 9 ]
+
+let test_bitflipped_contracts () =
+  let fsig =
+    Abi.Funsig.make "t" [ Abi.Abity.Uint 64; Abi.Abity.Sarray (Abi.Abity.Bool, 2) ]
+  in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  let rng = Random.State.make [| 123 |] in
+  for _ = 1 to 60 do
+    let b = Bytes.of_string code in
+    let pos = Random.State.int rng (Bytes.length b) in
+    Bytes.set b pos (Char.chr (Random.State.int rng 256));
+    no_exn "bit flip" (fun () -> Sigrec.Recover.recover (Bytes.to_string b))
+  done
+
+let test_random_bytecode_fuzz () =
+  let rng = Random.State.make [| 321 |] in
+  for _ = 1 to 60 do
+    let len = 20 + Random.State.int rng 400 in
+    let junk = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    no_exn "random bytes" (fun () -> Sigrec.Recover.recover junk)
+  done
+
+let test_interpreter_fuzz () =
+  (* the concrete interpreter must also terminate on garbage *)
+  let rng = Random.State.make [| 654 |] in
+  for _ = 1 to 80 do
+    let len = 10 + Random.State.int rng 300 in
+    let junk = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    let cd = String.init 36 (fun _ -> Char.chr (Random.State.int rng 256)) in
+    no_exn "interp junk" (fun () ->
+        Evm.Interp.execute ~gas_limit:100_000 ~code:junk ~calldata:cd ())
+  done
+
+let test_parchecker_fuzz () =
+  let rng = Random.State.make [| 987 |] in
+  let tys =
+    [ Abi.Abity.Darray (Abi.Abity.Uint 8); Abi.Abity.Bytes;
+      Abi.Abity.Tuple [ Abi.Abity.Darray (Abi.Abity.Uint 256); Abi.Abity.Bool ] ]
+  in
+  for _ = 1 to 120 do
+    let len = Random.State.int rng 300 in
+    let junk = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    no_exn "parchecker junk" (fun () -> Tools.Parchecker.check_call tys junk);
+    no_exn "decode junk" (fun () -> Abi.Decode.decode_call tys junk)
+  done
+
+let test_erays_fuzz () =
+  let rng = Random.State.make [| 555 |] in
+  for _ = 1 to 30 do
+    let len = 20 + Random.State.int rng 200 in
+    let junk = String.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    no_exn "lift junk" (fun () -> Tools.Erays.lift junk);
+    no_exn "enhance junk" (fun () -> Tools.Eraysplus.enhance junk)
+  done
+
+(* recovery on a mutated dispatcher still terminates within budget *)
+let test_pathological_loops () =
+  (* a contract that is one big symbolic loop *)
+  let open Evm in
+  let items =
+    Asm.[
+      Op (Opcode.push 0); Op Opcode.CALLDATALOAD;
+      Push_label "f"; Op Opcode.JUMPI; Op Opcode.STOP;
+      Label "f";
+      Op Opcode.CALLVALUE;
+      Push_label "f";
+      Op Opcode.JUMPI;
+      Op Opcode.STOP;
+    ]
+  in
+  let code = Asm.assemble items in
+  no_exn "self-loop" (fun () ->
+      Symex.Exec.run ~code ~entry:0 ~init_stack:[] ())
+
+let suite =
+  [
+    Alcotest.test_case "garbage inputs" `Quick test_empty_and_garbage;
+    Alcotest.test_case "truncated contracts" `Quick test_truncated_contracts;
+    Alcotest.test_case "bit-flipped contracts" `Quick test_bitflipped_contracts;
+    Alcotest.test_case "random bytecode" `Quick test_random_bytecode_fuzz;
+    Alcotest.test_case "interpreter on junk" `Quick test_interpreter_fuzz;
+    Alcotest.test_case "parchecker/decoder on junk" `Quick test_parchecker_fuzz;
+    Alcotest.test_case "erays on junk" `Quick test_erays_fuzz;
+    Alcotest.test_case "pathological loops bounded" `Quick test_pathological_loops;
+  ]

@@ -1,0 +1,202 @@
+(* The synthetic compiler itself: dispatcher shape, version knobs,
+   differential execution between public and external modes, and the
+   obfuscation pass. *)
+
+open Evm
+
+let compile_one ?version ?(vis = Abi.Funsig.Public) tys =
+  let fsig = Abi.Funsig.make ~visibility:vis "f" tys in
+  (fsig, Solc.Compile.compile_fn ?version (Solc.Lang.fn_of_sig fsig))
+
+let ops_of code = List.map (fun i -> i.Disasm.op) (Disasm.disassemble code)
+
+let test_dispatcher_styles () =
+  let old = List.hd Solc.Version.solidity_versions in
+  let newest = Solc.Version.latest_solidity in
+  let _, old_code = compile_one ~version:old [ Abi.Abity.Bool ] in
+  let _, new_code = compile_one ~version:newest [ Abi.Abity.Bool ] in
+  Alcotest.(check bool) "old uses DIV" true
+    (List.mem Opcode.DIV (ops_of old_code));
+  Alcotest.(check bool) "old has no SHR dispatch" false
+    (Sigrec.Ids.uses_shr_dispatch old_code);
+  Alcotest.(check bool) "new uses SHR dispatch" true
+    (Sigrec.Ids.uses_shr_dispatch new_code)
+
+let test_mask_emission () =
+  (* the documented mask idioms must appear in the bytecode verbatim *)
+  let has_push code v =
+    List.exists
+      (function Opcode.PUSH (_, w) -> U256.equal w v | _ -> false)
+      (ops_of code)
+  in
+  let _, c = compile_one [ Abi.Abity.Uint 64 ] in
+  Alcotest.(check bool) "uint64 mask" true (has_push c (U256.ones_low 8));
+  let _, c = compile_one [ Abi.Abity.Bytes_n 4 ] in
+  Alcotest.(check bool) "bytes4 high mask" true (has_push c (U256.ones_high 4));
+  let _, c = compile_one [ Abi.Abity.Address ] in
+  Alcotest.(check bool) "address 20-byte mask" true (has_push c (U256.ones_low 20));
+  let _, c = compile_one [ Abi.Abity.Int 32 ] in
+  Alcotest.(check bool) "int32 signextend" true
+    (List.mem Opcode.SIGNEXTEND (ops_of c));
+  let _, c = compile_one [ Abi.Abity.Uint 256 ] in
+  Alcotest.(check bool) "uint256 unmasked" false
+    (List.exists
+       (function
+         | Opcode.PUSH (_, w) -> U256.equal w (U256.ones_low 16)
+         | _ -> false)
+       (ops_of c))
+
+let test_public_copies_external_loads () =
+  (* public arrays are CALLDATACOPYed; external arrays are loaded on
+     demand (paper §2.3.1) *)
+  let ty = [ Abi.Abity.Sarray (Abi.Abity.Uint 256, 3) ] in
+  let _, pub = compile_one ~vis:Abi.Funsig.Public ty in
+  let _, ext = compile_one ~vis:Abi.Funsig.External ty in
+  Alcotest.(check bool) "public copies" true
+    (List.mem Opcode.CALLDATACOPY (ops_of pub));
+  Alcotest.(check bool) "external does not copy" false
+    (List.mem Opcode.CALLDATACOPY (ops_of ext))
+
+let test_vyper_range_checks () =
+  (* Vyper output uses comparisons, not masks (paper §2.3.2) *)
+  let fsig = Abi.Funsig.make ~lang:Abi.Abity.Vyper "f" [ Abi.Abity.Address ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  let ops = ops_of code in
+  Alcotest.(check bool) "no AND mask after load" false
+    (List.exists
+       (function
+         | Opcode.PUSH (_, w) -> U256.equal w (U256.ones_low 20)
+         | _ -> false)
+       ops);
+  Alcotest.(check bool) "2^160 bound pushed" true
+    (List.exists
+       (function
+         | Opcode.PUSH (_, w) -> U256.equal w (U256.pow2 160)
+         | _ -> false)
+       ops)
+
+let test_differential_public_external () =
+  (* the two visibilities must compute the same observable outcome on
+     the same call data *)
+  let rng = Random.State.make [| 88 |] in
+  let tys =
+    [
+      [ Abi.Abity.Uint 64; Abi.Abity.Bool ];
+      [ Abi.Abity.Darray (Abi.Abity.Uint 8) ];
+      [ Abi.Abity.Bytes ];
+      [ Abi.Abity.Sarray (Abi.Abity.Uint 256, 2); Abi.Abity.Address ];
+    ]
+  in
+  List.iter
+    (fun tys ->
+      let fsig_pub, pub = compile_one ~vis:Abi.Funsig.Public tys in
+      let _, ext = compile_one ~vis:Abi.Funsig.External tys in
+      let args = List.map (Abi.Valgen.value rng) tys in
+      let cd =
+        Abi.Encode.encode_call ~selector:(Abi.Funsig.selector fsig_pub) tys args
+      in
+      let a = Interp.execute ~code:pub ~calldata:cd () in
+      let b = Interp.execute ~code:ext ~calldata:cd () in
+      let tag r =
+        match r.Interp.outcome with
+        | Interp.Stopped -> "stop"
+        | Interp.Returned _ -> "ret"
+        | Interp.Reverted _ -> "rev"
+        | _ -> "other"
+      in
+      Alcotest.(check string) "same outcome" (tag a) (tag b))
+    tys
+
+let test_version_determinism () =
+  let c =
+    Solc.Compile.contract_of_sigs [ Abi.Funsig.make "f" [ Abi.Abity.Bool ] ]
+  in
+  Alcotest.(check string) "compile deterministic"
+    (Hex.encode (Solc.Compile.compile c))
+    (Hex.encode (Solc.Compile.compile c))
+
+let test_rejects_wrong_language () =
+  Alcotest.(check bool) "vyper type in solidity rejected" true
+    (try
+       ignore
+         (Solc.Compile.compile_fn
+            (Solc.Lang.fn_of_sig (Abi.Funsig.make "f" [ Abi.Abity.Decimal ])));
+       false
+     with Invalid_argument _ -> true)
+
+(* -- obfuscation --------------------------------------------------------- *)
+
+let obfuscated_contract level =
+  let fsig =
+    Abi.Funsig.make "obf" [ Abi.Abity.Uint 32; Abi.Abity.Darray (Abi.Abity.Uint 8) ]
+  in
+  let contract =
+    { Solc.Compile.fns = [ Solc.Lang.fn_of_sig fsig ];
+      version = Solc.Version.latest_solidity }
+  in
+  (fsig, Solc.Obfuscate.compile_obfuscated ~level ~seed:99 contract)
+
+let test_obfuscation_preserves_semantics () =
+  let rng = Random.State.make [| 12 |] in
+  List.iter
+    (fun level ->
+      let fsig, code = obfuscated_contract level in
+      let args = List.map (Abi.Valgen.value rng) fsig.Abi.Funsig.params in
+      let cd =
+        Abi.Encode.encode_call ~selector:(Abi.Funsig.selector fsig)
+          fsig.Abi.Funsig.params args
+      in
+      let res = Interp.execute ~code ~calldata:cd () in
+      match res.Interp.outcome with
+      | Interp.Stopped | Interp.Reverted _ -> ()
+      | o ->
+        Alcotest.failf "level %d broke execution: %a" level Interp.pp_outcome o)
+    [ 1; 2; 3 ]
+
+let test_obfuscation_grows_code () =
+  let _, plain = obfuscated_contract 0 |> fun (f, _) ->
+    (f, Solc.Compile.compile_fn (Solc.Lang.fn_of_sig f))
+  in
+  let _, obf = obfuscated_contract 2 in
+  Alcotest.(check bool) "obfuscated code is larger" true
+    (String.length obf > String.length plain)
+
+let test_obfuscation_recoverable_at_low_levels () =
+  List.iter
+    (fun level ->
+      let _fsig, code = obfuscated_contract level in
+      match Sigrec.Recover.recover code with
+      | [ r ] ->
+        Alcotest.(check string)
+          (Printf.sprintf "level %d recovery" level)
+          "uint32,uint8[]"
+          (Sigrec.Recover.type_list r)
+      | _ -> Alcotest.failf "level %d: function not found" level)
+    [ 1; 2 ]
+
+let test_obfuscation_defeats_pattern_matching () =
+  let fsig, code = obfuscated_contract 1 in
+  match
+    Tools.Baseline.eveem_heuristic ~bytecode:code
+      ~selector:(Abi.Funsig.selector fsig)
+  with
+  | Tools.Baseline.Recovered tys
+    when List.length tys = 2
+         && List.for_all2 Abi.Abity.equal tys fsig.Abi.Funsig.params ->
+    Alcotest.fail "pattern matching should not survive junk insertion"
+  | _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "dispatcher styles" `Quick test_dispatcher_styles;
+    Alcotest.test_case "mask emission" `Quick test_mask_emission;
+    Alcotest.test_case "public copies / external loads" `Quick test_public_copies_external_loads;
+    Alcotest.test_case "vyper range checks" `Quick test_vyper_range_checks;
+    Alcotest.test_case "public/external differential" `Quick test_differential_public_external;
+    Alcotest.test_case "compile deterministic" `Quick test_version_determinism;
+    Alcotest.test_case "language check" `Quick test_rejects_wrong_language;
+    Alcotest.test_case "obfuscation preserves semantics" `Quick test_obfuscation_preserves_semantics;
+    Alcotest.test_case "obfuscation grows code" `Quick test_obfuscation_grows_code;
+    Alcotest.test_case "obfuscation recoverable (TASE)" `Quick test_obfuscation_recoverable_at_low_levels;
+    Alcotest.test_case "obfuscation defeats patterns" `Quick test_obfuscation_defeats_pattern_matching;
+  ]

@@ -1,0 +1,268 @@
+(* The symbolic executor: event recording, expression shapes, loop
+   bounding, fork budgets. Programs are hand-assembled so the expected
+   traces are known exactly. *)
+
+open Evm
+module Sexpr = Symex.Sexpr
+module Trace = Symex.Trace
+
+let run_ops ?budget ops =
+  Symex.Exec.run ?budget ~code:(Asm.assemble_ops ops) ~entry:0 ~init_stack:[] ()
+
+let run_items ?budget items =
+  Symex.Exec.run ?budget ~code:(Asm.assemble items) ~entry:0 ~init_stack:[] ()
+
+let test_load_recorded () =
+  let t = run_ops Opcode.[ push 4; CALLDATALOAD; POP; STOP ] in
+  match t.Trace.loads with
+  | [ l ] ->
+    Alcotest.(check (option int)) "constant loc" (Some 4)
+      (Sexpr.to_const_int l.Trace.loc)
+  | ls -> Alcotest.failf "expected one load, got %d" (List.length ls)
+
+let test_mask_event () =
+  let t =
+    run_ops
+      Opcode.[ push 4; CALLDATALOAD; push_u256 (U256.ones_low 20); AND; POP; STOP ]
+  in
+  match t.Trace.usages with
+  | [ { Trace.kind = Trace.Mask_and m; subject = Trace.Sub_load 0; _ } ] ->
+    Alcotest.(check bool) "20-byte mask" true (U256.equal m (U256.ones_low 20))
+  | _ -> Alcotest.fail "expected one Mask_and usage on load 0"
+
+let test_signextend_event () =
+  let t =
+    run_ops Opcode.[ push 4; CALLDATALOAD; push 3; SIGNEXTEND; POP; STOP ]
+  in
+  Alcotest.(check bool) "signext recorded" true
+    (List.exists
+       (fun u -> u.Trace.kind = Trace.Mask_signext 3)
+       t.Trace.usages)
+
+let test_bool_mask_event () =
+  let t =
+    run_ops Opcode.[ push 4; CALLDATALOAD; ISZERO; ISZERO; POP; STOP ]
+  in
+  Alcotest.(check bool) "double iszero recorded" true
+    (List.exists (fun u -> u.Trace.kind = Trace.Mask_bool) t.Trace.usages)
+
+let test_byte_event () =
+  let t =
+    run_ops Opcode.[ push 4; CALLDATALOAD; push 0; BYTE; POP; STOP ]
+  in
+  Alcotest.(check bool) "byte read recorded" true
+    (List.exists (fun u -> u.Trace.kind = Trace.Byte_read) t.Trace.usages)
+
+let test_signed_use_event () =
+  let t =
+    run_ops Opcode.[ push 2; push 4; CALLDATALOAD; SDIV; POP; STOP ]
+  in
+  Alcotest.(check bool) "sdiv recorded" true
+    (List.exists (fun u -> u.Trace.kind = Trace.Signed_use) t.Trace.usages)
+
+let test_copy_and_region () =
+  (* copy 32 bytes of calldata into memory, read it back, mask it: the
+     mask must be attributed to the copy's region *)
+  let t =
+    run_ops
+      Opcode.[
+        push 32; push 4; push 0x100; CALLDATACOPY;
+        push 0x100; MLOAD;
+        push_u256 (U256.ones_low 1); AND; POP; STOP;
+      ]
+  in
+  (match t.Trace.copies with
+  | [ c ] ->
+    Alcotest.(check (option int)) "src" (Some 4) (Sexpr.to_const_int c.Trace.src)
+  | _ -> Alcotest.fail "expected one copy");
+  Alcotest.(check bool) "mask on region" true
+    (List.exists
+       (fun u ->
+         match (u.Trace.subject, u.Trace.kind) with
+         | Trace.Sub_region _, Trace.Mask_and _ -> true
+         | _ -> false)
+       t.Trace.usages)
+
+let test_mstore_mload_roundtrip () =
+  (* a value stored to concrete memory comes back symbolically intact *)
+  let t =
+    run_ops
+      Opcode.[
+        push 4; CALLDATALOAD; push 0x40; MSTORE;
+        push 0x40; MLOAD; push 1; ADD; POP; STOP;
+      ]
+  in
+  (* the math use must land on the original load *)
+  Alcotest.(check bool) "math on load through memory" true
+    (List.exists
+       (fun u ->
+         u.Trace.subject = Trace.Sub_load 0 && u.Trace.kind = Trace.Math_use)
+       t.Trace.usages)
+
+let test_symbolic_branch_forks () =
+  (* both sides of a symbolic branch must be explored *)
+  let t =
+    run_items
+      Asm.[
+        Op Opcode.CALLVALUE;
+        Push_label "a";
+        Op Opcode.JUMPI;
+        Op (Opcode.push 8); Op Opcode.CALLDATALOAD; Op Opcode.POP;
+        Op Opcode.STOP;
+        Label "a";
+        Op (Opcode.push 40); Op Opcode.CALLDATALOAD; Op Opcode.POP;
+        Op Opcode.STOP;
+      ]
+  in
+  let locs =
+    List.filter_map (fun l -> Sexpr.to_const_int l.Trace.loc) t.Trace.loads
+  in
+  Alcotest.(check bool) "both branches visited" true
+    (List.mem 8 locs && List.mem 40 locs);
+  Alcotest.(check int) "two paths" 2 t.Trace.paths_explored
+
+let test_concrete_branch_no_fork () =
+  let t =
+    run_items
+      Asm.[
+        Op (Opcode.push 0);
+        Push_label "dead";
+        Op Opcode.JUMPI;
+        Op Opcode.STOP;
+        Label "dead";
+        Op (Opcode.push 99); Op Opcode.CALLDATALOAD; Op Opcode.POP;
+        Op Opcode.STOP;
+      ]
+  in
+  Alcotest.(check int) "dead branch not taken" 0 (List.length t.Trace.loads);
+  Alcotest.(check int) "single path" 1 t.Trace.paths_explored
+
+let test_symbolic_loop_bounded () =
+  (* while (i < calldataload(4)) i++ — must terminate via the fork
+     budget *)
+  let t =
+    run_items
+      Asm.[
+        Op (Opcode.push 0); Op (Opcode.push 0); Op Opcode.MSTORE;
+        Label "head";
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.push 0); Op Opcode.MLOAD;
+        Op Opcode.LT;
+        Op Opcode.ISZERO;
+        Push_label "exit";
+        Op Opcode.JUMPI;
+        Op (Opcode.push 0); Op Opcode.MLOAD;
+        Op (Opcode.push 1); Op Opcode.ADD;
+        Op (Opcode.push 0); Op Opcode.MSTORE;
+        Push_label "head";
+        Op Opcode.JUMP;
+        Label "exit";
+        Op Opcode.STOP;
+      ]
+  in
+  Alcotest.(check bool) "bounded paths" true (t.Trace.paths_explored <= 16)
+
+let test_jumpi_conds_recorded () =
+  let t =
+    run_items
+      Asm.[
+        Op (Opcode.push 10);
+        Op Opcode.CALLVALUE;
+        Op Opcode.LT;
+        Push_label "ok";
+        Op Opcode.JUMPI;
+        Op Opcode.STOP;
+        Label "ok";
+        Op Opcode.STOP;
+      ]
+  in
+  let found = ref false in
+  Hashtbl.iter
+    (fun _ conds ->
+      List.iter
+        (fun c ->
+          match c with
+          | Sexpr.Bin (Sexpr.Blt, Sexpr.Env _, Sexpr.Const _) -> found := true
+          | _ -> ())
+        conds)
+    t.Trace.jumpi_conds;
+  Alcotest.(check bool) "LT condition kept structurally" true !found
+
+let test_range_check_event () =
+  (* Vyper-style: value < bound guarded branch yields a Range_lt *)
+  let t =
+    run_items
+      Asm.[
+        Op (Opcode.push 4); Op Opcode.CALLDATALOAD;
+        Op (Opcode.push_u256 (U256.pow2 160));
+        Op (Opcode.DUP 2); Op Opcode.LT; Op Opcode.ISZERO;
+        Push_label "revert"; Op Opcode.JUMPI;
+        Op Opcode.POP; Op Opcode.POP; Op Opcode.STOP;
+        Label "revert";
+        Op (Opcode.push 0); Op (Opcode.push 0); Op Opcode.REVERT;
+      ]
+  in
+  Alcotest.(check bool) "range check recorded" true
+    (List.exists
+       (fun u ->
+         match u.Trace.kind with
+         | Trace.Range_lt b -> U256.equal b (U256.pow2 160)
+         | _ -> false)
+       t.Trace.usages)
+
+let test_symbolic_jump_kills_path () =
+  (* jump to a calldata-dependent target must end the path quietly *)
+  let t = run_ops Opcode.[ push 4; CALLDATALOAD; JUMP; STOP ] in
+  Alcotest.(check int) "one path" 1 t.Trace.paths_explored
+
+let test_stack_underflow_recovers () =
+  (* popping an empty stack yields a fresh symbol, not a crash *)
+  let t = run_ops Opcode.[ POP; POP; push 1; POP; STOP ] in
+  Alcotest.(check int) "no loads" 0 (List.length t.Trace.loads)
+
+let test_expr_queries () =
+  let x = Sexpr.CDLoad 0 in
+  let e =
+    Sexpr.bin Sexpr.Badd (Sexpr.of_int 4)
+      (Sexpr.bin Sexpr.Bmul (Sexpr.of_int 32) (Sexpr.Env "cv"))
+  in
+  Alcotest.(check bool) "has_mul_by 32" true (Sexpr.has_mul_by e 32);
+  Alcotest.(check bool) "no mul by 31" false (Sexpr.has_mul_by e 31);
+  Alcotest.(check int) "const offset" 4 (Sexpr.const_offset e);
+  Alcotest.(check bool) "contains env" true (Sexpr.contains e (Sexpr.Env "cv"));
+  Alcotest.(check bool) "mentions load" true
+    (Sexpr.mentions_load (Sexpr.bin Sexpr.Badd x (Sexpr.of_int 4)) 0);
+  let masked = Sexpr.bin Sexpr.Band x (Sexpr.const (U256.ones_low 20)) in
+  Alcotest.(check bool) "subject strips mask" true
+    (Sexpr.subject masked = Some (`Load 0));
+  (* constant folding except comparisons *)
+  (match Sexpr.bin Sexpr.Badd (Sexpr.of_int 2) (Sexpr.of_int 3) with
+  | Sexpr.Const v -> Alcotest.(check bool) "2+3 folds" true (U256.equal v (U256.of_int 5))
+  | _ -> Alcotest.fail "addition should fold");
+  (match Sexpr.bin Sexpr.Blt (Sexpr.of_int 2) (Sexpr.of_int 3) with
+  | Sexpr.Bin (Sexpr.Blt, _, _) -> ()
+  | _ -> Alcotest.fail "comparison must stay structural");
+  Alcotest.(check bool) "eval_concrete recovers truth" true
+    (match Sexpr.eval_concrete (Sexpr.bin Sexpr.Blt (Sexpr.of_int 2) (Sexpr.of_int 3)) with
+    | Some v -> U256.equal v U256.one
+    | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "load recorded" `Quick test_load_recorded;
+    Alcotest.test_case "mask event" `Quick test_mask_event;
+    Alcotest.test_case "signextend event" `Quick test_signextend_event;
+    Alcotest.test_case "bool mask event" `Quick test_bool_mask_event;
+    Alcotest.test_case "byte event" `Quick test_byte_event;
+    Alcotest.test_case "signed use event" `Quick test_signed_use_event;
+    Alcotest.test_case "copy region attribution" `Quick test_copy_and_region;
+    Alcotest.test_case "memory roundtrip" `Quick test_mstore_mload_roundtrip;
+    Alcotest.test_case "symbolic branch forks" `Quick test_symbolic_branch_forks;
+    Alcotest.test_case "concrete branch no fork" `Quick test_concrete_branch_no_fork;
+    Alcotest.test_case "symbolic loop bounded" `Quick test_symbolic_loop_bounded;
+    Alcotest.test_case "jumpi conds recorded" `Quick test_jumpi_conds_recorded;
+    Alcotest.test_case "range check event" `Quick test_range_check_event;
+    Alcotest.test_case "symbolic jump ends path" `Quick test_symbolic_jump_kills_path;
+    Alcotest.test_case "stack underflow recovers" `Quick test_stack_underflow_recovers;
+    Alcotest.test_case "expression queries" `Quick test_expr_queries;
+  ]

@@ -1,0 +1,328 @@
+(* The application layer: EFSD/baselines, ParChecker, the fuzzer pair
+   and the Erays pipeline. *)
+
+open Evm
+
+(* -- EFSD and baselines -------------------------------------------------- *)
+
+let test_efsd () =
+  let db = Tools.Efsd.create () in
+  let f = Abi.Funsig.make "foo" [ Abi.Abity.Bool ] in
+  Alcotest.(check bool) "miss" true (Tools.Efsd.lookup db (Abi.Funsig.selector f) = None);
+  Tools.Efsd.add db f;
+  (match Tools.Efsd.lookup db (Abi.Funsig.selector f) with
+  | Some g -> Alcotest.(check bool) "hit" true (Abi.Funsig.equal f g)
+  | None -> Alcotest.fail "expected hit");
+  let sigs =
+    List.init 200 (fun i ->
+        Abi.Funsig.make (Printf.sprintf "f%d" i) [ Abi.Abity.Uint 256 ])
+  in
+  let db = Tools.Efsd.create () in
+  Tools.Efsd.populate db ~coverage:0.5 ~seed:1 sigs;
+  let size = Tools.Efsd.size db in
+  Alcotest.(check bool) "coverage approximately half" true
+    (size > 70 && size < 130)
+
+let test_db_tools () =
+  let f = Abi.Funsig.make "bar" [ Abi.Abity.Address ] in
+  let db = Tools.Efsd.create () in
+  Tools.Efsd.add db f;
+  let osd = Tools.Baseline.osd db in
+  (match osd.Tools.Baseline.run ~bytecode:"" ~selector:(Abi.Funsig.selector f) with
+  | Tools.Baseline.Recovered [ Abi.Abity.Address ] -> ()
+  | _ -> Alcotest.fail "OSD should recover from db");
+  match osd.Tools.Baseline.run ~bytecode:"" ~selector:"\x00\x00\x00\x00" with
+  | Tools.Baseline.Not_recovered -> ()
+  | _ -> Alcotest.fail "OSD must miss unknown ids"
+
+let test_eveem_heuristic () =
+  (* all-basic signatures are exactly what the shallow rules can do *)
+  let fsig = Abi.Funsig.make "basics" [ Abi.Abity.Uint 8; Abi.Abity.Address ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  (match
+     Tools.Baseline.eveem_heuristic ~bytecode:code
+       ~selector:(Abi.Funsig.selector fsig)
+   with
+  | Tools.Baseline.Recovered tys ->
+    Alcotest.(check string) "basics recovered" "uint8,address"
+      (String.concat "," (List.map Abi.Abity.to_string tys))
+  | _ -> Alcotest.fail "expected recovery");
+  (* arrays defeat the shallow rules: the head slot reads as a word *)
+  let fsig2 =
+    Abi.Funsig.make "withArray" [ Abi.Abity.Darray (Abi.Abity.Uint 8) ]
+  in
+  let code2 = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig2) in
+  match
+    Tools.Baseline.eveem_heuristic ~bytecode:code2
+      ~selector:(Abi.Funsig.selector fsig2)
+  with
+  | Tools.Baseline.Recovered tys ->
+    Alcotest.(check bool) "array mis-typed" false
+      (tys = [ Abi.Abity.Darray (Abi.Abity.Uint 8) ])
+  | _ -> ()
+
+let test_gigahorse_aborts_deterministic () =
+  let db = Tools.Efsd.create () in
+  let gh = Tools.Baseline.gigahorse db in
+  let fsig = Abi.Funsig.make "anything" [ Abi.Abity.Bool ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  let r1 = gh.Tools.Baseline.run ~bytecode:code ~selector:(Abi.Funsig.selector fsig) in
+  let r2 = gh.Tools.Baseline.run ~bytecode:code ~selector:(Abi.Funsig.selector fsig) in
+  Alcotest.(check bool) "deterministic" true (r1 = r2)
+
+(* -- ParChecker ----------------------------------------------------------- *)
+
+let transfer_params = [ Abi.Abity.Address; Abi.Abity.Uint 256 ]
+
+let encode_transfer addr amount =
+  Abi.Encode.encode_call
+    ~selector:(Keccak.selector "transfer(address,uint256)")
+    transfer_params
+    [ Abi.Value.VAddr addr; Abi.Value.VUint amount ]
+
+let test_parchecker_valid () =
+  let cd = encode_transfer (U256.of_hex "0x1234") (U256.of_int 1000) in
+  match Tools.Parchecker.check_call transfer_params cd with
+  | Tools.Parchecker.Valid -> ()
+  | Tools.Parchecker.Invalid r -> Alcotest.failf "valid rejected: %s" r
+
+let test_parchecker_detects_bad_address () =
+  (* nonzero high bytes in the address slot *)
+  let cd = Bytes.of_string (encode_transfer (U256.of_hex "0x1234") U256.one) in
+  Bytes.set cd 5 '\xff';
+  match Tools.Parchecker.check_call transfer_params (Bytes.to_string cd) with
+  | Tools.Parchecker.Invalid _ -> ()
+  | Tools.Parchecker.Valid -> Alcotest.fail "bad address accepted"
+
+let test_parchecker_detects_bad_bool () =
+  let params = [ Abi.Abity.Bool ] in
+  let cd = "\x00\x00\x00\x00" ^ U256.to_bytes_be (U256.of_int 2) in
+  match Tools.Parchecker.check_call params cd with
+  | Tools.Parchecker.Invalid _ -> ()
+  | Tools.Parchecker.Valid -> Alcotest.fail "bool=2 accepted"
+
+let test_parchecker_detects_bad_int_extension () =
+  let params = [ Abi.Abity.Int 8 ] in
+  (* -1 as int8 must be all-ones; a half-extended word is invalid *)
+  let bad = U256.logor (U256.of_int 0xff) (U256.shift_left U256.one 128) in
+  let cd = "\x00\x00\x00\x00" ^ U256.to_bytes_be bad in
+  match Tools.Parchecker.check_call params cd with
+  | Tools.Parchecker.Invalid _ -> ()
+  | Tools.Parchecker.Valid -> Alcotest.fail "bad sign extension accepted"
+
+let test_parchecker_detects_bytes_padding () =
+  let params = [ Abi.Abity.Bytes ] in
+  let good =
+    "\x00\x00\x00\x00"
+    ^ Abi.Encode.encode_args params [ Abi.Value.VBytes "abc" ]
+  in
+  (match Tools.Parchecker.check_call params good with
+  | Tools.Parchecker.Valid -> ()
+  | Tools.Parchecker.Invalid r -> Alcotest.failf "valid bytes rejected: %s" r);
+  let bad = Bytes.of_string good in
+  Bytes.set bad (String.length good - 1) '\x01';
+  match Tools.Parchecker.check_call params (Bytes.to_string bad) with
+  | Tools.Parchecker.Invalid _ -> ()
+  | Tools.Parchecker.Valid -> Alcotest.fail "dirty padding accepted"
+
+let test_parchecker_truncation () =
+  let cd = encode_transfer (U256.of_hex "0x1234") U256.one in
+  let cut = String.sub cd 0 (String.length cd - 40) in
+  match Tools.Parchecker.check_call transfer_params cut with
+  | Tools.Parchecker.Invalid _ -> ()
+  | Tools.Parchecker.Valid -> Alcotest.fail "truncated accepted"
+
+let test_short_address_attack () =
+  (* address ends in a zero byte; the attacker drops it *)
+  let addr = U256.shift_left (U256.of_hex "0x123456") 8 in
+  let cd = encode_transfer addr (U256.of_int 0x2710) in
+  let attack = String.sub cd 0 (String.length cd - 1) in
+  Alcotest.(check bool) "attack detected" true
+    (Tools.Parchecker.is_short_address_attack transfer_params attack);
+  Alcotest.(check bool) "full-length call not flagged" false
+    (Tools.Parchecker.is_short_address_attack transfer_params cd);
+  (* a signature without the trailing (address, uint256) is not a
+     candidate *)
+  Alcotest.(check bool) "other signature not flagged" false
+    (Tools.Parchecker.is_short_address_attack [ Abi.Abity.Bool ] attack)
+
+let prop_parchecker_accepts_valid =
+  let rng = Random.State.make [| 2718 |] in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"spec encodings always validate" ~count:250
+       (QCheck.make
+          ~print:Abi.Abity.to_string
+          (QCheck.Gen.map
+             (fun () -> Abi.Valgen.sol_type ~abiv2:true rng)
+             QCheck.Gen.unit))
+       (fun ty ->
+         let v = Abi.Valgen.value rng ty in
+         let cd =
+           "\x00\x00\x00\x2a" ^ Abi.Encode.encode_args [ ty ] [ v ]
+         in
+         Tools.Parchecker.check_call [ ty ] cd = Tools.Parchecker.Valid))
+
+(* -- fuzzer ---------------------------------------------------------------- *)
+
+let fuzz_sample () = List.hd (Solc.Corpus.fuzz_set ~seed:17 ~n:1)
+
+let test_fuzzer_dictionary () =
+  let s = fuzz_sample () in
+  let dict = Tools.Fuzzer.dictionary s.Solc.Corpus.code in
+  Alcotest.(check bool) "dictionary harvested" true (List.length dict > 0)
+
+let test_fuzzer_budget_respected () =
+  let s = fuzz_sample () in
+  let fsig = Solc.Corpus.truth s in
+  let rng = Random.State.make [| 3 |] in
+  let r =
+    Tools.Fuzzer.run_campaign ~budget:5 ~rng ~code:s.Solc.Corpus.code
+      ~selector:(Abi.Funsig.selector fsig) Tools.Fuzzer.Raw
+  in
+  Alcotest.(check bool) "at most 5 executions" true (r.Tools.Fuzzer.executions <= 5)
+
+let test_fuzzer_finds_deep_bug_with_signature () =
+  (* a deep (magic-equality) bug must be reachable via the dictionary
+     when the signature is known *)
+  let fsig = Abi.Funsig.make "deep" [ Abi.Abity.Uint 256 ] in
+  let magic = Evm.U256.of_hex "0x1122334455667788" in
+  let fn =
+    Solc.Lang.fn ~bug:(Solc.Lang.Deep magic) fsig
+      [ Solc.Lang.param (Abi.Abity.Uint 256) ]
+  in
+  let code = Solc.Compile.compile_fn fn in
+  let rng = Random.State.make [| 4 |] in
+  let r =
+    Tools.Fuzzer.run_campaign ~budget:200 ~rng ~code
+      ~selector:(Abi.Funsig.selector fsig)
+      (Tools.Fuzzer.Signature_aware [ Abi.Abity.Uint 256 ])
+  in
+  Alcotest.(check bool) "deep bug found" true r.Tools.Fuzzer.bug_found;
+  (* and is out of reach for the raw fuzzer *)
+  let rng = Random.State.make [| 4 |] in
+  let r =
+    Tools.Fuzzer.run_campaign ~budget:200 ~rng ~code
+      ~selector:(Abi.Funsig.selector fsig) Tools.Fuzzer.Raw
+  in
+  Alcotest.(check bool) "deep bug hidden from raw fuzzer" false
+    r.Tools.Fuzzer.bug_found
+
+let test_fuzzer_clean_contract_no_bug () =
+  let fsig = Abi.Funsig.make "clean" [ Abi.Abity.Uint 256 ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  let rng = Random.State.make [| 5 |] in
+  let r =
+    Tools.Fuzzer.run_campaign ~budget:100 ~rng ~code
+      ~selector:(Abi.Funsig.selector fsig)
+      (Tools.Fuzzer.Signature_aware [ Abi.Abity.Uint 256 ])
+  in
+  Alcotest.(check bool) "no false bug" false r.Tools.Fuzzer.bug_found
+
+(* -- Erays / Erays+ --------------------------------------------------------- *)
+
+let test_coverage_fuzzer () =
+  (* the coverage-guided mode finds deep bugs at least as reliably as
+     plain signature-aware generation *)
+  let fsig = Abi.Funsig.make "cov" [ Abi.Abity.Uint 256 ] in
+  let magic = Evm.U256.of_hex "0xfeedface" in
+  let fn =
+    Solc.Lang.fn ~bug:(Solc.Lang.Deep magic) fsig
+      [ Solc.Lang.param (Abi.Abity.Uint 256) ]
+  in
+  let code = Solc.Compile.compile_fn fn in
+  let rng = Random.State.make [| 6 |] in
+  let r =
+    Tools.Fuzzer.run_coverage_campaign ~budget:200 ~rng ~code
+      ~selector:(Abi.Funsig.selector fsig) [ Abi.Abity.Uint 256 ]
+  in
+  Alcotest.(check bool) "coverage mode finds the bug" true
+    r.Tools.Fuzzer.bug_found
+
+let test_ablation_config () =
+  (* disabling fine masks must demote a uint8 to the uint256 default *)
+  let fsig = Abi.Funsig.make "abl" [ Abi.Abity.Uint 8 ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  let no_masks =
+    { Sigrec.Rules.default_config with Sigrec.Rules.fine_masks = false }
+  in
+  (match Sigrec.Recover.recover ~config:no_masks code with
+  | [ r ] ->
+    Alcotest.(check string) "uint8 demoted" "uint256"
+      (Sigrec.Recover.type_list r)
+  | _ -> Alcotest.fail "expected one function");
+  (* disabling guard dims must flatten an external static array *)
+  let fsig2 =
+    Abi.Funsig.make ~visibility:Abi.Funsig.External "abl2"
+      [ Abi.Abity.Sarray (Abi.Abity.Uint 256, 3) ]
+  in
+  let code2 = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig2) in
+  let no_guards =
+    { Sigrec.Rules.default_config with Sigrec.Rules.guard_dims = false }
+  in
+  match Sigrec.Recover.recover ~config:no_guards code2 with
+  | [ r ] ->
+    Alcotest.(check bool) "array lost without guards" true
+      (Sigrec.Recover.type_list r <> "uint256[3]")
+  | _ -> Alcotest.fail "expected one function"
+
+let test_erays_lift () =
+  let fsig =
+    Abi.Funsig.make "lifted" [ Abi.Abity.Darray (Abi.Abity.Uint 8) ]
+  in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  match Tools.Erays.lift code with
+  | [ fn ] ->
+    Alcotest.(check bool) "has statements" true (Tools.Erays.line_count fn > 5);
+    Alcotest.(check bool) "reads calldata somewhere" true
+      (List.exists (fun s -> s.Tools.Erays.reads_calldata) fn.Tools.Erays.stmts)
+  | fns -> Alcotest.failf "expected one function, got %d" (List.length fns)
+
+let test_eraysplus_metrics () =
+  let fsig =
+    Abi.Funsig.make "enhanced"
+      [ Abi.Abity.Darray (Abi.Abity.Uint 8); Abi.Abity.Address ]
+  in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  match Tools.Eraysplus.enhance code with
+  | [ e ] ->
+    Alcotest.(check int) "types added per param" 2 e.Tools.Eraysplus.added_types;
+    Alcotest.(check bool) "names added" true (e.Tools.Eraysplus.added_arg_names >= 2);
+    Alcotest.(check bool) "lines removed" true (e.Tools.Eraysplus.removed_lines > 0);
+    Alcotest.(check bool) "header carries the signature" true
+      (e.Tools.Eraysplus.header <> "");
+    (* the rewritten body references the parameter names *)
+    Alcotest.(check bool) "argN appears in body" true
+      (List.exists
+         (fun line ->
+           let has needle =
+             let n = String.length line and m = String.length needle in
+             let rec go i = i + m <= n && (String.sub line i m = needle || go (i + 1)) in
+             go 0
+           in
+           has "arg1" || has "arg2")
+         e.Tools.Eraysplus.stmts)
+  | es -> Alcotest.failf "expected one function, got %d" (List.length es)
+
+let suite =
+  [
+    Alcotest.test_case "efsd" `Quick test_efsd;
+    Alcotest.test_case "db tools" `Quick test_db_tools;
+    Alcotest.test_case "eveem heuristic" `Quick test_eveem_heuristic;
+    Alcotest.test_case "gigahorse deterministic" `Quick test_gigahorse_aborts_deterministic;
+    Alcotest.test_case "parchecker valid" `Quick test_parchecker_valid;
+    Alcotest.test_case "parchecker bad address" `Quick test_parchecker_detects_bad_address;
+    Alcotest.test_case "parchecker bad bool" `Quick test_parchecker_detects_bad_bool;
+    Alcotest.test_case "parchecker bad sign extension" `Quick test_parchecker_detects_bad_int_extension;
+    Alcotest.test_case "parchecker bytes padding" `Quick test_parchecker_detects_bytes_padding;
+    Alcotest.test_case "parchecker truncation" `Quick test_parchecker_truncation;
+    Alcotest.test_case "short address attack" `Quick test_short_address_attack;
+    prop_parchecker_accepts_valid;
+    Alcotest.test_case "fuzzer dictionary" `Quick test_fuzzer_dictionary;
+    Alcotest.test_case "fuzzer budget" `Quick test_fuzzer_budget_respected;
+    Alcotest.test_case "deep bug needs signature" `Quick test_fuzzer_finds_deep_bug_with_signature;
+    Alcotest.test_case "clean contract no bug" `Quick test_fuzzer_clean_contract_no_bug;
+    Alcotest.test_case "coverage-guided fuzzer" `Quick test_coverage_fuzzer;
+    Alcotest.test_case "ablation config" `Quick test_ablation_config;
+    Alcotest.test_case "erays lift" `Quick test_erays_lift;
+    Alcotest.test_case "erays+ metrics" `Quick test_eraysplus_metrics;
+  ]
