@@ -1,54 +1,191 @@
 (* The sigrec command-line tool: recover function signatures from EVM
-   runtime bytecode, check call data against them, or lift bytecode to
-   readable IR. *)
+   runtime bytecode (one contract or a batch), check call data against
+   them, or lift bytecode to readable IR.
 
-let read_bytecode input =
-  let raw =
+   Subcommands share the same input conventions and flags: bytecode is
+   hex (optional 0x prefix) or raw bytes, [--format json|text] selects
+   machine- or human-readable output, and [--jobs N] sizes the batch
+   engine's domain pool. *)
+
+let read_raw input =
+  try
     if input = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_bin input In_channel.input_all
-  in
+  with Sys_error msg ->
+    Printf.eprintf "sigrec: %s\n" msg;
+    exit 2
+
+let read_bytecode input =
+  let raw = read_raw input in
   let trimmed = String.trim raw in
   if Evm.Hex.is_valid trimmed then Evm.Hex.decode trimmed else raw
 
-let recover_cmd input show_stats explain =
-  let bytecode = read_bytecode input in
-  let stats = Hashtbl.create 31 in
-  let recovered = Sigrec.Recover.recover ~stats bytecode in
-  if recovered = [] then
+(* One hex bytecode per line; blank lines and #-comments skipped. *)
+let read_bytecode_list input =
+  let raw = read_raw input in
+  String.split_on_char '\n' raw
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else if Evm.Hex.is_valid line then Some (Evm.Hex.decode line)
+         else Some line)
+
+(* ---- JSON rendering (no external dependency) ---------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_list items = Printf.sprintf "[%s]" (String.concat "," items)
+
+let json_of_recovered (r : Sigrec.Recover.recovered) extra =
+  let fields =
+    [
+      ("selector", json_string ("0x" ^ r.Sigrec.Recover.selector_hex));
+      ( "types",
+        json_list
+          (List.map
+             (fun ty -> json_string (Abi.Abity.to_string ty))
+             r.Sigrec.Recover.params) );
+      ( "lang",
+        json_string
+          (match r.Sigrec.Recover.lang with
+          | Abi.Abity.Solidity -> "solidity"
+          | Abi.Abity.Vyper -> "vyper") );
+      ( "rule_paths",
+        json_list
+          (List.map
+             (fun path -> json_list (List.map json_string path))
+             r.Sigrec.Recover.rule_paths) );
+      ("entry_pc", string_of_int r.Sigrec.Recover.entry_pc);
+    ]
+    @ extra
+  in
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v)
+          fields))
+
+let json_of_outcome = function
+  | Sigrec.Engine.Recovered r ->
+    json_of_recovered r [ ("outcome", json_string "recovered") ]
+  | Sigrec.Engine.Budget_exhausted { partial; paths_explored } ->
+    json_of_recovered partial
+      [
+        ("outcome", json_string "budget_exhausted");
+        ("paths_explored", string_of_int paths_explored);
+      ]
+  | Sigrec.Engine.Failed e ->
+    Printf.sprintf
+      "{\"selector\":%s,\"entry_pc\":%d,\"outcome\":\"failed\",\"error\":%s}"
+      (json_string ("0x" ^ e.Sigrec.Engine.selector_hex))
+      e.Sigrec.Engine.entry_pc
+      (json_string e.Sigrec.Engine.message)
+
+let json_of_report (report : Sigrec.Engine.report) =
+  Printf.sprintf
+    "{\"code_hash\":%s,\"from_cache\":%b,\"functions\":%s}"
+    (json_string ("0x" ^ report.Sigrec.Engine.code_hash))
+    report.Sigrec.Engine.from_cache
+    (json_list (List.map json_of_outcome report.Sigrec.Engine.outcomes))
+
+(* ---- shared printing ---------------------------------------------- *)
+
+let print_rule_stats stats =
+  Format.printf "@.rule usage:@.";
+  List.iter
+    (fun (name, n) ->
+      if n > 0 then begin
+        let doc =
+          match Sigrec.Ruledoc.find name with
+          | Some d -> d.Sigrec.Ruledoc.concludes
+          | None -> ""
+        in
+        Format.printf "  %-4s %4d  %s@." name n doc
+      end)
+    (Sigrec.Stats.rule_counts stats);
+  Format.printf "functions recovered: %d; paths explored: %d@."
+    (Sigrec.Stats.functions_recovered stats)
+    (Sigrec.Stats.paths_explored stats);
+  let hits = Sigrec.Stats.cache_hits stats
+  and misses = Sigrec.Stats.cache_misses stats in
+  if hits + misses > 1 then
+    Format.printf "cache: %d hits / %d analyses@." hits misses
+
+let print_report_text ~explain (report : Sigrec.Engine.report) =
+  if report.Sigrec.Engine.outcomes = [] then
     Printf.printf "no public/external functions found\n"
   else
     List.iter
-      (fun r ->
-        Format.printf "%a@." Sigrec.Recover.pp r;
+      (fun outcome ->
+        Format.printf "%a@." Sigrec.Engine.pp_outcome outcome;
         if explain then
-          List.iteri
-            (fun i (ty, path) ->
-              Format.printf "    arg%d %-14s via %s@." (i + 1)
-                (Abi.Abity.to_string ty)
-                (if path = [] then "-" else String.concat " -> " path))
-            (List.combine r.Sigrec.Recover.params
-               r.Sigrec.Recover.rule_paths))
-      recovered;
-  if show_stats then begin
-    Format.printf "@.rule usage:@.";
-    List.iter
-      (fun name ->
-        match Hashtbl.find_opt stats name with
-        | Some n ->
-          let doc =
-            match Sigrec.Ruledoc.find name with
-            | Some d -> d.Sigrec.Ruledoc.concludes
-            | None -> ""
-          in
-          Format.printf "  %-4s %4d  %s@." name n doc
-        | None -> ())
-      Sigrec.Rules.all_rule_names
+          match outcome with
+          | Sigrec.Engine.Recovered r
+          | Sigrec.Engine.Budget_exhausted { partial = r; _ } ->
+            List.iteri
+              (fun i (ty, path) ->
+                Format.printf "    arg%d %-14s via %s@." (i + 1)
+                  (Abi.Abity.to_string ty)
+                  (if path = [] then "-" else String.concat " -> " path))
+              (List.combine r.Sigrec.Recover.params
+                 r.Sigrec.Recover.rule_paths)
+          | Sigrec.Engine.Failed _ -> ())
+      report.Sigrec.Engine.outcomes
+
+(* ---- subcommand bodies -------------------------------------------- *)
+
+let recover_cmd input show_stats explain format =
+  let bytecode = read_bytecode input in
+  let engine = Sigrec.Engine.create () in
+  let report = Sigrec.Engine.recover engine bytecode in
+  (match format with
+  | `Json -> print_endline (json_of_report report)
+  | `Text -> print_report_text ~explain report);
+  if show_stats && format = `Text then
+    print_rule_stats (Sigrec.Engine.stats engine);
+  match
+    List.find_opt
+      (function Sigrec.Engine.Failed _ -> true | _ -> false)
+      report.Sigrec.Engine.outcomes
+  with
+  | Some _ -> 1
+  | None -> 0
+
+let batch_cmd input jobs show_stats format =
+  let bytecodes = read_bytecode_list input in
+  let engine = Sigrec.Engine.create () in
+  let reports = Sigrec.Engine.recover_all ?jobs engine bytecodes in
+  (match format with
+  | `Json -> List.iter (fun r -> print_endline (json_of_report r)) reports
+  | `Text ->
+    List.iter (fun r -> Format.printf "%a@." Sigrec.Engine.pp_report r) reports);
+  if show_stats && format = `Text then begin
+    let stats = Sigrec.Engine.stats engine in
+    Format.printf
+      "@.batch: %d contracts, %d distinct analyses, %d cache hits@."
+      (List.length bytecodes)
+      (Sigrec.Stats.cache_misses stats)
+      (Sigrec.Stats.cache_hits stats);
+    print_rule_stats stats
   end;
   0
 
-let check_cmd input calldata_hex =
-  let bytecode = read_bytecode input in
-  let calldata = Evm.Hex.decode calldata_hex in
+let find_selector bytecode calldata k =
   if String.length calldata < 4 then begin
     Printf.eprintf "call data shorter than a function id\n";
     1
@@ -63,7 +200,13 @@ let check_cmd input calldata_hex =
       Printf.printf "function id 0x%s not found in bytecode\n"
         (Evm.Hex.encode selector);
       1
-    | Some r -> (
+    | Some r -> k r
+  end
+
+let check_cmd input calldata_hex =
+  let bytecode = read_bytecode input in
+  let calldata = Evm.Hex.decode calldata_hex in
+  find_selector bytecode calldata (fun r ->
       Printf.printf "signature: ";
       Format.printf "%a@." Sigrec.Recover.pp r;
       match Tools.Parchecker.check_call r.Sigrec.Recover.params calldata with
@@ -84,27 +227,11 @@ let check_cmd input calldata_hex =
             calldata
         then Printf.printf "WARNING: short address attack pattern\n";
         2)
-  end
 
 let decode_cmd input calldata_hex =
   let bytecode = read_bytecode input in
   let calldata = Evm.Hex.decode calldata_hex in
-  if String.length calldata < 4 then begin
-    Printf.eprintf "call data shorter than a function id\n";
-    1
-  end
-  else begin
-    let selector = String.sub calldata 0 4 in
-    match
-      List.find_opt
-        (fun r -> r.Sigrec.Recover.selector = selector)
-        (Sigrec.Recover.recover bytecode)
-    with
-    | None ->
-      Printf.printf "function id 0x%s not found in bytecode\n"
-        (Evm.Hex.encode selector);
-      1
-    | Some r -> (
+  find_selector bytecode calldata (fun r ->
       match Abi.Decode.decode_call r.Sigrec.Recover.params calldata with
       | Ok (_, values) ->
         Format.printf "0x%s%a@." r.Sigrec.Recover.selector_hex
@@ -114,7 +241,6 @@ let decode_cmd input calldata_hex =
       | Error reason ->
         Printf.printf "cannot decode: %s\n" reason;
         1)
-  end
 
 let lift_cmd input plain =
   let bytecode = read_bytecode input in
@@ -134,23 +260,49 @@ let lift_cmd input plain =
       (Tools.Eraysplus.enhance bytecode);
   0
 
+(* ---- command-line structure --------------------------------------- *)
+
 open Cmdliner
 
 let input_arg =
   let doc = "File containing hex (or raw) runtime bytecode; - for stdin." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BYTECODE" ~doc)
 
-let recover_term =
-  let stats =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print per-rule usage counts.")
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Number of worker domains for the batch engine (default: the \
+     recommended domain count of this machine)."
   in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-rule usage counts.")
+
+let recover_term =
   let explain =
     Arg.(
       value & flag
       & info [ "explain" ]
           ~doc:"Show each parameter's path through the rule decision tree.")
   in
-  Term.(const recover_cmd $ input_arg $ stats $ explain)
+  Term.(const recover_cmd $ input_arg $ stats_flag $ explain $ format_arg)
+
+let batch_term =
+  let input =
+    let doc =
+      "File with one hex bytecode per line (blank lines and # comments \
+       skipped); - for stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LIST" ~doc)
+  in
+  Term.(const batch_cmd $ input $ jobs_arg $ stats_flag $ format_arg)
 
 let check_term =
   let calldata =
@@ -173,6 +325,13 @@ let cmds =
       (Cmd.info "recover"
          ~doc:"Recover the function signatures of all public/external functions.")
       recover_term;
+    Cmd.v
+      (Cmd.info "batch"
+         ~doc:
+           "Recover a list of contracts through the batch engine: \
+            duplicates are analyzed once, distinct bytecodes fan out \
+            over worker domains.")
+      batch_term;
     Cmd.v
       (Cmd.info "check"
          ~doc:"Validate call data against the recovered signature (ParChecker).")

@@ -59,23 +59,22 @@ let () =
     \       used in arithmetic -- address\n\n";
 
   (* step 4 + assembly: the recovered signature *)
-  let stats = Hashtbl.create 31 in
+  let stats = Sigrec.Stats.create () in
   (match Sigrec.Recover.recover ~stats code with
   | [ r ] ->
     Format.printf "recovered: %a@." Sigrec.Recover.pp r;
     Printf.printf "\nrules that actually fired:\n";
     List.iter
-      (fun name ->
-        match Hashtbl.find_opt stats name with
-        | Some n ->
+      (fun (name, n) ->
+        if n > 0 then begin
           let doc =
             match Sigrec.Ruledoc.find name with
             | Some d -> d.Sigrec.Ruledoc.concludes
             | None -> ""
           in
           Printf.printf "  %-4s x%d  %s\n" name n doc
-        | None -> ())
-      Sigrec.Rules.all_rule_names
+        end)
+      (Sigrec.Stats.rule_counts stats)
   | _ -> Printf.printf "unexpected recovery result\n");
   Printf.printf
     "\nthe type list matches the source: \"uint8[],address\" (paper §4.2)\n"

@@ -70,10 +70,17 @@ let join_all recoveries =
     | first :: rest ->
       Some (List.fold_left (fun acc tys -> List.map2 join_type acc tys) first rest))
 
-let recover_many bytecodes =
+let recover_many ?engine ?jobs bytecodes =
+  (* byte-identical bodies carry identical evidence: the engine cache
+     analyzes each distinct bytecode once and replays the result for
+     its duplicates instead of re-running full recovery *)
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ()
+  in
+  let reports = Engine.recover_all ?jobs engine bytecodes in
   let table = Hashtbl.create 32 in
   List.iter
-    (fun code ->
+    (fun report ->
       List.iter
         (fun r ->
           let cur =
@@ -82,8 +89,8 @@ let recover_many bytecodes =
           in
           Hashtbl.replace table r.Recover.selector
             (r.Recover.params :: cur))
-        (Recover.recover code))
-    bytecodes;
+        (Engine.signatures report))
+    reports;
   Hashtbl.fold
     (fun selector recoveries acc ->
       match join_all recoveries with

@@ -30,7 +30,13 @@ val join_all : Abi.Abity.t list list -> Abi.Abity.t list option
     class. [None] on empty input. *)
 
 val recover_many :
-  string list -> (string * Abi.Abity.t list) list
+  ?engine:Engine.t ->
+  ?jobs:int ->
+  string list ->
+  (string * Abi.Abity.t list) list
 (** [recover_many bytecodes] recovers every contract and returns one
     aggregated parameter list per function id (selector, joined
-    types). *)
+    types). Runs through an {!Engine}: byte-identical duplicates are
+    analyzed once, distinct bytecodes fan out over [jobs] domains.
+    Pass [engine] to reuse its cache (and read its hit/miss counters)
+    across calls. *)

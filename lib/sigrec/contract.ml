@@ -1,0 +1,34 @@
+type t = {
+  code : string;
+  code_hash : string;
+  program : Symex.Exec.program;
+  cfg : Evm.Cfg.t;
+  deps : (int, int list) Hashtbl.t;
+  entries : Ids.entry list;
+}
+
+let hash_of_code code = Evm.Keccak.digest code
+
+let make code =
+  let program = Symex.Exec.prepare code in
+  let cfg = Evm.Cfg.of_instructions (Symex.Exec.instructions program) in
+  {
+    code;
+    code_hash = hash_of_code code;
+    program;
+    cfg;
+    deps = Evm.Cfg.control_deps cfg;
+    entries = Ids.extract_prepared program;
+  }
+
+let of_hex hex = make (Evm.Hex.decode hex)
+
+let of_input input =
+  let trimmed = String.trim input in
+  if Evm.Hex.is_valid trimmed then of_hex trimmed else make input
+
+let code t = t.code
+let code_hash t = t.code_hash
+let code_hash_hex t = Evm.Hex.encode t.code_hash
+let entries t = t.entries
+let function_count t = List.length t.entries

@@ -1,0 +1,37 @@
+(** Per-contract analysis context.
+
+    Everything TASE needs that depends only on the bytecode — the
+    disassembly, the control-flow graph, the dispatcher's function-id
+    entries, and the Keccak-256 code hash — is computed once here and
+    shared across every per-function {!Infer.infer} run and across the
+    batch engine's cache. All fields are immutable after construction,
+    so a [t] can be read from multiple domains. *)
+
+type t = {
+  code : string;                  (** raw runtime bytecode *)
+  code_hash : string;             (** 32-byte Keccak-256 of [code] *)
+  program : Symex.Exec.program;   (** shared disassembly *)
+  cfg : Evm.Cfg.t;
+  deps : (int, int list) Hashtbl.t;
+      (** control-dependence table, shared by every per-function run *)
+  entries : Ids.entry list;       (** dispatcher entries, dispatch order *)
+}
+
+val make : string -> t
+(** [make code] builds the context from raw runtime bytecode. *)
+
+val of_hex : string -> t
+(** Decode a hex string (optional ["0x"] prefix) first. *)
+
+val of_input : string -> t
+(** Accept either hex or raw bytecode, as the CLI does: valid hex is
+    decoded, anything else is treated as raw bytes. *)
+
+val hash_of_code : string -> string
+(** The cache key: 32-byte Keccak-256 of the raw bytecode. *)
+
+val code : t -> string
+val code_hash : t -> string
+val code_hash_hex : t -> string
+val entries : t -> Ids.entry list
+val function_count : t -> int

@@ -1,0 +1,229 @@
+type error = {
+  selector : string;
+  selector_hex : string;
+  entry_pc : int;
+  message : string;
+}
+
+type outcome =
+  | Recovered of Recover.recovered
+  | Budget_exhausted of { partial : Recover.recovered; paths_explored : int }
+  | Failed of error
+
+type report = {
+  code_hash : string;
+  outcomes : outcome list;
+  from_cache : bool;
+}
+
+type t = {
+  config : Rules.config;
+  budget : Symex.Exec.budget option;
+  cache : (string, report) Hashtbl.t; (* 32-byte code hash -> report *)
+  lock : Mutex.t;
+  stats : Stats.t;
+}
+
+let create ?(config = Rules.default_config) ?budget () =
+  {
+    config;
+    budget;
+    cache = Hashtbl.create 256;
+    lock = Mutex.create ();
+    stats = Stats.create ();
+  }
+
+let signatures report =
+  List.filter_map
+    (function
+      | Recovered r | Budget_exhausted { partial = r; _ } -> Some r
+      | Failed _ -> None)
+    report.outcomes
+
+let outcome_selector_hex = function
+  | Recovered r | Budget_exhausted { partial = r; _ } ->
+    r.Recover.selector_hex
+  | Failed e -> e.selector_hex
+
+let pp_outcome fmt = function
+  | Recovered r -> Format.fprintf fmt "%a" Recover.pp r
+  | Budget_exhausted { partial; paths_explored } ->
+    Format.fprintf fmt "%a [budget exhausted after %d paths]" Recover.pp
+      partial paths_explored
+  | Failed e ->
+    Format.fprintf fmt "0x%s [failed: %s]" e.selector_hex e.message
+
+let pp_report fmt report =
+  Format.fprintf fmt "@[<v>code hash 0x%s%s@," report.code_hash
+    (if report.from_cache then " (cached)" else "");
+  (match report.outcomes with
+  | [] -> Format.fprintf fmt "  no public/external functions@,"
+  | outcomes ->
+    List.iter
+      (fun o -> Format.fprintf fmt "  %a@," pp_outcome o)
+      outcomes);
+  Format.fprintf fmt "@]"
+
+(* Analyze one bytecode cold: build the shared context once, then run
+   TASE per dispatcher entry. Every per-function failure mode is
+   reified into the outcome instead of yielding a silently shorter
+   list. *)
+let analyze ~config ?budget ~stats code =
+  Stats.cache_miss stats;
+  match Contract.make code with
+  | exception e ->
+    {
+      code_hash = Evm.Hex.encode (Contract.hash_of_code code);
+      outcomes =
+        [
+          Failed
+            {
+              selector = "";
+              selector_hex = "";
+              entry_pc = -1;
+              message = Printexc.to_string e;
+            };
+        ];
+      from_cache = false;
+    }
+  | contract ->
+    let outcomes =
+      List.map
+        (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
+          match
+            Infer.infer ~stats ~config ?budget ~contract ~entry:entry_pc ()
+          with
+          | result ->
+            let r = Recover.of_infer ~selector ~entry_pc result in
+            if Symex.Trace.truncated result.Infer.trace then
+              Budget_exhausted
+                {
+                  partial = r;
+                  paths_explored =
+                    result.Infer.trace.Symex.Trace.paths_explored;
+                }
+            else Recovered r
+          | exception e ->
+            Failed
+              {
+                selector;
+                selector_hex = Evm.Hex.encode selector;
+                entry_pc;
+                message = Printexc.to_string e;
+              })
+        contract.Contract.entries
+    in
+    Stats.add_functions stats
+      (List.length
+         (List.filter (function Recovered _ -> true | _ -> false) outcomes));
+    {
+      code_hash = Contract.code_hash_hex contract;
+      outcomes;
+      from_cache = false;
+    }
+
+let recover t code =
+  let hash = Contract.hash_of_code code in
+  let cached =
+    Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.cache hash)
+  in
+  match cached with
+  | Some report ->
+    Mutex.protect t.lock (fun () -> Stats.cache_hit t.stats);
+    { report with from_cache = true }
+  | None ->
+    let stats = Stats.create () in
+    let report = analyze ~config:t.config ?budget:t.budget ~stats code in
+    Mutex.protect t.lock (fun () ->
+        Stats.merge_into ~into:t.stats stats;
+        if not (Hashtbl.mem t.cache hash) then
+          Hashtbl.replace t.cache hash report);
+    report
+
+let recover_all ?jobs t codes =
+  let codes = Array.of_list codes in
+  let n = Array.length codes in
+  let hashes = Array.map Contract.hash_of_code codes in
+  (* Work list: first occurrence of each code hash not already cached.
+     Duplicates — the common case on main net — are analyzed exactly
+     once and answered from the result. *)
+  let fresh = Array.make n false in
+  let work = ref [] in
+  let work_count = ref 0 in
+  Mutex.protect t.lock (fun () ->
+      let enqueued = Hashtbl.create 64 in
+      for i = 0 to n - 1 do
+        let h = hashes.(i) in
+        if (not (Hashtbl.mem enqueued h)) && not (Hashtbl.mem t.cache h)
+        then begin
+          Hashtbl.replace enqueued h ();
+          fresh.(i) <- true;
+          work := (h, codes.(i)) :: !work;
+          incr work_count
+        end
+      done);
+  let work = Array.of_list (List.rev !work) in
+  let results = Array.make (Array.length work) None in
+  let next = Atomic.make 0 in
+  (* Each worker pulls indices from a shared counter and accumulates
+     into its own Stats.t; no analysis state is shared, so the per-item
+     results are identical whatever the interleaving. *)
+  let worker () =
+    let stats = Stats.create () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length work then begin
+        let _, code = work.(i) in
+        results.(i) <-
+          Some (analyze ~config:t.config ?budget:t.budget ~stats code);
+        loop ()
+      end
+    in
+    loop ();
+    stats
+  in
+  let jobs =
+    match jobs with
+    | Some j -> Stdlib.max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  let jobs = Stdlib.min jobs (Stdlib.max 1 (Array.length work)) in
+  let worker_stats =
+    if jobs <= 1 then [ worker () ]
+    else begin
+      let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let mine = worker () in
+      mine :: List.map Domain.join others
+    end
+  in
+  Mutex.protect t.lock (fun () ->
+      (* stats merging is commutative, and the cache inserts are keyed
+         by distinct hashes, so the merged state does not depend on
+         which domain analyzed what *)
+      List.iter (fun s -> Stats.merge_into ~into:t.stats s) worker_stats;
+      Array.iteri
+        (fun i (h, _) ->
+          match results.(i) with
+          | Some report -> Hashtbl.replace t.cache h report
+          | None -> ())
+        work);
+  (* Assemble per-input reports in input order: byte-identical output
+     whatever [jobs] was. *)
+  Array.to_list
+    (Array.mapi
+       (fun i _ ->
+         let report =
+           Mutex.protect t.lock (fun () -> Hashtbl.find t.cache hashes.(i))
+         in
+         if fresh.(i) then report
+         else begin
+           Mutex.protect t.lock (fun () -> Stats.cache_hit t.stats);
+           { report with from_cache = true }
+         end)
+       codes)
+
+let stats t = t.stats
+let cache_size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.cache)
+
+let clear t =
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.cache)

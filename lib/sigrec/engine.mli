@@ -1,0 +1,72 @@
+(** Batch recovery engine.
+
+    Layers three production concerns over the TASE core:
+
+    - a content-addressed cache keyed by the Keccak-256 code hash, so
+      the byte-identical duplicates that dominate deployed contracts
+      are analyzed exactly once (hit/miss counters in {!stats});
+    - a multicore fan-out over OCaml domains ([?jobs], default
+      [Domain.recommended_domain_count ()]) with a deterministic merge:
+      {!recover_all} output is byte-identical whatever [jobs] is;
+    - a structured per-function {!outcome} replacing silently-empty
+      result lists, so callers can tell "no public functions" from
+      "symbolic execution gave up" from "the analysis crashed".
+
+    An engine is safe to share between domains; all cache and stats
+    mutation happens under an internal lock. *)
+
+type error = {
+  selector : string;       (** 4 raw bytes; [""] for contract-level failure *)
+  selector_hex : string;
+  entry_pc : int;          (** [-1] for contract-level failure *)
+  message : string;
+}
+
+type outcome =
+  | Recovered of Recover.recovered
+  | Budget_exhausted of { partial : Recover.recovered; paths_explored : int }
+      (** symbolic execution hit its path/step budget: [partial] holds
+          whatever the truncated trace supported and may be missing
+          parameters or refinements *)
+  | Failed of error
+
+type report = {
+  code_hash : string;      (** lowercase hex Keccak-256 of the bytecode *)
+  outcomes : outcome list; (** one per dispatcher entry, dispatch order;
+                               empty = no public/external functions *)
+  from_cache : bool;
+}
+
+type t
+
+val create :
+  ?config:Rules.config -> ?budget:Symex.Exec.budget -> unit -> t
+(** A fresh engine with an empty cache. [config] and [budget] apply to
+    every analysis the engine runs (they are part of what a cached
+    report means, so use one engine per configuration). *)
+
+val recover : t -> string -> report
+(** [recover t bytecode] answers from the cache or analyzes and fills
+    it. *)
+
+val recover_all : ?jobs:int -> t -> string list -> report list
+(** [recover_all t codes] returns one report per input, in input order.
+    Distinct uncached bytecodes are analyzed in parallel on [jobs]
+    domains; duplicates and cache hits are answered without re-analysis.
+    The result is byte-identical to [~jobs:1]. *)
+
+val signatures : report -> Recover.recovered list
+(** The recovered signatures including budget-exhausted partials — the
+    closest equivalent of the old [Recover.recover] result. *)
+
+val stats : t -> Stats.t
+(** Cumulative counters: rule usage, functions recovered, paths
+    explored, cache hits/misses ([cache_misses] = analyses actually
+    run). *)
+
+val cache_size : t -> int
+val clear : t -> unit
+
+val outcome_selector_hex : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_report : Format.formatter -> report -> unit

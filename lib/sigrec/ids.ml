@@ -10,11 +10,13 @@ type entry = { selector : string; entry_pc : int; entry_stack_depth : int }
    to the function body. This is robust to junk instructions and
    constant re-encodings, because it looks at the executed comparison,
    not the instruction text (the same philosophy as TASE itself). *)
-let extract_symbolic bytecode =
+let extract_symbolic program =
   let budget =
     { Symex.Exec.default_budget with Symex.Exec.max_paths = 256 }
   in
-  let trace = Symex.Exec.run ~budget ~code:bytecode ~entry:0 ~init_stack:[] () in
+  let trace =
+    Symex.Exec.run_prepared ~budget program ~entry:0 ~init_stack:[] ()
+  in
   (* the selector expression derives from the load at offset 0 *)
   let selector_load_ids =
     List.filter_map
@@ -63,8 +65,8 @@ let extract_symbolic bytecode =
      DUP1; PUSH4 id; EQ; PUSH2 t; JUMPI
      PUSH4 id; DUP2; EQ; PUSH2 t; JUMPI
    — cheap and sufficient for unobfuscated compiler output. *)
-let extract_static bytecode =
-  let instrs = Array.of_list (Disasm.disassemble bytecode) in
+let extract_static program =
+  let instrs = Array.of_list (Symex.Exec.instructions program) in
   let n = Array.length instrs in
   let op i = if i < n then Some instrs.(i).Disasm.op else None in
   let out = ref [] in
@@ -109,12 +111,14 @@ let dedup entries =
       end)
     entries
 
-let extract bytecode =
-  let static = dedup (extract_static bytecode) in
-  let symbolic = dedup (extract_symbolic bytecode) in
+let extract_prepared program =
+  let static = dedup (extract_static program) in
+  let symbolic = dedup (extract_symbolic program) in
   (* prefer the richer result: obfuscation defeats the static idioms,
      while plain compiler output yields identical answers from both *)
   if List.length symbolic > List.length static then symbolic else static
+
+let extract bytecode = extract_prepared (Symex.Exec.prepare bytecode)
 
 let uses_shr_dispatch bytecode =
   let instrs = Disasm.disassemble bytecode in

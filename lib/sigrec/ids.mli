@@ -18,6 +18,9 @@ type entry = {
 val extract : string -> entry list
 (** [extract bytecode] returns entries in dispatch order. *)
 
+val extract_prepared : Symex.Exec.program -> entry list
+(** Same, over an already-disassembled program (no second sweep). *)
+
 val uses_shr_dispatch : string -> bool
 (** Whether the selector is moved with SHR (newer solc) rather than
     DIV. *)

@@ -22,12 +22,18 @@ let wrap_outer_first elem dims =
   List.fold_left (fun acc n -> Abi.Abity.Sarray (acc, n)) elem
     (List.rev dims)
 
-let infer ?stats ?config ?budget ~code ~cfg ~entry () =
+let infer ?stats ?config ?budget ~contract ~entry () =
   let trace =
-    Symex.Exec.run ?budget ~code ~entry
+    Symex.Exec.run_prepared ?budget contract.Contract.program ~entry
       ~init_stack:[ Sexpr.Env "selector_residue" ] ()
   in
-  let ctx = Rules.make ?stats ?config trace cfg in
+  Option.iter
+    (fun s -> Stats.add_paths s trace.Trace.paths_explored)
+    stats;
+  let ctx =
+    Rules.make ?stats ?config ~deps:contract.Contract.deps trace
+      contract.Contract.cfg
+  in
   let vyper = Rules.vyper_contract ctx in
   if vyper then Rules.hit ctx "R20";
   let loads = trace.Trace.loads in

@@ -18,11 +18,13 @@ type result = {
 }
 
 val infer :
-  ?stats:(string, int) Hashtbl.t ->
+  ?stats:Stats.t ->
   ?config:Rules.config ->
   ?budget:Symex.Exec.budget ->
-  code:string ->
-  cfg:Evm.Cfg.t ->
+  contract:Contract.t ->
   entry:int ->
   unit ->
   result
+(** Run TASE on the function body at [entry] of [contract]. The
+    contract's shared disassembly and CFG are reused; only the symbolic
+    exploration is per-entry work. *)

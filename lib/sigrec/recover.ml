@@ -7,24 +7,25 @@ type recovered = {
   entry_pc : int;
 }
 
-let recover ?stats ?config ?budget bytecode =
-  let entries = Ids.extract bytecode in
-  let cfg = Evm.Cfg.build bytecode in
+let of_infer ~selector ~entry_pc (result : Infer.result) =
+  {
+    selector;
+    selector_hex = Evm.Hex.encode selector;
+    params = result.Infer.params;
+    rule_paths = result.Infer.rule_paths;
+    lang = result.Infer.lang;
+    entry_pc;
+  }
+
+let recover_contract ?stats ?config ?budget contract =
   List.map
     (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
-      let result =
-        Infer.infer ?stats ?config ?budget ~code:bytecode ~cfg
-          ~entry:entry_pc ()
-      in
-      {
-        selector;
-        selector_hex = Evm.Hex.encode selector;
-        params = result.Infer.params;
-        rule_paths = result.Infer.rule_paths;
-        lang = result.Infer.lang;
-        entry_pc;
-      })
-    entries
+      of_infer ~selector ~entry_pc
+        (Infer.infer ?stats ?config ?budget ~contract ~entry:entry_pc ()))
+    contract.Contract.entries
+
+let recover ?stats ?config ?budget bytecode =
+  recover_contract ?stats ?config ?budget (Contract.make bytecode)
 
 let type_list r = String.concat "," (List.map Abi.Abity.to_string r.params)
 

@@ -13,14 +13,29 @@ type recovered = {
 }
 
 val recover :
-  ?stats:(string, int) Hashtbl.t ->
+  ?stats:Stats.t ->
   ?config:Rules.config ->
   ?budget:Symex.Exec.budget ->
   string ->
   recovered list
 (** [recover bytecode] extracts the function ids from the dispatcher and
     runs TASE on each function body. [stats] accumulates per-rule usage
-    counts (Fig. 19). *)
+    counts (Fig. 19). Builds a fresh {!Contract.t} per call; batch
+    workloads should use {!Engine} (caching, parallel fan-out) or
+    {!recover_contract} instead. *)
+
+val recover_contract :
+  ?stats:Stats.t ->
+  ?config:Rules.config ->
+  ?budget:Symex.Exec.budget ->
+  Contract.t ->
+  recovered list
+(** Same over a pre-built analysis context: the disassembly, CFG and
+    dispatcher entries are not recomputed. *)
+
+val of_infer :
+  selector:string -> entry_pc:int -> Infer.result -> recovered
+(** Package one inference result as a [recovered]. *)
 
 val type_list : recovered -> string
 (** Canonical comma-separated parameter list, e.g. ["uint8\[\],address"]. *)

@@ -16,22 +16,18 @@ type ctx = {
   trace : Trace.t;
   cfg : Cfg.t;
   deps : (int, int list) Hashtbl.t;
-  stats : (string, int) Hashtbl.t option;
+  stats : Stats.t option;
   config : config;
   path_sink : string list ref option ref;
       (* when set, fired rules also append here: the per-parameter rule
          path of the Fig. 13 decision tree *)
 }
 
-let make ?stats ?(config = default_config) trace cfg =
-  {
-    trace;
-    cfg;
-    deps = Cfg.control_deps cfg;
-    stats;
-    config;
-    path_sink = ref None;
-  }
+let make ?stats ?(config = default_config) ?deps trace cfg =
+  let deps =
+    match deps with Some d -> d | None -> Cfg.control_deps cfg
+  in
+  { trace; cfg; deps; stats; config; path_sink = ref None }
 
 let hit ctx name =
   (match !(ctx.path_sink) with
@@ -39,9 +35,7 @@ let hit ctx name =
   | None -> ());
   match ctx.stats with
   | None -> ()
-  | Some tbl ->
-    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
-    Hashtbl.replace tbl name (cur + 1)
+  | Some stats -> Stats.hit_rule stats name
 
 (* Run a classification and collect the rules it fires, in firing
    order — the path through the decision tree of Fig. 13. *)

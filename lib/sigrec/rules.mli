@@ -27,17 +27,20 @@ type ctx = {
   trace : Symex.Trace.t;
   cfg : Evm.Cfg.t;
   deps : (int, int list) Hashtbl.t;  (** control-dependence table *)
-  stats : (string, int) Hashtbl.t option;
+  stats : Stats.t option;
   config : config;
   path_sink : string list ref option ref;
 }
 
 val make :
-  ?stats:(string, int) Hashtbl.t ->
+  ?stats:Stats.t ->
   ?config:config ->
+  ?deps:(int, int list) Hashtbl.t ->
   Symex.Trace.t ->
   Evm.Cfg.t ->
   ctx
+(** [deps] supplies a precomputed control-dependence table (see
+    {!Contract.t}); when absent it is derived from the CFG here. *)
 
 val hit : ctx -> string -> unit
 (** Record that a rule fired (Fig. 19 counters and, when a path is

@@ -1,0 +1,75 @@
+let rule_names = List.init 31 (fun i -> Printf.sprintf "R%d" (i + 1))
+
+type t = {
+  rules : (string, int) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable paths : int;
+  mutable functions : int;
+}
+
+let create () =
+  {
+    rules = Hashtbl.create 31;
+    cache_hits = 0;
+    cache_misses = 0;
+    paths = 0;
+    functions = 0;
+  }
+
+let hit_rule t name =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.rules name) in
+  Hashtbl.replace t.rules name (cur + 1)
+
+let rule_count t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.rules name)
+
+let rule_counts t = List.map (fun name -> (name, rule_count t name)) rule_names
+
+let cache_hit t = t.cache_hits <- t.cache_hits + 1
+let cache_miss t = t.cache_misses <- t.cache_misses + 1
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let add_paths t n = t.paths <- t.paths + n
+let paths_explored t = t.paths
+let functions_recovered t = t.functions
+let add_functions t n = t.functions <- t.functions + n
+
+let merge_into ~into src =
+  List.iter
+    (fun name ->
+      let n = rule_count src name in
+      if n > 0 then
+        Hashtbl.replace into.rules name (rule_count into name + n))
+    rule_names;
+  (* rules outside the canonical numbering (future extensions) *)
+  Hashtbl.iter
+    (fun name n ->
+      if not (List.mem name rule_names) then
+        Hashtbl.replace into.rules name (rule_count into name + n))
+    src.rules;
+  into.cache_hits <- into.cache_hits + src.cache_hits;
+  into.cache_misses <- into.cache_misses + src.cache_misses;
+  into.paths <- into.paths + src.paths;
+  into.functions <- into.functions + src.functions
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, n) ->
+      if n > 0 then Format.fprintf fmt "%-4s %d@," name n)
+    (rule_counts t);
+  Format.fprintf fmt "functions recovered: %d@," t.functions;
+  Format.fprintf fmt "paths explored: %d@," t.paths;
+  let total = t.cache_hits + t.cache_misses in
+  if total > 0 then
+    Format.fprintf fmt "cache: %d hits / %d misses (%.1f%% hit rate)@,"
+      t.cache_hits t.cache_misses
+      (100.0 *. float_of_int t.cache_hits /. float_of_int total);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,45 @@
+(** Typed analysis counters.
+
+    Replaces the [(string, int) Hashtbl.t] side-channel that used to be
+    threaded through [Recover.recover] / [Infer.infer] / [Rules.make]:
+    per-rule usage counts (Fig. 19), engine cache hits/misses, and the
+    symbolic-execution path totals. A [t] is cheap to create; parallel
+    workers each accumulate into their own and the engine combines them
+    with {!merge}, which is associative and commutative, so per-domain
+    stats merge deterministically regardless of scheduling. *)
+
+type t
+
+val create : unit -> t
+
+val hit_rule : t -> string -> unit
+(** Count one firing of the named rule (["R1"] .. ["R31"]). *)
+
+val rule_count : t -> string -> int
+(** Firings recorded for the named rule; 0 when never fired. *)
+
+val rule_counts : t -> (string * int) list
+(** All 31 rules in numbering order, including zero counts. *)
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val cache_hits : t -> int
+val cache_misses : t -> int
+(** A miss is an actual analysis; a hit is a bytecode answered from the
+    content-addressed cache (or deduplicated within one batch). *)
+
+val add_paths : t -> int -> unit
+val paths_explored : t -> int
+(** Total symbolic-execution paths explored across all inferences. *)
+
+val functions_recovered : t -> int
+val add_functions : t -> int -> unit
+
+val merge : t -> t -> t
+(** Pointwise sum into a fresh [t]; neither argument is modified. *)
+
+val merge_into : into:t -> t -> unit
+(** Pointwise sum in place. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump: non-zero rule counters, cache ratio, paths. *)

@@ -28,7 +28,7 @@ type recorder = {
   regions : (int * int) Stack.t; (* (base, region id = copy pc), latest first *)
   region_bases : (int, int) Hashtbl.t; (* rid -> lowest base *)
   mutable paths : int;
-  mutable truncated : bool;
+  mutable steps_hit : bool;
 }
 
 let make_recorder () =
@@ -45,7 +45,7 @@ let make_recorder () =
     regions = Stack.create ();
     region_bases = Hashtbl.create 16;
     paths = 0;
-    truncated = false;
+    steps_hit = false;
   }
 
 let record_load r pc loc =
@@ -132,14 +132,19 @@ let region_lookup r off =
     r.regions;
   !best
 
-let fresh_env =
-  let counter = ref 0 in
-  fun prefix ->
-    incr counter;
-    Sexpr.Env (Printf.sprintf "%s_%d" prefix !counter)
 
-let run ?(budget = default_budget) ~code ~entry ~init_stack () =
-  let r = make_recorder () in
+(* A disassembled program ready for repeated runs: the instruction
+   index and jump-destination set are built once and shared across
+   every entry point (and, being read-only after [prepare], across
+   domains). *)
+type program = {
+  code : string;
+  instrs : Disasm.instruction list;
+  by_offset : (int, Opcode.t) Hashtbl.t;
+  jumpdests : (int, unit) Hashtbl.t;
+}
+
+let prepare code =
   let instrs = Disasm.disassemble code in
   let by_offset = Hashtbl.create (List.length instrs) in
   List.iter
@@ -151,6 +156,22 @@ let run ?(budget = default_budget) ~code ~entry ~init_stack () =
       if i.Disasm.op = Opcode.JUMPDEST then
         Hashtbl.replace jumpdests i.Disasm.offset ())
     instrs;
+  { code; instrs; by_offset; jumpdests }
+
+let code p = p.code
+let instructions p = p.instrs
+
+let run_prepared ?(budget = default_budget) program ~entry ~init_stack () =
+  let r = make_recorder () in
+  let { code; by_offset; jumpdests; _ } = program in
+  (* free-symbol names are per-run so that a run's trace depends only on
+     its own inputs: re-running the same (program, entry) yields
+     byte-identical symbols no matter what ran before or concurrently *)
+  let env_counter = ref 0 in
+  let fresh_env prefix =
+    incr env_counter;
+    Sexpr.Env (Printf.sprintf "%s_%d" prefix !env_counter)
+  in
   let worklist = Stack.create () in
   Stack.push
     { pc = entry; stack = init_stack; mem = Imap.empty; forks = Imap.empty;
@@ -183,7 +204,7 @@ let run ?(budget = default_budget) ~code ~entry ~init_stack () =
     while !running do
       let s = !st in
       if s.steps > budget.max_steps then begin
-        r.truncated <- true;
+        r.steps_hit <- true;
         running := false
       end
       else
@@ -439,7 +460,6 @@ let run ?(budget = default_budget) ~code ~entry ~init_stack () =
             | _ -> running := false))
     done
   done;
-  if not (Stack.is_empty worklist) then r.truncated <- true;
   {
     Trace.loads =
       List.sort (fun a b -> compare a.Trace.id b.Trace.id) r.loads;
@@ -448,5 +468,9 @@ let run ?(budget = default_budget) ~code ~entry ~init_stack () =
     jumpi_conds = r.jumpi_conds;
     jumpi_targets = r.jumpi_targets;
     paths_explored = r.paths;
-    paths_truncated = r.truncated;
+    steps_exhausted = r.steps_hit;
+    paths_exhausted = not (Stack.is_empty worklist);
   }
+
+let run ?budget ~code ~entry ~init_stack () =
+  run_prepared ?budget (prepare code) ~entry ~init_stack ()

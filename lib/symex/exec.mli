@@ -17,6 +17,26 @@ type budget = {
 
 val default_budget : budget
 
+type program
+(** A disassembled program ready for repeated runs: the instruction
+    index and jump-destination set are built once. Read-only after
+    {!prepare}, so a program can be shared across domains. *)
+
+val prepare : string -> program
+(** [prepare code] disassembles and indexes the bytecode. *)
+
+val code : program -> string
+val instructions : program -> Evm.Disasm.instruction list
+
+val run_prepared :
+  ?budget:budget ->
+  program ->
+  entry:int ->
+  init_stack:Sexpr.t list ->
+  unit ->
+  Trace.t
+(** Explore from [entry] without re-disassembling. *)
+
 val run :
   ?budget:budget ->
   code:string ->
@@ -24,3 +44,4 @@ val run :
   init_stack:Sexpr.t list ->
   unit ->
   Trace.t
+(** [run ~code] is [run_prepared (prepare code)] — one-shot convenience. *)

@@ -22,8 +22,11 @@ type t = {
   jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
   jumpi_targets : (int, int) Hashtbl.t;
   paths_explored : int;
-  paths_truncated : bool;
+  steps_exhausted : bool;
+  paths_exhausted : bool;
 }
+
+let truncated t = t.steps_exhausted || t.paths_exhausted
 
 let load_by_id t id = List.find_opt (fun l -> l.id = id) t.loads
 

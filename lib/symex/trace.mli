@@ -36,8 +36,13 @@ type t = {
   jumpi_targets : (int, int) Hashtbl.t;
       (** concrete taken-branch target of each JUMPI site *)
   paths_explored : int;
-  paths_truncated : bool;       (** a path/step budget was hit *)
+  steps_exhausted : bool;       (** some path hit the per-path step budget *)
+  paths_exhausted : bool;       (** the path budget was hit with work pending *)
 }
+
+val truncated : t -> bool
+(** Either budget was exhausted: the trace may be missing access events,
+    so downstream results are partial rather than definitive. *)
 
 val load_by_id : t -> int -> load option
 val loads_at_const : t -> (int * load) list

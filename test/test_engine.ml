@@ -1,0 +1,194 @@
+(* The batch recovery engine: parallel fan-out is byte-identical to
+   sequential, the content-addressed cache answers duplicates without
+   re-analysis, budget exhaustion surfaces as a structured outcome
+   rather than a silently-empty list, and per-domain stats merge
+   deterministically. *)
+
+open Abi.Abity
+
+let render reports =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Format.asprintf "%a" Sigrec.Engine.pp_report
+           { r with Sigrec.Engine.from_cache = false })
+       reports)
+
+let corpus_codes ?(seed = 11) n =
+  List.map (fun s -> s.Solc.Corpus.code) (Solc.Corpus.dataset3 ~seed ~n)
+
+let test_parallel_matches_sequential () =
+  let codes = corpus_codes 12 in
+  let seq =
+    Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) codes
+  in
+  let par =
+    Sigrec.Engine.recover_all ~jobs:4 (Sigrec.Engine.create ()) codes
+  in
+  Alcotest.(check int) "one report per input" (List.length codes)
+    (List.length par);
+  Alcotest.(check string) "byte-identical output" (render seq) (render par);
+  let recovered reports =
+    List.concat_map Sigrec.Engine.signatures reports |> List.length
+  in
+  Alcotest.(check bool) "recovered something" true (recovered seq > 0)
+
+let test_cache_identical_to_cold () =
+  let codes = corpus_codes ~seed:12 8 in
+  let engine = Sigrec.Engine.create () in
+  let cold = Sigrec.Engine.recover_all ~jobs:2 engine codes in
+  let warm = Sigrec.Engine.recover_all ~jobs:2 engine codes in
+  Alcotest.(check string) "warm results identical to cold" (render cold)
+    (render warm);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "warm report marked cached" true
+        r.Sigrec.Engine.from_cache)
+    warm;
+  let stats = Sigrec.Engine.stats engine in
+  Alcotest.(check bool) "cache hits counted" true
+    (Sigrec.Stats.cache_hits stats >= List.length codes)
+
+let test_one_analysis_per_distinct_bytecode () =
+  let sigs =
+    [
+      Abi.Funsig.make "one" [ Uint 8 ];
+      Abi.Funsig.make "two" [ Address; Bytes ];
+    ]
+  in
+  let distinct =
+    List.map
+      (fun fsig -> Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig))
+      sigs
+  in
+  (* a duplicate-heavy batch: main net's common case *)
+  let codes = distinct @ distinct @ List.rev distinct in
+  let engine = Sigrec.Engine.create () in
+  let merged = Sigrec.Aggregate.recover_many ~engine ~jobs:2 codes in
+  let stats = Sigrec.Engine.stats engine in
+  Alcotest.(check int) "one analysis per distinct bytecode"
+    (List.length distinct)
+    (Sigrec.Stats.cache_misses stats);
+  Alcotest.(check int) "duplicates answered from cache"
+    (List.length codes - List.length distinct)
+    (Sigrec.Stats.cache_hits stats);
+  Alcotest.(check int) "both ids aggregated" 2 (List.length merged);
+  List.iter
+    (fun fsig ->
+      match List.assoc_opt (Abi.Funsig.selector fsig) merged with
+      | Some params ->
+        Alcotest.(check bool)
+          (Abi.Funsig.canonical fsig)
+          true
+          (List.length params = List.length fsig.Abi.Funsig.params
+          && List.for_all2 Abi.Abity.equal params fsig.Abi.Funsig.params)
+      | None -> Alcotest.failf "missing %s" (Abi.Funsig.canonical fsig))
+    sigs
+
+let test_budget_exhaustion_surfaces () =
+  let fsig = Abi.Funsig.make "f" [ Uint 256; Address ] in
+  let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
+  (* control: with the default budget this recovers cleanly *)
+  let ok = Sigrec.Engine.recover (Sigrec.Engine.create ()) code in
+  Alcotest.(check bool) "control run recovers" true
+    (List.exists
+       (function Sigrec.Engine.Recovered _ -> true | _ -> false)
+       ok.Sigrec.Engine.outcomes);
+  (* a starved step budget must surface per function, not yield [] *)
+  let budget =
+    {
+      Symex.Exec.max_paths = 1;
+      Symex.Exec.max_steps = 4;
+      Symex.Exec.max_forks_per_pc = 0;
+    }
+  in
+  let engine = Sigrec.Engine.create ~budget () in
+  let report = Sigrec.Engine.recover engine code in
+  Alcotest.(check bool) "outcomes not silently empty" true
+    (report.Sigrec.Engine.outcomes <> []);
+  List.iter
+    (fun outcome ->
+      match outcome with
+      | Sigrec.Engine.Budget_exhausted _ -> ()
+      | Sigrec.Engine.Recovered _ ->
+        Alcotest.fail "starved run reported a full recovery"
+      | Sigrec.Engine.Failed e ->
+        Alcotest.failf "starved run failed outright: %s"
+          e.Sigrec.Engine.message)
+    report.Sigrec.Engine.outcomes
+
+let test_no_functions_is_empty_not_failed () =
+  (* PUSH1 0; PUSH1 0; RETURN — valid bytecode, no dispatcher *)
+  let code = Evm.Hex.decode "60006000f3" in
+  let report = Sigrec.Engine.recover (Sigrec.Engine.create ()) code in
+  Alcotest.(check int) "no outcomes" 0
+    (List.length report.Sigrec.Engine.outcomes)
+
+let test_stats_merge () =
+  let a = Sigrec.Stats.create () in
+  Sigrec.Stats.hit_rule a "R1";
+  Sigrec.Stats.hit_rule a "R1";
+  Sigrec.Stats.hit_rule a "R4";
+  Sigrec.Stats.cache_miss a;
+  Sigrec.Stats.add_paths a 7;
+  let b = Sigrec.Stats.create () in
+  Sigrec.Stats.hit_rule b "R1";
+  Sigrec.Stats.hit_rule b "R17";
+  Sigrec.Stats.cache_hit b;
+  Sigrec.Stats.add_paths b 3;
+  Sigrec.Stats.add_functions b 2;
+  let ab = Sigrec.Stats.merge a b and ba = Sigrec.Stats.merge b a in
+  Alcotest.(check int) "R1 summed" 3 (Sigrec.Stats.rule_count ab "R1");
+  Alcotest.(check int) "R4 kept" 1 (Sigrec.Stats.rule_count ab "R4");
+  Alcotest.(check int) "paths summed" 10 (Sigrec.Stats.paths_explored ab);
+  Alcotest.(check int) "hits summed" 1 (Sigrec.Stats.cache_hits ab);
+  Alcotest.(check int) "misses summed" 1 (Sigrec.Stats.cache_misses ab);
+  Alcotest.(check int) "functions summed" 2
+    (Sigrec.Stats.functions_recovered ab);
+  List.iter2
+    (fun (n1, c1) (n2, c2) ->
+      Alcotest.(check string) "same rule order" n1 n2;
+      Alcotest.(check int) ("commutative " ^ n1) c1 c2)
+    (Sigrec.Stats.rule_counts ab)
+    (Sigrec.Stats.rule_counts ba);
+  (* neither input was modified *)
+  Alcotest.(check int) "a untouched" 2 (Sigrec.Stats.rule_count a "R1")
+
+let test_engine_matches_recover () =
+  (* the engine's signature view is the old Recover.recover result *)
+  let codes = corpus_codes ~seed:13 6 in
+  let engine = Sigrec.Engine.create () in
+  List.iter
+    (fun code ->
+      let via_engine =
+        Sigrec.Engine.signatures (Sigrec.Engine.recover engine code)
+      in
+      let direct = Sigrec.Recover.recover code in
+      Alcotest.(check int) "same count" (List.length direct)
+        (List.length via_engine);
+      List.iter2
+        (fun (a : Sigrec.Recover.recovered) (b : Sigrec.Recover.recovered) ->
+          Alcotest.(check string) "same selector" a.selector_hex
+            b.selector_hex;
+          Alcotest.(check bool) "same params" true
+            (List.length a.params = List.length b.params
+            && List.for_all2 Abi.Abity.equal a.params b.params))
+        direct via_engine)
+    codes
+
+let suite =
+  [
+    Alcotest.test_case "parallel = sequential" `Slow
+      test_parallel_matches_sequential;
+    Alcotest.test_case "warm cache = cold run" `Slow
+      test_cache_identical_to_cold;
+    Alcotest.test_case "one analysis per distinct bytecode" `Quick
+      test_one_analysis_per_distinct_bytecode;
+    Alcotest.test_case "budget exhaustion surfaces" `Quick
+      test_budget_exhaustion_surfaces;
+    Alcotest.test_case "no functions /= failure" `Quick
+      test_no_functions_is_empty_not_failed;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "engine = Recover.recover" `Quick
+      test_engine_matches_recover;
+  ]

@@ -15,6 +15,7 @@ let () =
       ("foreign", Test_foreign.suite);
       ("robustness", Test_robustness.suite);
       ("aggregate", Test_aggregate.suite);
+      ("engine", Test_engine.suite);
       ("corpus", Test_corpus.suite);
       ("tools", Test_tools.suite);
     ]
