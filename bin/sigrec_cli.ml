@@ -20,15 +20,17 @@ let read_bytecode input =
   let trimmed = String.trim raw in
   if Evm.Hex.is_valid trimmed then Evm.Hex.decode trimmed else raw
 
-(* One hex bytecode per line; blank lines and #-comments skipped. *)
+(* One hex bytecode per line; blank lines, #-comments, CRLF and 0x
+   prefixes tolerated; malformed lines are warned about on stderr and
+   skipped rather than failing the whole file. *)
 let read_bytecode_list input =
-  let raw = read_raw input in
-  String.split_on_char '\n' raw
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else if Evm.Hex.is_valid line then Some (Evm.Hex.decode line)
-         else Some line)
+  let batch = Sigrec.Input.parse_batch (read_raw input) in
+  List.iter
+    (fun (lineno, reason) ->
+      Printf.eprintf "sigrec: %s:%d: skipping malformed line (%s)\n" input
+        lineno reason)
+    batch.Sigrec.Input.skipped;
+  batch.Sigrec.Input.codes
 
 (* ---- JSON rendering (no external dependency) ---------------------- *)
 
@@ -102,6 +104,65 @@ let json_of_report (report : Sigrec.Engine.report) =
     (json_string ("0x" ^ report.Sigrec.Engine.code_hash))
     report.Sigrec.Engine.from_cache
     (json_list (List.map json_of_outcome report.Sigrec.Engine.outcomes))
+
+let json_of_finding f =
+  let obj fields =
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v)
+            fields))
+  in
+  match f with
+  | Sigrec.Lint.Mask_conflict { offset; mask; recovered } ->
+    obj
+      [
+        ("kind", json_string "mask_conflict");
+        ("offset", string_of_int offset);
+        ("mask", json_string ("0x" ^ Evm.U256.to_hex mask));
+        ("recovered", json_string (Abi.Abity.to_string recovered));
+      ]
+  | Sigrec.Lint.Signext_conflict { offset; byte; recovered } ->
+    obj
+      [
+        ("kind", json_string "signext_conflict");
+        ("offset", string_of_int offset);
+        ("byte", string_of_int byte);
+        ("recovered", json_string (Abi.Abity.to_string recovered));
+      ]
+  | Sigrec.Lint.Param_never_read { offset; recovered } ->
+    obj
+      [
+        ("kind", json_string "param_never_read");
+        ("offset", string_of_int offset);
+        ("recovered", json_string (Abi.Abity.to_string recovered));
+      ]
+  | Sigrec.Lint.Read_beyond_params { offset } ->
+    obj
+      [
+        ("kind", json_string "read_beyond_params");
+        ("offset", string_of_int offset);
+      ]
+  | Sigrec.Lint.Dead_firing { rule; param_index } ->
+    obj
+      [
+        ("kind", json_string "dead_firing");
+        ("rule", json_string rule);
+        ("param_index", string_of_int param_index);
+      ]
+  | Sigrec.Lint.Unreachable_entry ->
+    obj [ ("kind", json_string "unreachable_entry") ]
+
+let json_of_verdict (v : Sigrec.Lint.verdict) =
+  Printf.sprintf
+    "{\"selector\":%s,\"entry_pc\":%d,\"types\":%s,\"agree\":%b,\"findings\":%s}"
+    (json_string ("0x" ^ v.Sigrec.Lint.selector_hex))
+    v.Sigrec.Lint.entry_pc
+    (json_list
+       (List.map
+          (fun ty -> json_string (Abi.Abity.to_string ty))
+          v.Sigrec.Lint.recovered.Sigrec.Recover.params))
+    (Sigrec.Lint.agree v)
+    (json_list (List.map json_of_finding v.Sigrec.Lint.findings))
 
 (* ---- shared printing ---------------------------------------------- *)
 
@@ -184,6 +245,26 @@ let batch_cmd input jobs show_stats format =
     print_rule_stats stats
   end;
   0
+
+let lint_cmd input show_stats format =
+  let bytecode = read_bytecode input in
+  let stats = Sigrec.Stats.create () in
+  let verdicts = Sigrec.Lint.check ~stats bytecode in
+  (match format with
+  | `Json ->
+    print_endline (json_list (List.map json_of_verdict verdicts))
+  | `Text ->
+    if verdicts = [] then
+      Printf.printf "no public/external functions found\n"
+    else
+      List.iter
+        (fun v -> Format.printf "%a" Sigrec.Lint.pp_verdict v)
+        verdicts);
+  if show_stats && format = `Text then
+    Format.printf "lint: %d agree / %d disagree@."
+      (Sigrec.Stats.lint_agreements stats)
+      (Sigrec.Stats.lint_disagreements stats);
+  if List.for_all Sigrec.Lint.agree verdicts then 0 else 1
 
 let find_selector bytecode calldata k =
   if String.length calldata < 4 then begin
@@ -332,6 +413,13 @@ let cmds =
             duplicates are analyzed once, distinct bytecodes fan out \
             over worker domains.")
       batch_term;
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Cross-check the recovered signatures against a static \
+            abstract-interpretation summary of the same bytecode; exits \
+            non-zero on any disagreement.")
+      Term.(const lint_cmd $ input_arg $ stats_flag $ format_arg);
     Cmd.v
       (Cmd.info "check"
          ~doc:"Validate call data against the recovered signature (ParChecker).")

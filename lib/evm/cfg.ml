@@ -103,6 +103,37 @@ let of_instructions instrs =
   { by_start; order }
 
 let build bytecode = of_instructions (Disasm.disassemble bytecode)
+
+let unresolved_count t =
+  Hashtbl.fold
+    (fun _ b acc ->
+      acc
+      + List.length
+          (List.filter (function Unresolved -> true | _ -> false) b.succ))
+    t.by_start 0
+
+(* Feed externally discovered jump targets (the static pass) back into
+   the graph: every [Unresolved] edge whose block gets targets becomes
+   concrete [Jump_to] edges. Blocks without news keep their edge, so a
+   partially resolved graph stays honest about what it does not know. *)
+let resolve t targets_of =
+  let by_start = Hashtbl.create (Hashtbl.length t.by_start) in
+  Hashtbl.iter
+    (fun start b ->
+      let succ =
+        List.concat_map
+          (fun s ->
+            match s with
+            | Unresolved -> (
+              match targets_of b.start with
+              | [] -> [ Unresolved ]
+              | ts -> List.map (fun x -> Jump_to x) ts)
+            | s -> [ s ])
+          b.succ
+      in
+      Hashtbl.replace by_start start { b with succ })
+    t.by_start;
+  { by_start; order = t.order }
 let block_at t start = Hashtbl.find_opt t.by_start start
 
 let entry t =

@@ -37,6 +37,15 @@ val successors : t -> block -> block list
 val block_count : t -> int
 val pp : Format.formatter -> t -> unit
 
+val unresolved_count : t -> int
+(** Number of [Unresolved] successor edges left in the graph. *)
+
+val resolve : t -> (int -> int list) -> t
+(** [resolve t targets_of] replaces each block's [Unresolved] edge with
+    [Jump_to] edges to [targets_of block.start]; an empty answer keeps
+    the edge [Unresolved]. Used to feed targets recovered by the static
+    abstract interpreter back into the graph. *)
+
 val block_of_pc : t -> int -> block option
 (** The block containing the instruction at the given byte offset. *)
 

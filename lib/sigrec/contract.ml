@@ -5,13 +5,22 @@ type t = {
   cfg : Evm.Cfg.t;
   deps : (int, int list) Hashtbl.t;
   entries : Ids.entry list;
+  static : Sigrec_static.Absint.result;
+  unresolved_before : int;
+  unresolved_after : int;
 }
 
 let hash_of_code code = Evm.Keccak.digest code
 
 let make code =
   let program = Symex.Exec.prepare code in
-  let cfg = Evm.Cfg.of_instructions (Symex.Exec.instructions program) in
+  let raw_cfg = Evm.Cfg.of_instructions (Symex.Exec.instructions program) in
+  (* One whole-contract abstract-interpretation run from offset 0:
+     resolves cross-block pushed jump targets before anything downstream
+     looks at the graph, so the control-dependence table and every
+     per-function pass see the fed-back edges. *)
+  let static = Sigrec_static.Absint.analyze ~depth:0 ~entry:0 raw_cfg in
+  let cfg = Sigrec_static.Absint.resolved_cfg static in
   {
     code;
     code_hash = hash_of_code code;
@@ -19,6 +28,9 @@ let make code =
     cfg;
     deps = Evm.Cfg.control_deps cfg;
     entries = Ids.extract_prepared program;
+    static;
+    unresolved_before = Evm.Cfg.unresolved_count raw_cfg;
+    unresolved_after = Evm.Cfg.unresolved_count cfg;
   }
 
 let of_hex hex = make (Evm.Hex.decode hex)
@@ -32,3 +44,5 @@ let code_hash t = t.code_hash
 let code_hash_hex t = Evm.Hex.encode t.code_hash
 let entries t = t.entries
 let function_count t = List.length t.entries
+let static t = t.static
+let jumps_resolved t = t.unresolved_before - t.unresolved_after

@@ -12,9 +12,17 @@ type t = {
   code_hash : string;             (** 32-byte Keccak-256 of [code] *)
   program : Symex.Exec.program;   (** shared disassembly *)
   cfg : Evm.Cfg.t;
+      (** the graph after static jump resolution: [Unresolved] edges the
+          whole-contract abstract interpretation pinned down are already
+          concrete [Jump_to] edges here *)
   deps : (int, int list) Hashtbl.t;
-      (** control-dependence table, shared by every per-function run *)
+      (** control-dependence table over the resolved graph, shared by
+          every per-function run *)
   entries : Ids.entry list;       (** dispatcher entries, dispatch order *)
+  static : Sigrec_static.Absint.result;
+      (** the whole-contract (entry 0) abstract-interpretation run *)
+  unresolved_before : int;        (** [Unresolved] edges in the raw CFG *)
+  unresolved_after : int;         (** ... still left after resolution *)
 }
 
 val make : string -> t
@@ -35,3 +43,7 @@ val code_hash : t -> string
 val code_hash_hex : t -> string
 val entries : t -> Ids.entry list
 val function_count : t -> int
+
+val static : t -> Sigrec_static.Absint.result
+val jumps_resolved : t -> int
+(** How many [Unresolved] edges the static pass turned concrete. *)

@@ -19,15 +19,18 @@ type report = {
 type t = {
   config : Rules.config;
   budget : Symex.Exec.budget option;
+  static_prune : bool;
   cache : (string, report) Hashtbl.t; (* 32-byte code hash -> report *)
   lock : Mutex.t;
   stats : Stats.t;
 }
 
-let create ?(config = Rules.default_config) ?budget () =
+let create ?(config = Rules.default_config) ?budget ?(static_prune = true) ()
+    =
   {
     config;
     budget;
+    static_prune;
     cache = Hashtbl.create 256;
     lock = Mutex.create ();
     stats = Stats.create ();
@@ -68,7 +71,7 @@ let pp_report fmt report =
    TASE per dispatcher entry. Every per-function failure mode is
    reified into the outcome instead of yielding a silently shorter
    list. *)
-let analyze ~config ?budget ~stats code =
+let analyze ~config ?budget ?static_prune ~stats code =
   Stats.cache_miss stats;
   match Contract.make code with
   | exception e ->
@@ -91,7 +94,8 @@ let analyze ~config ?budget ~stats code =
       List.map
         (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
           match
-            Infer.infer ~stats ~config ?budget ~contract ~entry:entry_pc ()
+            Infer.infer ~stats ~config ?static_prune ?budget ~contract
+              ~entry:entry_pc ()
           with
           | result ->
             let r = Recover.of_infer ~selector ~entry_pc result in
@@ -133,7 +137,10 @@ let recover t code =
     { report with from_cache = true }
   | None ->
     let stats = Stats.create () in
-    let report = analyze ~config:t.config ?budget:t.budget ~stats code in
+    let report =
+      analyze ~config:t.config ?budget:t.budget
+        ~static_prune:t.static_prune ~stats code
+    in
     Mutex.protect t.lock (fun () ->
         Stats.merge_into ~into:t.stats stats;
         if not (Hashtbl.mem t.cache hash) then
@@ -175,7 +182,9 @@ let recover_all ?jobs t codes =
       if i < Array.length work then begin
         let _, code = work.(i) in
         results.(i) <-
-          Some (analyze ~config:t.config ?budget:t.budget ~stats code);
+          Some
+            (analyze ~config:t.config ?budget:t.budget
+               ~static_prune:t.static_prune ~stats code);
         loop ()
       end
     in

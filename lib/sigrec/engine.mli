@@ -40,10 +40,17 @@ type report = {
 type t
 
 val create :
-  ?config:Rules.config -> ?budget:Symex.Exec.budget -> unit -> t
-(** A fresh engine with an empty cache. [config] and [budget] apply to
-    every analysis the engine runs (they are part of what a cached
-    report means, so use one engine per configuration). *)
+  ?config:Rules.config ->
+  ?budget:Symex.Exec.budget ->
+  ?static_prune:bool ->
+  unit ->
+  t
+(** A fresh engine with an empty cache. [config], [budget] and
+    [static_prune] apply to every analysis the engine runs (they are
+    part of what a cached report means, so use one engine per
+    configuration). [static_prune] (default [true]) turns on the
+    abstract-interpretation pre-screen that skips forking at branches
+    proven calldata-independent; see [Stats.forks_pruned]. *)
 
 val recover : t -> string -> report
 (** [recover t bytecode] answers from the cache or analyzes and fills

@@ -22,13 +22,32 @@ let wrap_outer_first elem dims =
   List.fold_left (fun acc n -> Abi.Abity.Sarray (acc, n)) elem
     (List.rev dims)
 
-let infer ?stats ?config ?budget ~contract ~entry () =
+(* The static pre-screen for one function body: abstract-interpret from
+   its entry (one opaque stack slot, the selector residue) and hand the
+   executor a prune oracle for calldata-independent branches. *)
+let prune_oracle contract entry =
+  let absint =
+    Sigrec_static.Absint.analyze ~depth:1 ~entry contract.Contract.cfg
+  in
+  fun pc ->
+    match Sigrec_static.Absint.prune_decision absint pc with
+    | Some Sigrec_static.Absint.Take_jump -> Some Symex.Exec.Take_jump
+    | Some Sigrec_static.Absint.Take_fallthrough ->
+      Some Symex.Exec.Take_fallthrough
+    | None -> None
+
+let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
+  let prune =
+    if static_prune then prune_oracle contract entry else fun _ -> None
+  in
   let trace =
-    Symex.Exec.run_prepared ?budget contract.Contract.program ~entry
+    Symex.Exec.run_prepared ?budget ~prune contract.Contract.program ~entry
       ~init_stack:[ Sexpr.Env "selector_residue" ] ()
   in
   Option.iter
-    (fun s -> Stats.add_paths s trace.Trace.paths_explored)
+    (fun s ->
+      Stats.add_paths s trace.Trace.paths_explored;
+      Stats.add_pruned s trace.Trace.forks_pruned)
     stats;
   let ctx =
     Rules.make ?stats ?config ~deps:contract.Contract.deps trace

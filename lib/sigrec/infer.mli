@@ -20,6 +20,7 @@ type result = {
 val infer :
   ?stats:Stats.t ->
   ?config:Rules.config ->
+  ?static_prune:bool ->
   ?budget:Symex.Exec.budget ->
   contract:Contract.t ->
   entry:int ->
@@ -27,4 +28,8 @@ val infer :
   result
 (** Run TASE on the function body at [entry] of [contract]. The
     contract's shared disassembly and CFG are reused; only the symbolic
-    exploration is per-entry work. *)
+    exploration is per-entry work. [static_prune] (default [true]) runs
+    the abstract-interpretation pre-screen first and skips forking at
+    branches it proves calldata-independent with a single relevant arm;
+    skipped forks are counted in [Trace.forks_pruned] and
+    [Stats.forks_pruned]. *)

@@ -1,0 +1,27 @@
+type batch = {
+  codes : string list;
+  skipped : (int * string) list;
+}
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse_line line =
+  let line = String.trim (strip_cr line) in
+  if line = "" || line.[0] = '#' then `Blank
+  else
+    match Evm.Hex.decode line with
+    | code -> `Code code
+    | exception Invalid_argument msg -> `Bad msg
+
+let parse_batch text =
+  let codes = ref [] and skipped = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line line with
+      | `Blank -> ()
+      | `Code code -> codes := code :: !codes
+      | `Bad msg -> skipped := (i + 1, msg) :: !skipped)
+    (String.split_on_char '\n' text);
+  { codes = List.rev !codes; skipped = List.rev !skipped }

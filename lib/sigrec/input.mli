@@ -1,0 +1,19 @@
+(** Tolerant parsing of batch input files.
+
+    A batch file carries one hex runtime bytecode per line, with an
+    optional ["0x"] prefix. Blank lines and [#] comments are skipped;
+    CRLF line endings are accepted. A malformed line is reported with
+    its 1-based line number instead of failing the whole file, so one
+    bad row in a million-line dump costs one contract, not the batch. *)
+
+type batch = {
+  codes : string list;         (** decoded bytecodes, in file order *)
+  skipped : (int * string) list;
+      (** (1-based line number, reason) for each malformed line *)
+}
+
+val parse_batch : string -> batch
+
+val parse_line : string -> [ `Blank | `Code of string | `Bad of string ]
+(** Classify a single line: skippable, decoded bytecode, or malformed
+    with the decoder's reason. *)

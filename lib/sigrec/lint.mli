@@ -1,0 +1,64 @@
+(** Differential lint: cross-check TASE-recovered signatures against the
+    static calldata access summaries from {!Sigrec_static.Absint}.
+
+    TASE and the abstract interpreter look at the same bytecode through
+    different glasses — path-sensitive symbolic traces vs a path-free
+    fixpoint — so a disagreement between them localizes a bug in one of
+    the two (or a genuinely adversarial contract). Every check is gated
+    conservatively: masks are judged only when they have the canonical
+    solc type-mask shape, absence checks ([Param_never_read],
+    [Dead_firing]) only when the summary is [complete] and saw no
+    symbolic reads or copies, so a sound pair of analyses produces zero
+    findings on compiler-emitted code. *)
+
+type finding =
+  | Mask_conflict of { offset : int; mask : Evm.U256.t; recovered : Abi.Abity.t }
+      (** the static pass saw a canonical type mask applied to the word
+          at [offset] that contradicts the recovered type *)
+  | Signext_conflict of { offset : int; byte : int; recovered : Abi.Abity.t }
+      (** [SIGNEXTEND byte] pins [int (8*(byte+1))]; TASE said otherwise *)
+  | Param_never_read of { offset : int; recovered : Abi.Abity.t }
+      (** TASE recovered a parameter whose head slot the static pass
+          proves is never read on any path *)
+  | Read_beyond_params of { offset : int }
+      (** a head-aligned constant CALLDATALOAD past the recovered head:
+          TASE dropped a parameter the body demonstrably touches *)
+  | Dead_firing of { rule : string; param_index : int }
+      (** a rule fired whose premise (a CALLDATACOPY, a symbolic-offset
+          read) the static pass refutes *)
+  | Unreachable_entry
+      (** the dispatcher entry is unreachable in the fully-resolved
+          static CFG *)
+
+type verdict = {
+  selector_hex : string;
+  entry_pc : int;
+  recovered : Recover.recovered;
+  findings : finding list;  (** empty = the two analyses agree *)
+  summary : Sigrec_static.Summary.t;
+}
+
+val agree : verdict -> bool
+
+val check_contract :
+  ?stats:Stats.t ->
+  ?config:Rules.config ->
+  ?static_prune:bool ->
+  ?budget:Symex.Exec.budget ->
+  Contract.t ->
+  verdict list
+(** Run TASE and the static pass on every dispatcher entry and diff the
+    results. [stats], when given, accumulates [lint_agreements] /
+    [lint_disagreements]. *)
+
+val check :
+  ?stats:Stats.t ->
+  ?config:Rules.config ->
+  ?static_prune:bool ->
+  ?budget:Symex.Exec.budget ->
+  string ->
+  verdict list
+(** [check bytecode] = [check_contract (Contract.make bytecode)]. *)
+
+val finding_to_string : finding -> string
+val pp_verdict : Format.formatter -> verdict -> unit

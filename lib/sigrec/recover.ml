@@ -17,15 +17,16 @@ let of_infer ~selector ~entry_pc (result : Infer.result) =
     entry_pc;
   }
 
-let recover_contract ?stats ?config ?budget contract =
+let recover_contract ?stats ?config ?static_prune ?budget contract =
   List.map
     (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
       of_infer ~selector ~entry_pc
-        (Infer.infer ?stats ?config ?budget ~contract ~entry:entry_pc ()))
+        (Infer.infer ?stats ?config ?static_prune ?budget ~contract
+           ~entry:entry_pc ()))
     contract.Contract.entries
 
-let recover ?stats ?config ?budget bytecode =
-  recover_contract ?stats ?config ?budget (Contract.make bytecode)
+let recover ?stats ?config ?static_prune ?budget bytecode =
+  recover_contract ?stats ?config ?static_prune ?budget (Contract.make bytecode)
 
 let type_list r = String.concat "," (List.map Abi.Abity.to_string r.params)
 

@@ -15,6 +15,7 @@ type recovered = {
 val recover :
   ?stats:Stats.t ->
   ?config:Rules.config ->
+  ?static_prune:bool ->
   ?budget:Symex.Exec.budget ->
   string ->
   recovered list
@@ -27,6 +28,7 @@ val recover :
 val recover_contract :
   ?stats:Stats.t ->
   ?config:Rules.config ->
+  ?static_prune:bool ->
   ?budget:Symex.Exec.budget ->
   Contract.t ->
   recovered list

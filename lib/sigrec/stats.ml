@@ -6,6 +6,9 @@ type t = {
   mutable cache_misses : int;
   mutable paths : int;
   mutable functions : int;
+  mutable pruned : int;
+  mutable lint_agree : int;
+  mutable lint_disagree : int;
 }
 
 let create () =
@@ -15,6 +18,9 @@ let create () =
     cache_misses = 0;
     paths = 0;
     functions = 0;
+    pruned = 0;
+    lint_agree = 0;
+    lint_disagree = 0;
   }
 
 let hit_rule t name =
@@ -34,6 +40,12 @@ let add_paths t n = t.paths <- t.paths + n
 let paths_explored t = t.paths
 let functions_recovered t = t.functions
 let add_functions t n = t.functions <- t.functions + n
+let add_pruned t n = t.pruned <- t.pruned + n
+let forks_pruned t = t.pruned
+let lint_agree t = t.lint_agree <- t.lint_agree + 1
+let lint_disagree t = t.lint_disagree <- t.lint_disagree + 1
+let lint_agreements t = t.lint_agree
+let lint_disagreements t = t.lint_disagree
 
 let merge_into ~into src =
   List.iter
@@ -51,7 +63,10 @@ let merge_into ~into src =
   into.cache_hits <- into.cache_hits + src.cache_hits;
   into.cache_misses <- into.cache_misses + src.cache_misses;
   into.paths <- into.paths + src.paths;
-  into.functions <- into.functions + src.functions
+  into.functions <- into.functions + src.functions;
+  into.pruned <- into.pruned + src.pruned;
+  into.lint_agree <- into.lint_agree + src.lint_agree;
+  into.lint_disagree <- into.lint_disagree + src.lint_disagree
 
 let merge a b =
   let t = create () in
@@ -67,6 +82,11 @@ let pp fmt t =
     (rule_counts t);
   Format.fprintf fmt "functions recovered: %d@," t.functions;
   Format.fprintf fmt "paths explored: %d@," t.paths;
+  if t.pruned > 0 then
+    Format.fprintf fmt "forks pruned statically: %d@," t.pruned;
+  if t.lint_agree + t.lint_disagree > 0 then
+    Format.fprintf fmt "lint: %d agree / %d disagree@," t.lint_agree
+      t.lint_disagree;
   let total = t.cache_hits + t.cache_misses in
   if total > 0 then
     Format.fprintf fmt "cache: %d hits / %d misses (%.1f%% hit rate)@,"

@@ -35,6 +35,17 @@ val paths_explored : t -> int
 val functions_recovered : t -> int
 val add_functions : t -> int -> unit
 
+val add_pruned : t -> int -> unit
+val forks_pruned : t -> int
+(** JUMPI forks the executor skipped on a static prune hint. *)
+
+val lint_agree : t -> unit
+val lint_disagree : t -> unit
+val lint_agreements : t -> int
+val lint_disagreements : t -> int
+(** Differential-lint verdicts: a function whose TASE recovery and
+    static summary produced no finding counts as one agreement. *)
+
 val merge : t -> t -> t
 (** Pointwise sum into a fresh [t]; neither argument is modified. *)
 

@@ -1,0 +1,67 @@
+(** Fixpoint abstract interpretation over {!Evm.Cfg} with the
+    constant/taint domain of {!Domain}.
+
+    One [analyze] run does three jobs at once:
+
+    - {b jump resolution}: a cross-block pushed target (or one split
+      across arithmetic by an obfuscator) reaches its JUMP as a
+      [Consts] value; the discovered edges are collected in [resolved]
+      and can be folded back into the CFG with {!resolved_cfg},
+      shrinking [Unresolved] successors;
+    - {b access summaries}: a second, recording pass over the converged
+      states fills a {!Summary.t} — constant read offsets, masks,
+      sign-extensions, copy ranges and bound checks — without any
+      symbolic execution;
+    - {b fork pruning}: every JUMPI whose condition is provably
+      calldata-independent, in a state with no call-data-derived value
+      live, and with at most one calldata-relevant arm gets a
+      {!decision} the executor can follow instead of forking.
+
+    The interpreter never unrolls loops: joined counters widen through
+    the bounded constant set to [Untainted], so convergence is by
+    lattice height, with a per-block visit bound as a backstop (a run
+    that trips it reports [converged = false], drops its prune table,
+    and marks its summary incomplete). *)
+
+module Imap : Map.S with type key = int
+
+type astate = {
+  stack : Domain.t list;       (** top first *)
+  mem : Domain.t Imap.t;       (** words stored at constant offsets *)
+  mem_rest : Domain.t;         (** everything else *)
+  clipped : bool;              (** stack depths disagreed at a join *)
+}
+
+type decision =
+  | Take_jump          (** only the taken arm matters *)
+  | Take_fallthrough   (** only the fall-through arm matters *)
+
+type result = {
+  cfg : Evm.Cfg.t;                          (** the graph analyzed *)
+  entry : int;
+  entry_states : (int, astate) Hashtbl.t;   (** per reached block *)
+  resolved : (int, int list) Hashtbl.t;
+      (** block start -> jump targets found for its [Unresolved] edge *)
+  summary : Summary.t;
+  prune : (int, decision) Hashtbl.t;        (** JUMPI pc -> arm to keep *)
+  converged : bool;
+}
+
+val analyze : ?depth:int -> entry:int -> Evm.Cfg.t -> result
+(** [analyze ~entry cfg] runs to fixpoint from [entry]. [depth] is the
+    number of opaque (untainted) values on the stack at entry — 0 for
+    the contract entry point, 1 for a dispatcher-routed function body,
+    matching the selector residue the executor models as a free
+    symbol. *)
+
+val reached : result -> int -> bool
+(** Whether the block at this start was reached from [entry]. *)
+
+val prune_decision : result -> int -> decision option
+val resolved_targets : result -> int -> int list
+val resolved_count : result -> int
+(** Number of blocks whose [Unresolved] edge gained targets. *)
+
+val resolved_cfg : result -> Evm.Cfg.t
+(** The input CFG with every resolved [Unresolved] edge replaced by
+    the discovered [Jump_to] edges. *)

@@ -1,0 +1,141 @@
+open Evm
+
+(* A bounded set keeps internal-function return addresses precise: a
+   body called from several sites sees one pushed return label per
+   caller, and collapsing them to a single top would re-lose exactly
+   the jumps we are here to resolve. *)
+let max_consts = 8
+
+type t =
+  | Consts of U256.t list
+  | Load of int
+  | Untainted
+  | Tainted
+
+let const v = Consts [ v ]
+let of_int n = const (U256.of_int n)
+
+let tainted = function
+  | Tainted | Load _ -> true
+  | Consts _ | Untainted -> false
+
+let norm vs =
+  let sorted = List.sort_uniq U256.compare vs in
+  if List.length sorted > max_consts then Untainted else Consts sorted
+
+let equal a b =
+  match (a, b) with
+  | Consts xs, Consts ys ->
+    List.length xs = List.length ys && List.for_all2 U256.equal xs ys
+  | Load i, Load j -> i = j
+  | Untainted, Untainted | Tainted, Tainted -> true
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Tainted, _ | _, Tainted -> Tainted
+  | Load i, Load j -> if i = j then Load i else Tainted
+  | Load _, _ | _, Load _ -> Tainted
+  | Untainted, _ | _, Untainted -> Untainted
+  | Consts xs, Consts ys -> norm (xs @ ys)
+
+let to_consts = function Consts vs -> Some vs | _ -> None
+
+let to_const = function Consts [ v ] -> Some v | _ -> None
+
+let to_const_int d = Option.bind (to_const d) U256.to_int
+
+(* Concrete single-value semantics, operand order as popped (EVM stack
+   top first). Mirrors [Sexpr.eval_bin] so a branch the interpreter
+   decides matches what symbolic execution would conclude. *)
+let eval2 op a b =
+  match op with
+  | Opcode.ADD -> Some (U256.add a b)
+  | Opcode.SUB -> Some (U256.sub a b)
+  | Opcode.MUL -> Some (U256.mul a b)
+  | Opcode.DIV -> Some (U256.div a b)
+  | Opcode.SDIV -> Some (U256.sdiv a b)
+  | Opcode.MOD -> Some (U256.rem a b)
+  | Opcode.SMOD -> Some (U256.srem a b)
+  | Opcode.EXP -> Some (U256.exp a b)
+  | Opcode.AND -> Some (U256.logand a b)
+  | Opcode.OR -> Some (U256.logor a b)
+  | Opcode.XOR -> Some (U256.logxor a b)
+  | Opcode.LT -> Some (if U256.lt a b then U256.one else U256.zero)
+  | Opcode.GT -> Some (if U256.gt a b then U256.one else U256.zero)
+  | Opcode.SLT -> Some (if U256.slt a b then U256.one else U256.zero)
+  | Opcode.SGT -> Some (if U256.sgt a b then U256.one else U256.zero)
+  | Opcode.EQ -> Some (if U256.equal a b then U256.one else U256.zero)
+  | Opcode.BYTE ->
+    Some
+      (match U256.to_int a with
+      | Some i when i < 32 -> U256.byte i b
+      | _ -> U256.zero)
+  | Opcode.SHL ->
+    Some
+      (match U256.to_int a with
+      | Some n when n < 256 -> U256.shift_left b n
+      | _ -> U256.zero)
+  | Opcode.SHR ->
+    Some
+      (match U256.to_int a with
+      | Some n when n < 256 -> U256.shift_right b n
+      | _ -> U256.zero)
+  | Opcode.SAR ->
+    Some
+      (match U256.to_int a with
+      | Some n when n < 256 -> U256.shift_right_arith b n
+      | _ -> U256.shift_right_arith b 255)
+  | Opcode.SIGNEXTEND ->
+    Some
+      (match U256.to_int a with
+      | Some k when k < 32 -> U256.signextend k b
+      | _ -> b)
+  | _ -> None
+
+let eval1 op a =
+  match op with
+  | Opcode.NOT -> Some (U256.lognot a)
+  | Opcode.ISZERO ->
+    Some (if U256.is_zero a then U256.one else U256.zero)
+  | _ -> None
+
+let lift2 op a b =
+  match (a, b) with
+  | (Tainted | Load _), _ | _, (Tainted | Load _) -> Tainted
+  | Untainted, _ | _, Untainted -> Untainted
+  | Consts xs, Consts ys ->
+    let all =
+      List.concat_map
+        (fun x -> List.filter_map (fun y -> eval2 op x y) ys)
+        xs
+    in
+    if all = [] || List.length all < List.length xs * List.length ys then
+      Untainted
+    else norm all
+
+let lift1 op a =
+  match a with
+  | Tainted | Load _ -> Tainted
+  | Untainted -> Untainted
+  | Consts xs -> (
+    match List.filter_map (eval1 op) xs with
+    | [] -> Untainted
+    | vs when List.length vs = List.length xs -> norm vs
+    | _ -> Untainted)
+
+(* Truth of a branch condition when every abstract value agrees. *)
+let truth = function
+  | Consts (v :: vs) ->
+    let b = not (U256.is_zero v) in
+    if List.for_all (fun v -> not (U256.is_zero v) = b) vs then Some b
+    else None
+  | _ -> None
+
+let pp fmt = function
+  | Consts vs ->
+    Format.fprintf fmt "{%s}"
+      (String.concat "," (List.map (fun v -> "0x" ^ U256.to_hex v) vs))
+  | Load off -> Format.fprintf fmt "cd[%d]" off
+  | Untainted -> Format.fprintf fmt "clean"
+  | Tainted -> Format.fprintf fmt "top"

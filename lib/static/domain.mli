@@ -1,0 +1,51 @@
+(** The abstract value lattice of the static pass: a stack slot is a
+    bounded set of known constants, a raw call-data word at a known
+    offset, an unknown-but-calldata-independent value, or top.
+
+    Ordering (least to greatest precision loss):
+    [Consts] < [Untainted] < [Tainted]; [Load] sits beside [Consts] and
+    joins with anything but itself to [Tainted], because a value that
+    may be a call-data word is calldata-dependent. [Untainted] is the
+    widening target: environment reads (CALLER, CALLVALUE, ...),
+    storage, hashes — unknown, but provably not derived from the call
+    data, which is what both jump resolution and fork pruning need. *)
+
+type t =
+  | Consts of Evm.U256.t list  (** sorted, distinct, bounded set *)
+  | Load of int                (** CALLDATALOAD at this constant offset *)
+  | Untainted                  (** unknown, not derived from call data *)
+  | Tainted                    (** may depend on call data *)
+
+val max_consts : int
+(** Set-size bound before widening to [Untainted] (8). *)
+
+val const : Evm.U256.t -> t
+val of_int : int -> t
+
+val tainted : t -> bool
+(** [Load _] and [Tainted] — anything derived from the call data. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+
+val to_consts : t -> Evm.U256.t list option
+val to_const : t -> Evm.U256.t option
+(** Singleton constant sets only. *)
+
+val to_const_int : t -> int option
+
+val lift2 : Evm.Opcode.t -> t -> t -> t
+(** Abstract transfer of a binary instruction; operands in popped order
+    (stack top first), concrete cases mirroring [Sexpr.eval_bin]. *)
+
+val lift1 : Evm.Opcode.t -> t -> t
+(** NOT / ISZERO. *)
+
+val truth : t -> bool option
+(** Definite truth value of a branch condition: [Some b] when every
+    constant in the set agrees on zero/non-zero. *)
+
+val eval2 : Evm.Opcode.t -> Evm.U256.t -> Evm.U256.t -> Evm.U256.t option
+val eval1 : Evm.Opcode.t -> Evm.U256.t -> Evm.U256.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+open Evm
+
+type copy = { pc : int; src : int option; len : int option }
+type bound_check = { pc : int; offset : int option; bound : int option }
+
+type t = {
+  entry : int;
+  const_reads : int list;
+  sym_reads : int;
+  masks : (int * U256.t) list;
+  signexts : (int * int) list;
+  byte_reads : int list;
+  copies : copy list;
+  bound_checks : bound_check list;
+  uses_cdsize : bool;
+  tainted_branches : int;
+  complete : bool;
+}
+
+let empty entry =
+  {
+    entry;
+    const_reads = [];
+    sym_reads = 0;
+    masks = [];
+    signexts = [];
+    byte_reads = [];
+    copies = [];
+    bound_checks = [];
+    uses_cdsize = false;
+    tainted_branches = 0;
+    complete = true;
+  }
+
+let masks_at t off =
+  List.filter_map (fun (o, m) -> if o = off then Some m else None) t.masks
+
+let signexts_at t off =
+  List.filter_map (fun (o, k) -> if o = off then Some k else None) t.signexts
+
+let reads_offset t off = List.mem off t.const_reads
+
+let max_head_read t =
+  List.fold_left Stdlib.max (-1)
+    (List.filter (fun o -> o >= 4) t.const_reads)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>entry %04x%s@," t.entry
+    (if t.complete then "" else " (incomplete)");
+  Format.fprintf fmt "reads: [%s]%s@,"
+    (String.concat "; " (List.map string_of_int t.const_reads))
+    (if t.sym_reads > 0 then Printf.sprintf " + %d symbolic" t.sym_reads
+     else "");
+  List.iter
+    (fun (o, m) ->
+      Format.fprintf fmt "mask @%d: 0x%s@," o (U256.to_hex m))
+    t.masks;
+  List.iter
+    (fun (o, k) -> Format.fprintf fmt "signext @%d: byte %d@," o k)
+    t.signexts;
+  List.iter
+    (fun (c : copy) ->
+      Format.fprintf fmt "copy @%04x src=%s len=%s@," c.pc
+        (match c.src with Some s -> string_of_int s | None -> "?")
+        (match c.len with Some l -> string_of_int l | None -> "?"))
+    t.copies;
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "bound @%04x: cd[%s] < %s@," b.pc
+        (match b.offset with Some o -> string_of_int o | None -> "?")
+        (match b.bound with Some n -> string_of_int n | None -> "?"))
+    t.bound_checks;
+  if t.uses_cdsize then Format.fprintf fmt "reads CALLDATASIZE@,";
+  if t.tainted_branches > 0 then
+    Format.fprintf fmt "calldata-dependent branches: %d@,"
+      t.tainted_branches;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,45 @@
+(** The per-function call-data access summary the abstract interpreter
+    produces without symbolic execution: which constant offsets are
+    read, what masks and sign-extensions are applied to them, the
+    CALLDATACOPY ranges, and the bound checks guarding item loads. The
+    differential lint diffs this against the TASE-recovered signature. *)
+
+type copy = {
+  pc : int;
+  src : int option;   (** constant source offset, when known *)
+  len : int option;   (** constant length, when known *)
+}
+
+type bound_check = {
+  pc : int;                 (** the JUMPI guarded by the comparison *)
+  offset : int option;      (** call-data offset of the checked value *)
+  bound : int option;       (** constant bound, when known *)
+}
+
+type t = {
+  entry : int;
+  const_reads : int list;      (** CALLDATALOAD offsets, ascending, distinct *)
+  sym_reads : int;             (** CALLDATALOAD sites at non-constant offsets *)
+  masks : (int * Evm.U256.t) list;
+      (** (offset, mask) for AND applied directly to a loaded word *)
+  signexts : (int * int) list; (** (offset, byte index) for SIGNEXTEND *)
+  byte_reads : int list;       (** offsets whose word is read with BYTE *)
+  copies : copy list;
+  bound_checks : bound_check list;
+  uses_cdsize : bool;
+  tainted_branches : int;      (** JUMPIs whose condition may depend on
+                                   call data *)
+  complete : bool;             (** no reachable unresolved jump remains:
+                                   the summary covers every path *)
+}
+
+val empty : int -> t
+
+val masks_at : t -> int -> Evm.U256.t list
+val signexts_at : t -> int -> int list
+val reads_offset : t -> int -> bool
+
+val max_head_read : t -> int
+(** Highest constant offset >= 4 read, or [-1] when none. *)
+
+val pp : Format.formatter -> t -> unit

@@ -6,6 +6,8 @@ type budget = { max_paths : int; max_steps : int; max_forks_per_pc : int }
 
 let default_budget = { max_paths = 512; max_steps = 20_000; max_forks_per_pc = 3 }
 
+type prune_decision = Take_jump | Take_fallthrough
+
 type state = {
   pc : int;
   stack : Sexpr.t list;
@@ -28,6 +30,7 @@ type recorder = {
   regions : (int * int) Stack.t; (* (base, region id = copy pc), latest first *)
   region_bases : (int, int) Hashtbl.t; (* rid -> lowest base *)
   mutable paths : int;
+  mutable pruned : int;
   mutable steps_hit : bool;
 }
 
@@ -45,6 +48,7 @@ let make_recorder () =
     regions = Stack.create ();
     region_bases = Hashtbl.create 16;
     paths = 0;
+    pruned = 0;
     steps_hit = false;
   }
 
@@ -161,7 +165,8 @@ let prepare code =
 let code p = p.code
 let instructions p = p.instrs
 
-let run_prepared ?(budget = default_budget) program ~entry ~init_stack () =
+let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
+    ~entry ~init_stack () =
   let r = make_recorder () in
   let { code; by_offset; jumpdests; _ } = program in
   (* free-symbol names are per-run so that a run's trace depends only on
@@ -444,6 +449,13 @@ let run_prepared ?(budget = default_budget) program ~entry ~init_stack () =
               match Sexpr.eval_concrete cond with
               | Some v ->
                 if U256.is_zero v then continue s else st := { s with pc = t }
+              | None when prune s.pc <> None -> (
+                (* the static pass proved only one arm can matter for
+                   call-data access: follow it instead of forking *)
+                r.pruned <- r.pruned + 1;
+                match prune s.pc with
+                | Some Take_jump -> st := { s with pc = t }
+                | Some Take_fallthrough | None -> continue s)
               | None ->
                 let count =
                   match Imap.find_opt s.pc s.forks with Some c -> c | None -> 0
@@ -468,9 +480,10 @@ let run_prepared ?(budget = default_budget) program ~entry ~init_stack () =
     jumpi_conds = r.jumpi_conds;
     jumpi_targets = r.jumpi_targets;
     paths_explored = r.paths;
+    forks_pruned = r.pruned;
     steps_exhausted = r.steps_hit;
     paths_exhausted = not (Stack.is_empty worklist);
   }
 
-let run ?budget ~code ~entry ~init_stack () =
-  run_prepared ?budget (prepare code) ~entry ~init_stack ()
+let run ?budget ?prune ~code ~entry ~init_stack () =
+  run_prepared ?budget ?prune (prepare code) ~entry ~init_stack ()

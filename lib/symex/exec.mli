@@ -17,6 +17,10 @@ type budget = {
 
 val default_budget : budget
 
+type prune_decision = Take_jump | Take_fallthrough
+(** A static pre-screen's verdict for a JUMPI site: only one arm can
+    matter for call-data access, so follow it instead of forking. *)
+
 type program
 (** A disassembled program ready for repeated runs: the instruction
     index and jump-destination set are built once. Read-only after
@@ -30,15 +34,20 @@ val instructions : program -> Evm.Disasm.instruction list
 
 val run_prepared :
   ?budget:budget ->
+  ?prune:(int -> prune_decision option) ->
   program ->
   entry:int ->
   init_stack:Sexpr.t list ->
   unit ->
   Trace.t
-(** Explore from [entry] without re-disassembling. *)
+(** Explore from [entry] without re-disassembling. [prune] is consulted
+    at each JUMPI whose condition stays symbolic; a decision makes the
+    executor follow that single arm (counted in
+    [Trace.forks_pruned]) instead of forking. *)
 
 val run :
   ?budget:budget ->
+  ?prune:(int -> prune_decision option) ->
   code:string ->
   entry:int ->
   init_stack:Sexpr.t list ->

@@ -22,6 +22,7 @@ type t = {
   jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
   jumpi_targets : (int, int) Hashtbl.t;
   paths_explored : int;
+  forks_pruned : int;
   steps_exhausted : bool;
   paths_exhausted : bool;
 }

@@ -36,6 +36,7 @@ type t = {
   jumpi_targets : (int, int) Hashtbl.t;
       (** concrete taken-branch target of each JUMPI site *)
   paths_explored : int;
+  forks_pruned : int;           (** forks skipped on a static prune hint *)
   steps_exhausted : bool;       (** some path hit the per-path step budget *)
   paths_exhausted : bool;       (** the path budget was hit with work pending *)
 }

@@ -213,6 +213,120 @@ let test_transitive_deps () =
   let chain = Cfg.transitive_deps deps l2.Cfg.start in
   Alcotest.(check int) "two guards in chain" 2 (List.length chain)
 
+(* nested loops: inner body depends on both guards, outer body only on
+   the outer guard *)
+let nested_loop_prog =
+  Asm.
+    [
+      Op (Opcode.push 0); Op (Opcode.push 0); Op Opcode.MSTORE;
+      Label "outer";
+      Op (Opcode.push 2);
+      Op (Opcode.push 0); Op Opcode.MLOAD;
+      Op Opcode.LT;
+      Op Opcode.ISZERO;
+      Push_label "done";
+      Op Opcode.JUMPI;
+      (* outer body: reset the inner counter *)
+      Op (Opcode.push 0); Op (Opcode.push 32); Op Opcode.MSTORE;
+      Label "inner";
+      Op (Opcode.push 2);
+      Op (Opcode.push 32); Op Opcode.MLOAD;
+      Op Opcode.LT;
+      Op Opcode.ISZERO;
+      Push_label "inner_done";
+      Op Opcode.JUMPI;
+      (* inner body *)
+      Op (Opcode.push 32); Op Opcode.MLOAD;
+      Op (Opcode.push 1); Op Opcode.ADD;
+      Op (Opcode.push 32); Op Opcode.MSTORE;
+      Push_label "inner";
+      Op Opcode.JUMP;
+      Label "inner_done";
+      Op (Opcode.push 0); Op Opcode.MLOAD;
+      Op (Opcode.push 1); Op Opcode.ADD;
+      Op (Opcode.push 0); Op Opcode.MSTORE;
+      Push_label "outer";
+      Op Opcode.JUMP;
+      Label "done";
+      Op Opcode.STOP;
+    ]
+
+let test_nested_loop_control_deps () =
+  let code = Asm.assemble nested_loop_prog in
+  let cfg = Cfg.build code in
+  let deps = Cfg.control_deps cfg in
+  let guards =
+    List.filter
+      (fun (b : Cfg.block) -> b.Cfg.terminator = Some Opcode.JUMPI)
+      (Cfg.blocks cfg)
+  in
+  Alcotest.(check int) "two guards" 2 (List.length guards);
+  let outer_guard = List.nth guards 0 and inner_guard = List.nth guards 1 in
+  let fallthrough_of (g : Cfg.block) =
+    match g.Cfg.succ with
+    | [ Cfg.Branch { fallthrough; _ } ] -> fallthrough
+    | _ -> Alcotest.fail "guard should branch"
+  in
+  let inner_body = fallthrough_of inner_guard in
+  let outer_body = fallthrough_of outer_guard in
+  let chain = Cfg.transitive_deps deps inner_body in
+  Alcotest.(check bool) "inner body under inner guard" true
+    (List.mem inner_guard.Cfg.start chain);
+  Alcotest.(check bool) "inner body under outer guard" true
+    (List.mem outer_guard.Cfg.start chain);
+  let outer_chain = Cfg.transitive_deps deps outer_body in
+  Alcotest.(check bool) "outer body not under inner guard" true
+    (not (List.mem inner_guard.Cfg.start outer_chain));
+  (* sanity: both loops terminate under the reference interpreter *)
+  let res = Interp.execute ~code ~calldata:"" () in
+  Alcotest.(check bool) "terminates" true (res.Interp.outcome = Interp.Stopped)
+
+(* the target is pushed in one block and consumed by a JUMP in another:
+   the single-block peephole cannot resolve it *)
+let cross_block_jump_prog =
+  Asm.
+    [
+      Push_label "target";
+      Op Opcode.CALLVALUE;
+      Push_label "mid";
+      Op Opcode.JUMPI;
+      Label "mid";
+      Op Opcode.JUMP;
+      Label "target";
+      Op Opcode.STOP;
+    ]
+
+let test_unresolved_and_resolve () =
+  let code = Asm.assemble cross_block_jump_prog in
+  let cfg = Cfg.build code in
+  Alcotest.(check int) "one unresolved edge" 1 (Cfg.unresolved_count cfg);
+  let jump_block =
+    List.find
+      (fun (b : Cfg.block) -> b.Cfg.terminator = Some Opcode.JUMP)
+      (Cfg.blocks cfg)
+  in
+  Alcotest.(check bool) "edge is Unresolved" true
+    (List.mem Cfg.Unresolved jump_block.Cfg.succ);
+  let target =
+    List.find
+      (fun (b : Cfg.block) -> b.Cfg.terminator = Some Opcode.STOP)
+      (Cfg.blocks cfg)
+  in
+  let resolved =
+    Cfg.resolve cfg (fun start ->
+        if start = jump_block.Cfg.start then [ target.Cfg.start ] else [])
+  in
+  Alcotest.(check int) "no unresolved edges left" 0
+    (Cfg.unresolved_count resolved);
+  (match Cfg.block_at resolved jump_block.Cfg.start with
+  | Some b ->
+    Alcotest.(check bool) "edge became Jump_to" true
+      (List.mem (Cfg.Jump_to target.Cfg.start) b.Cfg.succ)
+  | None -> Alcotest.fail "jump block lost by resolve");
+  (* an empty answer keeps the edge Unresolved *)
+  let kept = Cfg.resolve cfg (fun _ -> []) in
+  Alcotest.(check int) "empty answer keeps edge" 1 (Cfg.unresolved_count kept)
+
 let test_block_of_pc () =
   let code = Asm.assemble diamond in
   let cfg = Cfg.build code in
@@ -240,5 +354,9 @@ let suite =
     Alcotest.test_case "diamond control deps" `Quick test_cfg_diamond_control_deps;
     Alcotest.test_case "loop control deps" `Quick test_cfg_loop_control_deps;
     Alcotest.test_case "transitive deps" `Quick test_transitive_deps;
+    Alcotest.test_case "nested loop control deps" `Quick
+      test_nested_loop_control_deps;
+    Alcotest.test_case "unresolved edges and resolve" `Quick
+      test_unresolved_and_resolve;
     Alcotest.test_case "block_of_pc" `Quick test_block_of_pc;
   ]

@@ -16,6 +16,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("aggregate", Test_aggregate.suite);
       ("engine", Test_engine.suite);
+      ("static", Test_static.suite);
       ("corpus", Test_corpus.suite);
       ("tools", Test_tools.suite);
     ]
