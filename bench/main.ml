@@ -810,15 +810,22 @@ let static_pass () =
      skipped)\n\
      recover_all: %.2f s unpruned, %.2f s pruned\n"
     paths_off paths_on pruned t_off t_on;
-  (* cache behaviour on a duplicate-heavy batch *)
+  (* cache behaviour, cold and warm measured separately: folding the
+     warm-up pass into one number used to report a meaningless 50% *)
   let engine = Sigrec.Engine.create () in
-  let _ = Sigrec.Engine.recover_all ~jobs:1 engine (codes @ codes) in
+  let _ = Sigrec.Engine.recover_all ~jobs:1 engine codes in
   let cstats = Sigrec.Engine.stats engine in
-  let hits = Sigrec.Stats.cache_hits cstats in
-  let misses = Sigrec.Stats.cache_misses cstats in
-  let hit_rate = pct hits (hits + misses) in
-  Printf.printf "cache: %d hits / %d analyses (%.1f%% hit rate)\n" hits misses
-    hit_rate;
+  let cold_hits = Sigrec.Stats.cache_hits cstats in
+  let cold_misses = Sigrec.Stats.cache_misses cstats in
+  let _ = Sigrec.Engine.recover_all ~jobs:1 engine codes in
+  let warm_hits = Sigrec.Stats.cache_hits cstats - cold_hits in
+  let warm_misses = Sigrec.Stats.cache_misses cstats - cold_misses in
+  let cold_rate = pct cold_hits (cold_hits + cold_misses) in
+  let warm_rate = pct warm_hits (warm_hits + warm_misses) in
+  Printf.printf
+    "cache: cold %d hits / %d misses (%.1f%%), warm %d hits / %d misses \
+     (%.1f%%)\n"
+    cold_hits cold_misses cold_rate warm_hits warm_misses warm_rate;
   (* differential lint: clean configuration, then a mutated rule set *)
   let lint_stats = Sigrec.Stats.create () in
   List.iter
@@ -846,11 +853,15 @@ let static_pass () =
        \"unresolved_after\":%d,\"paths_without_pruning\":%d,\
        \"paths_with_pruning\":%d,\"forks_pruned\":%d,\
        \"seconds_without_pruning\":%.3f,\"seconds_with_pruning\":%.3f,\
-       \"cache_hits\":%d,\"cache_misses\":%d,\"cache_hit_rate\":%.3f,\
+       \"cache_cold_hits\":%d,\"cache_cold_misses\":%d,\
+       \"cache_cold_hit_rate\":%.3f,\
+       \"cache_warm_hits\":%d,\"cache_warm_misses\":%d,\
+       \"cache_warm_hit_rate\":%.3f,\
        \"lint_agree\":%d,\"lint_disagree\":%d,\
        \"mutated_config_disagreements\":%d}"
       (List.length codes) bytes t_static throughput resolved unresolved_after
-      paths_off paths_on pruned t_off t_on hits misses (hit_rate /. 100.0)
+      paths_off paths_on pruned t_off t_on cold_hits cold_misses
+      (cold_rate /. 100.0) warm_hits warm_misses (warm_rate /. 100.0)
       agree disagree mut_disagree
   in
   Out_channel.with_open_text "BENCH_static.json" (fun oc ->
@@ -862,6 +873,235 @@ let static_pass () =
       ignore (Sigrec.Contract.make one));
   register_bench "static:lint-one-contract" (fun () ->
       ignore (Sigrec.Lint.check one))
+
+(* ---------------------------------------------------------------- *)
+(* Symbolic core: hash-consing wall-clock and allocation profile     *)
+(* ---------------------------------------------------------------- *)
+
+(* A structural mirror of the symbolic expression nodes as they stood
+   before hash-consing: every construction allocates a fresh block and
+   equality walks both trees. The micro-benchmark below pushes the same
+   offset-arithmetic shapes through both representations; the ratio of
+   the two measurements is the honest pre/post comparison recorded in
+   BENCH_perf.json. *)
+module Structural = struct
+  type t =
+    | Const of Evm.U256.t
+    | CDLoad of int
+    | Bin of int * t * t
+    | Un of int * t
+
+  let rec equal a b =
+    match (a, b) with
+    | Const x, Const y -> Evm.U256.equal x y
+    | CDLoad i, CDLoad j -> i = j
+    | Bin (o1, a1, b1), Bin (o2, a2, b2) ->
+      o1 = o2 && equal a1 a2 && equal b1 b2
+    | Un (o1, a1), Un (o2, a2) -> o1 = o2 && equal a1 a2
+    | _ -> false
+end
+
+(* Wall time plus per-domain Gc deltas. The allocation numbers are
+   meaningful only when [f] runs entirely in this domain (jobs=1). *)
+let measured f =
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let t = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  ( v,
+    t,
+    g1.Gc.minor_words -. g0.Gc.minor_words,
+    g1.Gc.major_words -. g0.Gc.major_words )
+
+let symex_core ?(emit = true) ?(n = 120) () =
+  section "Symbolic core: hash-consed expressions";
+  let extra = Stdlib.max 4 (n / 4) in
+  let samples =
+    Solc.Corpus.dataset3 ~seed:(seed + 9) ~n
+    @ Solc.Corpus.vyper_set ~seed:(seed + 9) ~n:extra
+    @ Solc.Corpus.abiv2_set ~seed:(seed + 9) ~n:extra
+  in
+  let codes = List.map (fun s -> s.Solc.Corpus.code) samples in
+  let render reports =
+    String.concat "\n"
+      (List.map
+         (fun r ->
+           Format.asprintf "%a" Sigrec.Engine.pp_report
+             { r with Sigrec.Engine.from_cache = false })
+         reports)
+  in
+  (* stage 1: sequential recovery with allocation accounting *)
+  let engine1 = Sigrec.Engine.create () in
+  let seq, t_seq, minor1, major1 =
+    measured (fun () -> Sigrec.Engine.recover_all ~jobs:1 engine1 codes)
+  in
+  let stats1 = Sigrec.Engine.stats engine1 in
+  let paths = Sigrec.Stats.paths_explored stats1 in
+  let ih = Sigrec.Stats.intern_hits stats1 in
+  let im = Sigrec.Stats.intern_misses stats1 in
+  let nc = List.length codes in
+  Printf.printf
+    "recover_all jobs=1 over %d contracts: %.2f s, %d paths\n\
+     allocation: %.2e minor words (%.0f/contract), %.2e major words\n\
+     interner: %d hits / %d misses (%.1f%% hit rate, %d live nodes)\n"
+    nc t_seq paths minor1
+    (minor1 /. float_of_int nc)
+    major1 ih im
+    (pct ih (ih + im))
+    (Symex.Sexpr.interner_size ());
+  (* stage 2: a warm re-run answers everything from the cache and the
+     reports must render identically *)
+  let warm = Sigrec.Engine.recover_all ~jobs:1 engine1 codes in
+  let warm_same = render seq = render warm in
+  (* stage 3: parallel fan-out must stay byte-identical *)
+  let jobs = Stdlib.max 2 (Domain.recommended_domain_count ()) in
+  let par, t_par, _, _ =
+    measured (fun () ->
+        Sigrec.Engine.recover_all ~jobs (Sigrec.Engine.create ()) codes)
+  in
+  let par_same = render seq = render par in
+  Printf.printf
+    "recover_all jobs=%d: %.2f s (speedup %.2fx); byte-identical: %b\n"
+    jobs t_par
+    (t_seq /. Stdlib.max 1e-9 t_par)
+    par_same;
+  (* stage 4: the static prune must not change output either *)
+  let unpruned, t_unpruned, _, _ =
+    measured (fun () ->
+        Sigrec.Engine.recover_all ~jobs:1
+          (Sigrec.Engine.create ~static_prune:false ())
+          codes)
+  in
+  let prune_same = render seq = render unpruned in
+  Printf.printf
+    "pruning off: %.2f s; byte-identical to pruned run: %b; warm cache \
+     byte-identical: %b\n"
+    t_unpruned prune_same warm_same;
+  (* stage 5: representation micro-benchmark. Both builders produce the
+     same tree shapes, so the pairwise-equality counts must agree; the
+     structural side re-allocates and deep-compares where the interned
+     side reuses nodes and compares pointers. *)
+  let classes = 4 and micro_trees = 240 and reps = 25 in
+  let build_structural i =
+    let open Structural in
+    let t = ref (CDLoad (4 + (32 * (i mod classes)))) in
+    for k = 1 to 6 do
+      t :=
+        Bin
+          ( 0,
+            Bin (1, !t, Const (Evm.U256.of_int 32)),
+            Const (Evm.U256.of_int (k * 32)) )
+    done;
+    Un (0, !t)
+  in
+  let build_interned i =
+    let open Symex.Sexpr in
+    let t = ref (cdload (4 + (32 * (i mod classes)))) in
+    for k = 1 to 6 do
+      t := bin Badd (bin Bmul !t (of_int 32)) (of_int (k * 32))
+    done;
+    un Uiszero !t
+  in
+  let pairwise build equal =
+    let eqs = ref 0 in
+    for _ = 1 to reps do
+      let trees = Array.init micro_trees build in
+      Array.iter
+        (fun a -> Array.iter (fun b -> if equal a b then incr eqs) trees)
+        trees
+    done;
+    !eqs
+  in
+  let s_eqs, t_struct, _, _ =
+    measured (fun () -> pairwise build_structural Structural.equal)
+  in
+  let i_eqs, t_intern, _, _ =
+    measured (fun () -> pairwise build_interned Symex.Sexpr.equal)
+  in
+  let eq_agree = s_eqs = i_eqs in
+  let eq_speedup = t_struct /. Stdlib.max 1e-9 t_intern in
+  (* the recorder's hot loop: deduplicate every access event by a key
+     derived from its expression. Pre hash-consing that key was a
+     rendered string; with interned nodes it is the node id. *)
+  let rec structural_render t =
+    let open Structural in
+    match t with
+    | Const v -> "0x" ^ Evm.U256.to_hex v
+    | CDLoad i -> Printf.sprintf "cd[%d]" i
+    | Bin (o, a, b) ->
+      Printf.sprintf "(%d %s %s)" o (structural_render a)
+        (structural_render b)
+    | Un (o, a) -> Printf.sprintf "(%d %s)" o (structural_render a)
+  in
+  let dedup build key =
+    let seen = Hashtbl.create 64 in
+    for _ = 1 to reps do
+      for i = 0 to micro_trees - 1 do
+        Hashtbl.replace seen (key (build i)) ()
+      done
+    done;
+    Hashtbl.length seen
+  in
+  let s_classes, t_sdedup, minor_s, _ =
+    measured (fun () ->
+        dedup build_structural (fun t -> `S (structural_render t)))
+  in
+  let i_classes, t_idedup, minor_i, _ =
+    measured (fun () -> dedup build_interned (fun t -> `I (Symex.Sexpr.id t)))
+  in
+  let dedup_agree = s_classes = i_classes in
+  let dedup_speedup = t_sdedup /. Stdlib.max 1e-9 t_idedup in
+  let alloc_ratio = minor_s /. Stdlib.max 1.0 minor_i in
+  let micro_agree = eq_agree && dedup_agree in
+  Printf.printf
+    "micro (%d trees x %d reps):\n\
+    \  pairwise equality: structural %.4f s, interned %.4f s (%.1fx)\n\
+    \  event dedup keys:  structural %.4f s / %.2e minor words,\n\
+    \                     interned   %.4f s / %.2e minor words\n\
+    \                     (%.1fx faster, %.1fx fewer words)\n\
+    \  same equality/dedup classes: %b\n"
+    micro_trees reps t_struct t_intern eq_speedup t_sdedup minor_s t_idedup
+    minor_i dedup_speedup alloc_ratio micro_agree;
+  let ok = warm_same && par_same && prune_same && micro_agree in
+  if emit then begin
+    let json =
+      Printf.sprintf
+        "{\"corpus_contracts\":%d,\"paths\":%d,\
+         \"wall_seconds_jobs1\":%.3f,\"jobs\":%d,\
+         \"wall_seconds_parallel\":%.3f,\"parallel_identical\":%b,\
+         \"wall_seconds_unpruned\":%.3f,\"prune_identical\":%b,\
+         \"warm_cache_identical\":%b,\
+         \"minor_words\":%.0f,\"minor_words_per_contract\":%.0f,\
+         \"major_words\":%.0f,\
+         \"intern_hits\":%d,\"intern_misses\":%d,\"intern_hit_rate\":%.3f,\
+         \"interner_nodes\":%d,\
+         \"micro_equality_structural_seconds\":%.6f,\
+         \"micro_equality_interned_seconds\":%.6f,\
+         \"micro_equality_speedup\":%.2f,\
+         \"micro_dedup_structural_seconds\":%.6f,\
+         \"micro_dedup_interned_seconds\":%.6f,\
+         \"micro_dedup_speedup\":%.2f,\
+         \"micro_dedup_structural_minor_words\":%.0f,\
+         \"micro_dedup_interned_minor_words\":%.0f,\
+         \"micro_allocation_ratio\":%.2f}"
+        nc paths t_seq jobs t_par par_same t_unpruned prune_same warm_same
+        minor1
+        (minor1 /. float_of_int nc)
+        major1 ih im
+        (pct ih (ih + im) /. 100.0)
+        (Symex.Sexpr.interner_size ())
+        t_struct t_intern eq_speedup t_sdedup t_idedup dedup_speedup minor_s
+        minor_i alloc_ratio
+    in
+    Out_channel.with_open_text "BENCH_perf.json" (fun oc ->
+        output_string oc json;
+        output_char oc '\n');
+    Printf.printf "wrote BENCH_perf.json\n";
+    register_bench "symex:interned-pairwise-equality" (fun () ->
+        ignore (pairwise build_interned Symex.Sexpr.equal))
+  end;
+  ok
 
 (* ---------------------------------------------------------------- *)
 (* Aggregation across contracts (paper sec. 7 proposal)              *)
@@ -911,24 +1151,40 @@ let aggregation () =
   register_bench "aggregation:join-five-bodies" (fun () ->
       ignore (Sigrec.Aggregate.recover_many codes))
 
+(* --smoke: the drift checks only, on a small corpus, fast enough for
+   CI. Exit status 1 when any recovery output drifts (parallel vs
+   sequential, pruned vs unpruned, warm vs cold, interned vs structural
+   equality classes); timing is deliberately NOT checked. *)
+let smoke () =
+  let ok = symex_core ~emit:false ~n:16 () in
+  if ok then Printf.printf "\nsmoke: recovery output stable, no drift\n"
+  else begin
+    Printf.printf "\nsmoke: RECOVERY OUTPUT DRIFT DETECTED\n";
+    exit 1
+  end
+
 let () =
-  let t0 = Sys.time () in
-  table1 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  fig15_16 ();
-  fig17 ();
-  fig18 ();
-  fig19 ();
-  app_parchecker ();
-  app_fuzzer ();
-  app_erays ();
-  ablation ();
-  obfuscation ();
-  engine_batch ();
-  static_pass ();
-  aggregation ();
-  run_bechamel ();
-  Printf.printf "\ntotal bench time: %.1f s\n" (Sys.time () -. t0)
+  if Array.exists (( = ) "--smoke") Sys.argv then smoke ()
+  else begin
+    let t0 = Sys.time () in
+    table1 ();
+    table2 ();
+    table3 ();
+    table4 ();
+    table5 ();
+    fig15_16 ();
+    fig17 ();
+    fig18 ();
+    fig19 ();
+    app_parchecker ();
+    app_fuzzer ();
+    app_erays ();
+    ablation ();
+    obfuscation ();
+    engine_batch ();
+    static_pass ();
+    let (_ : bool) = symex_core () in
+    aggregation ();
+    run_bechamel ();
+    Printf.printf "\ntotal bench time: %.1f s\n" (Sys.time () -. t0)
+  end

@@ -33,7 +33,7 @@ let () =
   (* step 1-3: symbolic execution with the call data as symbols *)
   let trace =
     Symex.Exec.run ~code ~entry:entry.Sigrec.Ids.entry_pc
-      ~init_stack:[ Sexpr.Env "selector_residue" ] ()
+      ~init_stack:[ Sexpr.env "selector_residue" ] ()
   in
   Printf.printf "access-event trace (%d paths explored):\n"
     trace.Trace.paths_explored;

@@ -6,11 +6,25 @@
 
 type t = { l0 : int64; l1 : int64; l2 : int64; l3 : int64 }
 
-let zero = { l0 = 0L; l1 = 0L; l2 = 0L; l3 = 0L }
-let one = { l0 = 1L; l1 = 0L; l2 = 0L; l3 = 0L }
+let make l0 l1 l2 l3 = { l0; l1; l2; l3 }
+
+(* Interned pool of small constants. Entries are physically shared, so
+   the pointer fast path in [equal]/[compare] hits for the values the
+   compiler patterns hammer (offsets, word sizes, small selectors). The
+   arrays are built once at module init and never mutated afterwards, so
+   sharing them across domains is safe. *)
+let small_pool = Array.init 1025 (fun n -> make (Int64.of_int n) 0L 0L 0L)
+let zero = small_pool.(0)
+let one = small_pool.(1)
 let max_int = { l0 = -1L; l1 = -1L; l2 = -1L; l3 = -1L }
 
-let make l0 l1 l2 l3 = { l0; l1; l2; l3 }
+(* Route a limb quadruple through the pool when it denotes a small int. *)
+let interned l0 l1 l2 l3 =
+  if
+    Int64.equal (Int64.logor l1 (Int64.logor l2 l3)) 0L
+    && Int64.unsigned_compare l0 1024L <= 0
+  then Array.unsafe_get small_pool (Int64.to_int l0)
+  else make l0 l1 l2 l3
 
 let limb x = function
   | 0 -> x.l0
@@ -20,12 +34,15 @@ let limb x = function
   | _ -> 0L
 
 let equal a b =
-  Int64.equal a.l0 b.l0 && Int64.equal a.l1 b.l1 && Int64.equal a.l2 b.l2
-  && Int64.equal a.l3 b.l3
+  a == b
+  || Int64.equal a.l0 b.l0 && Int64.equal a.l1 b.l1 && Int64.equal a.l2 b.l2
+     && Int64.equal a.l3 b.l3
 
 let is_zero a = equal a zero
 
 let compare a b =
+  if a == b then 0
+  else
   let c = Int64.unsigned_compare a.l3 b.l3 in
   if c <> 0 then c
   else
@@ -59,10 +76,11 @@ let hash a =
 (* -- conversions ------------------------------------------------------- *)
 
 let of_int n =
-  if n >= 0 then { zero with l0 = Int64.of_int n }
+  if n >= 0 then
+    if n <= 1024 then small_pool.(n) else { zero with l0 = Int64.of_int n }
   else { max_int with l0 = Int64.of_int n }
 
-let of_int64 x = { zero with l0 = x }
+let of_int64 x = interned x 0L 0L 0L
 
 let to_int a =
   if
@@ -77,7 +95,7 @@ let to_int_trunc a = Int64.to_int (Int64.logand a.l0 0x3fffffffffffffffL)
 (* -- bitwise ----------------------------------------------------------- *)
 
 let logand a b =
-  make (Int64.logand a.l0 b.l0) (Int64.logand a.l1 b.l1)
+  interned (Int64.logand a.l0 b.l0) (Int64.logand a.l1 b.l1)
     (Int64.logand a.l2 b.l2) (Int64.logand a.l3 b.l3)
 
 let logor a b =
@@ -124,7 +142,7 @@ let shift_right a n =
           (Int64.shift_right_logical (limb a src) bit)
           (Int64.shift_left hi (64 - bit))
     in
-    make (get 0) (get 1) (get 2) (get 3)
+    interned (get 0) (get 1) (get 2) (get 3)
 
 let shift_right_arith a n =
   if not (is_negative a) then shift_right a n
@@ -164,10 +182,30 @@ let add a b =
   let r1, c = add_with_carry a.l1 b.l1 c in
   let r2, c = add_with_carry a.l2 b.l2 c in
   let r3, _ = add_with_carry a.l3 b.l3 c in
-  make r0 r1 r2 r3
+  interned r0 r1 r2 r3
 
 let neg a = add (lognot a) one
 let sub a b = add a (neg b)
+
+(* Pools for the masks the mask-shape matchers and SIGNEXTEND scan:
+   powers of two, byte masks [2^(8k)-1] and their high-byte mirrors.
+   Small entries reuse [small_pool] so each value has one canonical
+   representative. *)
+let pow2_pool =
+  Array.init 256 (fun n ->
+      if n <= 10 then small_pool.(1 lsl n) else shift_left one n)
+
+let ones_low_pool =
+  Array.init 33 (fun k ->
+      if k = 0 then zero
+      else if k >= 32 then max_int
+      else sub (shift_left one (8 * k)) one)
+
+let ones_high_pool =
+  Array.init 33 (fun k ->
+      if k = 0 then zero
+      else if k >= 32 then max_int
+      else shift_left max_int (8 * (32 - k)))
 
 (* -- multiplication ---------------------------------------------------- *)
 
@@ -222,7 +260,7 @@ let mul_wide a b =
 
 let mul a b =
   let r = mul_wide a b in
-  make r.(0) r.(1) r.(2) r.(3)
+  interned r.(0) r.(1) r.(2) r.(3)
 
 (* -- division ----------------------------------------------------------
    Bit-by-bit restoring division: adequate for an analysis workload. *)
@@ -251,7 +289,7 @@ let divmod a b =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let min_signed = shift_left one 255
+let min_signed = pow2_pool.(255)
 
 let sdiv a b =
   if is_zero b then zero
@@ -315,29 +353,24 @@ let exp b e =
   !result
 
 let pow2 n =
-  if n < 0 || n > 255 then invalid_arg "U256.pow2"
-  else shift_left one n
+  if n < 0 || n > 255 then invalid_arg "U256.pow2" else pow2_pool.(n)
 
 (* -- EVM-specific ------------------------------------------------------ *)
 
 let signextend k x =
   if k >= 31 || k < 0 then x
-  else
-    let bit = (8 * (k + 1)) - 1 in
-    if get_bit x bit then logor x (shift_left max_int (bit + 1))
-    else logand x (sub (shift_left one (bit + 1)) one)
+  else if get_bit x ((8 * (k + 1)) - 1) then logor x ones_high_pool.(31 - k)
+  else logand x ones_low_pool.(k + 1)
 
 let byte i x =
   if i < 0 || i > 31 then zero
   else logand (shift_right x (8 * (31 - i))) (of_int 0xff)
 
 let ones_low k =
-  if k <= 0 then zero else if k >= 32 then max_int
-  else sub (shift_left one (8 * k)) one
+  if k <= 0 then zero else if k >= 32 then max_int else ones_low_pool.(k)
 
 let ones_high k =
-  if k <= 0 then zero else if k >= 32 then max_int
-  else shift_left max_int (8 * (32 - k))
+  if k <= 0 then zero else if k >= 32 then max_int else ones_high_pool.(k)
 
 (* -- string conversions ------------------------------------------------ *)
 

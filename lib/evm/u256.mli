@@ -4,7 +4,18 @@
     be viewed either as an unsigned integer in [0, 2^256) or as a signed
     two's-complement integer in [-2^255, 2^255); operations whose name
     starts with [s] use the signed view (matching the EVM [SDIV], [SMOD],
-    [SLT], [SGT] and [SAR] instructions). *)
+    [SLT], [SGT] and [SAR] instructions).
+
+    Common constants are interned: the integers 0–1024, every power of
+    two, and the [ones_low]/[ones_high] byte masks are immutable pooled
+    blocks, and every normalizing constructor ([of_int], [of_int64],
+    [add], [mul], [logand], [shift_right], …) routes small results back
+    through the pool. Structurally equal small values are therefore
+    usually physically equal — [equal] and [compare] exploit this with
+    [(==)] fast paths — but physical equality is {e not} guaranteed for
+    arbitrary values; use [equal] for truth, [(==)] only as an
+    optimisation. The pools are built once at module initialisation and
+    never mutated, so sharing them across domains is safe. *)
 
 type t
 

@@ -8,6 +8,7 @@ type t = {
   static : Sigrec_static.Absint.result;
   unresolved_before : int;
   unresolved_after : int;
+  absint_cache : (int, Sigrec_static.Absint.result) Hashtbl.t;
 }
 
 let hash_of_code code = Evm.Keccak.digest code
@@ -31,7 +32,16 @@ let make code =
     static;
     unresolved_before = Evm.Cfg.unresolved_count raw_cfg;
     unresolved_after = Evm.Cfg.unresolved_count cfg;
+    absint_cache = Hashtbl.create 8;
   }
+
+let absint_for t ~entry =
+  match Hashtbl.find_opt t.absint_cache entry with
+  | Some r -> r
+  | None ->
+    let r = Sigrec_static.Absint.analyze ~depth:1 ~entry t.cfg in
+    Hashtbl.replace t.absint_cache entry r;
+    r
 
 let of_hex hex = make (Evm.Hex.decode hex)
 

@@ -4,8 +4,11 @@
     disassembly, the control-flow graph, the dispatcher's function-id
     entries, and the Keccak-256 code hash — is computed once here and
     shared across every per-function {!Infer.infer} run and across the
-    batch engine's cache. All fields are immutable after construction,
-    so a [t] can be read from multiple domains. *)
+    batch engine's cache. Apart from the per-entry absint memo (see
+    {!absint_for}), all fields are immutable after construction. A [t]
+    is built and analyzed within one domain (the batch engine gives each
+    worker its own); the memo table is not synchronized, so don't share
+    a [t] between domains that both call {!absint_for}. *)
 
 type t = {
   code : string;                  (** raw runtime bytecode *)
@@ -23,6 +26,8 @@ type t = {
       (** the whole-contract (entry 0) abstract-interpretation run *)
   unresolved_before : int;        (** [Unresolved] edges in the raw CFG *)
   unresolved_after : int;         (** ... still left after resolution *)
+  absint_cache : (int, Sigrec_static.Absint.result) Hashtbl.t;
+      (** per-entry depth-1 absint runs, memoized by {!absint_for} *)
 }
 
 val make : string -> t
@@ -47,3 +52,8 @@ val function_count : t -> int
 val static : t -> Sigrec_static.Absint.result
 val jumps_resolved : t -> int
 (** How many [Unresolved] edges the static pass turned concrete. *)
+
+val absint_for : t -> entry:int -> Sigrec_static.Absint.result
+(** The depth-1 abstract-interpretation run from a function entry,
+    memoized per contract — {!Infer.infer}'s prune oracle asks for the
+    same entry on every (re-)inference. *)

@@ -71,8 +71,7 @@ let pp_report fmt report =
    TASE per dispatcher entry. Every per-function failure mode is
    reified into the outcome instead of yielding a silently shorter
    list. *)
-let analyze ~config ?budget ?static_prune ~stats code =
-  Stats.cache_miss stats;
+let analyze_uncounted ~config ?budget ?static_prune ~stats code =
   match Contract.make code with
   | exception e ->
     {
@@ -126,6 +125,16 @@ let analyze ~config ?budget ?static_prune ~stats code =
       from_cache = false;
     }
 
+let analyze ~config ?budget ?static_prune ~stats code =
+  Stats.cache_miss stats;
+  (* interner traffic is domain-local and an analysis runs entirely in
+     one domain, so the before/after delta is exactly this analysis's *)
+  let ih0, im0 = Symex.Sexpr.interner_counters () in
+  let report = analyze_uncounted ~config ?budget ?static_prune ~stats code in
+  let ih1, im1 = Symex.Sexpr.interner_counters () in
+  Stats.add_interner stats ~hits:(ih1 - ih0) ~misses:(im1 - im0);
+  report
+
 let recover t code =
   let hash = Contract.hash_of_code code in
   let cached =
@@ -158,17 +167,21 @@ let recover_all ?jobs t codes =
   let work = ref [] in
   let work_count = ref 0 in
   Mutex.protect t.lock (fun () ->
-      let enqueued = Hashtbl.create 64 in
+      let seen = Hashtbl.create 64 in
+      let dups = ref 0 in
       for i = 0 to n - 1 do
         let h = hashes.(i) in
-        if (not (Hashtbl.mem enqueued h)) && not (Hashtbl.mem t.cache h)
-        then begin
-          Hashtbl.replace enqueued h ();
-          fresh.(i) <- true;
-          work := (h, codes.(i)) :: !work;
-          incr work_count
+        if Hashtbl.mem seen h then incr dups
+        else begin
+          Hashtbl.replace seen h ();
+          if not (Hashtbl.mem t.cache h) then begin
+            fresh.(i) <- true;
+            work := (h, codes.(i)) :: !work;
+            incr work_count
+          end
         end
-      done);
+      done;
+      if !dups > 0 then Stats.add_deduped t.stats !dups);
   let work = Array.of_list (List.rev !work) in
   let results = Array.make (Array.length work) None in
   let next = Atomic.make 0 in

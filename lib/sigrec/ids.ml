@@ -39,7 +39,7 @@ let extract_symbolic program =
         List.iter
           (fun cond ->
             let core, iszeros = Sexpr.iszero_depth cond in
-            match core with
+            match Sexpr.node core with
             | Sexpr.Bin (Sexpr.Beq, a, b) when iszeros mod 2 = 0 -> (
               let id_of e =
                 match Sexpr.to_const e with

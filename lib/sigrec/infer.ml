@@ -24,11 +24,11 @@ let wrap_outer_first elem dims =
 
 (* The static pre-screen for one function body: abstract-interpret from
    its entry (one opaque stack slot, the selector residue) and hand the
-   executor a prune oracle for calldata-independent branches. *)
+   executor a prune oracle for calldata-independent branches. The
+   per-entry analysis is memoized on the contract, so re-inferring the
+   same entry (config sweeps, ablations) reuses it. *)
 let prune_oracle contract entry =
-  let absint =
-    Sigrec_static.Absint.analyze ~depth:1 ~entry contract.Contract.cfg
-  in
+  let absint = Contract.absint_for contract ~entry in
   fun pc ->
     match Sigrec_static.Absint.prune_decision absint pc with
     | Some Sigrec_static.Absint.Take_jump -> Some Symex.Exec.Take_jump
@@ -42,7 +42,7 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
   in
   let trace =
     Symex.Exec.run_prepared ?budget ~prune contract.Contract.program ~entry
-      ~init_stack:[ Sexpr.Env "selector_residue" ] ()
+      ~init_stack:[ Sexpr.env "selector_residue" ] ()
   in
   Option.iter
     (fun s ->
@@ -132,10 +132,10 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
           Option.iter claim num;
           let region = Trace.Sub_region pc in
           let has_byte_read =
-            List.mem Trace.Byte_read (Trace.usages_of trace region)
+            List.mem Trace.Byte_read (Rules.usages ctx region)
           in
           let rec contains_div e =
-            match e with
+            match Sexpr.node e with
             | Sexpr.Bin (Sexpr.Bdiv, _, _) -> true
             | Sexpr.Bin (_, a, b) -> contains_div a || contains_div b
             | Sexpr.Un (_, a) -> contains_div a
@@ -247,7 +247,7 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
           (fun (l : Trace.load) ->
             Some l <> num
             && List.mem Trace.Byte_read
-                 (Trace.usages_of trace (Trace.Sub_load l.Trace.id)))
+                 (Rules.usages ctx (Trace.Sub_load l.Trace.id)))
           direct
       in
       if byte_item then begin
@@ -303,8 +303,10 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
           List.filter_map
             (fun (l : Trace.load) ->
               match Rules.split_terms l.Trace.loc with
-              | c, [ Sexpr.CDLoad id ] when id = o.Trace.id && c >= 4 ->
-                Some (c, l)
+              | c, [ only ] when c >= 4 -> (
+                match Sexpr.node only with
+                | Sexpr.CDLoad id when id = o.Trace.id -> Some (c, l)
+                | _ -> None)
               | _ -> None)
             derefs
         in

@@ -21,13 +21,39 @@ type ctx = {
   path_sink : string list ref option ref;
       (* when set, fired rules also append here: the per-parameter rule
          path of the Fig. 13 decision tree *)
+  guards_cache : (int, guard list) Hashtbl.t;
+      (* pc -> parsed guard chain; the matchers re-ask per load and the
+         chain walk (transitive deps + condition parsing) is the
+         expensive part *)
+  usages_cache : (Trace.subject, Trace.usage_kind list) Hashtbl.t;
+      (* subject -> usage kinds, replacing a linear trace scan per query *)
 }
+
+and guard = { gpc : int; idx : Sexpr.t; bound : bound }
+and bound = Bconst of int | Bload of int | Bother
 
 let make ?stats ?(config = default_config) ?deps trace cfg =
   let deps =
     match deps with Some d -> d | None -> Cfg.control_deps cfg
   in
-  { trace; cfg; deps; stats; config; path_sink = ref None }
+  {
+    trace;
+    cfg;
+    deps;
+    stats;
+    config;
+    path_sink = ref None;
+    guards_cache = Hashtbl.create 32;
+    usages_cache = Hashtbl.create 32;
+  }
+
+let usages ctx subject =
+  match Hashtbl.find_opt ctx.usages_cache subject with
+  | Some kinds -> kinds
+  | None ->
+    let kinds = Trace.usages_of ctx.trace subject in
+    Hashtbl.replace ctx.usages_cache subject kinds;
+    kinds
 
 let hit ctx name =
   (match !(ctx.path_sink) with
@@ -54,10 +80,6 @@ let with_path ctx f =
 
 let all_rule_names = List.init 31 (fun i -> Printf.sprintf "R%d" (i + 1))
 
-type bound = Bconst of int | Bload of int | Bother
-
-type guard = { gpc : int; idx : Sexpr.t; bound : bound }
-
 (* Parse the conditions observed at a JUMPI into an LT guard. Loop
    guards and bound checks are LT comparisons, possibly under ISZERO
    from the branch polarity; the bound is the second operand. Multiple
@@ -66,10 +88,10 @@ let parse_guard ctx gpc =
   let conds = Trace.conds_at ctx.trace gpc in
   let parse cond =
     let core, _ = Sexpr.iszero_depth cond in
-    match core with
+    match Sexpr.node core with
     | Sexpr.Bin (Sexpr.Blt, lhs, rhs) ->
       let bound =
-        match rhs with
+        match Sexpr.node rhs with
         | Sexpr.Const v -> (
           match U256.to_int v with Some n -> Bconst n | None -> Bother)
         | Sexpr.CDLoad id -> Bload id
@@ -88,17 +110,24 @@ let parse_guard ctx gpc =
 let guards_for_pc ctx pc =
   if not ctx.config.guard_dims then []
   else
-  match Cfg.block_of_pc ctx.cfg pc with
-  | None -> []
-  | Some block ->
-    let chain = Cfg.transitive_deps ctx.deps block.Cfg.start in
-    List.filter_map
-      (fun branch_start ->
-        match Cfg.block_at ctx.cfg branch_start with
-        | None -> None
-        | Some bblock ->
-          Option.bind (Cfg.branch_condition_pc bblock) (parse_guard ctx))
-      chain
+    match Hashtbl.find_opt ctx.guards_cache pc with
+    | Some guards -> guards
+    | None ->
+      let guards =
+        match Cfg.block_of_pc ctx.cfg pc with
+        | None -> []
+        | Some block ->
+          let chain = Cfg.transitive_deps ctx.deps block.Cfg.start in
+          List.filter_map
+            (fun branch_start ->
+              match Cfg.block_at ctx.cfg branch_start with
+              | None -> None
+              | Some bblock ->
+                Option.bind (Cfg.branch_condition_pc bblock) (parse_guard ctx))
+            chain
+      in
+      Hashtbl.replace ctx.guards_cache pc guards;
+      guards
 
 let guards_with_idx_in guards loc =
   List.filter
@@ -132,7 +161,8 @@ let split_terms loc =
 
 let is_offset_plus_4 loc x =
   match split_terms loc with
-  | 4, [ Sexpr.CDLoad id ] -> id = x
+  | 4, [ only ] -> (
+    match Sexpr.node only with Sexpr.CDLoad id -> id = x | _ -> false)
   | _ -> false
 
 (* R20: comparison-based range enforcement marks Vyper output. *)
@@ -159,7 +189,7 @@ let mask_shape m =
 let fine_basic ctx ~vyper subject =
   if not ctx.config.fine_masks then Abi.Abity.Uint 256
   else
-  let kinds = Trace.usages_of ctx.trace subject in
+  let kinds = usages ctx subject in
   let has k = List.mem k kinds in
   let find_map f = List.find_map f kinds in
   if vyper then begin

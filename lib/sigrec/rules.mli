@@ -30,7 +30,17 @@ type ctx = {
   stats : Stats.t option;
   config : config;
   path_sink : string list ref option ref;
+  guards_cache : (int, guard list) Hashtbl.t;
+      (** per-pc memo of {!guards_for_pc} — the matchers re-ask the same
+          chain for every load at a pc *)
+  usages_cache : (Symex.Trace.subject, Symex.Trace.usage_kind list) Hashtbl.t;
+      (** per-subject memo of [Trace.usages_of] (see {!usages}) *)
 }
+
+and guard = { gpc : int; idx : Symex.Sexpr.t; bound : bound }
+(** A parsed bound-check / loop guard condition. *)
+
+and bound = Bconst of int | Bload of int | Bother
 
 val make :
   ?stats:Stats.t ->
@@ -53,10 +63,8 @@ val with_path : ctx -> (unit -> 'a) -> 'a * string list
 val all_rule_names : string list
 (** R1 .. R31, for reporting. *)
 
-(** A parsed bound-check / loop guard condition. *)
-type bound = Bconst of int | Bload of int | Bother
-
-type guard = { gpc : int; idx : Symex.Sexpr.t; bound : bound }
+val usages : ctx -> Symex.Trace.subject -> Symex.Trace.usage_kind list
+(** Usage kinds recorded for a subject, memoized per context. *)
 
 val guards_for_pc : ctx -> int -> guard list
 (** LT-shaped conditions of the branches the instruction at [pc] is

@@ -9,6 +9,9 @@ type t = {
   mutable pruned : int;
   mutable lint_agree : int;
   mutable lint_disagree : int;
+  mutable deduped : int;
+  mutable intern_hits : int;
+  mutable intern_misses : int;
 }
 
 let create () =
@@ -21,6 +24,9 @@ let create () =
     pruned = 0;
     lint_agree = 0;
     lint_disagree = 0;
+    deduped = 0;
+    intern_hits = 0;
+    intern_misses = 0;
   }
 
 let hit_rule t name =
@@ -46,6 +52,15 @@ let lint_agree t = t.lint_agree <- t.lint_agree + 1
 let lint_disagree t = t.lint_disagree <- t.lint_disagree + 1
 let lint_agreements t = t.lint_agree
 let lint_disagreements t = t.lint_disagree
+let add_deduped t n = t.deduped <- t.deduped + n
+let inputs_deduped t = t.deduped
+
+let add_interner t ~hits ~misses =
+  t.intern_hits <- t.intern_hits + hits;
+  t.intern_misses <- t.intern_misses + misses
+
+let intern_hits t = t.intern_hits
+let intern_misses t = t.intern_misses
 
 let merge_into ~into src =
   List.iter
@@ -66,7 +81,10 @@ let merge_into ~into src =
   into.functions <- into.functions + src.functions;
   into.pruned <- into.pruned + src.pruned;
   into.lint_agree <- into.lint_agree + src.lint_agree;
-  into.lint_disagree <- into.lint_disagree + src.lint_disagree
+  into.lint_disagree <- into.lint_disagree + src.lint_disagree;
+  into.deduped <- into.deduped + src.deduped;
+  into.intern_hits <- into.intern_hits + src.intern_hits;
+  into.intern_misses <- into.intern_misses + src.intern_misses
 
 let merge a b =
   let t = create () in
@@ -92,4 +110,11 @@ let pp fmt t =
     Format.fprintf fmt "cache: %d hits / %d misses (%.1f%% hit rate)@,"
       t.cache_hits t.cache_misses
       (100.0 *. float_of_int t.cache_hits /. float_of_int total);
+  if t.deduped > 0 then
+    Format.fprintf fmt "batch inputs deduplicated: %d@," t.deduped;
+  let itotal = t.intern_hits + t.intern_misses in
+  if itotal > 0 then
+    Format.fprintf fmt "interner: %d hits / %d misses (%.1f%% hit rate)@,"
+      t.intern_hits t.intern_misses
+      (100.0 *. float_of_int t.intern_hits /. float_of_int itotal);
   Format.fprintf fmt "@]"

@@ -46,6 +46,20 @@ val lint_disagreements : t -> int
 (** Differential-lint verdicts: a function whose TASE recovery and
     static summary produced no finding counts as one agreement. *)
 
+val add_deduped : t -> int -> unit
+val inputs_deduped : t -> int
+(** Batch inputs [Engine.recover_all] answered by pointing at another
+    input of the same batch with identical bytecode (cache hits are
+    counted separately, under {!cache_hits}). *)
+
+val add_interner : t -> hits:int -> misses:int -> unit
+val intern_hits : t -> int
+val intern_misses : t -> int
+(** Expression-interner traffic ({!Symex.Sexpr.interner_counters})
+    attributed to the engine's analyses: a miss allocates a fresh node,
+    a hit reuses one. Recorded as per-analysis deltas of the worker
+    domain's counters, so merging worker stats stays commutative. *)
+
 val merge : t -> t -> t
 (** Pointwise sum into a fresh [t]; neither argument is modified. *)
 

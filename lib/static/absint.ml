@@ -133,7 +133,7 @@ let mem_load_unknown st =
 
 (* -- joins ------------------------------------------------------------ *)
 
-let join_astate a b =
+let join_astate_slow a b =
   let la = List.length a.stack and lb = List.length b.stack in
   let n = Stdlib.min la lb in
   let take n l = List.filteri (fun i _ -> i < n) l in
@@ -155,8 +155,14 @@ let join_astate a b =
     clipped = a.clipped || b.clipped || la <> lb;
   }
 
+(* Fixpoint iteration re-joins and re-compares the same states many
+   times; a physically-identical state (common once the widening has
+   settled) answers both in O(1). *)
+let join_astate a b = if a == b then a else join_astate_slow a b
+
 let equal_astate a b =
-  a.clipped = b.clipped
+  a == b
+  || a.clipped = b.clipped
   && Domain.equal a.mem_rest b.mem_rest
   && List.length a.stack = List.length b.stack
   && List.for_all2 Domain.equal a.stack b.stack

@@ -23,16 +23,24 @@ let norm vs =
   let sorted = List.sort_uniq U256.compare vs in
   if List.length sorted > max_consts then Untainted else Consts sorted
 
+(* Abstract values are usually rebuilt from the same pooled U256
+   constants (small ints, powers of two), so physical equality settles
+   most comparisons without walking the lists. *)
 let equal a b =
+  a == b
+  ||
   match (a, b) with
   | Consts xs, Consts ys ->
-    List.length xs = List.length ys && List.for_all2 U256.equal xs ys
+    List.length xs = List.length ys
+    && List.for_all2 (fun x y -> x == y || U256.equal x y) xs ys
   | Load i, Load j -> i = j
   | Untainted, Untainted | Tainted, Tainted -> true
   | _ -> false
 
 let join a b =
-  match (a, b) with
+  if a == b then a
+  else
+    match (a, b) with
   | Tainted, _ | _, Tainted -> Tainted
   | Load i, Load j -> if i = j then Load i else Tainted
   | Load _, _ | _, Load _ -> Tainted

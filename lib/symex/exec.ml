@@ -16,14 +16,18 @@ type state = {
   steps : int;
 }
 
-(* Mutable per-run recorder with global deduplication across paths. *)
+(* Mutable per-run recorder with global deduplication across paths.
+   Dedup keys use interned-node ids: structurally equal expressions are
+   physically equal after interning, so (pc, Sexpr.id) identifies an
+   event as precisely as the old printed-string keys did, without the
+   printing. *)
 type recorder = {
-  load_ids : (string, int) Hashtbl.t; (* (pc,loc) key -> id *)
+  load_ids : (int * int, int) Hashtbl.t; (* (pc, loc id) -> load id *)
   mutable loads : Trace.load list;
   mutable next_load : int;
-  copy_keys : (string, unit) Hashtbl.t;
+  copy_keys : (int * int * int, unit) Hashtbl.t; (* pc, src id, len id *)
   mutable copies : Trace.copy list;
-  usage_keys : (string, unit) Hashtbl.t;
+  usage_keys : (int * Trace.subject * Trace.usage_kind, unit) Hashtbl.t;
   mutable usages : Trace.usage list;
   jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
   jumpi_targets : (int, int) Hashtbl.t;
@@ -53,7 +57,7 @@ let make_recorder () =
   }
 
 let record_load r pc loc =
-  let key = Printf.sprintf "%d|%s" pc (Sexpr.to_string loc) in
+  let key = (pc, Sexpr.id loc) in
   match Hashtbl.find_opt r.load_ids key with
   | Some id -> id
   | None ->
@@ -64,9 +68,7 @@ let record_load r pc loc =
     id
 
 let record_copy r pc dst src len =
-  let key =
-    Printf.sprintf "%d|%s|%s" pc (Sexpr.to_string src) (Sexpr.to_string len)
-  in
+  let key = (pc, Sexpr.id src, Sexpr.id len) in
   if not (Hashtbl.mem r.copy_keys key) then begin
     Hashtbl.replace r.copy_keys key ();
     r.copies <- { Trace.pc; dst; src; len } :: r.copies
@@ -81,23 +83,7 @@ let record_copy r pc dst src len =
   | None -> ()
 
 let record_usage r upc subject kind =
-  let key =
-    Printf.sprintf "%d|%s|%s"
-      upc
-      (match subject with
-      | Trace.Sub_load id -> "l" ^ string_of_int id
-      | Trace.Sub_region rid -> "r" ^ string_of_int rid)
-      (match kind with
-      | Trace.Mask_and m -> "a" ^ U256.to_hex m
-      | Trace.Mask_signext k -> "s" ^ string_of_int k
-      | Trace.Mask_bool -> "b"
-      | Trace.Byte_read -> "y"
-      | Trace.Signed_use -> "g"
-      | Trace.Math_use -> "m"
-      | Trace.Range_lt b -> "rl" ^ U256.to_hex b
-      | Trace.Range_sgt b -> "rg" ^ U256.to_hex b
-      | Trace.Range_slt b -> "rs" ^ U256.to_hex b)
-  in
+  let key = (upc, subject, kind) in
   if not (Hashtbl.mem r.usage_keys key) then begin
     Hashtbl.replace r.usage_keys key ();
     r.usages <- { Trace.upc; subject; kind } :: r.usages
@@ -119,7 +105,8 @@ let subject_of e =
 
 (* Is the operand exactly a raw (unmasked) value? Mask events should
    only fire on direct applications. *)
-let raw_subject = function
+let raw_subject e =
+  match Sexpr.node e with
   | Sexpr.CDLoad id -> Some (Trace.Sub_load id)
   | Sexpr.MemItem (rid, _) -> Some (Trace.Sub_region rid)
   | _ -> None
@@ -175,7 +162,7 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
   let env_counter = ref 0 in
   let fresh_env prefix =
     incr env_counter;
-    Sexpr.Env (Printf.sprintf "%s_%d" prefix !env_counter)
+    Sexpr.env (Printf.sprintf "%s_%d" prefix !env_counter)
   in
   let worklist = Stack.create () in
   Stack.push
@@ -291,7 +278,7 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
           | Opcode.SAR -> binop Sexpr.Bsar
           | Opcode.ISZERO ->
             let a, s = pop_stack s in
-            (match a with
+            (match Sexpr.node a with
             | Sexpr.Un (Sexpr.Uiszero, inner) -> (
               match raw_subject inner with
               | Some subj -> record_usage r s.pc subj Trace.Mask_bool
@@ -307,8 +294,8 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
           | Opcode.CALLDATALOAD ->
             let loc, s = pop_stack s in
             let id = record_load r s.pc loc in
-            continue (push (Sexpr.CDLoad id) s)
-          | Opcode.CALLDATASIZE -> continue (push Sexpr.CDSize s)
+            continue (push (Sexpr.cdload id) s)
+          | Opcode.CALLDATASIZE -> continue (push (Sexpr.cdsize ()) s)
           | Opcode.CALLDATACOPY ->
             let dst, src, len, s = pop3 s in
             record_copy r s.pc dst src len;
@@ -318,19 +305,19 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
           | Opcode.CODECOPY ->
             let _, _, _, s = pop3 s in
             continue s
-          | Opcode.CALLER -> continue (push (Sexpr.Env "caller") s)
-          | Opcode.CALLVALUE -> continue (push (Sexpr.Env "callvalue") s)
-          | Opcode.ORIGIN -> continue (push (Sexpr.Env "origin") s)
-          | Opcode.ADDRESS -> continue (push (Sexpr.Env "address") s)
-          | Opcode.GASPRICE -> continue (push (Sexpr.Env "gasprice") s)
-          | Opcode.COINBASE -> continue (push (Sexpr.Env "coinbase") s)
-          | Opcode.TIMESTAMP -> continue (push (Sexpr.Env "timestamp") s)
-          | Opcode.NUMBER -> continue (push (Sexpr.Env "number") s)
-          | Opcode.PREVRANDAO -> continue (push (Sexpr.Env "prevrandao") s)
-          | Opcode.GASLIMIT -> continue (push (Sexpr.Env "gaslimit") s)
-          | Opcode.CHAINID -> continue (push (Sexpr.Env "chainid") s)
-          | Opcode.SELFBALANCE -> continue (push (Sexpr.Env "selfbalance") s)
-          | Opcode.BASEFEE -> continue (push (Sexpr.Env "basefee") s)
+          | Opcode.CALLER -> continue (push (Sexpr.env "caller") s)
+          | Opcode.CALLVALUE -> continue (push (Sexpr.env "callvalue") s)
+          | Opcode.ORIGIN -> continue (push (Sexpr.env "origin") s)
+          | Opcode.ADDRESS -> continue (push (Sexpr.env "address") s)
+          | Opcode.GASPRICE -> continue (push (Sexpr.env "gasprice") s)
+          | Opcode.COINBASE -> continue (push (Sexpr.env "coinbase") s)
+          | Opcode.TIMESTAMP -> continue (push (Sexpr.env "timestamp") s)
+          | Opcode.NUMBER -> continue (push (Sexpr.env "number") s)
+          | Opcode.PREVRANDAO -> continue (push (Sexpr.env "prevrandao") s)
+          | Opcode.GASLIMIT -> continue (push (Sexpr.env "gaslimit") s)
+          | Opcode.CHAINID -> continue (push (Sexpr.env "chainid") s)
+          | Opcode.SELFBALANCE -> continue (push (Sexpr.env "selfbalance") s)
+          | Opcode.BASEFEE -> continue (push (Sexpr.env "basefee") s)
           | Opcode.BALANCE | Opcode.EXTCODESIZE | Opcode.EXTCODEHASH
           | Opcode.BLOCKHASH ->
             let _, s = pop_stack s in
@@ -355,7 +342,7 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
               | None -> (
                 match region_lookup r off with
                 | Some (rid, rel) ->
-                  continue (push (Sexpr.MemItem (rid, Sexpr.of_int rel)) s)
+                  continue (push (Sexpr.mem_item rid (Sexpr.of_int rel)) s)
                 | None -> continue (push (fresh_env "mload") s)))
             | None -> continue (push (fresh_env "mload") s))
           | Opcode.MSTORE -> (
@@ -432,8 +419,8 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
               (* Vyper-style range checks: guard compares a raw loaded
                  value against a constant bound *)
               let core, iszeros = Sexpr.iszero_depth cond in
-              (match core with
-              | Sexpr.Bin (cmp, lhs, Sexpr.Const bound) -> (
+              (match Sexpr.node core with
+              | Sexpr.Bin (cmp, lhs, { Sexpr.node = Sexpr.Const bound; _ }) -> (
                 match raw_subject lhs with
                 | Some subj ->
                   let kind =
@@ -449,26 +436,32 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
               match Sexpr.eval_concrete cond with
               | Some v ->
                 if U256.is_zero v then continue s else st := { s with pc = t }
-              | None when prune s.pc <> None -> (
-                (* the static pass proved only one arm can matter for
-                   call-data access: follow it instead of forking *)
-                r.pruned <- r.pruned + 1;
+              | None -> (
                 match prune s.pc with
-                | Some Take_jump -> st := { s with pc = t }
-                | Some Take_fallthrough | None -> continue s)
-              | None ->
-                let count =
-                  match Imap.find_opt s.pc s.forks with Some c -> c | None -> 0
-                in
-                let s = { s with forks = Imap.add s.pc (count + 1) s.forks } in
-                if count >= budget.max_forks_per_pc then
-                  (* unrolling bound hit: take only the jump, which is
-                     the loop exit in compiler-emitted loops *)
-                  st := { s with pc = t }
-                else begin
-                  Stack.push { s with pc = t } worklist;
-                  continue s
-                end)
+                | Some decision ->
+                  (* the static pass proved only one arm can matter for
+                     call-data access: follow it instead of forking *)
+                  r.pruned <- r.pruned + 1;
+                  (match decision with
+                  | Take_jump -> st := { s with pc = t }
+                  | Take_fallthrough -> continue s)
+                | None ->
+                  let count =
+                    match Imap.find_opt s.pc s.forks with
+                    | Some c -> c
+                    | None -> 0
+                  in
+                  let s =
+                    { s with forks = Imap.add s.pc (count + 1) s.forks }
+                  in
+                  if count >= budget.max_forks_per_pc then
+                    (* unrolling bound hit: take only the jump, which is
+                       the loop exit in compiler-emitted loops *)
+                    st := { s with pc = t }
+                  else begin
+                    Stack.push { s with pc = t } worklist;
+                    continue s
+                  end))
             | _ -> running := false))
     done
   done;

@@ -72,6 +72,9 @@ let test_one_analysis_per_distinct_bytecode () =
   Alcotest.(check int) "duplicates answered from cache"
     (List.length codes - List.length distinct)
     (Sigrec.Stats.cache_hits stats);
+  Alcotest.(check int) "batch duplicates counted"
+    (List.length codes - List.length distinct)
+    (Sigrec.Stats.inputs_deduped stats);
   Alcotest.(check int) "both ids aggregated" 2 (List.length merged);
   List.iter
     (fun fsig ->
@@ -84,6 +87,41 @@ let test_one_analysis_per_distinct_bytecode () =
           && List.for_all2 Abi.Abity.equal params fsig.Abi.Funsig.params)
       | None -> Alcotest.failf "missing %s" (Abi.Funsig.canonical fsig))
     sigs
+
+let test_batch_dedup_counted () =
+  let code =
+    Solc.Compile.compile_fn
+      (Solc.Lang.fn_of_sig (Abi.Funsig.make "d" [ Uint 256 ]))
+  in
+  let engine = Sigrec.Engine.create () in
+  let reports =
+    Sigrec.Engine.recover_all ~jobs:2 engine [ code; code; code ]
+  in
+  Alcotest.(check int) "three reports" 3 (List.length reports);
+  Alcotest.(check int) "two batch duplicates" 2
+    (Sigrec.Stats.inputs_deduped (Sigrec.Engine.stats engine));
+  (* duplicates of an already-cached input still count as batch dups *)
+  let _ = Sigrec.Engine.recover_all ~jobs:1 engine [ code; code ] in
+  Alcotest.(check int) "cached duplicate counted" 3
+    (Sigrec.Stats.inputs_deduped (Sigrec.Engine.stats engine))
+
+let test_interner_traffic_recorded () =
+  let code =
+    Solc.Compile.compile_fn
+      (Solc.Lang.fn_of_sig (Abi.Funsig.make "i" [ Address; Uint 256 ]))
+  in
+  let engine = Sigrec.Engine.create () in
+  let _ = Sigrec.Engine.recover engine code in
+  let stats = Sigrec.Engine.stats engine in
+  let hits = Sigrec.Stats.intern_hits stats in
+  let misses = Sigrec.Stats.intern_misses stats in
+  (* misses may be 0 when earlier tests already interned every node this
+     contract builds, but an analysis cannot run without interner
+     lookups *)
+  Alcotest.(check bool) "interner traffic attributed to the analysis" true
+    (hits + misses > 0);
+  Alcotest.(check bool) "counters are non-negative" true
+    (hits >= 0 && misses >= 0)
 
 let test_budget_exhaustion_surfaces () =
   let fsig = Abi.Funsig.make "f" [ Uint 256; Address ] in
@@ -184,6 +222,10 @@ let suite =
       test_cache_identical_to_cold;
     Alcotest.test_case "one analysis per distinct bytecode" `Quick
       test_one_analysis_per_distinct_bytecode;
+    Alcotest.test_case "batch duplicates counted" `Quick
+      test_batch_dedup_counted;
+    Alcotest.test_case "interner traffic recorded" `Quick
+      test_interner_traffic_recorded;
     Alcotest.test_case "budget exhaustion surfaces" `Quick
       test_budget_exhaustion_surfaces;
     Alcotest.test_case "no functions /= failure" `Quick

@@ -1,0 +1,86 @@
+(* The generic hash-cons table behind the Sexpr interner: canonical
+   values, unique ids (optionally shared across tables), hit/miss
+   accounting, and growth under load. *)
+
+let make ?ids () =
+  Symex.Hc.create ?ids ~hash:Hashtbl.hash ~equal:String.equal 8
+
+let test_canonical_values () =
+  let t = make () in
+  let build k ~id = (k, id) in
+  let a = Symex.Hc.find_or_add t "x" build in
+  let b = Symex.Hc.find_or_add t "x" build in
+  Alcotest.(check bool) "same key returns the same value" true (a == b);
+  let c = Symex.Hc.find_or_add t "y" build in
+  Alcotest.(check bool) "distinct keys differ" true (a != c);
+  Alcotest.(check int) "two keys interned" 2 (Symex.Hc.length t)
+
+let test_unique_ids_shared_counter () =
+  let ids = ref 0 in
+  let t1 = make ~ids () and t2 = make ~ids () in
+  let build _k ~id = id in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (t, k) ->
+      let id = Symex.Hc.find_or_add t k build in
+      Alcotest.(check bool)
+        (Printf.sprintf "id %d fresh" id)
+        false (Hashtbl.mem seen id);
+      Hashtbl.replace seen id ())
+    [ (t1, "a"); (t1, "b"); (t2, "a"); (t2, "c"); (t1, "c") ];
+  (* ids are unique across BOTH tables because the counter is shared *)
+  Alcotest.(check int) "five distinct ids" 5 (Hashtbl.length seen);
+  Alcotest.(check int) "counter advanced once per miss" 5 !ids
+
+let test_hit_miss_accounting () =
+  let t = make () in
+  let build k ~id = (k, id) in
+  ignore (Symex.Hc.find_or_add t "a" build);
+  ignore (Symex.Hc.find_or_add t "a" build);
+  ignore (Symex.Hc.find_or_add t "b" build);
+  ignore (Symex.Hc.find_or_add t "a" build);
+  Alcotest.(check int) "hits" 2 (Symex.Hc.hits t);
+  Alcotest.(check int) "misses" 2 (Symex.Hc.misses t)
+
+let test_growth_keeps_bindings () =
+  let t = make () in
+  let build k ~id = (k, id) in
+  (* far past the initial capacity, forcing several resizes *)
+  for i = 0 to 999 do
+    ignore (Symex.Hc.find_or_add t (string_of_int i) build)
+  done;
+  Alcotest.(check int) "all keys kept" 1000 (Symex.Hc.length t);
+  for i = 0 to 999 do
+    let k = string_of_int i in
+    let v, _ = Symex.Hc.find_or_add t k build in
+    Alcotest.(check string) "old binding survives resize" k v
+  done;
+  Alcotest.(check int) "no spurious misses after resize" 1000
+    (Symex.Hc.misses t)
+
+let test_build_may_intern_recursively () =
+  (* interning "n" builds "n-1" first, as Sexpr's simplifier does when a
+     smart constructor interns subterms from inside [build] *)
+  let t = make () in
+  let rec build k ~id:_ =
+    match int_of_string k with
+    | 0 -> 0
+    | n -> 1 + Symex.Hc.find_or_add t (string_of_int (n - 1)) build
+  in
+  let v = Symex.Hc.find_or_add t "64" build in
+  Alcotest.(check int) "recursive interning" 64 v;
+  Alcotest.(check int) "every level interned once" 65 (Symex.Hc.length t);
+  let v' = Symex.Hc.find_or_add t "64" build in
+  Alcotest.(check int) "now cached" 64 v'
+
+let suite =
+  [
+    Alcotest.test_case "canonical values" `Quick test_canonical_values;
+    Alcotest.test_case "unique ids across shared counter" `Quick
+      test_unique_ids_shared_counter;
+    Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss_accounting;
+    Alcotest.test_case "growth keeps bindings" `Quick
+      test_growth_keeps_bindings;
+    Alcotest.test_case "build may intern recursively" `Quick
+      test_build_may_intern_recursively;
+  ]

@@ -8,6 +8,7 @@ let () =
       ("interp", Test_interp.suite);
       ("abi", Test_abi.suite);
       ("decode", Test_decode.suite);
+      ("hc", Test_hc.suite);
       ("symex", Test_symex.suite);
       ("solc", Test_solc.suite);
       ("ids", Test_ids.suite);

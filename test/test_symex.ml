@@ -181,8 +181,11 @@ let test_jumpi_conds_recorded () =
     (fun _ conds ->
       List.iter
         (fun c ->
-          match c with
-          | Sexpr.Bin (Sexpr.Blt, Sexpr.Env _, Sexpr.Const _) -> found := true
+          match Sexpr.node c with
+          | Sexpr.Bin (Sexpr.Blt, l, r) -> (
+            match (Sexpr.node l, Sexpr.node r) with
+            | Sexpr.Env _, Sexpr.Const _ -> found := true
+            | _ -> ())
           | _ -> ())
         conds)
     t.Trace.jumpi_conds;
@@ -221,31 +224,215 @@ let test_stack_underflow_recovers () =
   Alcotest.(check int) "no loads" 0 (List.length t.Trace.loads)
 
 let test_expr_queries () =
-  let x = Sexpr.CDLoad 0 in
+  let x = Sexpr.cdload 0 in
   let e =
     Sexpr.bin Sexpr.Badd (Sexpr.of_int 4)
-      (Sexpr.bin Sexpr.Bmul (Sexpr.of_int 32) (Sexpr.Env "cv"))
+      (Sexpr.bin Sexpr.Bmul (Sexpr.of_int 32) (Sexpr.env "cv"))
   in
   Alcotest.(check bool) "has_mul_by 32" true (Sexpr.has_mul_by e 32);
   Alcotest.(check bool) "no mul by 31" false (Sexpr.has_mul_by e 31);
   Alcotest.(check int) "const offset" 4 (Sexpr.const_offset e);
-  Alcotest.(check bool) "contains env" true (Sexpr.contains e (Sexpr.Env "cv"));
+  Alcotest.(check bool) "contains env" true (Sexpr.contains e (Sexpr.env "cv"));
   Alcotest.(check bool) "mentions load" true
     (Sexpr.mentions_load (Sexpr.bin Sexpr.Badd x (Sexpr.of_int 4)) 0);
   let masked = Sexpr.bin Sexpr.Band x (Sexpr.const (U256.ones_low 20)) in
   Alcotest.(check bool) "subject strips mask" true
     (Sexpr.subject masked = Some (`Load 0));
   (* constant folding except comparisons *)
-  (match Sexpr.bin Sexpr.Badd (Sexpr.of_int 2) (Sexpr.of_int 3) with
+  (match Sexpr.node (Sexpr.bin Sexpr.Badd (Sexpr.of_int 2) (Sexpr.of_int 3)) with
   | Sexpr.Const v -> Alcotest.(check bool) "2+3 folds" true (U256.equal v (U256.of_int 5))
   | _ -> Alcotest.fail "addition should fold");
-  (match Sexpr.bin Sexpr.Blt (Sexpr.of_int 2) (Sexpr.of_int 3) with
+  (match Sexpr.node (Sexpr.bin Sexpr.Blt (Sexpr.of_int 2) (Sexpr.of_int 3)) with
   | Sexpr.Bin (Sexpr.Blt, _, _) -> ()
   | _ -> Alcotest.fail "comparison must stay structural");
   Alcotest.(check bool) "eval_concrete recovers truth" true
     (match Sexpr.eval_concrete (Sexpr.bin Sexpr.Blt (Sexpr.of_int 2) (Sexpr.of_int 3)) with
     | Some v -> U256.equal v U256.one
     | None -> false)
+
+(* ---- hash-consing invariants ---------------------------------------- *)
+
+let test_interning_physical_equality () =
+  (* the same tree built along different construction paths must come
+     back as the same physical node *)
+  let a =
+    Sexpr.bin Sexpr.Badd (Sexpr.cdload 1)
+      (Sexpr.bin Sexpr.Bmul (Sexpr.of_int 32) (Sexpr.env "i"))
+  in
+  let mul = Sexpr.bin Sexpr.Bmul (Sexpr.of_int 32) (Sexpr.env "i") in
+  let b = Sexpr.bin Sexpr.Badd (Sexpr.cdload 1) mul in
+  Alcotest.(check bool) "physically equal" true (a == b);
+  Alcotest.(check bool) "equal agrees" true (Sexpr.equal a b);
+  Alcotest.(check int) "same id" (Sexpr.id a) (Sexpr.id b);
+  Alcotest.(check int) "same hash" (Sexpr.hash a) (Sexpr.hash b);
+  (* leaves intern too *)
+  Alcotest.(check bool) "const interned" true
+    (Sexpr.const (U256.of_int 77777) == Sexpr.const (U256.of_int 77777));
+  Alcotest.(check bool) "cdload interned" true
+    (Sexpr.cdload 3 == Sexpr.cdload 3);
+  Alcotest.(check bool) "env interned" true
+    (Sexpr.env "caller" == Sexpr.env "caller");
+  Alcotest.(check bool) "cdsize interned" true
+    (Sexpr.cdsize () == Sexpr.cdsize ());
+  Alcotest.(check bool) "mem_item interned" true
+    (Sexpr.mem_item 5 (Sexpr.of_int 0) == Sexpr.mem_item 5 (Sexpr.of_int 0));
+  (* distinct trees stay distinct *)
+  Alcotest.(check bool) "different ops differ" false
+    (Sexpr.bin Sexpr.Bsub a a == Sexpr.bin Sexpr.Badd a a);
+  (* simplifier runs before interning: x + 0 yields x itself *)
+  Alcotest.(check bool) "x + 0 is x" true
+    (Sexpr.bin Sexpr.Badd a (Sexpr.of_int 0) == a);
+  (* triple-iszero collapses to the interned single iszero *)
+  let iz e = Sexpr.un Sexpr.Uiszero e in
+  Alcotest.(check bool) "iszero^3 = iszero^1" true (iz (iz (iz a)) == iz a)
+
+(* A structural clone of the pre-interning Sexpr: plain variant nodes,
+   the same simplifier decision tree, injective printing. Used as the
+   oracle for "simplifier output unchanged under interning". *)
+module Oracle = struct
+  type t =
+    | Const of U256.t
+    | CDLoad of int
+    | CDSize
+    | Env of string
+    | MemItem of int * t
+    | Bin of Sexpr.binop * t * t
+    | Un of Sexpr.unop * t
+
+  let un op e =
+    match (op, e) with
+    | Sexpr.Unot, Const v -> Const (U256.lognot v)
+    | Sexpr.Uiszero, Const v ->
+      Const (if U256.is_zero v then U256.one else U256.zero)
+    | Sexpr.Uiszero, Un (Sexpr.Uiszero, Un (Sexpr.Uiszero, x)) ->
+      Un (Sexpr.Uiszero, x)
+    | _ -> Un (op, e)
+
+  let is_comparison = function
+    | Sexpr.Blt | Sexpr.Bgt | Sexpr.Bslt | Sexpr.Bsgt | Sexpr.Beq -> true
+    | _ -> false
+
+  let eval_bin op a b =
+    Option.get
+      (Sexpr.eval_concrete
+         (Sexpr.bin op (Sexpr.const a) (Sexpr.const b)))
+
+  let bin op a b =
+    match (a, b) with
+    | Const x, Const y when not (is_comparison op) -> Const (eval_bin op x y)
+    | _ -> (
+      match (op, a, b) with
+      | Sexpr.Badd, x, Const z when U256.is_zero z -> x
+      | Sexpr.Badd, Const z, x when U256.is_zero z -> x
+      | Sexpr.Bmul, x, Const o when U256.equal o U256.one -> x
+      | Sexpr.Bmul, Const o, x when U256.equal o U256.one -> x
+      | Sexpr.Badd, Bin (Sexpr.Badd, x, Const c1), Const c2 ->
+        Bin (Sexpr.Badd, x, Const (U256.add c1 c2))
+      | Sexpr.Badd, Const c1, Bin (Sexpr.Badd, x, Const c2) ->
+        Bin (Sexpr.Badd, x, Const (U256.add c1 c2))
+      | _ -> Bin (op, a, b))
+
+  let binop_name op =
+    (* reuse the interned printer for operator names via a probe term *)
+    match
+      String.split_on_char ' '
+        (Sexpr.to_string
+           (Sexpr.bin op (Sexpr.env "l") (Sexpr.env "r")))
+    with
+    | [ _; name; _ ] -> name
+    | _ -> assert false
+
+  let rec to_string = function
+    | Const v -> "0x" ^ U256.to_hex v
+    | CDLoad id -> Printf.sprintf "cd%d" id
+    | CDSize -> "cdsize"
+    | Env name -> name
+    | MemItem (rid, off) -> Printf.sprintf "mem%d[%s]" rid (to_string off)
+    | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_string a) (binop_name op) (to_string b)
+    | Un (Sexpr.Unot, a) -> Printf.sprintf "~%s" (to_string a)
+    | Un (Sexpr.Uiszero, a) -> Printf.sprintf "!%s" (to_string a)
+end
+
+let all_binops =
+  Sexpr.
+    [
+      Badd; Bsub; Bmul; Bdiv; Bsdiv; Bmod; Bsmod; Bexp; Band; Bor; Bxor;
+      Blt; Bgt; Bslt; Bsgt; Beq; Bbyte; Bshl; Bshr; Bsar; Bsignext;
+    ]
+
+let test_simplifier_matches_oracle () =
+  (* drive both constructors with the same random construction schedule
+     and require identical printed terms. Seeded: reproducible corpus. *)
+  let rng = Random.State.make [| 0x5169ec |] in
+  let interesting_consts =
+    [ 0; 1; 2; 3; 4; 31; 32; 36; 255; 256; 1024 ]
+  in
+  let rand_const () =
+    if Random.State.bool rng then
+      U256.of_int
+        (List.nth interesting_consts
+           (Random.State.int rng (List.length interesting_consts)))
+    else U256.of_int64 (Random.State.int64 rng Int64.max_int)
+  in
+  let rec gen depth : Sexpr.t * Oracle.t =
+    if depth = 0 || Random.State.int rng 4 = 0 then
+      match Random.State.int rng 5 with
+      | 0 ->
+        let v = rand_const () in
+        (Sexpr.const v, Oracle.Const v)
+      | 1 ->
+        let i = Random.State.int rng 4 in
+        (Sexpr.cdload i, Oracle.CDLoad i)
+      | 2 -> (Sexpr.cdsize (), Oracle.CDSize)
+      | 3 ->
+        let name = Printf.sprintf "e%d" (Random.State.int rng 3) in
+        (Sexpr.env name, Oracle.Env name)
+      | _ ->
+        let rid = Random.State.int rng 3 in
+        let off = U256.of_int (32 * Random.State.int rng 4) in
+        (Sexpr.mem_item rid (Sexpr.const off),
+         Oracle.MemItem (rid, Oracle.Const off))
+    else if Random.State.int rng 4 = 0 then begin
+      let op = if Random.State.bool rng then Sexpr.Unot else Sexpr.Uiszero in
+      let s, o = gen (depth - 1) in
+      (Sexpr.un op s, Oracle.un op o)
+    end
+    else begin
+      let op = List.nth all_binops (Random.State.int rng 21) in
+      let sa, oa = gen (depth - 1) in
+      let sb, ob = gen (depth - 1) in
+      (Sexpr.bin op sa sb, Oracle.bin op oa ob)
+    end
+  in
+  for i = 1 to 1000 do
+    let s, o = gen 5 in
+    let ss = Sexpr.to_string s and os = Oracle.to_string o in
+    if not (String.equal ss os) then
+      Alcotest.failf "case %d: interned %s <> oracle %s" i ss os
+  done
+
+let test_query_memo_consistency () =
+  (* memoized queries must agree with themselves across repeated calls
+     and with a fresh structurally identical term *)
+  let e =
+    Sexpr.bin Sexpr.Badd
+      (Sexpr.bin Sexpr.Bmul (Sexpr.of_int 32) (Sexpr.cdload 2))
+      (Sexpr.bin Sexpr.Badd (Sexpr.cdload 1) (Sexpr.of_int 68))
+  in
+  let l1 = Sexpr.loads_of e in
+  let l2 = Sexpr.loads_of e in
+  Alcotest.(check (list int)) "loads_of stable" l1 l2;
+  Alcotest.(check (list int)) "loads in traversal order" [ 2; 1 ] l1;
+  Alcotest.(check int) "const_offset memo" (Sexpr.const_offset e)
+    (Sexpr.const_offset e);
+  Alcotest.(check bool) "has_mul_by memo" (Sexpr.has_mul_by e 32)
+    (Sexpr.has_mul_by e 32);
+  let hits0, misses0 = Sexpr.interner_counters () in
+  let _ = Sexpr.bin Sexpr.Badd (Sexpr.cdload 1) (Sexpr.of_int 68) in
+  let hits1, misses1 = Sexpr.interner_counters () in
+  Alcotest.(check bool) "rebuild hits the interner" true (hits1 > hits0);
+  Alcotest.(check int) "rebuild allocates nothing" misses0 misses1
 
 let suite =
   [
@@ -265,4 +452,10 @@ let suite =
     Alcotest.test_case "symbolic jump ends path" `Quick test_symbolic_jump_kills_path;
     Alcotest.test_case "stack underflow recovers" `Quick test_stack_underflow_recovers;
     Alcotest.test_case "expression queries" `Quick test_expr_queries;
+    Alcotest.test_case "interning physical equality" `Quick
+      test_interning_physical_equality;
+    Alcotest.test_case "simplifier matches oracle" `Quick
+      test_simplifier_matches_oracle;
+    Alcotest.test_case "query memo consistency" `Quick
+      test_query_memo_consistency;
   ]

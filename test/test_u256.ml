@@ -162,7 +162,12 @@ let test_comparisons () =
 
 (* -- properties ---------------------------------------------------------- *)
 
-let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 arb f)
+(* deterministically seeded: a property failure here must reproduce on
+   re-run, not depend on the harness's ambient randomness *)
+let prop name arb f =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x51953c |])
+    (QCheck.Test.make ~name ~count:300 arb f)
 
 let properties =
   [
@@ -233,7 +238,42 @@ let properties =
         U256.equal once (U256.signextend k once));
     prop "unsigned compare total order" (QCheck.pair arb_u256 arb_u256)
       (fun (a, b) -> U256.compare a b = -U256.compare b a);
+    prop "add/sub roundtrip" (QCheck.pair arb_u256 arb_u256) (fun (a, b) ->
+        U256.equal (U256.add (U256.sub a b) b) a);
+    prop "mul by pow2 = shl" (QCheck.pair arb_u256 QCheck.(int_bound 255))
+      (fun (a, k) ->
+        U256.equal (U256.mul a (U256.pow2 k)) (U256.shift_left a k));
+    prop "low/high masks complementary" QCheck.(int_bound 32) (fun k ->
+        U256.equal (U256.ones_low k) (U256.lognot (U256.ones_high (32 - k))));
+    prop "byte agrees with shift+mask"
+      (QCheck.pair arb_u256 QCheck.(int_bound 31))
+      (fun (a, i) ->
+        U256.equal (U256.byte i a)
+          (U256.logand
+             (U256.shift_right a (8 * (31 - i)))
+             (U256.ones_low 1)));
+    prop "signextend then mask is identity on low bytes"
+      (QCheck.pair arb_u256 QCheck.(int_bound 30))
+      (fun (a, k) ->
+        (* extending from byte k never changes bytes 0..k *)
+        let m = U256.ones_low (k + 1) in
+        U256.equal (U256.logand (U256.signextend k a) m) (U256.logand a m));
   ]
+
+(* the small-constant pools must hand back one canonical block per
+   value: structural equality and physical equality coincide there *)
+let test_pooled_constants_physical () =
+  let phys = Alcotest.(check bool) in
+  phys "of_int pooled" true (U256.of_int 1024 == U256.of_int 1024);
+  phys "of_int64 routes through the pool" true
+    (U256.of_int64 7L == U256.of_int 7);
+  phys "arithmetic lands in the pool" true
+    (U256.add (U256.of_int 40) (U256.of_int 2) == U256.of_int 42);
+  phys "pow2 pooled" true (U256.pow2 255 == U256.pow2 255);
+  phys "small pow2 shares the int pool" true
+    (U256.pow2 8 == U256.of_int 256);
+  phys "masks pooled" true (U256.ones_low 20 == U256.ones_low 20);
+  phys "zero canonical" true (U256.sub U256.one U256.one == U256.zero)
 
 let suite =
   [
@@ -253,5 +293,7 @@ let suite =
     Alcotest.test_case "bytes_be" `Quick test_bytes_be;
     Alcotest.test_case "decimal" `Quick test_decimal;
     Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "pooled constants are physically shared" `Quick
+      test_pooled_constants_physical;
   ]
   @ properties
