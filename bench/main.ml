@@ -1151,6 +1151,48 @@ let aggregation () =
   register_bench "aggregation:join-five-bodies" (fun () ->
       ignore (Sigrec.Aggregate.recover_many codes))
 
+let proptest_volume () =
+  section "Property harness at volume (lib/proptest)";
+  let stats = Sigrec.Stats.create () in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let count = 2000 in
+  let rt, t_rt =
+    wall (fun () ->
+        Proptest.Prop.run ~seed ~count ~max_size:20 ~name:"round_trip"
+          Proptest.Oracle.arb_case
+          (Proptest.Oracle.round_trip ~stats))
+  in
+  let diff, t_diff =
+    wall (fun () ->
+        Proptest.Prop.run ~seed:(seed + 1) ~count:400 ~max_size:20
+          ~name:"differential" Proptest.Oracle.arb_case
+          (Proptest.Oracle.differential ~stats))
+  in
+  let verdict r arb =
+    if Proptest.Prop.is_pass r then "pass"
+    else "FAIL\n" ^ Proptest.Prop.report arb r
+  in
+  Printf.printf
+    "round-trip: %d generated signatures in %.2f s (%.0f cases/s): %s\n\
+     differential: 400 cases in %.2f s: %s\n\
+     rule coverage over the sweep: %s\n"
+    count t_rt
+    (float_of_int count /. Stdlib.max 1e-9 t_rt)
+    (verdict rt Proptest.Oracle.arb_case)
+    t_diff
+    (verdict diff Proptest.Oracle.arb_case)
+    (match Proptest.Oracle.rule_gate stats with
+    | Ok () -> "all 31 rules fired"
+    | Error e -> "INCOMPLETE — " ^ e);
+  register_bench "proptest:generate-compile-one-case" (fun () ->
+      ignore
+        (Proptest.Sig_gen.compile
+           (Proptest.Gen.run ~size:16 ~seed:[| seed; 11 |] Proptest.Sig_gen.case)))
+
 (* --smoke: the drift checks only, on a small corpus, fast enough for
    CI. Exit status 1 when any recovery output drifts (parallel vs
    sequential, pruned vs unpruned, warm vs cold, interned vs structural
@@ -1185,6 +1227,7 @@ let () =
     static_pass ();
     let (_ : bool) = symex_core () in
     aggregation ();
+    proptest_volume ();
     run_bechamel ();
     Printf.printf "\ntotal bench time: %.1f s\n" (Sys.time () -. t0)
   end

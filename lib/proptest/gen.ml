@@ -1,0 +1,65 @@
+type 'a t = Random.State.t -> int -> 'a
+
+(* List.init's application order is unspecified; generators must consume
+   the random state in a fixed order or replay breaks. *)
+let init_in_order n f =
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+let return x _ _ = x
+let map f g rng size = f (g rng size)
+
+let map2 f a b rng size =
+  let x = a rng size in
+  let y = b rng size in
+  f x y
+
+let bind g f rng size = f (g rng size) rng size
+
+let pair a b rng size =
+  let x = a rng size in
+  let y = b rng size in
+  (x, y)
+
+let bool rng _ = Random.State.bool rng
+
+let int_range lo hi rng _ =
+  if hi < lo then invalid_arg "Gen.int_range: empty range";
+  lo + Random.State.int rng (hi - lo + 1)
+
+let oneofl xs rng _ =
+  match xs with
+  | [] -> invalid_arg "Gen.oneofl: empty list"
+  | _ -> List.nth xs (Random.State.int rng (List.length xs))
+
+let oneof gs rng size =
+  match gs with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ -> (List.nth gs (Random.State.int rng (List.length gs))) rng size
+
+let total_weight ws =
+  let t = List.fold_left (fun acc (w, _) -> acc + w) 0 ws in
+  if t <= 0 then invalid_arg "Gen.frequency: weights must sum to > 0";
+  t
+
+let pick_weighted ws roll =
+  let rec go acc = function
+    | [] -> invalid_arg "Gen.frequency: internal"
+    | (w, x) :: tl -> if roll < acc + w then x else go (acc + w) tl
+  in
+  go 0 ws
+
+let frequency ws rng size =
+  (pick_weighted ws (Random.State.int rng (total_weight ws))) rng size
+
+let frequencyl ws rng _ = pick_weighted ws (Random.State.int rng (total_weight ws))
+let list_n n g rng size = init_in_order n (fun _ -> g rng size)
+
+let list_size ng g rng size =
+  let n = ng rng size in
+  init_in_order n (fun _ -> g rng size)
+
+let sized f rng size = f size rng size
+let with_size n g rng _ = g rng n
+let state rng _ = rng
+let run ?(size = 10) ~seed g = g (Random.State.make seed) size

@@ -1,0 +1,48 @@
+(** Sized, seeded generators — the QuickCheck-style generation half of
+    the property harness (stdlib only, no external dependencies).
+
+    A generator is a function of an explicit [Random.State.t] and a
+    size bound. Everything is deterministic in the state: running the
+    same generator twice on states made from the same seed yields the
+    same value, which is what makes failures replayable. The size
+    parameter lets the runner ramp from small cases (cheap, good for
+    smoking out trivial bugs) to large ones over the course of a run. *)
+
+type 'a t = Random.State.t -> int -> 'a
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val bool : bool t
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] draws uniformly from the inclusive range. *)
+
+val oneofl : 'a list -> 'a t
+val oneof : 'a t list -> 'a t
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice between generators — how the signature generators
+    encode the corpus type-frequency shape. *)
+
+val frequencyl : (int * 'a) list -> 'a t
+
+val list_n : int -> 'a t -> 'a list t
+(** Fixed-length list; elements are generated left to right (the order
+    random state is consumed in is part of the replay contract). *)
+
+val list_size : int t -> 'a t -> 'a list t
+val sized : (int -> 'a t) -> 'a t
+val with_size : int -> 'a t -> 'a t
+
+val state : Random.State.t t
+(** The raw random state, for bridging to external seeded generators
+    ([Abi.Valgen], [Solc.Corpus.random_type]). *)
+
+val init_in_order : int -> (int -> 'a) -> 'a list
+(** [List.init] with a guaranteed left-to-right application order. *)
+
+val run : ?size:int -> seed:int array -> 'a t -> 'a
+(** One-shot generation from a fresh seeded state (size defaults 10). *)

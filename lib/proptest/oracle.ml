@@ -1,0 +1,226 @@
+open Abi
+
+(* -- round trip --------------------------------------------------------- *)
+
+let type_list tys = String.concat "," (List.map Abity.to_string tys)
+
+let selector_set fns =
+  List.sort_uniq compare
+    (List.map (fun (fn : Solc.Lang.fn_spec) ->
+         Funsig.selector fn.Solc.Lang.fsig)
+       fns)
+
+let recovered_selector_set recs =
+  List.sort_uniq compare
+    (List.map (fun (r : Sigrec.Recover.recovered) -> r.Sigrec.Recover.selector)
+       recs)
+
+let round_trip ?stats ?config (c : Sig_gen.case) =
+  let code = Sig_gen.compile c in
+  let recovered = Sigrec.Recover.recover ?stats ?config code in
+  if c.Sig_gen.obf_level > 0 then
+    (* Obfuscated code: TASE survives junk insertion and constant
+       splitting almost but not quite exactly (spurious bound-check
+       guards can inflate an array dimension), so the oracle only pins
+       what must hold: every dispatcher entry is still found, no entry
+       is invented. *)
+    if recovered_selector_set recovered = selector_set c.Sig_gen.fns then
+      Ok ()
+    else
+      Error
+        (Printf.sprintf "obfuscated (level %d): selector set changed, got [%s]"
+           c.Sig_gen.obf_level
+           (String.concat ";"
+              (List.map
+                 (fun (r : Sigrec.Recover.recovered) -> r.Sigrec.Recover.selector_hex)
+                 recovered)))
+  else begin
+    (* one dispatcher entry per declared function, none invented *)
+    if List.length recovered <> List.length c.Sig_gen.fns then
+      Error
+        (Printf.sprintf "%d functions declared but %d entries recovered"
+           (List.length c.Sig_gen.fns) (List.length recovered))
+    else
+      let check_fn (fn : Solc.Lang.fn_spec) =
+        let fsig = fn.Solc.Lang.fsig in
+        let sample =
+          { Solc.Corpus.fn; version = c.Sig_gen.version; code }
+        in
+        match
+          List.find_opt
+            (fun (r : Sigrec.Recover.recovered) ->
+              r.Sigrec.Recover.selector = Funsig.selector fsig)
+            recovered
+        with
+        | None ->
+          if Solc.Corpus.expected_failure sample then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s: selector not recovered"
+                 (Funsig.canonical fsig))
+        | Some r ->
+          let exact =
+            List.length r.Sigrec.Recover.params
+              = List.length fsig.Funsig.params
+            && List.for_all2 Abity.equal r.Sigrec.Recover.params
+                 fsig.Funsig.params
+          in
+          if exact || Solc.Corpus.expected_failure sample then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s: recovered (%s)" (Funsig.canonical fsig)
+                 (type_list r.Sigrec.Recover.params))
+      in
+      let rec first_error = function
+        | [] -> Ok ()
+        | fn :: tl -> (
+          match check_fn fn with Ok () -> first_error tl | e -> e)
+      in
+      first_error c.Sig_gen.fns
+  end
+
+(* -- drift -------------------------------------------------------------- *)
+
+let render reports =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Format.asprintf "%a" Sigrec.Engine.pp_report
+           { r with Sigrec.Engine.from_cache = false })
+       reports)
+
+let drift (cases : Sig_gen.case list) =
+  let codes = List.map Sig_gen.compile cases in
+  let base =
+    render (Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) codes)
+  in
+  let legs =
+    [
+      ( "jobs=4",
+        fun () ->
+          Sigrec.Engine.recover_all ~jobs:4 (Sigrec.Engine.create ()) codes );
+      ( "static_prune=false",
+        fun () ->
+          Sigrec.Engine.recover_all ~jobs:1
+            (Sigrec.Engine.create ~static_prune:false ())
+            codes );
+      ( "warm cache",
+        fun () ->
+          let e = Sigrec.Engine.create () in
+          let _ = Sigrec.Engine.recover_all ~jobs:2 e codes in
+          Sigrec.Engine.recover_all ~jobs:2 e codes );
+    ]
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | (leg, run) :: tl ->
+      if render (run ()) = base then check tl
+      else Error (Printf.sprintf "recovery output drifted under %s" leg)
+  in
+  check legs
+
+(* -- ABI encode/decode round trip --------------------------------------- *)
+
+type abi_case = { tys : Abity.t list; vals : Value.t list; selector : string }
+
+let gen_abi_case : abi_case Gen.t =
+ fun rng size ->
+  let vyper = Random.State.int rng 100 < 25 in
+  let n = 1 + Random.State.int rng (Stdlib.min 5 (1 + (size / 4))) in
+  let tys =
+    Gen.init_in_order n (fun _ ->
+        if vyper then Abi.Valgen.vy_type rng
+        else Solc.Corpus.random_type ~abiv2:true rng)
+  in
+  let vals = List.map (Abi.Valgen.value rng) tys in
+  let selector = String.init 4 (fun _ -> Char.chr (Random.State.int rng 256)) in
+  { tys; vals; selector }
+
+let shrink_abi_case (c : abi_case) =
+  Seq.map
+    (fun pairs ->
+      let tys, vals = List.split pairs in
+      { c with tys; vals })
+    (Shrink.list_drop_one (List.combine c.tys c.vals))
+
+let show_abi_case c =
+  Printf.sprintf "(%s) <- (%s)" (type_list c.tys)
+    (String.concat ", " (List.map Value.to_string c.vals))
+
+let abi_round_trip (c : abi_case) =
+  if c.tys = [] then Ok ()
+  else
+    let encoded = Encode.encode_args c.tys c.vals in
+    match Decode.decode_args c.tys encoded with
+    | Error e -> Error (Printf.sprintf "decode_args failed: %s" e)
+    | Ok vals' ->
+      if vals' <> c.vals then
+        Error
+          (Printf.sprintf "args changed: got (%s)"
+             (String.concat ", " (List.map Value.to_string vals')))
+      else (
+        match
+          Decode.decode_call c.tys
+            (Encode.encode_call ~selector:c.selector c.tys c.vals)
+        with
+        | Error e -> Error (Printf.sprintf "decode_call failed: %s" e)
+        | Ok (sel, vals'') ->
+          if sel <> c.selector then Error "selector changed"
+          else if vals'' <> c.vals then Error "call args changed"
+          else Ok ())
+
+(* -- differential: TASE vs the static pass ------------------------------ *)
+
+let differential ?stats (c : Sig_gen.case) =
+  let code = Sig_gen.compile c in
+  let verdicts = Sigrec.Lint.check ?stats code in
+  (* A function whose recovery is wrong in one of the paper's §5.2
+     documented ways (e.g. a constant-index access optimized into a
+     direct load) legitimately disagrees with the static summary — the
+     lint is doing its job by flagging it. Only disagreements on
+     functions TASE is supposed to get right count against the
+     property. *)
+  let tolerated (v : Sigrec.Lint.verdict) =
+    List.exists
+      (fun (fn : Solc.Lang.fn_spec) ->
+        Abi.Funsig.selector fn.Solc.Lang.fsig
+          = v.Sigrec.Lint.recovered.Sigrec.Recover.selector
+        && Solc.Corpus.expected_failure
+             { Solc.Corpus.fn; version = c.Sig_gen.version; code })
+      c.Sig_gen.fns
+  in
+  match
+    List.find_opt
+      (fun v -> (not (Sigrec.Lint.agree v)) && not (tolerated v))
+      verdicts
+  with
+  | None -> Ok ()
+  | Some v ->
+    Error
+      (Printf.sprintf "lint disagreement on %s: %s"
+         v.Sigrec.Lint.selector_hex
+         (String.concat "; "
+            (List.map Sigrec.Lint.finding_to_string v.Sigrec.Lint.findings)))
+
+(* -- rule-coverage gate -------------------------------------------------- *)
+
+let rule_gate stats =
+  match Sigrec.Stats.unexercised stats with
+  | [] -> Ok ()
+  | missing ->
+    Error
+      (Printf.sprintf "rules never fired across the run: %s"
+         (String.concat ", " missing))
+
+(* -- canned arbitraries -------------------------------------------------- *)
+
+let arb_case =
+  Prop.make ~shrink:Sig_gen.shrink_case ~show:Sig_gen.show_case Sig_gen.case
+
+let arb_batch =
+  Prop.make
+    ~shrink:(Shrink.list ~min_length:1 Sig_gen.shrink_case)
+    ~show:(fun cs -> String.concat "\n " (List.map Sig_gen.show_case cs))
+    (Gen.list_size (Gen.int_range 1 4) Sig_gen.case)
+
+let arb_abi = Prop.make ~shrink:shrink_abi_case ~show:show_abi_case gen_abi_case

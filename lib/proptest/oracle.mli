@@ -1,0 +1,44 @@
+(** The four oracle families of the property harness, each phrased as a
+    property over generated {!Sig_gen.case}s (or ABI value vectors):
+
+    - {!round_trip} — [fn_spec -> bytecode -> recover] must reproduce
+      the ground truth exactly, except for the paper's documented §5.2
+      inaccuracy cases ({!Solc.Corpus.expected_failure}) and for
+      obfuscated code, where only the dispatcher selector set is pinned;
+    - {!drift} — recovery output must be byte-identical across
+      [jobs=1]/[jobs=4], static pruning on/off, and cold/warm cache;
+    - {!abi_round_trip} — [Encode] then [Decode] is the identity on
+      [Valgen]-generated well-typed values;
+    - {!differential} — the TASE recovery and the abstract-interpretation
+      summaries must produce zero {!Sigrec.Lint} disagreements.
+
+    {!rule_gate} turns accumulated {!Sigrec.Stats} rule counters into a
+    regression gate: every one of R1-R31 must have fired. *)
+
+val round_trip :
+  ?stats:Sigrec.Stats.t ->
+  ?config:Sigrec.Rules.config ->
+  Sig_gen.case ->
+  (unit, string) result
+
+val drift : Sig_gen.case list -> (unit, string) result
+
+type abi_case = {
+  tys : Abi.Abity.t list;
+  vals : Abi.Value.t list;
+  selector : string;
+}
+
+val abi_round_trip : abi_case -> (unit, string) result
+val differential : ?stats:Sigrec.Stats.t -> Sig_gen.case -> (unit, string) result
+
+val rule_gate : Sigrec.Stats.t -> (unit, string) result
+(** [Ok] iff all 31 rules fired at least once ({!Sigrec.Stats.unexercised}). *)
+
+val render : Sigrec.Engine.report list -> string
+(** Canonical rendering used by the drift comparisons ([from_cache]
+    normalized away). *)
+
+val arb_case : Sig_gen.case Prop.arbitrary
+val arb_batch : Sig_gen.case list Prop.arbitrary
+val arb_abi : abi_case Prop.arbitrary

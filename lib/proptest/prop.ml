@@ -1,0 +1,124 @@
+type 'a arbitrary = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  show : 'a -> string;
+}
+
+let make ?(shrink = Shrink.nothing) ?(show = fun _ -> "<opaque>") gen =
+  { gen; shrink; show }
+
+type 'a counterexample = {
+  name : string;
+  seed : int;
+  case_index : int;
+  cases_run : int;
+  original : 'a;
+  original_error : string;
+  minimal : 'a;
+  minimal_error : string;
+  shrink_steps : int;
+  candidates_tried : int;
+}
+
+type 'a result = Pass of { cases : int; seed : int } | Fail of 'a counterexample
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
+let default_seed () = Option.value (env_int "PROPTEST_SEED") ~default:20230704
+let multiplier () = Stdlib.max 1 (Option.value (env_int "PROPTEST_ITERS") ~default:1)
+
+let eval prop x =
+  match prop x with
+  | r -> r
+  | exception e -> Error (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+(* Greedy shrink: recurse on the first strictly-smaller candidate that
+   still fails. [max_candidates] bounds the passing candidates examined
+   per level so a wide shrink tree cannot stall the run. *)
+let shrink_to_minimal ~max_steps ~max_candidates arb prop x0 e0 =
+  let current = ref x0 and err = ref e0 in
+  let steps = ref 0 and tried = ref 0 in
+  let progress = ref true in
+  while !progress && !steps < max_steps do
+    progress := false;
+    let rec scan seq budget =
+      if budget > 0 then
+        match seq () with
+        | Seq.Nil -> ()
+        | Seq.Cons (c, tl) -> (
+          incr tried;
+          match eval prop c with
+          | Error e ->
+            current := c;
+            err := e;
+            incr steps;
+            progress := true
+          | Ok () -> scan tl (budget - 1))
+    in
+    scan (arb.shrink !current) max_candidates
+  done;
+  (!current, !err, !steps, !tried)
+
+let run ?seed ?(count = 100) ?(max_size = 20) ?(max_shrink_steps = 500)
+    ?(max_candidates = 200) ~name arb prop =
+  let seed = match seed with Some s -> s | None -> default_seed () in
+  let count = count * multiplier () in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < count do
+    let case_index = !i in
+    let rng = Random.State.make [| seed; case_index |] in
+    let size = 1 + (case_index * max_size / Stdlib.max 1 count) in
+    let x = arb.gen rng size in
+    (match eval prop x with
+    | Ok () -> ()
+    | Error e ->
+      let minimal, minimal_error, shrink_steps, candidates_tried =
+        shrink_to_minimal ~max_steps:max_shrink_steps ~max_candidates arb
+          prop x e
+      in
+      failure :=
+        Some
+          {
+            name;
+            seed;
+            case_index;
+            cases_run = case_index + 1;
+            original = x;
+            original_error = e;
+            minimal;
+            minimal_error;
+            shrink_steps;
+            candidates_tried;
+          });
+    incr i
+  done;
+  match !failure with
+  | None -> Pass { cases = count; seed }
+  | Some f -> Fail f
+
+let replay_line seed =
+  let m = multiplier () in
+  let iters = if m > 1 then Printf.sprintf " PROPTEST_ITERS=%d" m else "" in
+  Printf.sprintf "PROPTEST_SEED=%d%s dune exec test/test_main.exe -- test proptest"
+    seed iters
+
+let report arb = function
+  | Pass { cases; seed } ->
+    Printf.sprintf "passed %d cases (seed %d)" cases seed
+  | Fail f ->
+    Printf.sprintf
+      "property `%s' failed at case %d/%d (seed %d)\n\
+      \  counterexample: %s\n\
+      \  error: %s\n\
+      \  shrunk %d steps (%d candidates tried) to: %s\n\
+      \  error: %s\n\
+      \  replay: %s"
+      f.name f.case_index f.cases_run f.seed (arb.show f.original)
+      f.original_error f.shrink_steps f.candidates_tried (arb.show f.minimal)
+      f.minimal_error (replay_line f.seed)
+
+let is_pass = function Pass _ -> true | Fail _ -> false

@@ -1,0 +1,64 @@
+(** Deterministic property runner with replayable seeds and integrated
+    shrinking.
+
+    Every case [i] of a run draws from a fresh
+    [Random.State.make [| seed; i |]], so a failure is pinned by
+    [(seed, case_index)] alone and an entire run is pinned by the seed.
+    The seed defaults to a fixed constant — CI is reproducible by
+    default — and can be overridden with the [PROPTEST_SEED]
+    environment variable; [PROPTEST_ITERS] multiplies every property's
+    case count (the longer-iteration CI job on main sets it). On
+    failure, {!report} includes the exact replay command line. *)
+
+type 'a arbitrary = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  show : 'a -> string;
+}
+
+val make :
+  ?shrink:'a Shrink.t -> ?show:('a -> string) -> 'a Gen.t -> 'a arbitrary
+
+type 'a counterexample = {
+  name : string;
+  seed : int;
+  case_index : int;    (** the failing case — replay with [(seed, i)] *)
+  cases_run : int;
+  original : 'a;
+  original_error : string;
+  minimal : 'a;        (** the shrunk counterexample; still fails *)
+  minimal_error : string;
+  shrink_steps : int;
+  candidates_tried : int;
+}
+
+type 'a result = Pass of { cases : int; seed : int } | Fail of 'a counterexample
+
+val default_seed : unit -> int
+(** [PROPTEST_SEED] when set, otherwise the pinned CI seed. *)
+
+val multiplier : unit -> int
+(** [PROPTEST_ITERS] when set (>= 1), otherwise 1. *)
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?max_size:int ->
+  ?max_shrink_steps:int ->
+  ?max_candidates:int ->
+  name:string ->
+  'a arbitrary ->
+  ('a -> (unit, string) Stdlib.result) ->
+  'a result
+(** [run ~name arb prop] generates [count * multiplier ()] cases with
+    sizes ramping from 1 to [max_size]; on the first failure it shrinks
+    greedily ([max_shrink_steps] accepted steps, examining at most
+    [max_candidates] passing candidates per level) and reports the
+    minimal counterexample. Exceptions raised by [prop] count as
+    failures. Deterministic in [seed]. *)
+
+val report : 'a arbitrary -> 'a result -> string
+(** Human-readable summary; for failures it includes the original and
+    minimal counterexamples, both errors, and the replay command. *)
+
+val is_pass : 'a result -> bool

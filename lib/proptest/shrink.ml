@@ -1,0 +1,39 @@
+type 'a t = 'a -> 'a Seq.t
+
+let nothing _ = Seq.empty
+
+let int_toward target n =
+  if n = target then Seq.empty
+  else
+    let rec aux delta () =
+      if delta = 0 then Seq.Nil
+      else Seq.Cons (n - delta, aux (if abs delta = 1 then 0 else delta / 2))
+    in
+    aux (n - target)
+
+let list_drop_one l =
+  let rec aux prefix = function
+    | [] -> Seq.empty
+    | x :: tl ->
+      fun () -> Seq.Cons (List.rev_append prefix tl, aux (x :: prefix) tl)
+  in
+  aux [] l
+
+let list_elems shrink_elem l =
+  let rec aux prefix = function
+    | [] -> Seq.empty
+    | x :: tl ->
+      Seq.append
+        (Seq.map (fun x' -> List.rev_append prefix (x' :: tl)) (shrink_elem x))
+        (fun () -> aux (x :: prefix) tl ())
+  in
+  aux [] l
+
+let list ?(min_length = 0) shrink_elem l =
+  let drops =
+    if List.length l > min_length then list_drop_one l else Seq.empty
+  in
+  Seq.append drops (list_elems shrink_elem l)
+
+let append = Seq.append
+let of_list l _ = List.to_seq l

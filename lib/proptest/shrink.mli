@@ -1,0 +1,27 @@
+(** Integrated shrinking: a shrinker maps a failing value to a lazy
+    sequence of strictly-smaller candidates, best (smallest) first. The
+    runner greedily re-runs the property on each candidate and recurses
+    on the first one that still fails, so a shrinker only has to make
+    local progress — termination comes from every candidate being
+    strictly smaller under some well-founded measure. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nothing : 'a t
+
+val int_toward : int -> int -> int Seq.t
+(** [int_toward target n]: candidates between [target] (first) and [n]
+    (exclusive), halving the distance — empty when [n = target]. *)
+
+val list_drop_one : 'a list -> 'a list Seq.t
+(** Each list with one element removed, leftmost first. *)
+
+val list_elems : 'a t -> 'a list t
+(** Shrink one element in place, leftmost positions first. *)
+
+val list : ?min_length:int -> 'a t -> 'a list t
+(** Drop an element (down to [min_length], default 0), then shrink
+    elements in place. *)
+
+val append : 'a Seq.t -> 'a Seq.t -> 'a Seq.t
+val of_list : 'a list -> 'a t

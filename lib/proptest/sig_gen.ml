@@ -1,0 +1,350 @@
+open Abi
+
+type case = {
+  fns : Solc.Lang.fn_spec list;
+  version : Solc.Version.t;
+  obf_level : int;
+  obf_seed : int;
+}
+
+let letters = "abcdefghijklmnopqrstuvwxyz"
+
+(* -- size measures ----------------------------------------------------- *)
+
+(* Well-founded measure backing the shrinkers: every shrink candidate is
+   strictly smaller. [Uint 256] is the unique minimum among types. *)
+let rec size_ty = function
+  | Abity.Uint 256 -> 1
+  | Abity.Uint _ | Abity.Address | Abity.Bool | Abity.Decimal -> 2
+  | Abity.Int 256 | Abity.Bytes_n 32 -> 2
+  | Abity.Int _ | Abity.Bytes_n _ | Abity.Bytes -> 3
+  | Abity.String_t | Abity.Vbytes _ -> 4
+  | Abity.Vstring _ -> 5
+  | Abity.Sarray (t, n) -> 1 + n + size_ty t
+  | Abity.Darray t -> 3 + size_ty t
+  | Abity.Tuple ts -> 2 + List.fold_left (fun acc t -> acc + size_ty t) 0 ts
+
+let default_usage = Solc.Lang.default_usage
+
+let size_fn (fn : Solc.Lang.fn_spec) =
+  let specs = fn.Solc.Lang.param_specs in
+  let param_cost (s : Solc.Lang.param_spec) =
+    size_ty s.Solc.Lang.ty
+    + (if s.Solc.Lang.quirk <> Solc.Lang.No_quirk then 1 else 0)
+    + if s.Solc.Lang.usage = default_usage then 0 else 1
+  in
+  1
+  + List.length specs
+  + List.fold_left (fun acc s -> acc + param_cost s) 0 specs
+  + fn.Solc.Lang.asm_reads
+  + if fn.Solc.Lang.returns_word then 1 else 0
+
+let version_index (v : Solc.Version.t) =
+  let vs =
+    match v.Solc.Version.lang with
+    | Abity.Solidity -> Solc.Version.solidity_versions
+    | Abity.Vyper -> Solc.Version.vyper_versions
+  in
+  let rec idx i = function
+    | [] -> 0
+    | x :: tl -> if x.Solc.Version.name = v.Solc.Version.name then i else idx (i + 1) tl
+  in
+  idx 0 vs
+
+let size_case c =
+  List.fold_left (fun acc fn -> acc + size_fn fn) 0 c.fns
+  + version_index c.version + c.obf_level
+
+(* -- generators -------------------------------------------------------- *)
+
+let gen_name rng slot =
+  let base = String.init 5 (fun _ -> letters.[Random.State.int rng 26]) in
+  Printf.sprintf "%s_p%d" base slot
+
+let sol_type ~abiv2 : Abity.t Gen.t =
+ fun rng size ->
+  if size < 4 then Abi.Valgen.sol_basic rng
+  else Solc.Corpus.random_type ~abiv2 rng
+
+let vy_type : Abity.t Gen.t = fun rng _ -> Abi.Valgen.vy_type rng
+
+(* Plant one of the paper's §5.2 inaccuracy shapes on the first
+   applicable parameter, mirroring the corpus quirk planter; all of
+   them are recognized by [Solc.Corpus.expected_failure], which is how
+   the round-trip oracle knows to apply the documented tolerance. *)
+let plant_quirk rng (fn : Solc.Lang.fn_spec) (version : Solc.Version.t) =
+  let map_first f =
+    let applied = ref false in
+    let specs =
+      List.map
+        (fun (s : Solc.Lang.param_spec) ->
+          if !applied then s
+          else
+            match f s with
+            | Some s' ->
+              applied := true;
+              s'
+            | None -> s)
+        fn.Solc.Lang.param_specs
+    in
+    if !applied then Some { fn with Solc.Lang.param_specs = specs } else None
+  in
+  let case1 () = Some { fn with Solc.Lang.asm_reads = 1 } in
+  let case2 () =
+    map_first (fun s ->
+        match s.Solc.Lang.ty with
+        | Abity.Uint 256 ->
+          Some { s with Solc.Lang.quirk = Solc.Lang.Converted (Abity.Uint 8) }
+        | _ -> None)
+  in
+  let case4 () =
+    map_first (fun s ->
+        if Abity.is_dynamic s.Solc.Lang.ty then
+          Some { s with Solc.Lang.quirk = Solc.Lang.Storage_ref }
+        else None)
+  in
+  let case5 () =
+    map_first (fun s ->
+        match s.Solc.Lang.ty with
+        | Abity.Bytes ->
+          Some
+            {
+              s with
+              Solc.Lang.usage =
+                { s.Solc.Lang.usage with Solc.Lang.byte_access = false };
+            }
+        | Abity.Darray _
+          when fn.Solc.Lang.fsig.Funsig.visibility = Funsig.External ->
+          Some
+            {
+              s with
+              Solc.Lang.usage =
+                { s.Solc.Lang.usage with Solc.Lang.item_access = false };
+            }
+        | Abity.Sarray _
+          when version.Solc.Version.optimize
+               && fn.Solc.Lang.fsig.Funsig.visibility = Funsig.External ->
+          Some { s with Solc.Lang.quirk = Solc.Lang.Const_index_optimized }
+        | _ -> None)
+  in
+  let cases =
+    match Random.State.int rng 4 with
+    | 0 -> [ case1; case2; case4; case5 ]
+    | 1 -> [ case2; case4; case5; case1 ]
+    | 2 -> [ case4; case5; case1; case2 ]
+    | _ -> [ case5; case1; case2; case4 ]
+  in
+  Option.value ~default:fn (List.find_map (fun c -> c ()) cases)
+
+let gen_fn ~(version : Solc.Version.t) ~slot : Solc.Lang.fn_spec Gen.t =
+ fun rng size ->
+  let vyper = version.Solc.Version.lang = Abity.Vyper in
+  let abiv2 = version.Solc.Version.abiv2 in
+  let nparams = 1 + Random.State.int rng (Stdlib.min 5 (1 + (size / 4))) in
+  let ty_gen = if vyper then vy_type else sol_type ~abiv2 in
+  let tys = Gen.init_in_order nparams (fun _ -> ty_gen rng size) in
+  let visibility =
+    if vyper || Random.State.bool rng then Funsig.Public else Funsig.External
+  in
+  let lang = version.Solc.Version.lang in
+  let fsig = Funsig.make ~visibility ~lang (gen_name rng slot) tys in
+  let fn =
+    Solc.Lang.fn_of_sig ~returns_word:(Random.State.int rng 100 < 35) fsig
+  in
+  if (not vyper) && Random.State.int rng 100 < 7 then
+    plant_quirk rng fn version
+  else fn
+
+let case : case Gen.t =
+ fun rng size ->
+  let vyper = Random.State.int rng 100 < 16 in
+  let versions =
+    if vyper then Solc.Version.vyper_versions
+    else Solc.Version.solidity_versions
+  in
+  let version = List.nth versions (Random.State.int rng (List.length versions)) in
+  let nfns =
+    if size >= 12 && Random.State.int rng 100 < 25 then
+      2 + Random.State.int rng 2
+    else 1
+  in
+  let fns = Gen.init_in_order nfns (fun k -> gen_fn ~version ~slot:k rng size) in
+  (* semantics-preserving obfuscation is modelled for the Solidity
+     code generator only *)
+  let obf_level =
+    if vyper then 0
+    else
+      match Random.State.int rng 10 with 0 -> 1 | 1 -> 2 | _ -> 0
+  in
+  let obf_seed = Random.State.int rng 1_000_000 in
+  { fns; version; obf_level; obf_seed }
+
+(* -- compilation and ground truth -------------------------------------- *)
+
+let compile c =
+  let contract = { Solc.Compile.fns = c.fns; version = c.version } in
+  if c.obf_level = 0 then Solc.Compile.compile contract
+  else Solc.Obfuscate.compile_obfuscated ~level:c.obf_level ~seed:c.obf_seed contract
+
+let samples c =
+  let code = compile c in
+  List.map (fun fn -> { Solc.Corpus.fn; version = c.version; code }) c.fns
+
+(* -- shrinking --------------------------------------------------------- *)
+
+let rec shrink_ty (t : Abity.t) : Abity.t Seq.t =
+  let u256 = Abity.Uint 256 in
+  match t with
+  | Abity.Uint 256 -> Seq.empty
+  | Abity.Uint _ | Abity.Address | Abity.Bool | Abity.Decimal
+  | Abity.Int 256 | Abity.Bytes_n 32 ->
+    List.to_seq [ u256 ]
+  | Abity.Int _ -> List.to_seq [ u256; Abity.Int 256 ]
+  | Abity.Bytes_n _ -> List.to_seq [ u256; Abity.Bytes_n 32 ]
+  | Abity.Bytes -> List.to_seq [ u256 ]
+  | Abity.String_t -> List.to_seq [ u256; Abity.Bytes ]
+  | Abity.Vbytes _ -> List.to_seq [ u256; Abity.Bytes_n 32 ]
+  | Abity.Vstring _ -> List.to_seq [ u256; Abity.Bytes_n 32 ]
+  | Abity.Sarray (elem, n) ->
+    Seq.append
+      (Seq.cons elem
+         (Seq.map (fun n' -> Abity.Sarray (elem, n')) (Shrink.int_toward 1 n)))
+      (Seq.map (fun e' -> Abity.Sarray (e', n)) (shrink_ty elem))
+  | Abity.Darray elem ->
+    Seq.append
+      (List.to_seq [ elem; Abity.Sarray (elem, 1) ])
+      (Seq.map (fun e' -> Abity.Darray e') (shrink_ty elem))
+  | Abity.Tuple ts ->
+    Seq.append (List.to_seq ts)
+      (Seq.map
+         (fun ts' -> Abity.Tuple ts')
+         (Shrink.list ~min_length:1 shrink_ty ts))
+
+(* Rebuild a spec from shrunk parameter types: quirks and non-default
+   usages are dropped (both count toward the measure), the rest of the
+   spec is kept. *)
+let with_params (fn : Solc.Lang.fn_spec) tys =
+  let fsig = { fn.Solc.Lang.fsig with Funsig.params = tys } in
+  Solc.Lang.fn
+    ~asm_reads:fn.Solc.Lang.asm_reads
+    ~returns_word:fn.Solc.Lang.returns_word
+    ?bug:fn.Solc.Lang.bug fsig
+    (List.map (fun ty -> Solc.Lang.param ty) tys)
+
+let shrink_fn (fn : Solc.Lang.fn_spec) : Solc.Lang.fn_spec Seq.t =
+  let lang = fn.Solc.Lang.fsig.Funsig.lang in
+  let tys = fn.Solc.Lang.fsig.Funsig.params in
+  let plainer =
+    (* drop quirk markers / restore default usage / drop asm_reads and
+       returns_word before structural shrinking: each is one measure
+       point and removing them first keeps counterexamples readable *)
+    let candidates = ref [] in
+    if fn.Solc.Lang.asm_reads > 0 then
+      candidates := { fn with Solc.Lang.asm_reads = 0 } :: !candidates;
+    if fn.Solc.Lang.returns_word then
+      candidates := { fn with Solc.Lang.returns_word = false } :: !candidates;
+    if
+      List.exists
+        (fun (s : Solc.Lang.param_spec) ->
+          s.Solc.Lang.quirk <> Solc.Lang.No_quirk
+          || s.Solc.Lang.usage <> default_usage)
+        fn.Solc.Lang.param_specs
+    then
+      candidates :=
+        {
+          fn with
+          Solc.Lang.param_specs =
+            List.map
+              (fun (s : Solc.Lang.param_spec) -> Solc.Lang.param s.Solc.Lang.ty)
+              fn.Solc.Lang.param_specs;
+        }
+        :: !candidates;
+    List.to_seq (List.rev !candidates)
+  in
+  let structural =
+    Seq.filter_map
+      (fun tys' ->
+        if List.for_all (Abity.valid_in lang) tys' then
+          Some (with_params fn tys')
+        else None)
+      (Shrink.list ~min_length:1 shrink_ty tys)
+  in
+  Seq.append plainer structural
+
+let shrink_case (c : case) : case Seq.t =
+  let drop_obf =
+    Seq.map (fun l -> { c with obf_level = l }) (Shrink.int_toward 0 c.obf_level)
+  in
+  let simpler_version =
+    let vs =
+      match c.version.Solc.Version.lang with
+      | Abity.Solidity -> Solc.Version.solidity_versions
+      | Abity.Vyper -> Solc.Version.vyper_versions
+    in
+    Seq.filter_map
+      (fun i ->
+        let v = List.nth vs i in
+        (* abiv2 types must stay compilable after a version change *)
+        if
+          List.for_all
+            (fun (fn : Solc.Lang.fn_spec) ->
+              v.Solc.Version.abiv2
+              || List.for_all
+                   (fun ty ->
+                     match ty with
+                     | Abity.Tuple _ -> false
+                     | _ -> not (Abity.is_nested_array ty))
+                   fn.Solc.Lang.fsig.Funsig.params)
+            c.fns
+        then Some { c with version = v }
+        else None)
+      (Shrink.int_toward 0 (version_index c.version))
+  in
+  let fns =
+    Seq.map (fun fns -> { c with fns }) (Shrink.list ~min_length:1 shrink_fn c.fns)
+  in
+  Seq.append drop_obf (Seq.append simpler_version fns)
+
+(* -- rendering --------------------------------------------------------- *)
+
+let show_fn (fn : Solc.Lang.fn_spec) =
+  let fsig = fn.Solc.Lang.fsig in
+  let marks =
+    List.concat
+      [
+        (if fn.Solc.Lang.asm_reads > 0 then
+           [ Printf.sprintf "asm_reads=%d" fn.Solc.Lang.asm_reads ]
+         else []);
+        (if fn.Solc.Lang.returns_word then [ "returns_word" ] else []);
+        List.concat
+          (List.mapi
+             (fun i (s : Solc.Lang.param_spec) ->
+               let q =
+                 match s.Solc.Lang.quirk with
+                 | Solc.Lang.No_quirk -> []
+                 | Solc.Lang.Converted t ->
+                   [ Printf.sprintf "p%d:converted->%s" i (Abity.to_string t) ]
+                 | Solc.Lang.Storage_ref -> [ Printf.sprintf "p%d:storage" i ]
+                 | Solc.Lang.Const_index_optimized ->
+                   [ Printf.sprintf "p%d:const-index" i ]
+               in
+               let u =
+                 if s.Solc.Lang.usage = default_usage then []
+                 else [ Printf.sprintf "p%d:usage-degraded" i ]
+               in
+               q @ u)
+             fn.Solc.Lang.param_specs);
+      ]
+  in
+  let vis =
+    match fsig.Funsig.visibility with
+    | Funsig.Public -> "public"
+    | Funsig.External -> "external"
+  in
+  Printf.sprintf "%s %s%s" vis (Funsig.canonical fsig)
+    (if marks = [] then "" else " [" ^ String.concat "," marks ^ "]")
+
+let show_case c =
+  Printf.sprintf "{version=%s; obf=%d/seed=%d; size=%d;\n   %s}"
+    c.version.Solc.Version.name c.obf_level c.obf_seed (size_case c)
+    (String.concat ";\n   " (List.map show_fn c.fns))

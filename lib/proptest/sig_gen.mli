@@ -1,0 +1,53 @@
+(** Typed generators and shrinkers over the full ABI type grammar and
+    the compiler knobs — the domain half of the property harness.
+
+    A {!case} is everything the round-trip pipeline needs: one to three
+    function specs (multi-parameter signatures, types weighted to the
+    corpus frequency shape via {!Solc.Corpus.random_type}, occasional
+    §5.2 quirk planting), a compiler {!Solc.Version.t} (both languages,
+    with and without optimisation), and an obfuscation level/seed.
+
+    Shrinking is structural and measure-decreasing: drop functions, drop
+    parameters, simplify types toward [uint256], shrink array dims and
+    widths, drop quirk markers, lower the obfuscation level and the
+    version index — every candidate satisfies
+    [size_case candidate < size_case original], which both guarantees
+    termination and is what the shrinker-invariant tests check. *)
+
+type case = {
+  fns : Solc.Lang.fn_spec list;
+  version : Solc.Version.t;
+  obf_level : int;  (** 0 = plain, 1 = junk insertion, 2 = + constant split *)
+  obf_seed : int;
+}
+
+val case : case Gen.t
+
+val sol_type : abiv2:bool -> Abi.Abity.t Gen.t
+(** Corpus-weighted Solidity parameter type; small sizes restrict to
+    basic types. *)
+
+val vy_type : Abi.Abity.t Gen.t
+
+val compile : case -> string
+(** Runtime bytecode (obfuscated when [obf_level > 0]). *)
+
+val samples : case -> Solc.Corpus.sample list
+(** One corpus sample per function, sharing the compiled bytecode —
+    the bridge to {!Solc.Corpus.truth} / {!Solc.Corpus.expected_failure}. *)
+
+val size_ty : Abi.Abity.t -> int
+(** Well-founded measure on types; [uint256] is the unique minimum. *)
+
+val size_fn : Solc.Lang.fn_spec -> int
+val size_case : case -> int
+
+val shrink_ty : Abi.Abity.t -> Abi.Abity.t Seq.t
+(** Strictly [size_ty]-decreasing candidates (language validity is the
+    caller's concern; {!shrink_fn} filters with [Abity.valid_in]). *)
+
+val shrink_fn : Solc.Lang.fn_spec -> Solc.Lang.fn_spec Seq.t
+val shrink_case : case Shrink.t
+
+val show_fn : Solc.Lang.fn_spec -> string
+val show_case : case -> string

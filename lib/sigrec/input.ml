@@ -12,6 +12,10 @@ let parse_line line =
   if line = "" || line.[0] = '#' then `Blank
   else
     match Evm.Hex.decode line with
+    | "" ->
+      (* a bare "0x" decodes to zero bytes — feeding that downstream
+         would produce a report for a contract that doesn't exist *)
+      `Bad "empty bytecode"
     | code -> `Code code
     | exception Invalid_argument msg -> `Bad msg
 

@@ -16,4 +16,6 @@ val parse_batch : string -> batch
 
 val parse_line : string -> [ `Blank | `Code of string | `Bad of string ]
 (** Classify a single line: skippable, decoded bytecode, or malformed
-    with the decoder's reason. *)
+    with the decoder's reason. A line that decodes to zero bytes (a
+    bare ["0x"]) is malformed — [`Bad "empty bytecode"] — not a
+    contract. *)

@@ -37,6 +37,7 @@ let rule_count t name =
   Option.value ~default:0 (Hashtbl.find_opt t.rules name)
 
 let rule_counts t = List.map (fun name -> (name, rule_count t name)) rule_names
+let unexercised t = List.filter (fun name -> rule_count t name = 0) rule_names
 
 let cache_hit t = t.cache_hits <- t.cache_hits + 1
 let cache_miss t = t.cache_misses <- t.cache_misses + 1

@@ -21,6 +21,12 @@ val rule_count : t -> string -> int
 val rule_counts : t -> (string * int) list
 (** All 31 rules in numbering order, including zero counts. *)
 
+val unexercised : t -> string list
+(** The canonical rules (R1-R31) with a zero count, in numbering order.
+    The property harness turns this into a regression gate: a run over
+    the generated corpus must leave it empty, so silently disabling a
+    rule fails the suite instead of just shifting an accuracy figure. *)
+
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 val cache_hits : t -> int

@@ -69,6 +69,8 @@ let random_sol_type ?(abiv2 = false) rng =
         [ Abi.Abity.Darray (Abi.Valgen.sol_basic rng); Abi.Abity.Uint 256 ]
   else Abi.Valgen.sol_basic rng
 
+let random_type = random_sol_type
+
 let random_fn ?(abiv2 = false) ?(vyper = false) rng counter =
   let nparams = 1 + Random.State.int rng 5 in
   let tys =

@@ -19,6 +19,13 @@ val expected_failure : sample -> bool
 (** Whether this sample carries a planted §5.2 inaccuracy (the ground
     truth cannot be recovered from the bytecode by design). *)
 
+val random_type : ?abiv2:bool -> Random.State.t -> Abi.Abity.t
+(** One Solidity parameter type drawn from the corpus type-frequency
+    shape (basic types dominate, multidimensional dynamic arrays
+    outnumber multidimensional static ones). Exposed so the property
+    harness generates signatures with the same distribution the
+    accuracy calibration was done against. *)
+
 val random_fn :
   ?abiv2:bool -> ?vyper:bool -> Random.State.t -> int -> Lang.fn_spec
 (** A synthesized function: unique name, 1-5 random parameters, random

@@ -1,0 +1,84 @@
+(* Tier-1 promotion of the bench --smoke drift gates: on a small mixed
+   corpus (Solidity across versions, Vyper, abiv2, obfuscated), the
+   engine's rendered reports must be byte-identical across every
+   execution knob — parallel fan-out, static pruning, and a warm cache.
+   The bench keeps its own larger-corpus run; this copy is the one that
+   blocks a merge. *)
+
+let seed = 0x5d21f7
+
+let corpus () =
+  let samples =
+    Solc.Corpus.dataset3 ~seed ~n:24
+    @ Solc.Corpus.vyper_set ~seed ~n:6
+    @ Solc.Corpus.abiv2_set ~seed ~n:6
+  in
+  let plain = List.map (fun s -> s.Solc.Corpus.code) samples in
+  (* a few obfuscated bodies so the gate also covers the junk-insertion
+     and constant-splitting paths *)
+  let rng = Random.State.make [| seed; 1 |] in
+  let obf =
+    List.filteri (fun i _ -> i < 4) samples
+    |> List.mapi (fun i (s : Solc.Corpus.sample) ->
+           Solc.Obfuscate.compile_obfuscated
+             ~level:(1 + (i mod 2))
+             ~seed:(Random.State.int rng 1_000_000)
+             {
+               Solc.Compile.fns = [ s.Solc.Corpus.fn ];
+               version = s.Solc.Corpus.version;
+             })
+  in
+  plain @ obf
+
+let render reports =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Format.asprintf "%a" Sigrec.Engine.pp_report
+           { r with Sigrec.Engine.from_cache = false })
+       reports)
+
+let check_identical name base other =
+  if base <> other then
+    Alcotest.failf "recovery output drifted under %s" name
+
+let baseline codes =
+  render (Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) codes)
+
+let parallel_identical () =
+  let codes = corpus () in
+  let base = baseline codes in
+  List.iter
+    (fun jobs ->
+      check_identical
+        (Printf.sprintf "jobs=%d" jobs)
+        base
+        (render
+           (Sigrec.Engine.recover_all ~jobs (Sigrec.Engine.create ()) codes)))
+    [ 2; 4 ]
+
+let prune_identical () =
+  let codes = corpus () in
+  check_identical "static_prune=false" (baseline codes)
+    (render
+       (Sigrec.Engine.recover_all ~jobs:1
+          (Sigrec.Engine.create ~static_prune:false ())
+          codes))
+
+let warm_cache_identical () =
+  let codes = corpus () in
+  let engine = Sigrec.Engine.create () in
+  let cold = render (Sigrec.Engine.recover_all ~jobs:2 engine codes) in
+  let warm = render (Sigrec.Engine.recover_all ~jobs:2 engine codes) in
+  check_identical "warm cache" cold warm;
+  (* the warm run must actually have been answered from the cache *)
+  let stats = Sigrec.Engine.stats engine in
+  if Sigrec.Stats.cache_hits stats = 0 then
+    Alcotest.fail "second run recorded no cache hits"
+
+let suite =
+  [
+    ("parallel fan-out is byte-identical", `Quick, parallel_identical);
+    ("static pruning does not change output", `Quick, prune_identical);
+    ("warm cache replays identically", `Quick, warm_cache_identical);
+  ]

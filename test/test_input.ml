@@ -1,0 +1,106 @@
+(* Negative-input coverage for Input.parse_batch: the tolerant batch
+   parser must skip exactly the malformed lines, report them with the
+   right 1-based line numbers, and never hand an empty bytecode
+   downstream. *)
+
+let parse = Sigrec.Input.parse_batch
+
+let check_batch name text ~codes ~skipped =
+  let b = parse text in
+  Alcotest.(check (list string)) (name ^ ": codes") codes
+    (List.map (fun c -> "0x" ^ Evm.Hex.encode c) b.Sigrec.Input.codes);
+  Alcotest.(check (list int)) (name ^ ": skipped lines") skipped
+    (List.map fst b.Sigrec.Input.skipped)
+
+let basics () =
+  check_batch "two plain lines" "0x6001\n6002\n" ~codes:[ "0x6001"; "0x6002" ]
+    ~skipped:[];
+  check_batch "comments and blanks skipped"
+    "# header\n\n0x6001\n   \n# tail\n" ~codes:[ "0x6001" ] ~skipped:[]
+
+let bare_prefix_rejected () =
+  (* "0x" decodes to zero bytes; it must be a reported skip, not an
+     empty contract *)
+  check_batch "bare 0x" "0x\n0x6001\n" ~codes:[ "0x6001" ] ~skipped:[ 1 ];
+  (match Sigrec.Input.parse_line "0x" with
+  | `Bad reason ->
+    Alcotest.(check string) "reason" "empty bytecode" reason
+  | `Blank -> Alcotest.fail "bare 0x classified as blank"
+  | `Code _ -> Alcotest.fail "bare 0x classified as bytecode")
+
+let odd_length_rejected () =
+  check_batch "odd-length after 0x strip" "0xabc\n6001\n" ~codes:[ "0x6001" ]
+    ~skipped:[ 1 ];
+  check_batch "odd-length without prefix" "abc\n" ~codes:[] ~skipped:[ 1 ]
+
+let bad_digits_rejected () =
+  check_batch "non-hex digits" "0x60zz\n" ~codes:[] ~skipped:[ 1 ]
+
+let line_numbers_survive_noise () =
+  (* skipped-line numbers are positions in the original file, counting
+     blanks and comments *)
+  check_batch "numbering with noise" "# c\n\n0x\n0x6001\nxyz\n"
+    ~codes:[ "0x6001" ] ~skipped:[ 3; 5 ]
+
+let crlf_and_eof () =
+  check_batch "CRLF line endings" "0x6001\r\n0x6002\r\n"
+    ~codes:[ "0x6001"; "0x6002" ] ~skipped:[];
+  check_batch "trailing blank lines at EOF" "0x6001\n\n\n" ~codes:[ "0x6001" ]
+    ~skipped:[];
+  check_batch "no final newline" "0x6001\n0x6002" ~codes:[ "0x6001"; "0x6002" ]
+    ~skipped:[];
+  check_batch "empty file" "" ~codes:[] ~skipped:[];
+  check_batch "only a newline" "\n" ~codes:[] ~skipped:[]
+
+(* Generator-driven: render any list of bytecodes to a file with random
+   noise (comments, blanks, CRLF, bad rows) interleaved, parse it back,
+   and the codes must round-trip in order with exactly the bad rows
+   skipped. *)
+let batch_round_trip () =
+  let rng = Random.State.make [| 0xbadfeed |] in
+  for _ = 1 to 100 do
+    let n = Random.State.int rng 8 in
+    let codes =
+      Proptest.Gen.init_in_order n (fun _ ->
+          let len = 1 + Random.State.int rng 40 in
+          String.init len (fun _ -> Char.chr (Random.State.int rng 256)))
+    in
+    let buf = Buffer.create 256 in
+    let bad = ref 0 in
+    List.iter
+      (fun code ->
+        (* noise before each code line *)
+        (match Random.State.int rng 4 with
+        | 0 -> Buffer.add_string buf "# comment\n"
+        | 1 -> Buffer.add_string buf "\n"
+        | 2 ->
+          incr bad;
+          Buffer.add_string buf
+            (match Random.State.int rng 3 with
+            | 0 -> "0x\n"
+            | 1 -> "0xabc\n"
+            | _ -> "nothex!\n")
+        | _ -> ());
+        let hex = Evm.Hex.encode code in
+        let hex = if Random.State.bool rng then "0x" ^ hex else hex in
+        Buffer.add_string buf hex;
+        Buffer.add_string buf (if Random.State.bool rng then "\r\n" else "\n"))
+      codes;
+    let b = parse (Buffer.contents buf) in
+    Alcotest.(check (list string)) "codes round-trip"
+      (List.map Evm.Hex.encode codes)
+      (List.map Evm.Hex.encode b.Sigrec.Input.codes);
+    Alcotest.(check int) "every planted bad row reported" !bad
+      (List.length b.Sigrec.Input.skipped)
+  done
+
+let suite =
+  [
+    ("well-formed lines parse", `Quick, basics);
+    ("bare 0x is rejected, not an empty contract", `Quick, bare_prefix_rejected);
+    ("odd-length hex is rejected", `Quick, odd_length_rejected);
+    ("non-hex digits are rejected", `Quick, bad_digits_rejected);
+    ("skip numbering counts noise lines", `Quick, line_numbers_survive_noise);
+    ("CRLF, EOF blanks, missing final newline", `Quick, crlf_and_eof);
+    ("generated batches round-trip", `Quick, batch_round_trip);
+  ]

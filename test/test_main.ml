@@ -20,4 +20,7 @@ let () =
       ("static", Test_static.suite);
       ("corpus", Test_corpus.suite);
       ("tools", Test_tools.suite);
+      ("input", Test_input.suite);
+      ("drift", Test_drift.suite);
+      ("proptest", Test_prop.suite);
     ]

@@ -1,0 +1,164 @@
+(* The property-based differential harness (lib/proptest) wired into
+   tier 1. Every run is pinned by Proptest.Prop.default_seed () —
+   override with PROPTEST_SEED to replay a CI failure, and scale the
+   case counts with PROPTEST_ITERS (the longer CI job on main sets it). *)
+
+open Proptest
+
+let seed () = Prop.default_seed ()
+
+let check_pass arb result =
+  if not (Prop.is_pass result) then Alcotest.fail (Prop.report arb result)
+
+(* Stats shared by the recovery-driven properties; the rule-coverage
+   gate runs over their union, after all cases have been analyzed. *)
+let stats = Sigrec.Stats.create ()
+
+let round_trip () =
+  check_pass Oracle.arb_case
+    (Prop.run ~seed:(seed ()) ~count:500 ~max_size:20 ~name:"round_trip"
+       Oracle.arb_case
+       (Oracle.round_trip ~stats))
+
+let differential () =
+  check_pass Oracle.arb_case
+    (Prop.run ~seed:(seed () + 1) ~count:80 ~max_size:20 ~name:"differential"
+       Oracle.arb_case
+       (Oracle.differential ~stats))
+
+let rule_coverage () =
+  (* Must run after the 580 recovery cases above (alcotest executes a
+     suite's tests in order): every one of R1-R31 must have fired. *)
+  match Oracle.rule_gate stats with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let abi_round_trip () =
+  check_pass Oracle.arb_abi
+    (Prop.run ~seed:(seed () + 2) ~count:300 ~max_size:24 ~name:"abi_round_trip"
+       Oracle.arb_abi Oracle.abi_round_trip)
+
+let drift () =
+  check_pass Oracle.arb_batch
+    (Prop.run ~seed:(seed () + 3) ~count:10 ~max_size:16 ~name:"drift"
+       Oracle.arb_batch Oracle.drift)
+
+(* Forced regression: with the R11-R18 refinement group disabled, the
+   coverage gate must trip — this is what protects the suite against a
+   rule being silently turned off while accuracy quietly degrades. *)
+let ablation_caught () =
+  let ablated = Sigrec.Stats.create () in
+  let config = { Sigrec.Rules.default_config with fine_masks = false } in
+  let _ =
+    Prop.run ~seed:(seed ()) ~count:80 ~max_size:20 ~name:"ablation"
+      Oracle.arb_case
+      (fun c ->
+        (* recovery may legitimately differ with the group off; only
+           the rule counters matter here *)
+        let _ = Oracle.round_trip ~stats:ablated ~config c in
+        Ok ())
+  in
+  let missing = Sigrec.Stats.unexercised ablated in
+  let fine = [ "R11"; "R12"; "R13"; "R14"; "R15"; "R16"; "R17"; "R18" ] in
+  if not (List.exists (fun r -> List.mem r fine) missing) then
+    Alcotest.fail
+      "disabling fine_masks left no R11-R18 rule unexercised; the \
+       coverage gate would miss this regression"
+
+(* An oracle made to fail: rejects any case whose signature contains a
+   static array. Drives the replay/shrinking properties below. *)
+let reject_sarray (c : Sig_gen.case) =
+  let rec has_sarray = function
+    | Abi.Abity.Sarray _ -> true
+    | Abi.Abity.Darray t -> has_sarray t
+    | Abi.Abity.Tuple ts -> List.exists has_sarray ts
+    | _ -> false
+  in
+  if
+    List.exists
+      (fun (fn : Solc.Lang.fn_spec) ->
+        List.exists
+          (fun (p : Solc.Lang.param_spec) -> has_sarray p.Solc.Lang.ty)
+          fn.Solc.Lang.param_specs)
+      c.Sig_gen.fns
+  then Error "contains a static array"
+  else Ok ()
+
+let failing_run () =
+  Prop.run ~seed:42 ~count:400 ~max_size:20 ~name:"reject_sarray"
+    Oracle.arb_case reject_sarray
+
+let replay_determinism () =
+  match (failing_run (), failing_run ()) with
+  | Prop.Fail c1, Prop.Fail c2 ->
+    Alcotest.(check int) "same failing case index" c1.Prop.case_index
+      c2.Prop.case_index;
+    Alcotest.(check string) "same minimal counterexample"
+      (Sig_gen.show_case c1.Prop.minimal)
+      (Sig_gen.show_case c2.Prop.minimal)
+  | _ -> Alcotest.fail "expected the planted oracle to fail"
+
+let minimal_still_fails () =
+  match failing_run () with
+  | Prop.Fail c -> (
+    match reject_sarray c.Prop.minimal with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "shrunk counterexample no longer fails")
+  | Prop.Pass _ -> Alcotest.fail "expected the planted oracle to fail"
+
+(* Shrinker invariants: every candidate is strictly smaller under the
+   size measure (termination + true minimality), and case candidates
+   stay inside the generator's domain. *)
+let shrink_strictly_smaller () =
+  let rng = Random.State.make [| seed (); 977 |] in
+  for i = 1 to 200 do
+    let c = Sig_gen.case rng (1 + (i mod 20)) in
+    let n = Sig_gen.size_case c in
+    Seq.iter
+      (fun c' ->
+        let n' = Sig_gen.size_case c' in
+        if n' >= n then
+          Alcotest.failf "shrink candidate not smaller (%d >= %d):\n%s\n-> %s"
+            n' n (Sig_gen.show_case c) (Sig_gen.show_case c'))
+      (Sig_gen.shrink_case c)
+  done
+
+let shrink_types_smaller () =
+  let rng = Random.State.make [| seed (); 978 |] in
+  for i = 1 to 400 do
+    let ty = Sig_gen.sol_type ~abiv2:true rng (1 + (i mod 24)) in
+    let n = Sig_gen.size_ty ty in
+    Seq.iter
+      (fun ty' ->
+        let n' = Sig_gen.size_ty ty' in
+        if n' >= n then
+          Alcotest.failf "type shrink not smaller: %s (%d) -> %s (%d)"
+            (Abi.Abity.to_string ty) n
+            (Abi.Abity.to_string ty') n')
+      (Sig_gen.shrink_ty ty)
+  done
+
+let generator_deterministic () =
+  let draw () =
+    Gen.run ~size:18 ~seed:[| seed (); 4 |]
+      (Gen.list_n 25 Sig_gen.case)
+  in
+  Alcotest.(check (list string))
+    "same seed, same cases"
+    (List.map Sig_gen.show_case (draw ()))
+    (List.map Sig_gen.show_case (draw ()))
+
+let suite =
+  [
+    ("round-trip: 500 seeded recoveries", `Quick, round_trip);
+    ("differential: TASE vs static, zero disagreements", `Quick, differential);
+    ("rule coverage: all 31 rules fired", `Quick, rule_coverage);
+    ("abi: encode/decode round trip", `Quick, abi_round_trip);
+    ("drift: jobs/prune/cache byte-identical", `Quick, drift);
+    ("gate catches a disabled rule group", `Quick, ablation_caught);
+    ("failure replays to the same minimum", `Quick, replay_determinism);
+    ("minimal counterexample still fails", `Quick, minimal_still_fails);
+    ("shrink candidates strictly smaller", `Quick, shrink_strictly_smaller);
+    ("type shrink candidates strictly smaller", `Quick, shrink_types_smaller);
+    ("generators are seed-deterministic", `Quick, generator_deterministic);
+  ]
