@@ -21,16 +21,54 @@ let read_bytecode input =
   if Evm.Hex.is_valid trimmed then Evm.Hex.decode trimmed else raw
 
 (* One hex bytecode per line; blank lines, #-comments, CRLF and 0x
-   prefixes tolerated; malformed lines are warned about on stderr and
-   skipped rather than failing the whole file. *)
+   prefixes tolerated; malformed lines are warned about on stderr (as
+   they are found, via the warn callback — never stdout, which may be
+   carrying --format json output) and skipped rather than failing the
+   whole file. *)
 let read_bytecode_list input =
-  let batch = Sigrec.Input.parse_batch (read_raw input) in
-  List.iter
-    (fun (lineno, reason) ->
-      Printf.eprintf "sigrec: %s:%d: skipping malformed line (%s)\n" input
-        lineno reason)
-    batch.Sigrec.Input.skipped;
+  let warn ~line ~reason =
+    Printf.eprintf "sigrec: %s:%d: skipping malformed line (%s)\n%!" input
+      line reason
+  in
+  let batch = Sigrec.Input.parse_batch ~warn (read_raw input) in
   batch.Sigrec.Input.codes
+
+(* ---- tracing -------------------------------------------------------- *)
+
+module Trace = Sigrec_trace.Trace
+module Texport = Sigrec_trace.Export
+
+(* Run [f] with tracing on and export the collected events afterwards:
+   Chrome trace_event JSON by default (chrome://tracing, Perfetto),
+   JSONL when the file name ends in [.jsonl]. *)
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some file ->
+    Trace.enable ();
+    let finish () =
+      Trace.disable ();
+      let events = Trace.collect () in
+      let rendered =
+        if Filename.check_suffix file ".jsonl" then Texport.to_jsonl events
+        else Texport.to_chrome events
+      in
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc rendered);
+      let dropped = Trace.dropped () in
+      if dropped > 0 then
+        Printf.eprintf
+          "sigrec: trace ring wrapped, %d oldest events dropped\n" dropped;
+      Printf.eprintf "sigrec: wrote %d trace events to %s\n"
+        (List.length events) file
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
 
 (* ---- JSON rendering (no external dependency) ---------------------- *)
 
@@ -83,13 +121,18 @@ let json_of_recovered (r : Sigrec.Recover.recovered) extra =
           fields))
 
 let json_of_outcome = function
-  | Sigrec.Engine.Recovered r ->
-    json_of_recovered r [ ("outcome", json_string "recovered") ]
-  | Sigrec.Engine.Budget_exhausted { partial; paths_explored } ->
+  | Sigrec.Engine.Recovered { result; elapsed_ns } ->
+    json_of_recovered result
+      [
+        ("outcome", json_string "recovered");
+        ("elapsed_ns", string_of_int elapsed_ns);
+      ]
+  | Sigrec.Engine.Budget_exhausted { partial; paths_explored; elapsed_ns } ->
     json_of_recovered partial
       [
         ("outcome", json_string "budget_exhausted");
         ("paths_explored", string_of_int paths_explored);
+        ("elapsed_ns", string_of_int elapsed_ns);
       ]
   | Sigrec.Engine.Failed e ->
     Printf.sprintf
@@ -196,7 +239,7 @@ let print_report_text ~explain (report : Sigrec.Engine.report) =
         Format.printf "%a@." Sigrec.Engine.pp_outcome outcome;
         if explain then
           match outcome with
-          | Sigrec.Engine.Recovered r
+          | Sigrec.Engine.Recovered { result = r; _ }
           | Sigrec.Engine.Budget_exhausted { partial = r; _ } ->
             List.iteri
               (fun i (ty, path) ->
@@ -210,15 +253,25 @@ let print_report_text ~explain (report : Sigrec.Engine.report) =
 
 (* ---- subcommand bodies -------------------------------------------- *)
 
-let recover_cmd input show_stats explain format =
+(* With --format json, --stats appends one {"stats":{...}} line after
+   the report output: stdout stays line-oriented JSON throughout. *)
+let print_stats_json stats =
+  print_endline (Printf.sprintf "{\"stats\":%s}" (Sigrec.Stats.to_json stats))
+
+let recover_cmd input show_stats explain format trace =
   let bytecode = read_bytecode input in
   let engine = Sigrec.Engine.create () in
-  let report = Sigrec.Engine.recover engine bytecode in
+  let report =
+    with_trace trace (fun () -> Sigrec.Engine.recover engine bytecode)
+  in
   (match format with
   | `Json -> print_endline (json_of_report report)
   | `Text -> print_report_text ~explain report);
-  if show_stats && format = `Text then
-    print_rule_stats (Sigrec.Engine.stats engine);
+  if show_stats then begin
+    match format with
+    | `Text -> print_rule_stats (Sigrec.Engine.stats engine)
+    | `Json -> print_stats_json (Sigrec.Engine.stats engine)
+  end;
   match
     List.find_opt
       (function Sigrec.Engine.Failed _ -> true | _ -> false)
@@ -227,29 +280,35 @@ let recover_cmd input show_stats explain format =
   | Some _ -> 1
   | None -> 0
 
-let batch_cmd input jobs show_stats format =
+let batch_cmd input jobs show_stats format trace =
   let bytecodes = read_bytecode_list input in
   let engine = Sigrec.Engine.create () in
-  let reports = Sigrec.Engine.recover_all ?jobs engine bytecodes in
+  let reports =
+    with_trace trace (fun () ->
+        Sigrec.Engine.recover_all ?jobs engine bytecodes)
+  in
   (match format with
   | `Json -> List.iter (fun r -> print_endline (json_of_report r)) reports
   | `Text ->
     List.iter (fun r -> Format.printf "%a@." Sigrec.Engine.pp_report r) reports);
-  if show_stats && format = `Text then begin
-    let stats = Sigrec.Engine.stats engine in
-    Format.printf
-      "@.batch: %d contracts, %d distinct analyses, %d cache hits@."
-      (List.length bytecodes)
-      (Sigrec.Stats.cache_misses stats)
-      (Sigrec.Stats.cache_hits stats);
-    print_rule_stats stats
+  if show_stats then begin
+    match format with
+    | `Text ->
+      let stats = Sigrec.Engine.stats engine in
+      Format.printf
+        "@.batch: %d contracts, %d distinct analyses, %d cache hits@."
+        (List.length bytecodes)
+        (Sigrec.Stats.cache_misses stats)
+        (Sigrec.Stats.cache_hits stats);
+      print_rule_stats stats
+    | `Json -> print_stats_json (Sigrec.Engine.stats engine)
   end;
   0
 
-let lint_cmd input show_stats format =
+let lint_cmd input show_stats format trace =
   let bytecode = read_bytecode input in
   let stats = Sigrec.Stats.create () in
-  let verdicts = Sigrec.Lint.check ~stats bytecode in
+  let verdicts = with_trace trace (fun () -> Sigrec.Lint.check ~stats bytecode) in
   (match format with
   | `Json ->
     print_endline (json_list (List.map json_of_verdict verdicts))
@@ -260,11 +319,92 @@ let lint_cmd input show_stats format =
       List.iter
         (fun v -> Format.printf "%a" Sigrec.Lint.pp_verdict v)
         verdicts);
-  if show_stats && format = `Text then
-    Format.printf "lint: %d agree / %d disagree@."
-      (Sigrec.Stats.lint_agreements stats)
-      (Sigrec.Stats.lint_disagreements stats);
+  if show_stats then begin
+    match format with
+    | `Text ->
+      Format.printf "lint: %d agree / %d disagree@."
+        (Sigrec.Stats.lint_agreements stats)
+        (Sigrec.Stats.lint_disagreements stats)
+    | `Json -> print_stats_json stats
+  end;
   if List.for_all Sigrec.Lint.agree verdicts then 0 else 1
+
+(* ---- explain: the per-function recovery narrative ------------------- *)
+
+let pp_pc pc = if pc >= 0 then Printf.sprintf "pc 0x%x" pc else "pc -"
+
+let explain_function (r : Sigrec.Recover.recovered) elapsed_ns =
+  Printf.printf "selector 0x%s: %d path%s explored%s\n"
+    r.Sigrec.Recover.selector_hex r.Sigrec.Recover.paths_explored
+    (if r.Sigrec.Recover.paths_explored = 1 then "" else "s")
+    (match elapsed_ns with
+    | Some ns -> Printf.sprintf ", %.2f ms" (float_of_int ns /. 1e6)
+    | None -> "");
+  Printf.printf "  signature  0x%s(%s)%s\n" r.Sigrec.Recover.selector_hex
+    (Sigrec.Recover.type_list r)
+    (match r.Sigrec.Recover.lang with
+    | Abi.Abity.Solidity -> ""
+    | Abi.Abity.Vyper -> " [vyper]");
+  List.iteri
+    (fun i (ty, path) ->
+      Printf.printf "  arg%-2d %-16s via %s\n" (i + 1)
+        (Abi.Abity.to_string ty)
+        (if path = [] then "-" else String.concat " -> " path))
+    (List.combine r.Sigrec.Recover.params r.Sigrec.Recover.rule_paths);
+  (match r.Sigrec.Recover.evidence with
+  | [] -> ()
+  | evidence ->
+    Printf.printf "  evidence:\n";
+    List.iter
+      (fun (e : Sigrec.Rules.evidence) ->
+        Printf.printf "    %-4s %-8s %-10s %s\n" e.Sigrec.Rules.rule
+          (if e.Sigrec.Rules.fired then "fired" else "rejected")
+          (pp_pc e.Sigrec.Rules.pc)
+          e.Sigrec.Rules.note)
+      evidence);
+  print_newline ()
+
+let explain_cmd input profile =
+  let bytecode = read_bytecode input in
+  let engine = Sigrec.Engine.create () in
+  let run () = Sigrec.Engine.recover engine bytecode in
+  let report, profile_txt =
+    if profile then begin
+      Trace.enable ();
+      let report = run () in
+      Trace.disable ();
+      (report, Some (Texport.summary (Trace.collect ())))
+    end
+    else (run (), None)
+  in
+  Printf.printf "code hash 0x%s\n\n" report.Sigrec.Engine.code_hash;
+  if report.Sigrec.Engine.outcomes = [] then
+    Printf.printf "no public/external functions found\n"
+  else
+    List.iter
+      (fun outcome ->
+        match outcome with
+        | Sigrec.Engine.Recovered { result; elapsed_ns } ->
+          explain_function result (Some elapsed_ns)
+        | Sigrec.Engine.Budget_exhausted { partial; paths_explored; elapsed_ns }
+          ->
+          Printf.printf
+            "selector 0x%s: budget exhausted after %d paths (partial below)\n"
+            partial.Sigrec.Recover.selector_hex paths_explored;
+          explain_function partial (Some elapsed_ns)
+        | Sigrec.Engine.Failed e ->
+          Printf.printf "selector 0x%s: FAILED at entry %04x: %s\n\n"
+            e.Sigrec.Engine.selector_hex e.Sigrec.Engine.entry_pc
+            e.Sigrec.Engine.message)
+      report.Sigrec.Engine.outcomes;
+  Option.iter print_string profile_txt;
+  match
+    List.find_opt
+      (function Sigrec.Engine.Failed _ -> true | _ -> false)
+      report.Sigrec.Engine.outcomes
+  with
+  | Some _ -> 1
+  | None -> 0
 
 let find_selector bytecode calldata k =
   if String.length calldata < 4 then begin
@@ -364,7 +504,20 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let stats_flag =
-  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-rule usage counts.")
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-rule usage counts (with --format json: one \
+           {\"stats\":...} line after the report output).")
+
+let trace_arg =
+  let doc =
+    "Record a telemetry trace of the run into $(docv): Chrome \
+     trace_event JSON (load in chrome://tracing or Perfetto), or JSONL \
+     when $(docv) ends in .jsonl."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let recover_term =
   let explain =
@@ -373,7 +526,9 @@ let recover_term =
       & info [ "explain" ]
           ~doc:"Show each parameter's path through the rule decision tree.")
   in
-  Term.(const recover_cmd $ input_arg $ stats_flag $ explain $ format_arg)
+  Term.(
+    const recover_cmd $ input_arg $ stats_flag $ explain $ format_arg
+    $ trace_arg)
 
 let batch_term =
   let input =
@@ -383,7 +538,19 @@ let batch_term =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LIST" ~doc)
   in
-  Term.(const batch_cmd $ input $ jobs_arg $ stats_flag $ format_arg)
+  Term.(
+    const batch_cmd $ input $ jobs_arg $ stats_flag $ format_arg $ trace_arg)
+
+let explain_term =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Trace the recovery internally and append the phase/rule \
+             latency summary tree.")
+  in
+  Term.(const explain_cmd $ input_arg $ profile)
 
 let check_term =
   let calldata =
@@ -419,7 +586,14 @@ let cmds =
            "Cross-check the recovered signatures against a static \
             abstract-interpretation summary of the same bytecode; exits \
             non-zero on any disagreement.")
-      Term.(const lint_cmd $ input_arg $ stats_flag $ format_arg);
+      Term.(const lint_cmd $ input_arg $ stats_flag $ format_arg $ trace_arg);
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Narrate each function's recovery: selector, path count, \
+            per-parameter rule path, and every rule decision (fired or \
+            rejected) with its bytecode pc evidence.")
+      explain_term;
     Cmd.v
       (Cmd.info "check"
          ~doc:"Validate call data against the recovered signature (ParChecker).")

@@ -1,0 +1,51 @@
+(* Regenerate examples/corpus.txt: a small, committed batch-input file
+   used by the README quick-start, the CI trace-artifact step, and
+   anyone who wants a realistic `sigrec batch` input without running
+   the property harness.
+
+   Run with: dune exec examples/make_corpus.exe > examples/corpus.txt *)
+
+let () =
+  let open Abi.Abity in
+  let token =
+    Solc.Compile.compile
+      (Solc.Compile.contract_of_sigs
+         [
+           Abi.Funsig.make "transfer" [ Address; Uint 256 ];
+           Abi.Funsig.make "approve" [ Address; Uint 256 ];
+           Abi.Funsig.make "transferFrom" [ Address; Address; Uint 256 ];
+           Abi.Funsig.make "balanceOf" [ Address ];
+         ])
+  in
+  let exchange =
+    Solc.Compile.compile
+      (Solc.Compile.contract_of_sigs
+         [
+           Abi.Funsig.make ~visibility:Abi.Funsig.External "swap"
+             [ Address; Uint 128; Bool ];
+           Abi.Funsig.make ~visibility:Abi.Funsig.External "batchSettle"
+             [ Darray Address; Darray (Uint 256) ];
+           Abi.Funsig.make "setLabel" [ String_t; Bytes_n 32 ];
+         ])
+  in
+  let registry =
+    Solc.Compile.compile
+      (Solc.Compile.contract_of_sigs
+         [
+           Abi.Funsig.make "register" [ Bytes; Int 64 ];
+           Abi.Funsig.make ~visibility:Abi.Funsig.External "setMatrix"
+             [ Sarray (Uint 256, 3) ];
+         ])
+  in
+  print_endline "# sigrec example corpus: one hex runtime bytecode per line";
+  print_endline "# regenerate with: dune exec examples/make_corpus.exe";
+  List.iter
+    (fun code -> print_endline ("0x" ^ Evm.Hex.encode code))
+    [
+      token;
+      exchange;
+      registry;
+      (* a byte-identical duplicate of the first contract: exercises the
+         batch engine's dedup attribution in traces and stats *)
+      token;
+    ]

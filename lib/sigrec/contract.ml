@@ -14,6 +14,8 @@ type t = {
 let hash_of_code code = Evm.Keccak.digest code
 
 let make code =
+  let module Tr = Sigrec_trace.Trace in
+  let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
   let program = Symex.Exec.prepare code in
   let raw_cfg = Evm.Cfg.of_instructions (Symex.Exec.instructions program) in
   (* One whole-contract abstract-interpretation run from offset 0:
@@ -22,18 +24,28 @@ let make code =
      per-function pass see the fed-back edges. *)
   let static = Sigrec_static.Absint.analyze ~depth:0 ~entry:0 raw_cfg in
   let cfg = Sigrec_static.Absint.resolved_cfg static in
-  {
-    code;
-    code_hash = hash_of_code code;
-    program;
-    cfg;
-    deps = Evm.Cfg.control_deps cfg;
-    entries = Ids.extract_prepared program;
-    static;
-    unresolved_before = Evm.Cfg.unresolved_count raw_cfg;
-    unresolved_after = Evm.Cfg.unresolved_count cfg;
-    absint_cache = Hashtbl.create 8;
-  }
+  let t =
+    {
+      code;
+      code_hash = hash_of_code code;
+      program;
+      cfg;
+      deps = Evm.Cfg.control_deps cfg;
+      entries = Ids.extract_prepared program;
+      static;
+      unresolved_before = Evm.Cfg.unresolved_count raw_cfg;
+      unresolved_after = Evm.Cfg.unresolved_count cfg;
+      absint_cache = Hashtbl.create 8;
+    }
+  in
+  if Tr.enabled () then
+    Tr.complete Tr.Lift "contract" ~t0_us
+      [
+        ("bytes", Tr.Int (String.length code));
+        ("entries", Tr.Int (List.length t.entries));
+        ("jumps_resolved", Tr.Int (t.unresolved_before - t.unresolved_after));
+      ];
+  t
 
 let absint_for t ~entry =
   match Hashtbl.find_opt t.absint_cache entry with

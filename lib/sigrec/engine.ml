@@ -1,3 +1,5 @@
+module Tr = Sigrec_trace.Trace
+
 type error = {
   selector : string;
   selector_hex : string;
@@ -6,8 +8,12 @@ type error = {
 }
 
 type outcome =
-  | Recovered of Recover.recovered
-  | Budget_exhausted of { partial : Recover.recovered; paths_explored : int }
+  | Recovered of { result : Recover.recovered; elapsed_ns : int }
+  | Budget_exhausted of {
+      partial : Recover.recovered;
+      paths_explored : int;
+      elapsed_ns : int;
+    }
   | Failed of error
 
 type report = {
@@ -39,18 +45,26 @@ let create ?(config = Rules.default_config) ?budget ?(static_prune = true) ()
 let signatures report =
   List.filter_map
     (function
-      | Recovered r | Budget_exhausted { partial = r; _ } -> Some r
+      | Recovered { result = r; _ } | Budget_exhausted { partial = r; _ } ->
+        Some r
       | Failed _ -> None)
     report.outcomes
 
 let outcome_selector_hex = function
-  | Recovered r | Budget_exhausted { partial = r; _ } ->
+  | Recovered { result = r; _ } | Budget_exhausted { partial = r; _ } ->
     r.Recover.selector_hex
   | Failed e -> e.selector_hex
 
+let outcome_elapsed_ns = function
+  | Recovered { elapsed_ns; _ } | Budget_exhausted { elapsed_ns; _ } ->
+    Some elapsed_ns
+  | Failed _ -> None
+
+(* [elapsed_ns] is deliberately absent here: the rendered report is the
+   drift invariant the tests and lint compare byte-for-byte. *)
 let pp_outcome fmt = function
-  | Recovered r -> Format.fprintf fmt "%a" Recover.pp r
-  | Budget_exhausted { partial; paths_explored } ->
+  | Recovered { result = r; _ } -> Format.fprintf fmt "%a" Recover.pp r
+  | Budget_exhausted { partial; paths_explored; _ } ->
     Format.fprintf fmt "%a [budget exhausted after %d paths]" Recover.pp
       partial paths_explored
   | Failed e ->
@@ -92,28 +106,56 @@ let analyze_uncounted ~config ?budget ?static_prune ~stats code =
     let outcomes =
       List.map
         (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
-          match
-            Infer.infer ~stats ~config ?static_prune ?budget ~contract
-              ~entry:entry_pc ()
-          with
-          | result ->
-            let r = Recover.of_infer ~selector ~entry_pc result in
-            if Symex.Trace.truncated result.Infer.trace then
-              Budget_exhausted
+          (* wall clock per function, measured whether or not tracing is
+             on: one gettimeofday pair against milliseconds of work *)
+          let ns0 = Tr.now_ns () in
+          let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
+          let outcome =
+            match
+              Infer.infer ~stats ~config ?static_prune ?budget ~contract
+                ~entry:entry_pc ()
+            with
+            | result ->
+              let r = Recover.of_infer ~selector ~entry_pc result in
+              let elapsed_ns = Tr.now_ns () - ns0 in
+              if Symex.Trace.truncated result.Infer.trace then
+                Budget_exhausted
+                  {
+                    partial = r;
+                    paths_explored =
+                      result.Infer.trace.Symex.Trace.paths_explored;
+                    elapsed_ns;
+                  }
+              else Recovered { result = r; elapsed_ns }
+            | exception e ->
+              Failed
                 {
-                  partial = r;
-                  paths_explored =
-                    result.Infer.trace.Symex.Trace.paths_explored;
+                  selector;
+                  selector_hex = Evm.Hex.encode selector;
+                  entry_pc;
+                  message = Printexc.to_string e;
                 }
-            else Recovered r
-          | exception e ->
-            Failed
-              {
-                selector;
-                selector_hex = Evm.Hex.encode selector;
-                entry_pc;
-                message = Printexc.to_string e;
-              })
+          in
+          if Tr.enabled () then
+            Tr.complete Tr.Engine "function" ~t0_us
+              [
+                ("selector", Tr.Str ("0x" ^ Evm.Hex.encode selector));
+                ("entry_pc", Tr.Int entry_pc);
+                ( "outcome",
+                  Tr.Str
+                    (match outcome with
+                    | Recovered _ -> "recovered"
+                    | Budget_exhausted _ -> "budget_exhausted"
+                    | Failed _ -> "failed") );
+                ( "paths",
+                  Tr.Int
+                    (match outcome with
+                    | Recovered { result = r; _ }
+                    | Budget_exhausted { partial = r; _ } ->
+                      r.Recover.paths_explored
+                    | Failed _ -> 0) );
+              ];
+          outcome)
         contract.Contract.entries
     in
     Stats.add_functions stats
@@ -127,12 +169,20 @@ let analyze_uncounted ~config ?budget ?static_prune ~stats code =
 
 let analyze ~config ?budget ?static_prune ~stats code =
   Stats.cache_miss stats;
+  let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
   (* interner traffic is domain-local and an analysis runs entirely in
      one domain, so the before/after delta is exactly this analysis's *)
   let ih0, im0 = Symex.Sexpr.interner_counters () in
   let report = analyze_uncounted ~config ?budget ?static_prune ~stats code in
   let ih1, im1 = Symex.Sexpr.interner_counters () in
   Stats.add_interner stats ~hits:(ih1 - ih0) ~misses:(im1 - im0);
+  if Tr.enabled () then
+    Tr.complete Tr.Engine "input" ~t0_us
+      [
+        ("code_hash", Tr.Str report.code_hash);
+        ("functions", Tr.Int (List.length report.outcomes));
+        ("bytes", Tr.Int (String.length code));
+      ];
   report
 
 let recover t code =
@@ -143,6 +193,9 @@ let recover t code =
   match cached with
   | Some report ->
     Mutex.protect t.lock (fun () -> Stats.cache_hit t.stats);
+    if Tr.enabled () then
+      Tr.instant Tr.Engine "cache_hit"
+        [ ("code_hash", Tr.Str report.code_hash) ];
     { report with from_cache = true }
   | None ->
     let stats = Stats.create () in
@@ -181,7 +234,11 @@ let recover_all ?jobs t codes =
           end
         end
       done;
-      if !dups > 0 then Stats.add_deduped t.stats !dups);
+      if !dups > 0 then begin
+        Stats.add_deduped t.stats !dups;
+        if Tr.enabled () then
+          Tr.instant Tr.Engine "dedup" [ ("duplicates", Tr.Int !dups) ]
+      end);
   let work = Array.of_list (List.rev !work) in
   let results = Array.make (Array.length work) None in
   let next = Atomic.make 0 in
@@ -240,6 +297,9 @@ let recover_all ?jobs t codes =
          if fresh.(i) then report
          else begin
            Mutex.protect t.lock (fun () -> Stats.cache_hit t.stats);
+           if Tr.enabled () then
+             Tr.instant Tr.Engine "cache_hit"
+               [ ("code_hash", Tr.Str report.code_hash) ];
            { report with from_cache = true }
          end)
        codes)

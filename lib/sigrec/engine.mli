@@ -23,8 +23,17 @@ type error = {
 }
 
 type outcome =
-  | Recovered of Recover.recovered
-  | Budget_exhausted of { partial : Recover.recovered; paths_explored : int }
+  | Recovered of { result : Recover.recovered; elapsed_ns : int }
+      (** [elapsed_ns] is this function's wall-clock analysis time —
+          measured unconditionally, so [batch --format json] reports
+          per-contract latency without tracing enabled. Never rendered
+          by {!pp_outcome}: the printed report stays byte-identical
+          across runs. *)
+  | Budget_exhausted of {
+      partial : Recover.recovered;
+      paths_explored : int;
+      elapsed_ns : int;
+    }
       (** symbolic execution hit its path/step budget: [partial] holds
           whatever the truncated trace supported and may be missing
           parameters or refinements *)
@@ -75,5 +84,10 @@ val cache_size : t -> int
 val clear : t -> unit
 
 val outcome_selector_hex : outcome -> string
+
+val outcome_elapsed_ns : outcome -> int option
+(** Per-function wall-clock analysis time; [None] for [Failed]. *)
+
+
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,9 +1,11 @@
 module Sexpr = Symex.Sexpr
 module Trace = Symex.Trace
+module Tr = Sigrec_trace.Trace
 
 type result = {
   params : Abi.Abity.t list;
   rule_paths : string list list;  (* per parameter, in firing order *)
+  evidence : Rules.evidence list; (* every rule decision, oldest first *)
   lang : Abi.Abity.lang;
   trace : Trace.t;
 }
@@ -49,12 +51,14 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       Stats.add_paths s trace.Trace.paths_explored;
       Stats.add_pruned s trace.Trace.forks_pruned)
     stats;
+  let t_rules = if Tr.enabled () then Tr.now_us () else 0. in
   let ctx =
     Rules.make ?stats ?config ~deps:contract.Contract.deps trace
       contract.Contract.cfg
   in
   let vyper = Rules.vyper_contract ctx in
-  if vyper then Rules.hit ctx "R20";
+  if vyper then
+    Rules.hit ctx "R20" ~note:"range-check comparisons mark Vyper output";
   let loads = trace.Trace.loads in
   let claimed : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   let claim (l : Trace.load) = Hashtbl.replace claimed l.Trace.id () in
@@ -97,7 +101,9 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
             Rules.with_path ctx (fun () ->
                 let guards = Rules.guards_for_pc ctx pc in
                 let outer = List.rev (Rules.loop_const_guards guards) in
-                Rules.hit ctx (if outer = [] then "R6" else "R9");
+                Rules.hit ctx
+                  (if outer = [] then "R6" else "R9")
+                  ~pc ~note:"constant-source CALLDATACOPY";
                 let row_items = len / 32 in
                 let elem = fine (Trace.Sub_region pc) in
                 ( wrap_outer_first (Abi.Abity.Sarray (elem, row_items)) outer,
@@ -147,17 +153,20 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
             | Some const_len when const_len >= 32 && num = None ->
               (* R23: Vyper fixed byte array / string: a constant
                  32+maxLen bytes are copied *)
-              Rules.hit ctx "R23";
+              Rules.hit ctx "R23" ~pc
+                ~note:
+                  (Printf.sprintf "constant %d-byte copy (32+maxLen)"
+                     const_len);
               let max_len = const_len - 32 in
               if has_byte_read then begin
-                Rules.hit ctx "R26";
+                Rules.hit ctx "R26" ~pc ~note:"byte reads of copied region";
                 Abi.Abity.Vbytes max_len
               end
               else Abi.Abity.Vstring max_len
             | Some const_len when const_len >= 32 ->
               (* R10 with constant rows under loops *)
-              Rules.hit ctx "R1";
-              Rules.hit ctx "R10";
+              Rules.hit ctx "R1" ~pc ~note:"offset field feeds copy source";
+              Rules.hit ctx "R10" ~pc ~note:"constant rows copied under loop";
               let guards = Rules.guards_for_pc ctx pc in
               let outer = List.rev (Rules.loop_const_guards guards) in
               let row_items = const_len / 32 in
@@ -165,20 +174,20 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
               Abi.Abity.Darray
                 (wrap_outer_first (Abi.Abity.Sarray (elem, row_items)) outer)
             | _ ->
-              Rules.hit ctx "R1";
-              Rules.hit ctx "R5";
+              Rules.hit ctx "R1" ~pc ~note:"offset field feeds copy source";
+              Rules.hit ctx "R5" ~pc ~note:"dynamic-length CALLDATACOPY";
               if contains_div c0.Trace.len then begin
                 (* R8: ceil32 read size: bytes or string *)
-                Rules.hit ctx "R8";
+                Rules.hit ctx "R8" ~pc ~note:"copy length is ceil32(num)";
                 if has_byte_read then begin
-                  Rules.hit ctx "R17";
+                  Rules.hit ctx "R17" ~pc ~note:"byte reads of copied region";
                   Abi.Abity.Bytes
                 end
                 else Abi.Abity.String_t
               end
               else begin
                 (* R7: read size is num*32: one-dimensional dynamic *)
-                Rules.hit ctx "R7";
+                Rules.hit ctx "R7" ~pc ~note:"copy length is num*32";
                 Abi.Abity.Darray (fine region)
               end)
           in
@@ -224,8 +233,9 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       (* R2: n-dimensional dynamic array in an external function: the
          location is offset-relative and 32-scaled, the load sits under
          one dynamic and n-1 constant bound checks *)
-      Rules.hit ctx "R1";
-      Rules.hit ctx "R2";
+      Rules.hit ctx "R1" ~pc:o.Trace.pc ~note:"offset field dereferenced";
+      Rules.hit ctx "R2" ~pc:il.Trace.pc
+        ~note:"32-scaled item loads under bound checks";
       let guards =
         Rules.guards_with_idx_in
           (Rules.guards_for_pc ctx il.Trace.pc)
@@ -241,7 +251,7 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       let elem = fine (Trace.Sub_load il.Trace.id) in
       Abi.Abity.Darray (wrap_outer_first elem const_dims)
     | [], [] ->
-      Rules.hit ctx "R1";
+      Rules.hit ctx "R1" ~pc:o.Trace.pc ~note:"offset field dereferenced";
       let byte_item =
         List.exists
           (fun (l : Trace.load) ->
@@ -253,7 +263,7 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       if byte_item then begin
         (* byte-granular addressing without the 32 multiplier: a bytes
            value accessed byte-wise in an external function (R17) *)
-        Rules.hit ctx "R17";
+        Rules.hit ctx "R17" ~pc:o.Trace.pc ~note:"byte-granular item access";
         Abi.Abity.Bytes
       end
       else
@@ -271,8 +281,9 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       if nested_offsets <> [] then begin
         (* R22/R19: a nested array: the items of the top dimension are
            themselves offset fields *)
-        Rules.hit ctx "R22";
         let z = List.hd nested_offsets in
+        Rules.hit ctx "R22" ~pc:z.Trace.pc
+          ~note:"items of top dimension are offset fields";
         let child = classify_block z in
         let guards =
           Rules.guards_with_idx_in
@@ -298,7 +309,8 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       else begin
         (* R21: dynamic struct: fields sit at constant offsets behind
            the struct's offset field *)
-        Rules.hit ctx "R21";
+        Rules.hit ctx "R21" ~pc:o.Trace.pc
+          ~note:"fields at constant offsets behind struct offset";
         let fields =
           List.filter_map
             (fun (l : Trace.load) ->
@@ -315,7 +327,7 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
           List.map
             (fun (_, (l : Trace.load)) ->
               if List.memq l o2 then begin
-                Rules.hit ctx "R19";
+                Rules.hit ctx "R19" ~pc:l.Trace.pc ~note:"nested dynamic field";
                 classify_block l
               end
               else fine (Trace.Sub_load l.Trace.id))
@@ -382,7 +394,9 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
       else begin
         let ty, path =
           Rules.with_path ctx (fun () ->
-              Rules.hit ctx (if vyper then "R24" else "R3");
+              Rules.hit ctx
+                (if vyper then "R24" else "R3")
+                ~pc:l.Trace.pc ~note:"scaled loads under constant bounds";
               let elem = fine (Trace.Sub_load l.Trace.id) in
               wrap_outer_first elem dims)
         in
@@ -405,7 +419,9 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
         claim l;
         let ty, path =
           Rules.with_path ctx (fun () ->
-              Rules.hit ctx (if vyper then "R25" else "R4");
+              Rules.hit ctx
+                (if vyper then "R25" else "R4")
+                ~pc:l.Trace.pc ~note:"word load at constant head slot";
               fine (Trace.Sub_load l.Trace.id))
         in
         add_anchor ~path off ty 32
@@ -429,9 +445,17 @@ let infer ?stats ?config ?(static_prune = true) ?budget ~contract ~entry () =
                 spans))
     |> List.sort (fun a b -> compare a.head b.head)
   in
+  if Tr.enabled () then
+    Tr.complete Tr.Rules "classify" ~t0_us:t_rules
+      [
+        ("entry", Tr.Int entry);
+        ("params", Tr.Int (List.length ordered));
+        ("paths", Tr.Int trace.Trace.paths_explored);
+      ];
   {
     params = List.map (fun a -> a.ty) ordered;
     rule_paths = List.map (fun a -> a.path) ordered;
+    evidence = Rules.evidence ctx;
     lang = (if vyper then Abi.Abity.Vyper else Abi.Abity.Solidity);
     trace;
   }

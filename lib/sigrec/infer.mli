@@ -13,6 +13,10 @@ type result = {
   rule_paths : string list list;
       (** for each parameter, the rules that fired while classifying it,
           in firing order — its path through the Fig. 13 decision tree *)
+  evidence : Rules.evidence list;
+      (** every rule decision made while classifying this function —
+          fired and rejected, with pc witnesses — oldest first; feeds
+          the CLI [explain] narrative *)
   lang : Abi.Abity.lang;
   trace : Symex.Trace.t;      (** for downstream consumers (Erays+) *)
 }

@@ -19,13 +19,20 @@ let parse_line line =
     | code -> `Code code
     | exception Invalid_argument msg -> `Bad msg
 
-let parse_batch text =
+let parse_batch ?warn text =
   let codes = ref [] and skipped = ref [] in
   List.iteri
     (fun i line ->
       match parse_line line with
       | `Blank -> ()
       | `Code code -> codes := code :: !codes
-      | `Bad msg -> skipped := (i + 1, msg) :: !skipped)
+      | `Bad msg ->
+        (match warn with
+        | Some f -> f ~line:(i + 1) ~reason:msg
+        | None -> ());
+        skipped := (i + 1, msg) :: !skipped)
     (String.split_on_char '\n' text);
   { codes = List.rev !codes; skipped = List.rev !skipped }
+
+let warn_stderr ~line ~reason =
+  Printf.eprintf "warning: skipping line %d: %s\n%!" line reason

@@ -12,7 +12,16 @@ type batch = {
       (** (1-based line number, reason) for each malformed line *)
 }
 
-val parse_batch : string -> batch
+val parse_batch :
+  ?warn:(line:int -> reason:string -> unit) -> string -> batch
+(** [warn] is invoked for each malformed line as it is encountered (in
+    addition to recording it in [skipped]); use {!warn_stderr} to keep
+    diagnostics off stdout so [--format json] output stays
+    machine-parseable. *)
+
+val warn_stderr : line:int -> reason:string -> unit
+(** A [warn] callback printing ["warning: skipping line N: reason"] to
+    stderr (flushed). *)
 
 val parse_line : string -> [ `Blank | `Code of string | `Bad of string ]
 (** Classify a single line: skippable, decoded bytecode, or malformed

@@ -174,6 +174,7 @@ let check_function ~(global : Absint.result) ~(summary : Summary.t)
   List.rev !findings
 
 let check_contract ?stats ?config ?static_prune ?budget contract =
+  let module Tr = Sigrec_trace.Trace in
   let recovered =
     Recover.recover_contract ?stats ?config ?static_prune ?budget contract
   in
@@ -181,12 +182,20 @@ let check_contract ?stats ?config ?static_prune ?budget contract =
   let verdicts =
     List.map
       (fun (r : Recover.recovered) ->
+        let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
         let absint =
           Absint.analyze ~depth:1 ~entry:r.Recover.entry_pc
             contract.Contract.cfg
         in
         let summary = absint.Absint.summary in
         let findings = check_function ~global ~summary r in
+        if Tr.enabled () then
+          Tr.complete Tr.Lint "verdict" ~t0_us
+            [
+              ("selector", Tr.Str ("0x" ^ r.Recover.selector_hex));
+              ("findings", Tr.Int (List.length findings));
+              ("agree", Tr.Bool (findings = []));
+            ];
         {
           selector_hex = r.Recover.selector_hex;
           entry_pc = r.Recover.entry_pc;

@@ -3,8 +3,10 @@ type recovered = {
   selector_hex : string;
   params : Abi.Abity.t list;
   rule_paths : string list list;
+  evidence : Rules.evidence list;
   lang : Abi.Abity.lang;
   entry_pc : int;
+  paths_explored : int;
 }
 
 let of_infer ~selector ~entry_pc (result : Infer.result) =
@@ -13,8 +15,10 @@ let of_infer ~selector ~entry_pc (result : Infer.result) =
     selector_hex = Evm.Hex.encode selector;
     params = result.Infer.params;
     rule_paths = result.Infer.rule_paths;
+    evidence = result.Infer.evidence;
     lang = result.Infer.lang;
     entry_pc;
+    paths_explored = result.Infer.trace.Symex.Trace.paths_explored;
   }
 
 let recover_contract ?stats ?config ?static_prune ?budget contract =

@@ -8,8 +8,12 @@ type recovered = {
   rule_paths : string list list;
       (** per parameter: the rule path through the Fig. 13 decision
           tree that produced its type *)
+  evidence : Rules.evidence list;
+      (** every rule decision (fired and rejected) with pc witnesses,
+          oldest first — the raw material of [sigrec explain] *)
   lang : Abi.Abity.lang;
   entry_pc : int;
+  paths_explored : int;  (** symbolic paths the executor walked *)
 }
 
 val recover :

@@ -1,6 +1,9 @@
 open Evm
 module Sexpr = Symex.Sexpr
 module Trace = Symex.Trace
+module Tr = Sigrec_trace.Trace
+
+type evidence = { rule : string; pc : int; fired : bool; note : string }
 
 type config = {
   fine_masks : bool;
@@ -21,6 +24,10 @@ type ctx = {
   path_sink : string list ref option ref;
       (* when set, fired rules also append here: the per-parameter rule
          path of the Fig. 13 decision tree *)
+  evidence : evidence list ref;
+      (* every rule decision (fired and rejected) with its pc, newest
+         first; always collected — rule events are rare enough that the
+         explain narrative can exist without tracing enabled *)
   guards_cache : (int, guard list) Hashtbl.t;
       (* pc -> parsed guard chain; the matchers re-ask per load and the
          chain walk (transitive deps + condition parsing) is the
@@ -43,6 +50,7 @@ let make ?stats ?(config = default_config) ?deps trace cfg =
     stats;
     config;
     path_sink = ref None;
+    evidence = ref [];
     guards_cache = Hashtbl.create 32;
     usages_cache = Hashtbl.create 32;
   }
@@ -55,13 +63,27 @@ let usages ctx subject =
     Hashtbl.replace ctx.usages_cache subject kinds;
     kinds
 
-let hit ctx name =
+let record_evidence ctx ~rule ~pc ~fired ~note =
+  ctx.evidence := { rule; pc; fired; note } :: !(ctx.evidence);
+  if Tr.enabled () then
+    Tr.instant Tr.Rules rule
+      [ ("pc", Tr.Int pc); ("fired", Tr.Bool fired); ("note", Tr.Str note) ]
+
+let hit ?(pc = -1) ?(note = "") ctx name =
+  record_evidence ctx ~rule:name ~pc ~fired:true ~note;
   (match !(ctx.path_sink) with
   | Some sink -> sink := name :: !sink
   | None -> ());
   match ctx.stats with
   | None -> ()
   | Some stats -> Stats.hit_rule stats name
+
+(* A rule that was attempted but did not apply: evidence for the
+   explain narrative only — no Fig. 19 counter, no decision path. *)
+let reject ?(pc = -1) ?(note = "") ctx name =
+  record_evidence ctx ~rule:name ~pc ~fired:false ~note
+
+let evidence ctx = List.rev !(ctx.evidence)
 
 (* Run a classification and collect the rules it fires, in firing
    order — the path through the decision tree of Fig. 13. *)
@@ -186,12 +208,24 @@ let mask_shape m =
   in
   find 1
 
+(* pc of the first recorded usage of [subject] matching [pred] — the
+   instruction the refinement's evidence points at. *)
+let usage_pc ctx subject pred =
+  let rec find = function
+    | [] -> -1
+    | u :: rest ->
+      if u.Trace.subject = subject && pred u.Trace.kind then u.Trace.upc
+      else find rest
+  in
+  find ctx.trace.Trace.usages
+
 let fine_basic ctx ~vyper subject =
   if not ctx.config.fine_masks then Abi.Abity.Uint 256
   else
   let kinds = usages ctx subject in
   let has k = List.mem k kinds in
   let find_map f = List.find_map f kinds in
+  let pc_of pred = usage_pc ctx subject pred in
   if vyper then begin
     (* R25 default + R27-R31 refinements *)
     let range_lt =
@@ -202,12 +236,17 @@ let fine_basic ctx ~vyper subject =
         (function Trace.Range_sgt _ | Trace.Range_slt _ -> true | _ -> false)
         kinds
     in
+    let range_pc =
+      pc_of (function
+        | Trace.Range_lt _ | Trace.Range_sgt _ | Trace.Range_slt _ -> true
+        | _ -> false)
+    in
     match range_lt with
     | Some b when U256.equal b (U256.pow2 160) ->
-      hit ctx "R27";
+      hit ctx "R27" ~pc:range_pc ~note:"range check against 2^160";
       Abi.Abity.Address
     | Some b when U256.equal b (U256.of_int 2) ->
-      hit ctx "R30";
+      hit ctx "R30" ~pc:range_pc ~note:"range check against 2";
       Abi.Abity.Bool
     | _ ->
       if range_signed then begin
@@ -223,18 +262,21 @@ let fine_basic ctx ~vyper subject =
         in
         match big_bound with
         | Some () ->
-          hit ctx "R29";
+          hit ctx "R29" ~pc:range_pc ~note:"signed range bound > 2^130";
           Abi.Abity.Decimal
         | None ->
-          hit ctx "R28";
+          hit ctx "R28" ~pc:range_pc ~note:"signed range check";
           Abi.Abity.Int 128
       end
       else if has Trace.Byte_read then begin
-        hit ctx "R31";
+        hit ctx "R31"
+          ~pc:(pc_of (( = ) Trace.Byte_read))
+          ~note:"BYTE extraction";
         Abi.Abity.Bytes_n 32
       end
       else begin
-        hit ctx "R25";
+        reject ctx "R27" ~note:"no range check";
+        hit ctx "R25" ~note:"no refinement hint";
         Abi.Abity.Uint 256
       end
   end
@@ -246,38 +288,54 @@ let fine_basic ctx ~vyper subject =
     let signext =
       find_map (function Trace.Mask_signext k -> Some k | _ -> None)
     in
+    let mask_pc =
+      pc_of (function Trace.Mask_and _ -> true | _ -> false)
+    in
     match mask with
     | Some (`Low 20) ->
       if has Trace.Math_use then begin
-        hit ctx "R16";
+        hit ctx "R16" ~pc:mask_pc
+          ~note:"mask 0xff..ff (20 bytes) with arithmetic use";
         Abi.Abity.Uint 160
       end
       else begin
-        hit ctx "R16";
+        hit ctx "R16" ~pc:mask_pc ~note:"mask 0xff..ff (20 bytes)";
         Abi.Abity.Address
       end
     | Some (`Low k) ->
-      hit ctx "R11";
+      hit ctx "R11" ~pc:mask_pc
+        ~note:(Printf.sprintf "AND mask keeps low %d bytes" k);
       Abi.Abity.Uint (8 * k)
     | Some (`High k) ->
-      hit ctx "R12";
+      hit ctx "R12" ~pc:mask_pc
+        ~note:(Printf.sprintf "AND mask keeps high %d bytes" k);
       Abi.Abity.Bytes_n k
     | None -> (
+      reject ctx "R11" ~note:"no AND mask on raw value";
       match signext with
       | Some k when k < 31 ->
-        hit ctx "R13";
+        hit ctx "R13"
+          ~pc:(pc_of (function Trace.Mask_signext _ -> true | _ -> false))
+          ~note:(Printf.sprintf "SIGNEXTEND from byte %d" k);
         Abi.Abity.Int (8 * (k + 1))
       | _ ->
+        reject ctx "R13" ~note:"no narrowing SIGNEXTEND";
         if has Trace.Mask_bool then begin
-          hit ctx "R14";
+          hit ctx "R14"
+            ~pc:(pc_of (( = ) Trace.Mask_bool))
+            ~note:"double ISZERO normalisation";
           Abi.Abity.Bool
         end
         else if has Trace.Signed_use then begin
-          hit ctx "R15";
+          hit ctx "R15"
+            ~pc:(pc_of (( = ) Trace.Signed_use))
+            ~note:"signed arithmetic (SDIV/SMOD)";
           Abi.Abity.Int 256
         end
         else if has Trace.Byte_read then begin
-          hit ctx "R18";
+          hit ctx "R18"
+            ~pc:(pc_of (( = ) Trace.Byte_read))
+            ~note:"BYTE extraction";
           Abi.Abity.Bytes_n 32
         end
         else Abi.Abity.Uint 256)

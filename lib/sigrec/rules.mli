@@ -23,6 +23,13 @@ type config = {
 
 val default_config : config
 
+type evidence = { rule : string; pc : int; fired : bool; note : string }
+(** One rule decision: [fired] distinguishes a rule that applied from
+    one that was attempted and rejected; [pc] is the bytecode offset of
+    the witnessing instruction ([-1] when the decision has no single
+    program point); [note] is a short human clause for the explain
+    narrative. *)
+
 type ctx = {
   trace : Symex.Trace.t;
   cfg : Evm.Cfg.t;
@@ -30,6 +37,7 @@ type ctx = {
   stats : Stats.t option;
   config : config;
   path_sink : string list ref option ref;
+  evidence : evidence list ref;  (** newest first; see {!evidence} *)
   guards_cache : (int, guard list) Hashtbl.t;
       (** per-pc memo of {!guards_for_pc} — the matchers re-ask the same
           chain for every load at a pc *)
@@ -52,9 +60,18 @@ val make :
 (** [deps] supplies a precomputed control-dependence table (see
     {!Contract.t}); when absent it is derived from the CFG here. *)
 
-val hit : ctx -> string -> unit
+val hit : ?pc:int -> ?note:string -> ctx -> string -> unit
 (** Record that a rule fired (Fig. 19 counters and, when a path is
-    being collected, the per-parameter explanation). *)
+    being collected, the per-parameter explanation). [pc] and [note]
+    feed the evidence record and, when tracing is on, a [Rules]-phase
+    instant event. *)
+
+val reject : ?pc:int -> ?note:string -> ctx -> string -> unit
+(** Record that a rule was attempted and did not apply — evidence for
+    the explain narrative only; no usage counter, no decision path. *)
+
+val evidence : ctx -> evidence list
+(** Every rule decision recorded so far, oldest first. *)
 
 val with_path : ctx -> (unit -> 'a) -> 'a * string list
 (** Collect the rules fired while classifying one parameter — its path

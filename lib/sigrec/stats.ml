@@ -93,29 +93,78 @@ let merge a b =
   merge_into ~into:t b;
   t
 
+(* The one descriptor list both renderers draw from: [pp] reads every
+   value it prints through [scalar], and [to_json] emits exactly these
+   keys in exactly this order — adding a counter here extends both
+   outputs at once, and forgetting one can't desynchronise them. *)
+let scalars : (string * (t -> int)) list =
+  [
+    ("functions_recovered", fun t -> t.functions);
+    ("paths_explored", fun t -> t.paths);
+    ("forks_pruned", fun t -> t.pruned);
+    ("cache_hits", fun t -> t.cache_hits);
+    ("cache_misses", fun t -> t.cache_misses);
+    ("inputs_deduped", fun t -> t.deduped);
+    ("intern_hits", fun t -> t.intern_hits);
+    ("intern_misses", fun t -> t.intern_misses);
+    ("lint_agreements", fun t -> t.lint_agree);
+    ("lint_disagreements", fun t -> t.lint_disagree);
+  ]
+
+let scalar t key = (List.assoc key scalars) t
+
 let pp fmt t =
+  let v key = scalar t key in
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun (name, n) ->
       if n > 0 then Format.fprintf fmt "%-4s %d@," name n)
     (rule_counts t);
-  Format.fprintf fmt "functions recovered: %d@," t.functions;
-  Format.fprintf fmt "paths explored: %d@," t.paths;
-  if t.pruned > 0 then
-    Format.fprintf fmt "forks pruned statically: %d@," t.pruned;
-  if t.lint_agree + t.lint_disagree > 0 then
-    Format.fprintf fmt "lint: %d agree / %d disagree@," t.lint_agree
-      t.lint_disagree;
-  let total = t.cache_hits + t.cache_misses in
+  Format.fprintf fmt "functions recovered: %d@," (v "functions_recovered");
+  Format.fprintf fmt "paths explored: %d@," (v "paths_explored");
+  if v "forks_pruned" > 0 then
+    Format.fprintf fmt "forks pruned statically: %d@," (v "forks_pruned");
+  if v "lint_agreements" + v "lint_disagreements" > 0 then
+    Format.fprintf fmt "lint: %d agree / %d disagree@," (v "lint_agreements")
+      (v "lint_disagreements");
+  let total = v "cache_hits" + v "cache_misses" in
   if total > 0 then
     Format.fprintf fmt "cache: %d hits / %d misses (%.1f%% hit rate)@,"
-      t.cache_hits t.cache_misses
-      (100.0 *. float_of_int t.cache_hits /. float_of_int total);
-  if t.deduped > 0 then
-    Format.fprintf fmt "batch inputs deduplicated: %d@," t.deduped;
-  let itotal = t.intern_hits + t.intern_misses in
+      (v "cache_hits") (v "cache_misses")
+      (100.0 *. float_of_int (v "cache_hits") /. float_of_int total);
+  if v "inputs_deduped" > 0 then
+    Format.fprintf fmt "batch inputs deduplicated: %d@," (v "inputs_deduped");
+  let itotal = v "intern_hits" + v "intern_misses" in
   if itotal > 0 then
     Format.fprintf fmt "interner: %d hits / %d misses (%.1f%% hit rate)@,"
-      t.intern_hits t.intern_misses
-      (100.0 *. float_of_int t.intern_hits /. float_of_int itotal);
+      (v "intern_hits") (v "intern_misses")
+      (100.0 *. float_of_int (v "intern_hits") /. float_of_int itotal);
   Format.fprintf fmt "@]"
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"rules\":{";
+  List.iteri
+    (fun i (name, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" name n))
+    (rule_counts t);
+  (* rules outside the canonical numbering, if any, in sorted order *)
+  let extras =
+    Hashtbl.fold
+      (fun name n acc ->
+        if List.mem name rule_names then acc else (name, n) :: acc)
+      t.rules []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, n) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%d" name n))
+    extras;
+  Buffer.add_char buf '}';
+  List.iter
+    (fun (key, get) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%d" key (get t)))
+    scalars;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -74,3 +74,9 @@ val merge_into : into:t -> t -> unit
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump: non-zero rule counters, cache ratio, paths. *)
+
+val to_json : t -> string
+(** One JSON object with a stable key order: a ["rules"] sub-object
+    holding all 31 canonical counters (zeros included) and then every
+    scalar counter. [pp] and [to_json] read the scalars through the
+    same descriptor list, so the two field sets cannot drift apart. *)

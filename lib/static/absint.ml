@@ -1,5 +1,6 @@
 open Evm
 module Imap = Map.Make (Int)
+module Tr = Sigrec_trace.Trace
 
 (* Abstract machine state at a program point. [mem] holds the words
    stored at known constant offsets; [mem_rest] is the join of
@@ -456,6 +457,8 @@ let fall_edge (b : Cfg.block) =
 (* -- the fixpoint ----------------------------------------------------- *)
 
 let analyze ?(depth = 0) ~entry cfg =
+  let t0 = if Tr.enabled () then Tr.now_us () else 0. in
+  let iterations = ref 0 in
   let entry_states : (int, astate) Hashtbl.t = Hashtbl.create 64 in
   let visits = Hashtbl.create 64 in
   let resolved = Hashtbl.create 8 in
@@ -495,6 +498,7 @@ let analyze ?(depth = 0) ~entry cfg =
   | None -> unknown_jump := true);
   while not (Queue.is_empty worklist) do
     let start = Queue.pop worklist in
+    incr iterations;
     match Cfg.block_at cfg start with
     | None -> ()
     | Some b ->
@@ -644,6 +648,15 @@ let analyze ?(depth = 0) ~entry cfg =
   in
   (* a diverged analysis has no business steering the executor *)
   if not converged then Hashtbl.reset prune;
+  if Tr.enabled () then
+    Tr.complete Tr.Absint "fixpoint" ~t0_us:t0
+      [
+        ("entry", Tr.Int entry);
+        ("iterations", Tr.Int !iterations);
+        ("resolved_jumps", Tr.Int (Hashtbl.length resolved));
+        ("unresolved", Tr.Bool !unknown_jump);
+        ("converged", Tr.Bool converged);
+      ];
   { cfg; entry; entry_states; resolved; summary; prune; converged }
 
 let reached t start = Hashtbl.mem t.entry_states start

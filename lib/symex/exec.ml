@@ -1,5 +1,9 @@
 open Evm
 
+(* The symex library has its own [Trace] (the symbolic observation
+   record); the telemetry layer is aliased to avoid the clash. *)
+module Tr = Sigrec_trace.Trace
+
 module Imap = Map.Make (Int)
 
 type budget = { max_paths : int; max_steps : int; max_forks_per_pc : int }
@@ -155,6 +159,7 @@ let instructions p = p.instrs
 let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
     ~entry ~init_stack () =
   let r = make_recorder () in
+  let t0 = if Tr.enabled () then Tr.now_us () else 0. in
   let { code; by_offset; jumpdests; _ } = program in
   (* free-symbol names are per-run so that a run's trace depends only on
      its own inputs: re-running the same (program, entry) yields
@@ -204,6 +209,10 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
         | None -> running := false
         | Some op ->
           let s = { s with steps = s.steps + 1 } in
+          (* sampled progress beacon: the mask test is one land+compare
+             per step, and nothing allocates unless tracing is on *)
+          if s.steps land Tr.sample_mask () = 0 && Tr.enabled () then
+            Tr.counter Tr.Symex "steps" s.steps;
           let next = s.pc + Opcode.size op in
           let continue s' = st := { s' with pc = next } in
           let binop bop =
@@ -442,6 +451,8 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
                   (* the static pass proved only one arm can matter for
                      call-data access: follow it instead of forking *)
                   r.pruned <- r.pruned + 1;
+                  if Tr.enabled () then
+                    Tr.instant Tr.Symex "prune" [ ("pc", Tr.Int s.pc) ];
                   (match decision with
                   | Take_jump -> st := { s with pc = t }
                   | Take_fallthrough -> continue s)
@@ -459,12 +470,22 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
                        the loop exit in compiler-emitted loops *)
                     st := { s with pc = t }
                   else begin
+                    if Tr.enabled () then
+                      Tr.instant Tr.Symex "fork" [ ("pc", Tr.Int s.pc) ];
                     Stack.push { s with pc = t } worklist;
                     continue s
                   end))
             | _ -> running := false))
     done
   done;
+  if Tr.enabled () then
+    Tr.complete Tr.Symex "run" ~t0_us:t0
+      [
+        ("entry", Tr.Int entry);
+        ("paths", Tr.Int r.paths);
+        ("pruned", Tr.Int r.pruned);
+        ("steps_exhausted", Tr.Bool r.steps_hit);
+      ];
   {
     Trace.loads =
       List.sort (fun a b -> compare a.Trace.id b.Trace.id) r.loads;

@@ -1,0 +1,438 @@
+(* -- JSON building blocks --------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+
+(* A float that parses back to the same value and is unambiguously a
+   JSON number with a fractional part (so [of_jsonl] can tell it from
+   an int). *)
+let float_rt f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+  else s ^ ".0"
+
+let value_json = function
+  | Trace.Int i -> string_of_int i
+  | Trace.Str s -> quote s
+  | Trace.Bool b -> string_of_bool b
+  | Trace.Float f -> float_rt f
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> quote k ^ ":" ^ value_json v) args)
+  ^ "}"
+
+let kind_name = function
+  | Trace.Complete -> "span"
+  | Trace.Instant -> "instant"
+  | Trace.Counter -> "counter"
+
+(* -- Chrome trace_event ------------------------------------------------ *)
+
+let chrome_event (e : Trace.event) =
+  let common =
+    Printf.sprintf "\"name\":%s,\"cat\":%s,\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+      (quote e.Trace.name)
+      (quote (Trace.phase_name e.Trace.phase))
+      e.Trace.dom e.Trace.ts_us
+  in
+  match e.Trace.kind with
+  | Trace.Complete ->
+    Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%.3f,\"args\":%s}" common
+      e.Trace.dur_us (args_json e.Trace.args)
+  | Trace.Instant ->
+    Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\",\"args\":%s}" common
+      (args_json e.Trace.args)
+  | Trace.Counter ->
+    Printf.sprintf "{%s,\"ph\":\"C\",\"args\":%s}" common
+      (args_json e.Trace.args)
+
+let to_chrome events =
+  "{\"traceEvents\":[\n"
+  ^ String.concat ",\n" (List.map chrome_event events)
+  ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+(* -- JSONL ------------------------------------------------------------- *)
+
+let jsonl_event (e : Trace.event) =
+  Printf.sprintf
+    "{\"ts_us\":%s,\"dur_us\":%s,\"domain\":%d,\"phase\":%s,\"name\":%s,\
+     \"kind\":%s,\"args\":%s}"
+    (float_rt e.Trace.ts_us) (float_rt e.Trace.dur_us) e.Trace.dom
+    (quote (Trace.phase_name e.Trace.phase))
+    (quote e.Trace.name)
+    (quote (kind_name e.Trace.kind))
+    (args_json e.Trace.args)
+
+let to_jsonl events =
+  String.concat "" (List.map (fun e -> jsonl_event e ^ "\n") events)
+
+(* -- JSONL parsing (round-trip) ---------------------------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'u' ->
+          advance ();
+          if !pos + 3 >= n then fail "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 3;
+          (* the emitter only escapes control bytes, so this is ASCII *)
+          Buffer.add_char buf (Char.chr (code land 0xff))
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+      Jfloat (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Jint i
+      | None -> Jfloat (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jlist []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jlist (items [])
+      end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let phase_of_name = function
+  | "engine" -> Trace.Engine
+  | "lift" -> Trace.Lift
+  | "absint" -> Trace.Absint
+  | "symex" -> Trace.Symex
+  | "rules" -> Trace.Rules
+  | "lint" -> Trace.Lint
+  | "bench" -> Trace.Bench
+  | p -> raise (Bad ("unknown phase " ^ p))
+
+let kind_of_name = function
+  | "span" -> Trace.Complete
+  | "instant" -> Trace.Instant
+  | "counter" -> Trace.Counter
+  | k -> raise (Bad ("unknown kind " ^ k))
+
+let event_of_json j =
+  let field obj k =
+    match List.assoc_opt k obj with
+    | Some v -> v
+    | None -> raise (Bad ("missing field " ^ k))
+  in
+  match j with
+  | Jobj obj ->
+    let num = function
+      | Jint i -> float_of_int i
+      | Jfloat f -> f
+      | _ -> raise (Bad "expected number")
+    in
+    let str = function
+      | Jstr s -> s
+      | _ -> raise (Bad "expected string")
+    in
+    let args =
+      match field obj "args" with
+      | Jobj kvs ->
+        List.map
+          (fun (k, v) ->
+            ( k,
+              match v with
+              | Jint i -> Trace.Int i
+              | Jfloat f -> Trace.Float f
+              | Jstr s -> Trace.Str s
+              | Jbool b -> Trace.Bool b
+              | _ -> raise (Bad "unsupported arg value") ))
+          kvs
+      | _ -> raise (Bad "args must be an object")
+    in
+    {
+      Trace.ts_us = num (field obj "ts_us");
+      dur_us = num (field obj "dur_us");
+      dom = (match field obj "domain" with
+            | Jint i -> i
+            | _ -> raise (Bad "domain must be an int"));
+      phase = phase_of_name (str (field obj "phase"));
+      name = str (field obj "name");
+      kind = kind_of_name (str (field obj "kind"));
+      args;
+    }
+  | _ -> raise (Bad "event must be an object")
+
+let of_jsonl text =
+  try
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line -> event_of_json (parse_json line))
+  with Bad msg -> failwith ("Export.of_jsonl: " ^ msg)
+
+(* -- human summary ----------------------------------------------------- *)
+
+type span_agg = {
+  mutable count : int;
+  mutable total_us : float;
+  mutable max_us : float;
+  buckets : int array; (* <10us, <100us, <1ms, <10ms, >=10ms *)
+}
+
+let bucket_labels = [| "<10us"; "<100us"; "<1ms"; "<10ms"; ">=10ms" |]
+
+let bucket_of dur =
+  if dur < 10. then 0
+  else if dur < 100. then 1
+  else if dur < 1_000. then 2
+  else if dur < 10_000. then 3
+  else 4
+
+let rule_number name =
+  if String.length name > 1 && name.[0] = 'R' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some n -> n
+    | None -> max_int
+  else max_int
+
+let summary events =
+  let buf = Buffer.create 1024 in
+  let spans : (string * string, span_agg) Hashtbl.t = Hashtbl.create 32 in
+  let rules : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let counters : (string * string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Complete ->
+        let k = (Trace.phase_name e.Trace.phase, e.Trace.name) in
+        let agg =
+          match Hashtbl.find_opt spans k with
+          | Some a -> a
+          | None ->
+            let a =
+              { count = 0; total_us = 0.; max_us = 0.; buckets = Array.make 5 0 }
+            in
+            Hashtbl.replace spans k a;
+            a
+        in
+        agg.count <- agg.count + 1;
+        agg.total_us <- agg.total_us +. e.Trace.dur_us;
+        if e.Trace.dur_us > agg.max_us then agg.max_us <- e.Trace.dur_us;
+        let b = bucket_of e.Trace.dur_us in
+        agg.buckets.(b) <- agg.buckets.(b) + 1
+      | Trace.Instant when e.Trace.phase = Trace.Rules ->
+        let fired =
+          match List.assoc_opt "fired" e.Trace.args with
+          | Some (Trace.Bool b) -> b
+          | _ -> true
+        in
+        let f, r =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt rules e.Trace.name)
+        in
+        Hashtbl.replace rules e.Trace.name
+          (if fired then (f + 1, r) else (f, r + 1))
+      | Trace.Counter ->
+        let k = (Trace.phase_name e.Trace.phase, e.Trace.name) in
+        (match e.Trace.args with
+        | (_, Trace.Int v) :: _ -> Hashtbl.replace counters k v
+        | _ -> ())
+      | Trace.Instant -> ())
+    events;
+  Buffer.add_string buf "trace summary\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  events: %d\n" (List.length events));
+  (* span tree: phases in pipeline order, names by total time *)
+  let phase_order =
+    [ "engine"; "lift"; "absint"; "symex"; "rules"; "lint"; "bench" ]
+  in
+  List.iter
+    (fun phase ->
+      let rows =
+        Hashtbl.fold
+          (fun (p, name) agg acc -> if p = phase then (name, agg) :: acc else acc)
+          spans []
+        |> List.sort (fun (_, a) (_, b) -> Float.compare b.total_us a.total_us)
+      in
+      if rows <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "  %s\n" phase);
+        List.iter
+          (fun (name, agg) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "    %-18s %6d spans  total %9.1f us  mean %8.1f us  max \
+                  %8.1f us\n"
+                 name agg.count agg.total_us
+                 (agg.total_us /. float_of_int (Stdlib.max 1 agg.count))
+                 agg.max_us);
+            let hist =
+              String.concat "  "
+                (List.filteri
+                   (fun i _ -> agg.buckets.(i) > 0)
+                   (Array.to_list
+                      (Array.mapi
+                         (fun i label ->
+                           Printf.sprintf "%s:%d" label agg.buckets.(i))
+                         bucket_labels)))
+            in
+            if hist <> "" then
+              Buffer.add_string buf (Printf.sprintf "      latency  %s\n" hist))
+          rows
+      end)
+    phase_order;
+  let rule_rows =
+    Hashtbl.fold (fun name fr acc -> (name, fr) :: acc) rules []
+    |> List.sort (fun (a, _) (b, _) ->
+           compare (rule_number a, a) (rule_number b, b))
+  in
+  if rule_rows <> [] then begin
+    Buffer.add_string buf "  rules (fired / rejected)\n";
+    let maxf =
+      List.fold_left (fun acc (_, (f, _)) -> Stdlib.max acc f) 1 rule_rows
+    in
+    List.iter
+      (fun (name, (f, r)) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %-4s %6d / %-6d %s\n" name f r
+             (String.make (40 * f / maxf) '#')))
+      rule_rows
+  end;
+  let counter_rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+    |> List.sort compare
+  in
+  if counter_rows <> [] then begin
+    Buffer.add_string buf "  counters (last value)\n";
+    List.iter
+      (fun ((phase, name), v) ->
+        Buffer.add_string buf (Printf.sprintf "    %s/%-16s %d\n" phase name v))
+      counter_rows
+  end;
+  Buffer.contents buf

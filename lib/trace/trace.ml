@@ -1,0 +1,160 @@
+type phase = Engine | Lift | Absint | Symex | Rules | Lint | Bench
+
+let phase_name = function
+  | Engine -> "engine"
+  | Lift -> "lift"
+  | Absint -> "absint"
+  | Symex -> "symex"
+  | Rules -> "rules"
+  | Lint -> "lint"
+  | Bench -> "bench"
+
+type value = Int of int | Str of string | Bool of bool | Float of float
+type arg = string * value
+type kind = Complete | Instant | Counter
+
+type event = {
+  ts_us : float;
+  dur_us : float;
+  dom : int;
+  phase : phase;
+  name : string;
+  kind : kind;
+  args : arg list;
+}
+
+type config = { capacity : int; sample_every : int }
+
+let default_config = { capacity = 65536; sample_every = 1024 }
+
+(* -- global switches ------------------------------------------------- *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+(* Plain (non-atomic) reads: a torn read of an immutable int is
+   impossible, and these only change under [enable]. *)
+let capacity = ref default_config.capacity
+let mask = ref (default_config.sample_every - 1)
+let sample_mask () = !mask
+
+(* Epoch for [now_us]: wall clock at [enable]. [epoch0] anchors
+   [now_ns] at module load so the float->int conversion keeps full
+   precision over any realistic process lifetime. *)
+let epoch0 = Unix.gettimeofday ()
+let epoch = Atomic.make epoch0
+let now_ns () = int_of_float ((Unix.gettimeofday () -. epoch0) *. 1e9)
+let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+
+(* -- per-domain ring buffers ------------------------------------------ *)
+
+let dummy =
+  {
+    ts_us = 0.;
+    dur_us = 0.;
+    dom = 0;
+    phase = Engine;
+    name = "";
+    kind = Instant;
+    args = [];
+  }
+
+type buffer = {
+  dom_id : int;
+  mutable ring : event array;
+  mutable next : int; (* monotone write count; slot = next mod capacity *)
+  mutable lost : int;
+}
+
+let registry : buffer list ref = ref []
+let registry_lock = Mutex.create ()
+
+let make_buffer () =
+  let b =
+    {
+      dom_id = (Domain.self () :> int);
+      ring = Array.make !capacity dummy;
+      next = 0;
+      lost = 0;
+    }
+  in
+  Mutex.protect registry_lock (fun () -> registry := b :: !registry);
+  b
+
+let key = Domain.DLS.new_key make_buffer
+let buffer () = Domain.DLS.get key
+
+let push b ev =
+  let cap = Array.length b.ring in
+  if b.next >= cap then b.lost <- b.lost + 1;
+  b.ring.(b.next mod cap) <- ev;
+  b.next <- b.next + 1
+
+let record phase name kind ~ts ~dur args =
+  let b = buffer () in
+  push b
+    { ts_us = ts; dur_us = dur; dom = b.dom_id; phase; name; kind; args }
+
+(* -- emission --------------------------------------------------------- *)
+
+let instant phase name args =
+  if enabled () then record phase name Instant ~ts:(now_us ()) ~dur:0. args
+
+let counter phase name v =
+  if enabled () then
+    record phase name Counter ~ts:(now_us ()) ~dur:0. [ (name, Int v) ]
+
+let complete phase name ~t0_us args =
+  if enabled () then
+    record phase name Complete ~ts:t0_us ~dur:(now_us () -. t0_us) args
+
+let with_span phase ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now_us () in
+    let finish () =
+      let a = match args with None -> [] | Some g -> g () in
+      complete phase name ~t0_us:t0 a
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* -- control and collection ------------------------------------------- *)
+
+let reset_buffer b =
+  if Array.length b.ring <> !capacity then b.ring <- Array.make !capacity dummy;
+  b.next <- 0;
+  b.lost <- 0
+
+let reset () =
+  Mutex.protect registry_lock (fun () -> List.iter reset_buffer !registry)
+
+let enable ?(config = default_config) () =
+  capacity := Stdlib.max 16 config.capacity;
+  let rec pow2 n = if n >= config.sample_every then n else pow2 (2 * n) in
+  mask := pow2 1 - 1;
+  reset ();
+  Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let buffer_events b =
+  let cap = Array.length b.ring in
+  let first = if b.next > cap then b.next - cap else 0 in
+  List.init (b.next - first) (fun i -> b.ring.((first + i) mod cap))
+
+let collect () =
+  let buffers = Mutex.protect registry_lock (fun () -> !registry) in
+  List.concat_map buffer_events buffers
+  |> List.stable_sort (fun a b -> Float.compare a.ts_us b.ts_us)
+
+let dropped () =
+  let buffers = Mutex.protect registry_lock (fun () -> !registry) in
+  List.fold_left (fun acc b -> acc + b.lost) 0 buffers

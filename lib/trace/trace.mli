@@ -1,0 +1,115 @@
+(** Low-overhead structured telemetry for the recovery pipeline.
+
+    Every layer of the pipeline (engine, lift, abstract interpretation,
+    symbolic execution, rule matching, lint) emits timestamped events
+    into a per-domain ring buffer. Tracing is globally off by default;
+    the disabled path is a single atomic load and allocates nothing, so
+    instrumentation can stay in the hot paths permanently.
+
+    Two usage idioms:
+
+    - coarse call sites (CLI, bench, per-contract work) use
+      {!with_span}, which wraps a closure;
+    - hot call sites use the allocation-free explicit pattern:
+
+    {[
+      let t0 = if Trace.enabled () then Trace.now_us () else 0. in
+      ... work ...
+      if Trace.enabled () then
+        Trace.complete Trace.Symex "run" ~t0_us:t0 [ ("paths", Trace.Int n) ]
+    ]}
+
+    where the argument list is only constructed when tracing is on.
+
+    Buffers are domain-local ([Domain.DLS]); a buffer is registered in a
+    global registry on first use, so events survive the worker domain
+    that produced them and {!collect} sees every domain's stream. When a
+    ring wraps, the oldest events are dropped and counted ({!dropped}).
+
+    Timestamps are microseconds since {!enable} (wall clock), which is
+    what the Chrome [trace_event] format wants; {!now_ns} is a
+    monotonic-enough integer nanosecond reading for latency deltas that
+    must work with tracing off. *)
+
+(** Pipeline phase taxonomy. One per architectural layer; rendered as
+    the Chrome trace category. *)
+type phase =
+  | Engine  (** batch engine: per-input analysis, cache, dedup *)
+  | Lift    (** disassembly + CFG construction *)
+  | Absint  (** static abstract interpretation fixpoints *)
+  | Symex   (** TASE symbolic execution *)
+  | Rules   (** R1-R31 matching: attempted / fired / rejected *)
+  | Lint    (** differential lint verdicts *)
+  | Bench   (** harness-level sections *)
+
+val phase_name : phase -> string
+
+type value = Int of int | Str of string | Bool of bool | Float of float
+type arg = string * value
+
+type kind =
+  | Complete  (** a span: [ts_us] start, [dur_us] duration *)
+  | Instant   (** a point event *)
+  | Counter   (** a sampled counter value (single [Int] arg) *)
+
+type event = {
+  ts_us : float;   (** µs since the {!enable} epoch *)
+  dur_us : float;  (** duration for [Complete]; [0.] otherwise *)
+  dom : int;       (** numeric id of the emitting domain *)
+  phase : phase;
+  name : string;
+  kind : kind;
+  args : arg list;
+}
+
+type config = {
+  capacity : int;
+      (** ring-buffer slots per domain (default 65536) *)
+  sample_every : int;
+      (** symbolic-execution step-sampling period; rounded up to a
+          power of two (default 1024) *)
+}
+
+val default_config : config
+
+val enable : ?config:config -> unit -> unit
+(** Reset all buffers, set the timestamp epoch to now, start recording. *)
+
+val disable : unit -> unit
+(** Stop recording. Buffered events remain available to {!collect}. *)
+
+val enabled : unit -> bool
+(** One atomic load; the guard for every hot-path emission. *)
+
+val sample_mask : unit -> int
+(** [sample_every - 1] (a power-of-two mask); hot loops test
+    [steps land sample_mask () = 0] before even reading {!enabled}. *)
+
+val now_us : unit -> float
+(** Microseconds since the {!enable} epoch. *)
+
+val now_ns : unit -> int
+(** Integer nanoseconds since process start — immediate (no boxing),
+    always available, for latency fields that exist without tracing. *)
+
+val instant : phase -> string -> arg list -> unit
+val counter : phase -> string -> int -> unit
+
+val complete : phase -> string -> t0_us:float -> arg list -> unit
+(** Record a span that started at [t0_us] and ends now. *)
+
+val with_span : phase -> ?args:(unit -> arg list) -> string -> (unit -> 'a) -> 'a
+(** [with_span phase name f] runs [f] inside a span; [args] is only
+    evaluated (at span end) when tracing is on. The span is recorded
+    even when [f] raises. *)
+
+val collect : unit -> event list
+(** Every buffered event from every domain that recorded any, in
+    timestamp order. Safe to call with tracing on or off (workers must
+    have been joined). *)
+
+val dropped : unit -> int
+(** Events lost to ring wrap-around since the last {!enable}. *)
+
+val reset : unit -> unit
+(** Drop all buffered events and the drop counts; keep enabled state. *)
