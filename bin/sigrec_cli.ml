@@ -1,11 +1,14 @@
 (* The sigrec command-line tool: recover function signatures from EVM
    runtime bytecode (one contract or a batch), check call data against
-   them, or lift bytecode to readable IR.
+   them, lift bytecode to readable IR, or stay resident as a recovery
+   daemon ([sigrec serve]).
 
-   Subcommands share the same input conventions and flags: bytecode is
-   hex (optional 0x prefix) or raw bytes, [--format json|text] selects
-   machine- or human-readable output, and [--jobs N] sizes the batch
-   engine's domain pool. *)
+   Subcommands share the same input conventions and one flag-spec table
+   (module [Flags]): bytecode is hex (optional 0x prefix) or raw bytes,
+   [--format json|text] selects machine- or human-readable output, and
+   [--jobs N] / the budget flags configure the recovery engine the same
+   way everywhere — they are folded into one [Sigrec.Engine.Config.t]
+   per invocation. *)
 
 let read_raw input =
   try
@@ -70,143 +73,6 @@ let with_trace trace_file f =
       finish ();
       raise e)
 
-(* ---- JSON rendering (no external dependency) ---------------------- *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
-
-let json_list items = Printf.sprintf "[%s]" (String.concat "," items)
-
-let json_of_recovered (r : Sigrec.Recover.recovered) extra =
-  let fields =
-    [
-      ("selector", json_string ("0x" ^ r.Sigrec.Recover.selector_hex));
-      ( "types",
-        json_list
-          (List.map
-             (fun ty -> json_string (Abi.Abity.to_string ty))
-             r.Sigrec.Recover.params) );
-      ( "lang",
-        json_string
-          (match r.Sigrec.Recover.lang with
-          | Abi.Abity.Solidity -> "solidity"
-          | Abi.Abity.Vyper -> "vyper") );
-      ( "rule_paths",
-        json_list
-          (List.map
-             (fun path -> json_list (List.map json_string path))
-             r.Sigrec.Recover.rule_paths) );
-      ("entry_pc", string_of_int r.Sigrec.Recover.entry_pc);
-    ]
-    @ extra
-  in
-  Printf.sprintf "{%s}"
-    (String.concat ","
-       (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v)
-          fields))
-
-let json_of_outcome = function
-  | Sigrec.Engine.Recovered { result; elapsed_ns } ->
-    json_of_recovered result
-      [
-        ("outcome", json_string "recovered");
-        ("elapsed_ns", string_of_int elapsed_ns);
-      ]
-  | Sigrec.Engine.Budget_exhausted { partial; paths_explored; elapsed_ns } ->
-    json_of_recovered partial
-      [
-        ("outcome", json_string "budget_exhausted");
-        ("paths_explored", string_of_int paths_explored);
-        ("elapsed_ns", string_of_int elapsed_ns);
-      ]
-  | Sigrec.Engine.Failed e ->
-    Printf.sprintf
-      "{\"selector\":%s,\"entry_pc\":%d,\"outcome\":\"failed\",\"error\":%s}"
-      (json_string ("0x" ^ e.Sigrec.Engine.selector_hex))
-      e.Sigrec.Engine.entry_pc
-      (json_string e.Sigrec.Engine.message)
-
-let json_of_report (report : Sigrec.Engine.report) =
-  Printf.sprintf
-    "{\"code_hash\":%s,\"from_cache\":%b,\"functions\":%s}"
-    (json_string ("0x" ^ report.Sigrec.Engine.code_hash))
-    report.Sigrec.Engine.from_cache
-    (json_list (List.map json_of_outcome report.Sigrec.Engine.outcomes))
-
-let json_of_finding f =
-  let obj fields =
-    Printf.sprintf "{%s}"
-      (String.concat ","
-         (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v)
-            fields))
-  in
-  match f with
-  | Sigrec.Lint.Mask_conflict { offset; mask; recovered } ->
-    obj
-      [
-        ("kind", json_string "mask_conflict");
-        ("offset", string_of_int offset);
-        ("mask", json_string ("0x" ^ Evm.U256.to_hex mask));
-        ("recovered", json_string (Abi.Abity.to_string recovered));
-      ]
-  | Sigrec.Lint.Signext_conflict { offset; byte; recovered } ->
-    obj
-      [
-        ("kind", json_string "signext_conflict");
-        ("offset", string_of_int offset);
-        ("byte", string_of_int byte);
-        ("recovered", json_string (Abi.Abity.to_string recovered));
-      ]
-  | Sigrec.Lint.Param_never_read { offset; recovered } ->
-    obj
-      [
-        ("kind", json_string "param_never_read");
-        ("offset", string_of_int offset);
-        ("recovered", json_string (Abi.Abity.to_string recovered));
-      ]
-  | Sigrec.Lint.Read_beyond_params { offset } ->
-    obj
-      [
-        ("kind", json_string "read_beyond_params");
-        ("offset", string_of_int offset);
-      ]
-  | Sigrec.Lint.Dead_firing { rule; param_index } ->
-    obj
-      [
-        ("kind", json_string "dead_firing");
-        ("rule", json_string rule);
-        ("param_index", string_of_int param_index);
-      ]
-  | Sigrec.Lint.Unreachable_entry ->
-    obj [ ("kind", json_string "unreachable_entry") ]
-
-let json_of_verdict (v : Sigrec.Lint.verdict) =
-  Printf.sprintf
-    "{\"selector\":%s,\"entry_pc\":%d,\"types\":%s,\"agree\":%b,\"findings\":%s}"
-    (json_string ("0x" ^ v.Sigrec.Lint.selector_hex))
-    v.Sigrec.Lint.entry_pc
-    (json_list
-       (List.map
-          (fun ty -> json_string (Abi.Abity.to_string ty))
-          v.Sigrec.Lint.recovered.Sigrec.Recover.params))
-    (Sigrec.Lint.agree v)
-    (json_list (List.map json_of_finding v.Sigrec.Lint.findings))
-
 (* ---- shared printing ---------------------------------------------- *)
 
 let print_rule_stats stats =
@@ -258,14 +124,14 @@ let print_report_text ~explain (report : Sigrec.Engine.report) =
 let print_stats_json stats =
   print_endline (Printf.sprintf "{\"stats\":%s}" (Sigrec.Stats.to_json stats))
 
-let recover_cmd input show_stats explain format trace =
+let recover_cmd config input show_stats explain format trace =
   let bytecode = read_bytecode input in
-  let engine = Sigrec.Engine.create () in
+  let engine = Sigrec.Engine.make config in
   let report =
     with_trace trace (fun () -> Sigrec.Engine.recover engine bytecode)
   in
   (match format with
-  | `Json -> print_endline (json_of_report report)
+  | `Json -> print_endline (Sigrec.Render.report report)
   | `Text -> print_report_text ~explain report);
   if show_stats then begin
     match format with
@@ -280,15 +146,15 @@ let recover_cmd input show_stats explain format trace =
   | Some _ -> 1
   | None -> 0
 
-let batch_cmd input jobs show_stats format trace =
+let batch_cmd config input show_stats format trace =
   let bytecodes = read_bytecode_list input in
-  let engine = Sigrec.Engine.create () in
+  let engine = Sigrec.Engine.make config in
   let reports =
-    with_trace trace (fun () ->
-        Sigrec.Engine.recover_all ?jobs engine bytecodes)
+    with_trace trace (fun () -> Sigrec.Engine.recover_all engine bytecodes)
   in
   (match format with
-  | `Json -> List.iter (fun r -> print_endline (json_of_report r)) reports
+  | `Json ->
+    List.iter (fun r -> print_endline (Sigrec.Render.report r)) reports
   | `Text ->
     List.iter (fun r -> Format.printf "%a@." Sigrec.Engine.pp_report r) reports);
   if show_stats then begin
@@ -311,7 +177,8 @@ let lint_cmd input show_stats format trace =
   let verdicts = with_trace trace (fun () -> Sigrec.Lint.check ~stats bytecode) in
   (match format with
   | `Json ->
-    print_endline (json_list (List.map json_of_verdict verdicts))
+    print_endline
+      (Sigrec.Json.arr (List.map Sigrec.Render.verdict verdicts))
   | `Text ->
     if verdicts = [] then
       Printf.printf "no public/external functions found\n"
@@ -364,9 +231,9 @@ let explain_function (r : Sigrec.Recover.recovered) elapsed_ns =
       evidence);
   print_newline ()
 
-let explain_cmd input profile =
+let explain_cmd config input profile =
   let bytecode = read_bytecode input in
-  let engine = Sigrec.Engine.create () in
+  let engine = Sigrec.Engine.make config in
   let run () = Sigrec.Engine.recover engine bytecode in
   let report, profile_txt =
     if profile then begin
@@ -405,6 +272,46 @@ let explain_cmd input profile =
   with
   | Some _ -> 1
   | None -> 0
+
+(* ---- serve: resident recovery daemon -------------------------------- *)
+
+(* One connection at a time: requests within a connection are already
+   pipelined, and the engine fans each batch out over the domain pool,
+   so a second acceptor would only interleave output. *)
+let serve_cmd config socket trace =
+  (* a client hanging up mid-response must surface as a write error on
+     this connection, not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  with_trace trace (fun () ->
+      let t = Sigrec.Serve.create config in
+      match socket with
+      | None ->
+        let _ = Sigrec.Serve.run t stdin stdout in
+        0
+      | Some path ->
+        if Sys.file_exists path then Sys.remove path;
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        Printf.eprintf "sigrec: serving on %s\n%!" path;
+        let rec accept_loop () =
+          let fd, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          let outcome =
+            try Sigrec.Serve.run t ic oc with
+            | Sys_error _ | Unix.Unix_error _ -> `Eof
+          in
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          match outcome with `Eof -> accept_loop () | `Shutdown -> ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            (try Sys.remove path with Sys_error _ -> ()))
+          accept_loop;
+        0)
 
 let find_selector bytecode calldata k =
   if String.length calldata < 4 then begin
@@ -481,43 +388,112 @@ let lift_cmd input plain =
       (Tools.Eraysplus.enhance bytecode);
   0
 
-(* ---- command-line structure --------------------------------------- *)
+(* ---- the shared flag table ---------------------------------------- *)
 
 open Cmdliner
+
+(* Every flag that more than one subcommand accepts is defined exactly
+   once here; recover/batch/lint/explain/serve compose their terms from
+   these specs, so a flag's name, docv and semantics cannot drift
+   between subcommands. The engine-shaping flags (--jobs, the budget
+   trio, --cache-capacity) fold into one [Engine.Config.t] term. *)
+module Flags = struct
+  let format =
+    let doc = "Output format: $(b,text) or $(b,json)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+  let jobs =
+    let doc =
+      "Number of worker domains for the recovery engine (default: the \
+       recommended domain count of this machine)."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print per-rule usage counts (with --format json: one \
+             {\"stats\":...} line after the report output).")
+
+  let trace =
+    let doc =
+      "Record a telemetry trace of the run into $(docv): Chrome \
+       trace_event JSON (load in chrome://tracing or Perfetto), or JSONL \
+       when $(docv) ends in .jsonl."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+  let max_paths =
+    let doc =
+      "Symbolic-execution budget: maximum paths explored per function \
+       (default unbounded; the built-in default budget uses 512)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-paths" ] ~docv:"N" ~doc)
+
+  let max_steps =
+    let doc =
+      "Symbolic-execution budget: maximum interpreter steps per path."
+    in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+  let max_forks =
+    let doc =
+      "Symbolic-execution budget: maximum JUMPI forks taken at one \
+       program counter (symbolic-loop unrolling bound)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-forks" ] ~docv:"N" ~doc)
+
+  let cache_capacity =
+    let doc =
+      "Bound the engine's report cache to $(docv) entries \
+       (least-recently-used eviction); 0 or absent means unbounded."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N" ~doc)
+
+  (* Any budget flag given -> a budget based on the executor default;
+     none -> unbounded (the library default). *)
+  let budget =
+    let make mp ms mf =
+      match (mp, ms, mf) with
+      | None, None, None -> None
+      | _ ->
+        let d = Symex.Exec.default_budget in
+        Some
+          {
+            Symex.Exec.max_paths =
+              Option.value ~default:d.Symex.Exec.max_paths mp;
+            max_steps = Option.value ~default:d.Symex.Exec.max_steps ms;
+            max_forks_per_pc =
+              Option.value ~default:d.Symex.Exec.max_forks_per_pc mf;
+          }
+    in
+    Term.(const make $ max_paths $ max_steps $ max_forks)
+
+  let engine_config =
+    let make jobs budget cache_capacity =
+      let open Sigrec.Engine.Config in
+      default
+      |> (match jobs with Some j -> with_jobs j | None -> Fun.id)
+      |> (match budget with Some b -> with_budget b | None -> Fun.id)
+      |>
+      match cache_capacity with
+      | Some c -> with_cache_capacity c
+      | None -> Fun.id
+    in
+    Term.(const make $ jobs $ budget $ cache_capacity)
+end
 
 let input_arg =
   let doc = "File containing hex (or raw) runtime bytecode; - for stdin." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BYTECODE" ~doc)
-
-let format_arg =
-  let doc = "Output format: $(b,text) or $(b,json)." in
-  Arg.(
-    value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-    & info [ "format" ] ~docv:"FORMAT" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Number of worker domains for the batch engine (default: the \
-     recommended domain count of this machine)."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let stats_flag =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:
-          "Print per-rule usage counts (with --format json: one \
-           {\"stats\":...} line after the report output).")
-
-let trace_arg =
-  let doc =
-    "Record a telemetry trace of the run into $(docv): Chrome \
-     trace_event JSON (load in chrome://tracing or Perfetto), or JSONL \
-     when $(docv) ends in .jsonl."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let recover_term =
   let explain =
@@ -527,8 +503,8 @@ let recover_term =
           ~doc:"Show each parameter's path through the rule decision tree.")
   in
   Term.(
-    const recover_cmd $ input_arg $ stats_flag $ explain $ format_arg
-    $ trace_arg)
+    const recover_cmd $ Flags.engine_config $ input_arg $ Flags.stats
+    $ explain $ Flags.format $ Flags.trace)
 
 let batch_term =
   let input =
@@ -539,7 +515,8 @@ let batch_term =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LIST" ~doc)
   in
   Term.(
-    const batch_cmd $ input $ jobs_arg $ stats_flag $ format_arg $ trace_arg)
+    const batch_cmd $ Flags.engine_config $ input $ Flags.stats
+    $ Flags.format $ Flags.trace)
 
 let explain_term =
   let profile =
@@ -550,7 +527,18 @@ let explain_term =
             "Trace the recovery internally and append the phase/rule \
              latency summary tree.")
   in
-  Term.(const explain_cmd $ input_arg $ profile)
+  Term.(const explain_cmd $ Flags.engine_config $ input_arg $ profile)
+
+let serve_term =
+  let socket =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) instead of serving \
+       stdin/stdout; connections are served one at a time and the \
+       socket file is removed on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  Term.(const serve_cmd $ Flags.engine_config $ socket $ Flags.trace)
 
 let check_term =
   let calldata =
@@ -581,12 +569,21 @@ let cmds =
             over worker domains.")
       batch_term;
     Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Stay resident as a recovery daemon: line-oriented JSON \
+            requests over stdin/stdout or a Unix socket, with the \
+            report cache and worker-domain pool kept warm across \
+            requests.")
+      serve_term;
+    Cmd.v
       (Cmd.info "lint"
          ~doc:
            "Cross-check the recovered signatures against a static \
             abstract-interpretation summary of the same bytecode; exits \
             non-zero on any disagreement.")
-      Term.(const lint_cmd $ input_arg $ stats_flag $ format_arg $ trace_arg);
+      Term.(
+        const lint_cmd $ input_arg $ Flags.stats $ Flags.format $ Flags.trace);
     Cmd.v
       (Cmd.info "explain"
          ~doc:

@@ -91,24 +91,24 @@ let render reports =
 
 let drift (cases : Sig_gen.case list) =
   let codes = List.map Sig_gen.compile cases in
-  let base =
-    render (Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) codes)
+  let engine ?(jobs = 1) ?(static_prune = true) () =
+    Sigrec.Engine.make
+      Sigrec.Engine.Config.(
+        default |> with_jobs jobs |> with_static_prune static_prune)
   in
+  let base = render (Sigrec.Engine.recover_all (engine ()) codes) in
   let legs =
     [
       ( "jobs=4",
-        fun () ->
-          Sigrec.Engine.recover_all ~jobs:4 (Sigrec.Engine.create ()) codes );
+        fun () -> Sigrec.Engine.recover_all (engine ~jobs:4 ()) codes );
       ( "static_prune=false",
         fun () ->
-          Sigrec.Engine.recover_all ~jobs:1
-            (Sigrec.Engine.create ~static_prune:false ())
-            codes );
+          Sigrec.Engine.recover_all (engine ~static_prune:false ()) codes );
       ( "warm cache",
         fun () ->
-          let e = Sigrec.Engine.create () in
-          let _ = Sigrec.Engine.recover_all ~jobs:2 e codes in
-          Sigrec.Engine.recover_all ~jobs:2 e codes );
+          let e = engine ~jobs:2 () in
+          let _ = Sigrec.Engine.recover_all e codes in
+          Sigrec.Engine.recover_all e codes );
     ]
   in
   let rec check = function

@@ -75,9 +75,25 @@ let recover_many ?engine ?jobs bytecodes =
      analyzes each distinct bytecode once and replays the result for
      its duplicates instead of re-running full recovery *)
   let engine =
-    match engine with Some e -> e | None -> Engine.create ()
+    match engine with
+    | Some e -> e
+    | None ->
+      Engine.make
+        (match jobs with
+        | Some j -> Engine.Config.(default |> with_jobs j)
+        | None -> Engine.Config.default)
   in
-  let reports = Engine.recover_all ?jobs engine bytecodes in
+  let reports =
+    (* honor a [jobs] override even on a caller-supplied engine *)
+    match jobs with
+    | Some j ->
+      if j = (Engine.config engine).Engine.Config.jobs then
+        Engine.recover_all engine bytecodes
+      else
+        (Engine.recover_all_jobs ~jobs:j engine bytecodes
+         [@ocaml.alert "-deprecated"])
+    | None -> Engine.recover_all engine bytecodes
+  in
   let table = Hashtbl.create 32 in
   List.iter
     (fun report ->

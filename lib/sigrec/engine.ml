@@ -1,5 +1,33 @@
 module Tr = Sigrec_trace.Trace
 
+module Config = struct
+  type t = {
+    rules : Rules.config;
+    budget : Symex.Exec.budget option;
+    static_prune : bool;
+    jobs : int;
+    cache_capacity : int;
+  }
+
+  let default =
+    {
+      rules = Rules.default_config;
+      budget = None;
+      static_prune = true;
+      jobs = 0;
+      cache_capacity = 0;
+    }
+
+  let with_rules rules t = { t with rules }
+  let with_budget budget t = { t with budget = Some budget }
+  let without_budget t = { t with budget = None }
+  let with_static_prune static_prune t = { t with static_prune }
+  let with_jobs jobs t = { t with jobs = Stdlib.max 0 jobs }
+
+  let with_cache_capacity cache_capacity t =
+    { t with cache_capacity = Stdlib.max 0 cache_capacity }
+end
+
 type error = {
   selector : string;
   selector_hex : string;
@@ -23,24 +51,21 @@ type report = {
 }
 
 type t = {
-  config : Rules.config;
-  budget : Symex.Exec.budget option;
-  static_prune : bool;
-  cache : (string, report) Hashtbl.t; (* 32-byte code hash -> report *)
+  config : Config.t;
+  cache : (string, report) Lru.t; (* 32-byte code hash -> report *)
   lock : Mutex.t;
   stats : Stats.t;
 }
 
-let create ?(config = Rules.default_config) ?budget ?(static_prune = true) ()
-    =
+let make config =
   {
     config;
-    budget;
-    static_prune;
-    cache = Hashtbl.create 256;
+    cache = Lru.create ~capacity:config.Config.cache_capacity;
     lock = Mutex.create ();
     stats = Stats.create ();
   }
+
+let config t = t.config
 
 let signatures report =
   List.filter_map
@@ -85,7 +110,7 @@ let pp_report fmt report =
    TASE per dispatcher entry. Every per-function failure mode is
    reified into the outcome instead of yielding a silently shorter
    list. *)
-let analyze_uncounted ~config ?budget ?static_prune ~stats code =
+let analyze_uncounted ~cfg ~stats code =
   match Contract.make code with
   | exception e ->
     {
@@ -112,8 +137,9 @@ let analyze_uncounted ~config ?budget ?static_prune ~stats code =
           let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
           let outcome =
             match
-              Infer.infer ~stats ~config ?static_prune ?budget ~contract
-                ~entry:entry_pc ()
+              Infer.infer ~stats ~config:cfg.Config.rules
+                ~static_prune:cfg.Config.static_prune
+                ?budget:cfg.Config.budget ~contract ~entry:entry_pc ()
             with
             | result ->
               let r = Recover.of_infer ~selector ~entry_pc result in
@@ -167,13 +193,13 @@ let analyze_uncounted ~config ?budget ?static_prune ~stats code =
       from_cache = false;
     }
 
-let analyze ~config ?budget ?static_prune ~stats code =
+let analyze ~cfg ~stats code =
   Stats.cache_miss stats;
   let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
   (* interner traffic is domain-local and an analysis runs entirely in
      one domain, so the before/after delta is exactly this analysis's *)
   let ih0, im0 = Symex.Sexpr.interner_counters () in
-  let report = analyze_uncounted ~config ?budget ?static_prune ~stats code in
+  let report = analyze_uncounted ~cfg ~stats code in
   let ih1, im1 = Symex.Sexpr.interner_counters () in
   Stats.add_interner stats ~hits:(ih1 - ih0) ~misses:(im1 - im0);
   if Tr.enabled () then
@@ -185,10 +211,18 @@ let analyze ~config ?budget ?static_prune ~stats code =
       ];
   report
 
+(* Insert under the engine lock, attributing any LRU evictions the
+   insert caused to the engine's stats. Call with the lock held. *)
+let cache_add_locked t hash report =
+  let ev0 = Lru.evictions t.cache in
+  Lru.add t.cache hash report;
+  let ev = Lru.evictions t.cache - ev0 in
+  if ev > 0 then Stats.add_evictions t.stats ev
+
 let recover t code =
   let hash = Contract.hash_of_code code in
   let cached =
-    Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.cache hash)
+    Mutex.protect t.lock (fun () -> Lru.find_opt t.cache hash)
   in
   match cached with
   | Some report ->
@@ -199,26 +233,39 @@ let recover t code =
     { report with from_cache = true }
   | None ->
     let stats = Stats.create () in
-    let report =
-      analyze ~config:t.config ?budget:t.budget
-        ~static_prune:t.static_prune ~stats code
-    in
+    let report = analyze ~cfg:t.config ~stats code in
     Mutex.protect t.lock (fun () ->
         Stats.merge_into ~into:t.stats stats;
-        if not (Hashtbl.mem t.cache hash) then
-          Hashtbl.replace t.cache hash report);
+        if not (Lru.mem t.cache hash) then cache_add_locked t hash report);
     report
 
-let recover_all ?jobs t codes =
+(* [Config.jobs] is a cap, not a demand: OCaml's stop-the-world minor
+   collector makes domains that merely timeshare a core actively
+   harmful (every minor GC must rendezvous a descheduled domain), so
+   the engine never runs more workers than the hardware can schedule
+   simultaneously. On a one-core machine jobs=8 and jobs=1 are the
+   same engine. *)
+let hardware_jobs =
+  lazy (Stdlib.max 1 (Domain.recommended_domain_count ()))
+
+let effective_jobs t =
+  let hw = Lazy.force hardware_jobs in
+  if t.config.Config.jobs > 0 then Stdlib.min t.config.Config.jobs hw
+  else hw
+
+let recover_all_n jobs t codes =
   let codes = Array.of_list codes in
   let n = Array.length codes in
   let hashes = Array.map Contract.hash_of_code codes in
+  (* Reports this batch needs, keyed by code hash. Kept separate from
+     the engine cache so a bounded LRU can evict mid-batch without the
+     final assembly losing a report. *)
+  let by_hash = Hashtbl.create ((2 * n) + 1) in
   (* Work list: first occurrence of each code hash not already cached.
      Duplicates — the common case on main net — are analyzed exactly
      once and answered from the result. *)
   let fresh = Array.make n false in
   let work = ref [] in
-  let work_count = ref 0 in
   Mutex.protect t.lock (fun () ->
       let seen = Hashtbl.create 64 in
       let dups = ref 0 in
@@ -227,11 +274,11 @@ let recover_all ?jobs t codes =
         if Hashtbl.mem seen h then incr dups
         else begin
           Hashtbl.replace seen h ();
-          if not (Hashtbl.mem t.cache h) then begin
+          match Lru.find_opt t.cache h with
+          | Some report -> Hashtbl.replace by_hash h report
+          | None ->
             fresh.(i) <- true;
-            work := (h, codes.(i)) :: !work;
-            incr work_count
-          end
+            work := (h, codes.(i)) :: !work
         end
       done;
       if !dups > 0 then begin
@@ -240,39 +287,53 @@ let recover_all ?jobs t codes =
           Tr.instant Tr.Engine "dedup" [ ("duplicates", Tr.Int !dups) ]
       end);
   let work = Array.of_list (List.rev !work) in
-  let results = Array.make (Array.length work) None in
+  let work_n = Array.length work in
+  let results = Array.make work_n None in
+  let jobs =
+    Stdlib.min
+      (Stdlib.min (Stdlib.max 1 jobs) (Lazy.force hardware_jobs))
+      (Stdlib.max 1 work_n)
+  in
+  (* Workers claim chunks of contiguous indices from a shared counter —
+     dynamic balancing like per-item claiming, but with fewer atomic
+     operations and less false sharing on the results array. Each
+     worker accumulates into its own Stats.t; no analysis state is
+     shared, so the per-item results are identical whatever the
+     interleaving. *)
+  let chunk = Stdlib.max 1 (Stdlib.min 16 (work_n / (jobs * 8))) in
   let next = Atomic.make 0 in
-  (* Each worker pulls indices from a shared counter and accumulates
-     into its own Stats.t; no analysis state is shared, so the per-item
-     results are identical whatever the interleaving. *)
   let worker () =
     let stats = Stats.create () in
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < Array.length work then begin
-        let _, code = work.(i) in
-        results.(i) <-
-          Some
-            (analyze ~config:t.config ?budget:t.budget
-               ~static_prune:t.static_prune ~stats code);
+      let i0 = Atomic.fetch_and_add next chunk in
+      if i0 < work_n then begin
+        let hi = Stdlib.min (i0 + chunk) work_n in
+        for i = i0 to hi - 1 do
+          let _, code = work.(i) in
+          results.(i) <- Some (analyze ~cfg:t.config ~stats code)
+        done;
         loop ()
       end
     in
     loop ();
     stats
   in
-  let jobs =
-    match jobs with
-    | Some j -> Stdlib.max 1 j
-    | None -> Domain.recommended_domain_count ()
-  in
-  let jobs = Stdlib.min jobs (Stdlib.max 1 (Array.length work)) in
   let worker_stats =
     if jobs <= 1 then [ worker () ]
     else begin
-      let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      (* Fan out over the persistent pool: helpers are pooled domains
+         spawned once per process (warm interners), the calling domain
+         takes the remaining share. *)
+      Pool.ensure (jobs - 1);
+      let helpers = Stdlib.min (jobs - 1) (Pool.workers ()) in
+      let collected = Array.make (Stdlib.max 1 helpers) None in
+      let batch =
+        Pool.submit
+          (List.init helpers (fun k () -> collected.(k) <- Some (worker ())))
+      in
       let mine = worker () in
-      mine :: List.map Domain.join others
+      Pool.await batch;
+      mine :: List.filter_map Fun.id (Array.to_list collected)
     end
   in
   Mutex.protect t.lock (fun () ->
@@ -283,29 +344,58 @@ let recover_all ?jobs t codes =
       Array.iteri
         (fun i (h, _) ->
           match results.(i) with
-          | Some report -> Hashtbl.replace t.cache h report
+          | Some report ->
+            Hashtbl.replace by_hash h report;
+            cache_add_locked t h report
           | None -> ())
         work);
   (* Assemble per-input reports in input order: byte-identical output
      whatever [jobs] was. *)
-  Array.to_list
-    (Array.mapi
-       (fun i _ ->
-         let report =
-           Mutex.protect t.lock (fun () -> Hashtbl.find t.cache hashes.(i))
-         in
-         if fresh.(i) then report
-         else begin
-           Mutex.protect t.lock (fun () -> Stats.cache_hit t.stats);
-           if Tr.enabled () then
-             Tr.instant Tr.Engine "cache_hit"
-               [ ("code_hash", Tr.Str report.code_hash) ];
-           { report with from_cache = true }
-         end)
-       codes)
+  let hits = ref 0 in
+  let reports =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           let report = Hashtbl.find by_hash hashes.(i) in
+           if fresh.(i) then report
+           else begin
+             incr hits;
+             if Tr.enabled () then
+               Tr.instant Tr.Engine "cache_hit"
+                 [ ("code_hash", Tr.Str report.code_hash) ];
+             { report with from_cache = true }
+           end)
+         codes)
+  in
+  if !hits > 0 then
+    Mutex.protect t.lock (fun () ->
+        for _ = 1 to !hits do
+          Stats.cache_hit t.stats
+        done);
+  reports
+
+let recover_all t codes = recover_all_n (effective_jobs t) t codes
 
 let stats t = t.stats
-let cache_size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.cache)
+let cache_size t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
 
-let clear t =
-  Mutex.protect t.lock (fun () -> Hashtbl.reset t.cache)
+let clear t = Mutex.protect t.lock (fun () -> Lru.clear t.cache)
+
+(* ---- deprecated optional-argument surface (one release) ------------- *)
+
+let create ?(config = Rules.default_config) ?budget ?(static_prune = true) ()
+    =
+  make
+    {
+      Config.rules = config;
+      budget;
+      static_prune;
+      jobs = 0;
+      cache_capacity = 0;
+    }
+
+let recover_all_jobs ?jobs t codes =
+  let jobs =
+    match jobs with Some j -> Stdlib.max 1 j | None -> effective_jobs t
+  in
+  recover_all_n jobs t codes

@@ -2,18 +2,76 @@
 
     Layers three production concerns over the TASE core:
 
-    - a content-addressed cache keyed by the Keccak-256 code hash, so
+    - a content-addressed cache keyed by the Keccak-256 code hash —
+      optionally bounded ({!Config.cache_capacity}), LRU-evicted — so
       the byte-identical duplicates that dominate deployed contracts
-      are analyzed exactly once (hit/miss counters in {!stats});
-    - a multicore fan-out over OCaml domains ([?jobs], default
-      [Domain.recommended_domain_count ()]) with a deterministic merge:
-      {!recover_all} output is byte-identical whatever [jobs] is;
+      are analyzed exactly once (hit/miss/eviction counters in
+      {!stats});
+    - a multicore fan-out over a persistent domain pool ({!Pool}) with
+      a deterministic merge: {!recover_all} output is byte-identical
+      whatever {!Config.jobs} is;
     - a structured per-function {!outcome} replacing silently-empty
       result lists, so callers can tell "no public functions" from
       "symbolic execution gave up" from "the analysis crashed".
 
     An engine is safe to share between domains; all cache and stats
-    mutation happens under an internal lock. *)
+    mutation happens under an internal lock.
+
+    Engines are configured with one explicit {!Config.t} record
+    ({!make}) rather than a sprawl of optional arguments; the old
+    [?config ?budget ?static_prune] entry points remain as deprecated
+    wrappers for one release. *)
+
+(** Everything an engine's behavior depends on, in one explicit record.
+
+    Build one with functional updates from {!Config.default}:
+    {[
+      Engine.make
+        Config.(default |> with_jobs 4 |> with_cache_capacity 4096)
+    ]}
+    The configuration is part of what a cached report means, so use one
+    engine per configuration. *)
+module Config : sig
+  type t = {
+    rules : Rules.config;  (** recovery-rule switches (masks, guards…) *)
+    budget : Symex.Exec.budget option;
+        (** symbolic-execution budget; [None] = unbounded *)
+    static_prune : bool;
+        (** abstract-interpretation pre-screen that skips forking at
+            branches proven calldata-independent; see
+            [Stats.forks_pruned] *)
+    jobs : int;
+        (** upper bound on worker domains for {!recover_all}; [0] (the
+            default) means [Domain.recommended_domain_count ()]. This
+            is a cap, not a demand: the engine never runs more domains
+            than the hardware can schedule simultaneously, because
+            OCaml's stop-the-world minor collector makes timesharing
+            domains slower than one — on a one-core machine every
+            [jobs] value is the sequential engine. *)
+    cache_capacity : int;
+        (** max cached reports before LRU eviction; [0] = unbounded
+            (the one-shot CLI default — a resident service should set a
+            bound) *)
+  }
+
+  val default : t
+  (** [{ rules = Rules.default_config; budget = None;
+        static_prune = true; jobs = 0; cache_capacity = 0 }] —
+      identical behavior to the old [create ()]. *)
+
+  val with_rules : Rules.config -> t -> t
+  val with_budget : Symex.Exec.budget -> t -> t
+  val without_budget : t -> t
+  val with_static_prune : bool -> t -> t
+
+  val with_jobs : int -> t -> t
+  (** Clamped to [>= 0]; [0] = auto. See {!type-t.jobs}: the value is
+      an upper bound, further clamped to the hardware domain count at
+      run time. *)
+
+  val with_cache_capacity : int -> t -> t
+  (** Clamped to [>= 0]; [0] = unbounded. *)
+end
 
 type error = {
   selector : string;       (** 4 raw bytes; [""] for contract-level failure *)
@@ -48,28 +106,23 @@ type report = {
 
 type t
 
-val create :
-  ?config:Rules.config ->
-  ?budget:Symex.Exec.budget ->
-  ?static_prune:bool ->
-  unit ->
-  t
-(** A fresh engine with an empty cache. [config], [budget] and
-    [static_prune] apply to every analysis the engine runs (they are
-    part of what a cached report means, so use one engine per
-    configuration). [static_prune] (default [true]) turns on the
-    abstract-interpretation pre-screen that skips forking at branches
-    proven calldata-independent; see [Stats.forks_pruned]. *)
+val make : Config.t -> t
+(** A fresh engine with an empty cache, configured by [config]. *)
+
+val config : t -> Config.t
+(** The configuration the engine was made with. *)
 
 val recover : t -> string -> report
 (** [recover t bytecode] answers from the cache or analyzes and fills
     it. *)
 
-val recover_all : ?jobs:int -> t -> string list -> report list
+val recover_all : t -> string list -> report list
 (** [recover_all t codes] returns one report per input, in input order.
-    Distinct uncached bytecodes are analyzed in parallel on [jobs]
-    domains; duplicates and cache hits are answered without re-analysis.
-    The result is byte-identical to [~jobs:1]. *)
+    Distinct uncached bytecodes are analyzed in parallel on up to
+    [Config.jobs] domains (pooled, persistent across batches, and
+    never more than the hardware supports); duplicates and cache hits
+    are answered without re-analysis. The result is byte-identical to
+    [jobs = 1]. *)
 
 val signatures : report -> Recover.recovered list
 (** The recovered signatures including budget-exhausted partials — the
@@ -77,8 +130,8 @@ val signatures : report -> Recover.recovered list
 
 val stats : t -> Stats.t
 (** Cumulative counters: rule usage, functions recovered, paths
-    explored, cache hits/misses ([cache_misses] = analyses actually
-    run). *)
+    explored, cache hits/misses/evictions ([cache_misses] = analyses
+    actually run). *)
 
 val cache_size : t -> int
 val clear : t -> unit
@@ -91,3 +144,22 @@ val outcome_elapsed_ns : outcome -> int option
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Deprecated optional-argument surface}
+
+    Thin wrappers over {!make} / {!recover_all}, kept for one release.
+    Migration: [create ?config ?budget ?static_prune ()] becomes
+    [make Config.(default |> with_rules … |> with_budget …)];
+    [recover_all ?jobs] becomes [with_jobs] on the configuration. *)
+
+val create :
+  ?config:Rules.config ->
+  ?budget:Symex.Exec.budget ->
+  ?static_prune:bool ->
+  unit ->
+  t
+[@@ocaml.deprecated "Use Engine.make with an Engine.Config.t."]
+
+val recover_all_jobs : ?jobs:int -> t -> string list -> report list
+[@@ocaml.deprecated
+  "Use Engine.recover_all; set jobs via Engine.Config.with_jobs."]

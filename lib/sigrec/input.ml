@@ -34,5 +34,18 @@ let parse_batch ?warn text =
     (String.split_on_char '\n' text);
   { codes = List.rev !codes; skipped = List.rev !skipped }
 
+let parse_codes entries =
+  let codes = ref [] and skipped = ref [] in
+  List.iteri
+    (fun i entry ->
+      match parse_line entry with
+      | `Code code -> codes := code :: !codes
+      (* an explicitly supplied blank entry is a caller mistake, not a
+         skippable file row *)
+      | `Blank -> skipped := (i, "empty bytecode") :: !skipped
+      | `Bad msg -> skipped := (i, msg) :: !skipped)
+    entries;
+  { codes = List.rev !codes; skipped = List.rev !skipped }
+
 let warn_stderr ~line ~reason =
   Printf.eprintf "warning: skipping line %d: %s\n%!" line reason

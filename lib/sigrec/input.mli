@@ -19,6 +19,15 @@ val parse_batch :
     diagnostics off stdout so [--format json] output stays
     machine-parseable. *)
 
+val parse_codes : string list -> batch
+(** Classify an explicit list of hex bytecodes (a [sigrec serve]
+    request's ["codes"] array). Unlike {!parse_batch} the positions in
+    [skipped] are 0-based indices into the input list, and a blank
+    entry is malformed (["empty bytecode"]) rather than skippable —
+    callers supplied it on purpose. Warnings are returned, never
+    printed: the serve loop routes them into the JSON response stream
+    instead of stderr. *)
+
 val warn_stderr : line:int -> reason:string -> unit
 (** A [warn] callback printing ["warning: skipping line N: reason"] to
     stderr (flushed). *)

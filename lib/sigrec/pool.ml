@@ -1,0 +1,111 @@
+(* Process-wide pool of worker domains.
+
+   [Engine.recover_all] used to spawn fresh domains for every batch and
+   join them at the end; at sub-second batch sizes the spawn cost (and
+   each new domain rebuilding its expression interner from cold)
+   dominated the fan-out and made jobs>=2 *slower* than sequential. The
+   pool spawns a worker domain once, hands it a warm-interner snapshot
+   from the spawning domain, and keeps it alive for the life of the
+   process — so a resident [sigrec serve] daemon (or a test suite, or a
+   bench loop) pays the spawn and warm-up cost once, not per batch.
+
+   The pool is deliberately global rather than per-engine: OCaml caps
+   live domains (Domain.spawn fails past ~128), and engines are cheap
+   enough that test suites create hundreds. Workers are generic — they
+   run closures — so any number of engines share them safely. *)
+
+let max_workers = 30 (* hard cap, well under the runtime's domain limit *)
+
+type batch = {
+  bm : Mutex.t;
+  bcv : Condition.t;
+  mutable remaining : int;
+  mutable failed : exn option; (* first task exception, re-raised by await *)
+}
+
+type task = { run : unit -> unit; batch : batch }
+
+let lock = Mutex.create ()
+let work_available = Condition.create ()
+let queue : task Queue.t = Queue.create ()
+let worker_count = ref 0
+
+let workers () = Mutex.protect lock (fun () -> !worker_count)
+
+let worker_main warm () =
+  (* Seed this domain's interner from the spawner's snapshot before the
+     first task: the worker's first analyses then reuse nodes instead of
+     rebuilding the common expression population from cold. *)
+  Symex.Sexpr.adopt warm;
+  let rec loop () =
+    Mutex.lock lock;
+    while Queue.is_empty queue do
+      Condition.wait work_available lock
+    done;
+    let task = Queue.pop queue in
+    Mutex.unlock lock;
+    (try task.run ()
+     with e ->
+       Mutex.lock task.batch.bm;
+       if task.batch.failed = None then task.batch.failed <- Some e;
+       Mutex.unlock task.batch.bm);
+    Mutex.lock task.batch.bm;
+    task.batch.remaining <- task.batch.remaining - 1;
+    if task.batch.remaining = 0 then Condition.broadcast task.batch.bcv;
+    Mutex.unlock task.batch.bm;
+    loop ()
+  in
+  loop ()
+
+(* Grow the pool to [n] workers (within the cap). Safe to call from any
+   domain; spawning happens outside the pool lock so running workers
+   keep draining the queue meanwhile. The snapshot is captured once per
+   call, after we know at least one spawn is needed. *)
+let ensure n =
+  let target = Stdlib.min n max_workers in
+  let missing =
+    Mutex.protect lock (fun () ->
+        let missing = target - !worker_count in
+        if missing > 0 then worker_count := target;
+        missing)
+  in
+  if missing > 0 then begin
+    let warm = Symex.Sexpr.snapshot () in
+    for _ = 1 to missing do
+      (* workers live for the rest of the process; their Domain.t
+         handles are never joined, so don't keep them *)
+      ignore (Domain.spawn (worker_main warm) : unit Domain.t)
+    done
+  end
+
+let submit tasks =
+  match tasks with
+  | [] ->
+    {
+      bm = Mutex.create ();
+      bcv = Condition.create ();
+      remaining = 0;
+      failed = None;
+    }
+  | _ ->
+    let batch =
+      {
+        bm = Mutex.create ();
+        bcv = Condition.create ();
+        remaining = List.length tasks;
+        failed = None;
+      }
+    in
+    Mutex.protect lock (fun () ->
+        List.iter (fun run -> Queue.push { run; batch } queue) tasks;
+        Condition.broadcast work_available);
+    batch
+
+let await batch =
+  Mutex.lock batch.bm;
+  while batch.remaining > 0 do
+    Condition.wait batch.bcv batch.bm
+  done;
+  let failed = batch.failed in
+  Mutex.unlock batch.bm;
+  match failed with Some e -> raise e | None -> ()

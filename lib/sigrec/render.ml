@@ -1,0 +1,113 @@
+(* JSON rendering of engine reports and lint verdicts.
+
+   One definition shared by [--format json] in the CLI, the [sigrec
+   serve] response stream, and the protocol tests — so the serialized
+   shape cannot drift between the one-shot and resident surfaces. *)
+
+let recovered (r : Recover.recovered) extra =
+  Json.obj
+    ([
+       ("selector", Json.quote ("0x" ^ r.Recover.selector_hex));
+       ( "types",
+         Json.arr
+           (List.map
+              (fun ty -> Json.quote (Abi.Abity.to_string ty))
+              r.Recover.params) );
+       ( "lang",
+         Json.quote
+           (match r.Recover.lang with
+           | Abi.Abity.Solidity -> "solidity"
+           | Abi.Abity.Vyper -> "vyper") );
+       ( "rule_paths",
+         Json.arr
+           (List.map
+              (fun path -> Json.arr (List.map Json.quote path))
+              r.Recover.rule_paths) );
+       ("entry_pc", string_of_int r.Recover.entry_pc);
+     ]
+    @ extra)
+
+let outcome = function
+  | Engine.Recovered { result; elapsed_ns } ->
+    recovered result
+      [
+        ("outcome", Json.quote "recovered");
+        ("elapsed_ns", string_of_int elapsed_ns);
+      ]
+  | Engine.Budget_exhausted { partial; paths_explored; elapsed_ns } ->
+    recovered partial
+      [
+        ("outcome", Json.quote "budget_exhausted");
+        ("paths_explored", string_of_int paths_explored);
+        ("elapsed_ns", string_of_int elapsed_ns);
+      ]
+  | Engine.Failed e ->
+    Json.obj
+      [
+        ("selector", Json.quote ("0x" ^ e.Engine.selector_hex));
+        ("entry_pc", string_of_int e.Engine.entry_pc);
+        ("outcome", Json.quote "failed");
+        ("error", Json.quote e.Engine.message);
+      ]
+
+let report (r : Engine.report) =
+  Json.obj
+    [
+      ("code_hash", Json.quote ("0x" ^ r.Engine.code_hash));
+      ("from_cache", string_of_bool r.Engine.from_cache);
+      ("functions", Json.arr (List.map outcome r.Engine.outcomes));
+    ]
+
+let finding f =
+  match f with
+  | Lint.Mask_conflict { offset; mask; recovered } ->
+    Json.obj
+      [
+        ("kind", Json.quote "mask_conflict");
+        ("offset", string_of_int offset);
+        ("mask", Json.quote ("0x" ^ Evm.U256.to_hex mask));
+        ("recovered", Json.quote (Abi.Abity.to_string recovered));
+      ]
+  | Lint.Signext_conflict { offset; byte; recovered } ->
+    Json.obj
+      [
+        ("kind", Json.quote "signext_conflict");
+        ("offset", string_of_int offset);
+        ("byte", string_of_int byte);
+        ("recovered", Json.quote (Abi.Abity.to_string recovered));
+      ]
+  | Lint.Param_never_read { offset; recovered } ->
+    Json.obj
+      [
+        ("kind", Json.quote "param_never_read");
+        ("offset", string_of_int offset);
+        ("recovered", Json.quote (Abi.Abity.to_string recovered));
+      ]
+  | Lint.Read_beyond_params { offset } ->
+    Json.obj
+      [
+        ("kind", Json.quote "read_beyond_params");
+        ("offset", string_of_int offset);
+      ]
+  | Lint.Dead_firing { rule; param_index } ->
+    Json.obj
+      [
+        ("kind", Json.quote "dead_firing");
+        ("rule", Json.quote rule);
+        ("param_index", string_of_int param_index);
+      ]
+  | Lint.Unreachable_entry -> Json.obj [ ("kind", Json.quote "unreachable_entry") ]
+
+let verdict (v : Lint.verdict) =
+  Json.obj
+    [
+      ("selector", Json.quote ("0x" ^ v.Lint.selector_hex));
+      ("entry_pc", string_of_int v.Lint.entry_pc);
+      ( "types",
+        Json.arr
+          (List.map
+             (fun ty -> Json.quote (Abi.Abity.to_string ty))
+             v.Lint.recovered.Recover.params) );
+      ("agree", string_of_bool (Lint.agree v));
+      ("findings", Json.arr (List.map finding v.Lint.findings));
+    ]

@@ -1,0 +1,16 @@
+(** JSON rendering of engine reports and lint verdicts.
+
+    The single definition of the machine-readable report shape, shared
+    by [sigrec … --format json], the [sigrec serve] response stream,
+    and the protocol tests. Each function returns one compact JSON
+    value (no trailing newline). *)
+
+val recovered : Recover.recovered -> (string * string) list -> string
+(** [recovered r extra] renders one recovered signature, appending the
+    already-rendered [extra] fields (e.g. [("outcome", Json.quote
+    "recovered")]). *)
+
+val outcome : Engine.outcome -> string
+val report : Engine.report -> string
+val finding : Lint.finding -> string
+val verdict : Lint.verdict -> string

@@ -1,0 +1,147 @@
+(* Resident recovery service: the protocol core of [sigrec serve].
+
+   Line-oriented JSON over any channel pair — stdin/stdout or an
+   accepted Unix-socket connection (the listener lives in the CLI,
+   which owns the unix dependency). One request per line, one response
+   line per request, flushed immediately. The engine persists across
+   requests, so its report cache and the process-wide domain pool stay
+   warm: repeated batches hit the cache and never pay domain spawn
+   again.
+
+   A malformed request produces an {"ok":false} response, never a dead
+   daemon: [handle_line] catches everything. *)
+
+module Tr = Sigrec_trace.Trace
+
+type t = {
+  engine : Engine.t;
+  started_ns : int;
+  mutable requests : int; (* requests answered, including failed ones *)
+}
+
+let create config =
+  { engine = Engine.make config; started_ns = Tr.now_ns (); requests = 0 }
+
+let engine t = t.engine
+
+type reply = {
+  response : string; (* one JSON line, no trailing newline *)
+  shutdown : bool;
+}
+
+let error_response id msg =
+  Json.obj [ ("id", id); ("ok", "false"); ("error", Json.quote msg) ]
+
+let warning_json (index, reason) =
+  Json.obj
+    [ ("index", string_of_int index); ("reason", Json.quote reason) ]
+
+let recover_response t id codes_json =
+  match Json.to_list_opt codes_json with
+  | None -> error_response id "\"codes\" must be an array of hex strings"
+  | Some items ->
+    let rec as_strings acc = function
+      | [] -> Some (List.rev acc)
+      | Json.Str s :: rest -> as_strings (s :: acc) rest
+      | _ -> None
+    in
+    (match as_strings [] items with
+    | None -> error_response id "\"codes\" must be an array of hex strings"
+    | Some entries ->
+      let batch = Input.parse_codes entries in
+      let reports = Engine.recover_all t.engine batch.Input.codes in
+      Json.obj
+        [
+          ("id", id);
+          ("ok", "true");
+          ("reports", Json.arr (List.map Render.report reports));
+          ( "warnings",
+            Json.arr (List.map warning_json batch.Input.skipped) );
+        ])
+
+let metrics_response t id =
+  let stats = Engine.stats t.engine in
+  Json.obj
+    [
+      ("id", id);
+      ("ok", "true");
+      ("requests", string_of_int t.requests);
+      ("uptime_ns", string_of_int (Tr.now_ns () - t.started_ns));
+      ("cache_size", string_of_int (Engine.cache_size t.engine));
+      ( "cache_capacity",
+        string_of_int (Engine.config t.engine).Engine.Config.cache_capacity
+      );
+      ("pool_workers", string_of_int (Pool.workers ()));
+      ("trace_enabled", string_of_bool (Tr.enabled ()));
+      ("stats", Stats.to_json stats);
+    ]
+
+let handle_line t line =
+  t.requests <- t.requests + 1;
+  match Json.parse line with
+  | Error msg ->
+    { response = error_response "null" ("parse error " ^ msg); shutdown = false }
+  | Ok req ->
+    let id =
+      match Json.member "id" req with
+      | Some v -> Json.to_string v
+      | None -> "null"
+    in
+    let result =
+      match Json.member "op" req with
+      | None -> { response = error_response id "missing \"op\""; shutdown = false }
+      | Some op ->
+        (match Json.to_string_opt op with
+        | None -> { response = error_response id "\"op\" must be a string"; shutdown = false }
+        | Some "ping" ->
+          {
+            response = Json.obj [ ("id", id); ("ok", "true"); ("pong", "true") ];
+            shutdown = false;
+          }
+        | Some "shutdown" ->
+          {
+            response =
+              Json.obj [ ("id", id); ("ok", "true"); ("shutdown", "true") ];
+            shutdown = true;
+          }
+        | Some "metrics" ->
+          { response = metrics_response t id; shutdown = false }
+        | Some "recover" ->
+          let codes =
+            Option.value ~default:Json.Null (Json.member "codes" req)
+          in
+          { response = recover_response t id codes; shutdown = false }
+        | Some op ->
+          {
+            response = error_response id (Printf.sprintf "unknown op %S" op);
+            shutdown = false;
+          })
+    in
+    result
+
+(* Belt and braces: the engine reifies analysis failures into Failed
+   outcomes already, so exceptions here mean a bug in the protocol
+   layer itself — answer with ok:false rather than killing the daemon. *)
+let handle_line t line =
+  try handle_line t line
+  with e ->
+    {
+      response = error_response "null" ("internal error: " ^ Printexc.to_string e);
+      shutdown = false;
+    }
+
+let run t ic oc =
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> `Eof
+    | Some line ->
+      if String.trim line = "" then loop ()
+      else begin
+        let reply = handle_line t line in
+        Out_channel.output_string oc reply.response;
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc;
+        if reply.shutdown then `Shutdown else loop ()
+      end
+  in
+  loop ()

@@ -1,0 +1,42 @@
+(** Resident recovery service (the protocol core of [sigrec serve]).
+
+    Line-oriented JSON: one request object per line, one response line
+    per request. The engine — and with it the report cache and the
+    process-wide worker-domain pool — persists across requests, so a
+    resident daemon answers repeated batches from a warm cache and
+    never re-pays domain spawn.
+
+    Requests: [{"id": <any>, "op": "recover", "codes": ["0x…", …]}],
+    or [op] one of ["metrics"], ["ping"], ["shutdown"]. The [id] is
+    echoed verbatim in the response ([null] when absent or the request
+    was unparseable).
+
+    Responses (one line each):
+    - recover: [{"id":…, "ok":true, "reports":[…], "warnings":
+      [{"index":N, "reason":"…"}]}] — reports rendered by
+      {!Render.report} in input order (skipped entries excluded);
+      warnings carry the 0-based index of each malformed ["codes"]
+      entry, routed into the response stream rather than stderr;
+    - metrics: cumulative {!Stats} JSON plus request count, uptime,
+      cache size/capacity and pool size;
+    - any error: [{"id":…, "ok":false, "error":"…"}] — a malformed
+      request never kills the daemon. *)
+
+type t
+
+val create : Engine.Config.t -> t
+val engine : t -> Engine.t
+
+type reply = {
+  response : string; (** one JSON line, no trailing newline *)
+  shutdown : bool;  (** true after a ["shutdown"] request *)
+}
+
+val handle_line : t -> string -> reply
+(** Handle one request line. Never raises. *)
+
+val run : t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Serve until EOF or a ["shutdown"] request; each response line is
+    flushed before the next request is read. Blank lines are skipped.
+    The result tells a socket listener whether to keep accepting
+    ([`Eof] — the client hung up) or stop the daemon ([`Shutdown]). *)

@@ -12,6 +12,7 @@ type t = {
   mutable deduped : int;
   mutable intern_hits : int;
   mutable intern_misses : int;
+  mutable evictions : int;
 }
 
 let create () =
@@ -27,6 +28,7 @@ let create () =
     deduped = 0;
     intern_hits = 0;
     intern_misses = 0;
+    evictions = 0;
   }
 
 let hit_rule t name =
@@ -62,6 +64,8 @@ let add_interner t ~hits ~misses =
 
 let intern_hits t = t.intern_hits
 let intern_misses t = t.intern_misses
+let add_evictions t n = t.evictions <- t.evictions + n
+let cache_evictions t = t.evictions
 
 let merge_into ~into src =
   List.iter
@@ -85,7 +89,8 @@ let merge_into ~into src =
   into.lint_disagree <- into.lint_disagree + src.lint_disagree;
   into.deduped <- into.deduped + src.deduped;
   into.intern_hits <- into.intern_hits + src.intern_hits;
-  into.intern_misses <- into.intern_misses + src.intern_misses
+  into.intern_misses <- into.intern_misses + src.intern_misses;
+  into.evictions <- into.evictions + src.evictions
 
 let merge a b =
   let t = create () in
@@ -105,6 +110,7 @@ let scalars : (string * (t -> int)) list =
     ("cache_hits", fun t -> t.cache_hits);
     ("cache_misses", fun t -> t.cache_misses);
     ("inputs_deduped", fun t -> t.deduped);
+    ("cache_evictions", fun t -> t.evictions);
     ("intern_hits", fun t -> t.intern_hits);
     ("intern_misses", fun t -> t.intern_misses);
     ("lint_agreements", fun t -> t.lint_agree);
@@ -134,6 +140,8 @@ let pp fmt t =
       (100.0 *. float_of_int (v "cache_hits") /. float_of_int total);
   if v "inputs_deduped" > 0 then
     Format.fprintf fmt "batch inputs deduplicated: %d@," (v "inputs_deduped");
+  if v "cache_evictions" > 0 then
+    Format.fprintf fmt "cache evictions: %d@," (v "cache_evictions");
   let itotal = v "intern_hits" + v "intern_misses" in
   if itotal > 0 then
     Format.fprintf fmt "interner: %d hits / %d misses (%.1f%% hit rate)@,"

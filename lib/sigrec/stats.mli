@@ -66,6 +66,12 @@ val intern_misses : t -> int
     a hit reuses one. Recorded as per-analysis deltas of the worker
     domain's counters, so merging worker stats stays commutative. *)
 
+val add_evictions : t -> int -> unit
+val cache_evictions : t -> int
+(** Reports the engine's bounded LRU cache dropped to stay within its
+    configured capacity ([Engine.Config.cache_capacity]); 0 when the
+    cache is unbounded. *)
+
 val merge : t -> t -> t
 (** Pointwise sum into a fresh [t]; neither argument is modified. *)
 

@@ -42,8 +42,13 @@ let check_identical name base other =
   if base <> other then
     Alcotest.failf "recovery output drifted under %s" name
 
+let engine ?(jobs = 1) ?(static_prune = true) () =
+  Sigrec.Engine.make
+    Sigrec.Engine.Config.(
+      default |> with_jobs jobs |> with_static_prune static_prune)
+
 let baseline codes =
-  render (Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) codes)
+  render (Sigrec.Engine.recover_all (engine ()) codes)
 
 let parallel_identical () =
   let codes = corpus () in
@@ -53,23 +58,20 @@ let parallel_identical () =
       check_identical
         (Printf.sprintf "jobs=%d" jobs)
         base
-        (render
-           (Sigrec.Engine.recover_all ~jobs (Sigrec.Engine.create ()) codes)))
+        (render (Sigrec.Engine.recover_all (engine ~jobs ()) codes)))
     [ 2; 4 ]
 
 let prune_identical () =
   let codes = corpus () in
   check_identical "static_prune=false" (baseline codes)
     (render
-       (Sigrec.Engine.recover_all ~jobs:1
-          (Sigrec.Engine.create ~static_prune:false ())
-          codes))
+       (Sigrec.Engine.recover_all (engine ~static_prune:false ()) codes))
 
 let warm_cache_identical () =
   let codes = corpus () in
-  let engine = Sigrec.Engine.create () in
-  let cold = render (Sigrec.Engine.recover_all ~jobs:2 engine codes) in
-  let warm = render (Sigrec.Engine.recover_all ~jobs:2 engine codes) in
+  let engine = engine ~jobs:2 () in
+  let cold = render (Sigrec.Engine.recover_all engine codes) in
+  let warm = render (Sigrec.Engine.recover_all engine codes) in
   check_identical "warm cache" cold warm;
   (* the warm run must actually have been answered from the cache *)
   let stats = Sigrec.Engine.stats engine in

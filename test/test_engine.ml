@@ -17,13 +17,16 @@ let render reports =
 let corpus_codes ?(seed = 11) n =
   List.map (fun s -> s.Solc.Corpus.code) (Solc.Corpus.dataset3 ~seed ~n)
 
+let engine ?(jobs = 1) () =
+  Sigrec.Engine.make Sigrec.Engine.Config.(default |> with_jobs jobs)
+
 let test_parallel_matches_sequential () =
   let codes = corpus_codes 12 in
   let seq =
-    Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) codes
+    Sigrec.Engine.recover_all (engine ~jobs:1 ()) codes
   in
   let par =
-    Sigrec.Engine.recover_all ~jobs:4 (Sigrec.Engine.create ()) codes
+    Sigrec.Engine.recover_all (engine ~jobs:4 ()) codes
   in
   Alcotest.(check int) "one report per input" (List.length codes)
     (List.length par);
@@ -35,9 +38,9 @@ let test_parallel_matches_sequential () =
 
 let test_cache_identical_to_cold () =
   let codes = corpus_codes ~seed:12 8 in
-  let engine = Sigrec.Engine.create () in
-  let cold = Sigrec.Engine.recover_all ~jobs:2 engine codes in
-  let warm = Sigrec.Engine.recover_all ~jobs:2 engine codes in
+  let engine = engine ~jobs:2 () in
+  let cold = Sigrec.Engine.recover_all engine codes in
+  let warm = Sigrec.Engine.recover_all engine codes in
   Alcotest.(check string) "warm results identical to cold" (render cold)
     (render warm);
   List.iter
@@ -63,8 +66,8 @@ let test_one_analysis_per_distinct_bytecode () =
   in
   (* a duplicate-heavy batch: main net's common case *)
   let codes = distinct @ distinct @ List.rev distinct in
-  let engine = Sigrec.Engine.create () in
-  let merged = Sigrec.Aggregate.recover_many ~engine ~jobs:2 codes in
+  let engine = engine ~jobs:2 () in
+  let merged = Sigrec.Aggregate.recover_many ~engine codes in
   let stats = Sigrec.Engine.stats engine in
   Alcotest.(check int) "one analysis per distinct bytecode"
     (List.length distinct)
@@ -93,15 +96,13 @@ let test_batch_dedup_counted () =
     Solc.Compile.compile_fn
       (Solc.Lang.fn_of_sig (Abi.Funsig.make "d" [ Uint 256 ]))
   in
-  let engine = Sigrec.Engine.create () in
-  let reports =
-    Sigrec.Engine.recover_all ~jobs:2 engine [ code; code; code ]
-  in
+  let engine = engine ~jobs:2 () in
+  let reports = Sigrec.Engine.recover_all engine [ code; code; code ] in
   Alcotest.(check int) "three reports" 3 (List.length reports);
   Alcotest.(check int) "two batch duplicates" 2
     (Sigrec.Stats.inputs_deduped (Sigrec.Engine.stats engine));
   (* duplicates of an already-cached input still count as batch dups *)
-  let _ = Sigrec.Engine.recover_all ~jobs:1 engine [ code; code ] in
+  let _ = Sigrec.Engine.recover_all engine [ code; code ] in
   Alcotest.(check int) "cached duplicate counted" 3
     (Sigrec.Stats.inputs_deduped (Sigrec.Engine.stats engine))
 
@@ -110,7 +111,7 @@ let test_interner_traffic_recorded () =
     Solc.Compile.compile_fn
       (Solc.Lang.fn_of_sig (Abi.Funsig.make "i" [ Address; Uint 256 ]))
   in
-  let engine = Sigrec.Engine.create () in
+  let engine = engine () in
   let _ = Sigrec.Engine.recover engine code in
   let stats = Sigrec.Engine.stats engine in
   let hits = Sigrec.Stats.intern_hits stats in
@@ -127,7 +128,7 @@ let test_budget_exhaustion_surfaces () =
   let fsig = Abi.Funsig.make "f" [ Uint 256; Address ] in
   let code = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig) in
   (* control: with the default budget this recovers cleanly *)
-  let ok = Sigrec.Engine.recover (Sigrec.Engine.create ()) code in
+  let ok = Sigrec.Engine.recover (engine ()) code in
   Alcotest.(check bool) "control run recovers" true
     (List.exists
        (function Sigrec.Engine.Recovered _ -> true | _ -> false)
@@ -140,7 +141,9 @@ let test_budget_exhaustion_surfaces () =
       Symex.Exec.max_forks_per_pc = 0;
     }
   in
-  let engine = Sigrec.Engine.create ~budget () in
+  let engine =
+    Sigrec.Engine.make Sigrec.Engine.Config.(default |> with_budget budget)
+  in
   let report = Sigrec.Engine.recover engine code in
   Alcotest.(check bool) "outcomes not silently empty" true
     (report.Sigrec.Engine.outcomes <> []);
@@ -158,7 +161,7 @@ let test_budget_exhaustion_surfaces () =
 let test_no_functions_is_empty_not_failed () =
   (* PUSH1 0; PUSH1 0; RETURN — valid bytecode, no dispatcher *)
   let code = Evm.Hex.decode "60006000f3" in
-  let report = Sigrec.Engine.recover (Sigrec.Engine.create ()) code in
+  let report = Sigrec.Engine.recover (engine ()) code in
   Alcotest.(check int) "no outcomes" 0
     (List.length report.Sigrec.Engine.outcomes)
 
@@ -195,7 +198,7 @@ let test_stats_merge () =
 let test_engine_matches_recover () =
   (* the engine's signature view is the old Recover.recover result *)
   let codes = corpus_codes ~seed:13 6 in
-  let engine = Sigrec.Engine.create () in
+  let engine = engine () in
   List.iter
     (fun code ->
       let via_engine =

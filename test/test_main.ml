@@ -21,6 +21,8 @@ let () =
       ("corpus", Test_corpus.suite);
       ("tools", Test_tools.suite);
       ("input", Test_input.suite);
+      ("serve", Test_serve.suite);
+      ("pool", Test_pool.suite);
       ("trace", Test_trace.suite);
       ("drift", Test_drift.suite);
       ("proptest", Test_prop.suite);

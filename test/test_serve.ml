@@ -1,0 +1,272 @@
+(* The resident recovery service: protocol goldens, malformed requests
+   answered without killing the daemon, warnings routed into the JSON
+   response stream, cross-request cache hits, the bounded LRU actually
+   bounding, and jobs>=2 responses byte-identical to sequential. *)
+
+open Abi.Abity
+
+let default_serve () = Sigrec.Serve.create Sigrec.Engine.Config.default
+
+let handle t line = (Sigrec.Serve.handle_line t line).Sigrec.Serve.response
+
+let compile fsig = Solc.Compile.compile_fn (Solc.Lang.fn_of_sig fsig)
+
+let recover_request ?(id = "1") codes =
+  Printf.sprintf {|{"id":%s,"op":"recover","codes":[%s]}|} id
+    (String.concat ","
+       (List.map (fun c -> "\"0x" ^ Evm.Hex.encode c ^ "\"") codes))
+
+(* -- goldens ----------------------------------------------------------- *)
+
+let test_protocol_goldens () =
+  let t = default_serve () in
+  Alcotest.(check string) "ping" {|{"id":7,"ok":true,"pong":true}|}
+    (handle t {|{"id":7,"op":"ping"}|});
+  Alcotest.(check string) "id echoed verbatim"
+    {|{"id":"req-a","ok":true,"pong":true}|}
+    (handle t {|{"id":"req-a","op":"ping"}|});
+  Alcotest.(check string) "missing id becomes null"
+    {|{"id":null,"ok":true,"pong":true}|}
+    (handle t {|{"op":"ping"}|});
+  Alcotest.(check string) "unknown op rejected"
+    {|{"id":1,"ok":false,"error":"unknown op \"frob\""}|}
+    (handle t {|{"id":1,"op":"frob"}|});
+  Alcotest.(check string) "missing op rejected"
+    {|{"id":2,"ok":false,"error":"missing \"op\""}|}
+    (handle t {|{"id":2}|});
+  let reply = Sigrec.Serve.handle_line t {|{"id":3,"op":"shutdown"}|} in
+  Alcotest.(check string) "shutdown acknowledged"
+    {|{"id":3,"ok":true,"shutdown":true}|}
+    reply.Sigrec.Serve.response;
+  Alcotest.(check bool) "shutdown flagged" true reply.Sigrec.Serve.shutdown
+
+let test_malformed_does_not_kill () =
+  let t = default_serve () in
+  (* every hostile line must produce an ok:false line, and the very
+     same daemon must still answer the next well-formed request *)
+  List.iter
+    (fun line ->
+      match Sigrec.Json.parse (handle t line) with
+      | Ok response ->
+        Alcotest.(check bool)
+          (Printf.sprintf "ok:false for %S" line)
+          true
+          (Sigrec.Json.member "ok" response = Some (Sigrec.Json.Bool false))
+      | Error e -> Alcotest.failf "unparseable error response: %s" e)
+    [
+      "not json at all";
+      "{\"id\":1,\"op\":";
+      {|{"id":1,"op":42}|};
+      {|{"id":1,"op":"recover"}|};
+      {|{"id":1,"op":"recover","codes":"0x60"}|};
+      {|{"id":1,"op":"recover","codes":[1,2]}|};
+      "[1,2,3]";
+      {|"just a string"|};
+    ];
+  Alcotest.(check string) "daemon still alive"
+    {|{"id":9,"ok":true,"pong":true}|}
+    (handle t {|{"id":9,"op":"ping"}|})
+
+(* -- recover: reports, warnings, cache --------------------------------- *)
+
+let member_exn name json =
+  match Sigrec.Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing %S" name
+
+let parse_exn line =
+  match Sigrec.Json.parse line with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unparseable response: %s" e
+
+let test_recover_warnings_in_stream () =
+  let t = default_serve () in
+  let code = compile (Abi.Funsig.make "w" [ Uint 256 ]) in
+  let request =
+    Printf.sprintf {|{"id":1,"op":"recover","codes":["0x%s","xyz",""]}|}
+      (Evm.Hex.encode code)
+  in
+  let response = parse_exn (handle t request) in
+  Alcotest.(check bool) "ok" true
+    (member_exn "ok" response = Sigrec.Json.Bool true);
+  (match Sigrec.Json.to_list_opt (member_exn "reports" response) with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "expected exactly one report");
+  match Sigrec.Json.to_list_opt (member_exn "warnings" response) with
+  | Some [ w1; w2 ] ->
+    Alcotest.(check (option int)) "bad entry index" (Some 1)
+      (Option.bind (Sigrec.Json.member "index" w1) Sigrec.Json.to_int_opt);
+    Alcotest.(check (option int)) "blank entry index" (Some 2)
+      (Option.bind (Sigrec.Json.member "index" w2) Sigrec.Json.to_int_opt);
+    Alcotest.(check bool) "blank entry reason" true
+      (Sigrec.Json.member "reason" w2
+      = Some (Sigrec.Json.Str "empty bytecode"))
+  | _ -> Alcotest.fail "expected two warnings in the response stream"
+
+let test_cross_request_cache_hits () =
+  let t = default_serve () in
+  let codes =
+    [
+      compile (Abi.Funsig.make "a" [ Address ]);
+      compile (Abi.Funsig.make "b" [ Uint 8; Bytes ]);
+    ]
+  in
+  let cold = parse_exn (handle t (recover_request codes)) in
+  let warm = parse_exn (handle t (recover_request codes)) in
+  let from_cache response =
+    match Sigrec.Json.to_list_opt (member_exn "reports" response) with
+    | Some reports ->
+      List.map (fun r -> member_exn "from_cache" r) reports
+    | None -> Alcotest.fail "reports not a list"
+  in
+  Alcotest.(check bool) "cold run is fresh" true
+    (List.for_all (( = ) (Sigrec.Json.Bool false)) (from_cache cold));
+  Alcotest.(check bool) "repeat answered from cache" true
+    (List.for_all (( = ) (Sigrec.Json.Bool true)) (from_cache warm));
+  let stats = Sigrec.Engine.stats (Sigrec.Serve.engine t) in
+  Alcotest.(check int) "cross-request cache hits counted"
+    (List.length codes)
+    (Sigrec.Stats.cache_hits stats);
+  Alcotest.(check int) "each bytecode analyzed once" (List.length codes)
+    (Sigrec.Stats.cache_misses stats);
+  (* metrics reflect the same counters, live *)
+  let metrics = parse_exn (handle t {|{"id":2,"op":"metrics"}|}) in
+  let stats_json = member_exn "stats" metrics in
+  Alcotest.(check (option int)) "metrics cache_hits" (Some 2)
+    (Option.bind
+       (Sigrec.Json.member "cache_hits" stats_json)
+       Sigrec.Json.to_int_opt);
+  Alcotest.(check (option int)) "metrics request count" (Some 3)
+    (Option.bind (Sigrec.Json.member "requests" metrics)
+       Sigrec.Json.to_int_opt)
+
+(* elapsed_ns is a wall-clock measurement, deliberately excluded from
+   the determinism invariant (as it is from pp_report); everything else
+   in the response must match byte for byte *)
+let rec strip_timing = function
+  | Sigrec.Json.Obj fields ->
+    Sigrec.Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "elapsed_ns" then None else Some (k, strip_timing v))
+         fields)
+  | Sigrec.Json.Arr items -> Sigrec.Json.Arr (List.map strip_timing items)
+  | v -> v
+
+let test_parallel_response_identical () =
+  let codes =
+    [
+      compile (Abi.Funsig.make "p" [ Uint 256; Address ]);
+      compile (Abi.Funsig.make "q" [ Bytes ]);
+      compile (Abi.Funsig.make "r" [ Bool; Uint 32 ]);
+    ]
+  in
+  let codes = codes @ codes in
+  let response jobs =
+    let t =
+      Sigrec.Serve.create
+        Sigrec.Engine.Config.(default |> with_jobs jobs)
+    in
+    Sigrec.Json.to_string
+      (strip_timing (parse_exn (handle t (recover_request codes))))
+  in
+  Alcotest.(check string) "jobs=4 response byte-identical to jobs=1"
+    (response 1) (response 4)
+
+(* -- bounded LRU ------------------------------------------------------- *)
+
+let test_lru_eviction_bound () =
+  let lru = Sigrec.Lru.create ~capacity:2 in
+  Sigrec.Lru.add lru "a" 1;
+  Sigrec.Lru.add lru "b" 2;
+  (* touching [a] makes [b] the eviction victim *)
+  Alcotest.(check (option int)) "find promotes" (Some 1)
+    (Sigrec.Lru.find_opt lru "a");
+  Sigrec.Lru.add lru "c" 3;
+  Alcotest.(check int) "bound held" 2 (Sigrec.Lru.length lru);
+  Alcotest.(check bool) "LRU entry evicted" false (Sigrec.Lru.mem lru "b");
+  Alcotest.(check bool) "promoted entry kept" true (Sigrec.Lru.mem lru "a");
+  Alcotest.(check int) "eviction counted" 1 (Sigrec.Lru.evictions lru);
+  (* peek must not disturb recency order *)
+  Alcotest.(check (option int)) "peek reads" (Some 1)
+    (Sigrec.Lru.peek_opt lru "a");
+  ignore (Sigrec.Lru.find_opt lru "c");
+  ignore (Sigrec.Lru.peek_opt lru "a");
+  Sigrec.Lru.add lru "d" 4;
+  Alcotest.(check bool) "peek did not promote" false
+    (Sigrec.Lru.mem lru "a")
+
+let test_engine_cache_bounded () =
+  let engine =
+    Sigrec.Engine.make
+      Sigrec.Engine.Config.(
+        default |> with_jobs 1 |> with_cache_capacity 2)
+  in
+  let codes =
+    List.map compile
+      [
+        Abi.Funsig.make "e1" [ Uint 256 ];
+        Abi.Funsig.make "e2" [ Address ];
+        Abi.Funsig.make "e3" [ Bool ];
+        Abi.Funsig.make "e4" [ Bytes ];
+      ]
+  in
+  let reports = Sigrec.Engine.recover_all engine codes in
+  Alcotest.(check int) "all inputs answered despite evictions"
+    (List.length codes) (List.length reports);
+  Alcotest.(check bool) "cache stayed within capacity" true
+    (Sigrec.Engine.cache_size engine <= 2);
+  Alcotest.(check int) "evictions surfaced in stats" 2
+    (Sigrec.Stats.cache_evictions (Sigrec.Engine.stats engine))
+
+(* -- the JSON layer itself --------------------------------------------- *)
+
+let test_json_round_trip () =
+  List.iter
+    (fun s ->
+      match Sigrec.Json.parse s with
+      | Ok v -> Alcotest.(check string) s s (Sigrec.Json.to_string v)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [
+      {|{"a":[1,2,3],"b":{"c":null,"d":false},"e":"x"}|};
+      {|[true,false,null,-7,"\\\""]|};
+      {|"esc\n\t"|};
+      "123456";
+    ];
+  List.iter
+    (fun s ->
+      match Sigrec.Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ];
+  (* \u escapes decode to UTF-8 *)
+  match Sigrec.Json.parse {|"é😀"|} with
+  | Ok (Sigrec.Json.Str s) ->
+    Alcotest.(check string) "utf-8 decoding" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "unicode escape rejected"
+
+let test_parse_codes_indices () =
+  let batch = Sigrec.Input.parse_codes [ "0x60016002"; "zz"; ""; "0x" ] in
+  Alcotest.(check int) "one valid code" 1
+    (List.length batch.Sigrec.Input.codes);
+  Alcotest.(check (list int)) "0-based skip indices" [ 1; 2; 3 ]
+    (List.map fst batch.Sigrec.Input.skipped)
+
+let suite =
+  [
+    Alcotest.test_case "protocol goldens" `Quick test_protocol_goldens;
+    Alcotest.test_case "malformed requests do not kill the daemon" `Quick
+      test_malformed_does_not_kill;
+    Alcotest.test_case "warnings routed into the response stream" `Quick
+      test_recover_warnings_in_stream;
+    Alcotest.test_case "cross-request cache hits" `Quick
+      test_cross_request_cache_hits;
+    Alcotest.test_case "jobs>=2 response byte-identical" `Slow
+      test_parallel_response_identical;
+    Alcotest.test_case "LRU eviction bound" `Quick test_lru_eviction_bound;
+    Alcotest.test_case "engine cache bounded" `Quick
+      test_engine_cache_bounded;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "parse_codes indices" `Quick
+      test_parse_codes_indices;
+  ]

@@ -26,7 +26,10 @@ let render code =
   String.concat "\n"
     (List.map
        (Format.asprintf "%a" Sigrec.Engine.pp_report)
-       (Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) [ code ]))
+       (Sigrec.Engine.recover_all
+          (Sigrec.Engine.make
+             Sigrec.Engine.Config.(default |> with_jobs 1))
+          [ code ]))
 
 (* tracing on vs off must not change a single output byte *)
 let on_off_identical () =
@@ -181,7 +184,9 @@ let elapsed_ns_in_outcomes () =
   let code = token () in
   let report =
     List.hd
-      (Sigrec.Engine.recover_all ~jobs:1 (Sigrec.Engine.create ()) [ code ])
+      (Sigrec.Engine.recover_all
+         (Sigrec.Engine.make Sigrec.Engine.Config.(default |> with_jobs 1))
+         [ code ])
   in
   List.iter
     (fun o ->
@@ -196,8 +201,9 @@ let elapsed_ns_in_outcomes () =
     (Format.asprintf "%a" Sigrec.Engine.pp_report report)
     (Format.asprintf "%a" Sigrec.Engine.pp_report
        (List.hd
-          (Sigrec.Engine.recover_all ~jobs:1
-             (Sigrec.Engine.create ())
+          (Sigrec.Engine.recover_all
+             (Sigrec.Engine.make
+                Sigrec.Engine.Config.(default |> with_jobs 1))
              [ code ])))
 
 let stats_json_shape () =
