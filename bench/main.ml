@@ -639,6 +639,7 @@ let obfuscation () =
                   {
                     Solc.Compile.fns = [ s.Solc.Corpus.fn ];
                     version = s.Solc.Corpus.version;
+                    storage = [];
                   }
             in
             (code, Solc.Corpus.truth s))
@@ -689,7 +690,8 @@ let obfuscation () =
       let code =
         Solc.Obfuscate.compile_obfuscated ~level:2 ~seed
           { Solc.Compile.fns = [ s.Solc.Corpus.fn ];
-            version = s.Solc.Corpus.version }
+            version = s.Solc.Corpus.version;
+            storage = [] }
       in
       ignore (Sigrec.Recover.recover code))
 
@@ -771,6 +773,7 @@ let static_pass () =
              {
                Solc.Compile.fns = [ s.Solc.Corpus.fn ];
                version = s.Solc.Corpus.version;
+               storage = [];
              })
   in
   let codes = List.map (fun s -> s.Solc.Corpus.code) samples @ obf in
@@ -1519,6 +1522,136 @@ let serve_scaling ?(emit = true) ?(n = 180) ?(big = 0) () =
   end;
   ok
 
+(* ---------------------------------------------------------------- *)
+(* Storage-layout pass: the second recovery product                  *)
+(* ---------------------------------------------------------------- *)
+
+(* Three gates, emitted to BENCH_layout.json and enforced in --smoke:
+
+   - precision: the recovered layout matches the generator's declared
+     storage exactly — slots, kinds, packed lane boundaries — on every
+     contract of the seeded layout corpus, with zero unresolved
+     storage ops;
+   - drift: the batch fan-out output is byte-identical across jobs=1
+     and jobs=2;
+   - cache: a repeated batch is answered from the layout LRU without
+     re-analysis.
+
+   Throughput (layouts/sec) is reported for tracking but not gated:
+   absolute timing is machine-dependent. *)
+let layout_pass ?(emit = true) ?(n = 150) () =
+  section "Storage-layout pass: precision and batch fan-out";
+  let samples = Solc.Corpus.layout_set ~seed:(seed + 17) ~n in
+  let codes = List.map (fun s -> s.Solc.Corpus.lcode) samples in
+  let module Layout = Sigrec_layout.Layout in
+  let expected_decl (v : Solc.Lang.svar) =
+    match v.Solc.Lang.kind with
+    | Solc.Lang.Svalue [ 256 ] -> Layout.Word
+    | Solc.Lang.Svalue widths ->
+      Layout.Packed
+        (List.map
+           (fun (bit_offset, bit_width) -> { Layout.bit_offset; bit_width })
+           (Option.get (Solc.Storage.truth_members widths)))
+    | Solc.Lang.Smapping -> Layout.Mapping
+    | Solc.Lang.Sarray -> Layout.Dyn_array
+  in
+  let shape_string entries =
+    String.concat "; "
+      (List.map
+         (fun (slot, decl) ->
+           Printf.sprintf "0x%s:%s"
+             (Evm.U256.to_hex slot)
+             (Layout.decl_to_string decl))
+         entries)
+  in
+  let render reports =
+    String.concat "\n"
+      (List.map
+         (fun (r : Sigrec.Engine.layout_report) ->
+           Format.asprintf "0x%s %a" r.Sigrec.Engine.layout_code_hash
+             Layout.pp r.Sigrec.Engine.layout)
+         reports)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq =
+    wall (fun () -> Sigrec.Engine.layout_all (engine_with ()) codes)
+  in
+  let par, t_par =
+    wall (fun () -> Sigrec.Engine.layout_all (engine_with ~jobs:2 ()) codes)
+  in
+  let drift_gate = render seq = render par in
+  (* precision against the declared ground truth *)
+  let declared = ref 0 and exact = ref 0 and unresolved = ref 0 in
+  let total_slots = ref 0 in
+  List.iter2
+    (fun (s : Solc.Corpus.layout_sample)
+         (r : Sigrec.Engine.layout_report) ->
+      let want =
+        List.sort
+          (fun (a, _) (b, _) -> Evm.U256.compare a b)
+          (List.map
+             (fun (v : Solc.Lang.svar) ->
+               (Evm.U256.of_int v.Solc.Lang.slot, expected_decl v))
+             s.Solc.Corpus.svars)
+      in
+      let got =
+        List.map
+          (fun (e : Layout.entry) -> (e.Layout.slot, e.Layout.decl))
+          r.Sigrec.Engine.layout.Layout.entries
+      in
+      incr declared;
+      total_slots := !total_slots + List.length want;
+      unresolved :=
+        !unresolved + r.Sigrec.Engine.layout.Layout.unknown_ops;
+      if
+        shape_string got = shape_string want
+        && r.Sigrec.Engine.layout.Layout.complete
+      then incr exact)
+    samples seq;
+  let precision_gate = !exact = !declared && !unresolved = 0 in
+  (* a repeated batch must be answered from the layout LRU *)
+  let engine = engine_with ~jobs:2 () in
+  let _ = Sigrec.Engine.layout_all engine codes in
+  let warm = Sigrec.Engine.layout_all engine codes in
+  let cache_gate =
+    List.for_all (fun r -> r.Sigrec.Engine.layout_from_cache) warm
+    && render warm = render seq
+  in
+  let per_sec = float_of_int n /. Stdlib.max 1e-9 t_seq in
+  Printf.printf
+    "layout recovery over %d contracts (%d declared slots):\n\
+    \  exact layouts: %d/%d  unresolved storage ops: %d\n\
+    \  sequential: %.3f s (%.0f layouts/s)   jobs=2: %.3f s\n\
+    \  parallel output byte-identical: %b   warm batch cached: %b\n\
+     gates: precision %s, drift %s, cache %s\n"
+    n !total_slots !exact !declared !unresolved t_seq per_sec t_par
+    drift_gate cache_gate
+    (if precision_gate then "ok" else "FAIL")
+    (if drift_gate then "ok" else "FAIL")
+    (if cache_gate then "ok" else "FAIL");
+  let ok = precision_gate && drift_gate && cache_gate in
+  if emit then begin
+    let json =
+      Printf.sprintf
+        "{\"corpus_contracts\":%d,\"declared_slots\":%d,\
+         \"exact_layouts\":%d,\"unresolved_ops\":%d,\
+         \"wall_seconds_jobs1\":%.4f,\"wall_seconds_jobs2\":%.4f,\
+         \"layouts_per_second\":%.1f,\
+         \"precision_gate\":%b,\"drift_gate\":%b,\"cache_gate\":%b}"
+        n !total_slots !exact !unresolved t_seq t_par per_sec
+        precision_gate drift_gate cache_gate
+    in
+    Out_channel.with_open_text "BENCH_layout.json" (fun oc ->
+        output_string oc json;
+        output_char oc '\n');
+    Printf.printf "wrote BENCH_layout.json\n"
+  end;
+  ok
+
 (* --smoke: the drift checks only, on a small corpus, fast enough for
    CI. Exit status 1 when any recovery output drifts (parallel vs
    sequential, pruned vs unpruned, warm vs cold, interned vs structural
@@ -1530,10 +1663,11 @@ let smoke () =
   let ok = symex_core ~emit:false ~n:16 () in
   let trace_ok = trace_overhead ~emit:true ~n:32 () in
   let serve_ok = serve_scaling ~emit:true ~n:180 () in
-  if ok && trace_ok && serve_ok then
+  let layout_ok = layout_pass ~emit:true ~n:60 () in
+  if ok && trace_ok && serve_ok && layout_ok then
     Printf.printf
       "\nsmoke: recovery output stable, trace overhead in budget, \
-       resident-service gates hold\n"
+       resident-service and layout gates hold\n"
   else begin
     if not ok then Printf.printf "\nsmoke: RECOVERY OUTPUT DRIFT DETECTED\n";
     if not trace_ok then
@@ -1541,6 +1675,9 @@ let smoke () =
     if not serve_ok then
       Printf.printf
         "\nsmoke: RESIDENT SERVICE GATE FAILED (see BENCH_serve.json)\n";
+    if not layout_ok then
+      Printf.printf
+        "\nsmoke: STORAGE-LAYOUT GATE FAILED (see BENCH_layout.json)\n";
     exit 1
   end
 
@@ -1567,6 +1704,7 @@ let () =
     let (_ : bool) = symex_core () in
     let (_ : bool) = trace_overhead () in
     let (_ : bool) = serve_scaling ~big:1000 () in
+    let (_ : bool) = layout_pass () in
     aggregation ();
     proptest_volume ();
     run_bechamel ();

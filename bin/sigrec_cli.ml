@@ -171,21 +171,67 @@ let batch_cmd config input show_stats format trace =
   end;
   0
 
-let lint_cmd input show_stats format trace =
+let print_layout_text (lr : Sigrec.Engine.layout_report) =
+  Format.printf "code hash 0x%s%s@.%a@."
+    lr.Sigrec.Engine.layout_code_hash
+    (if lr.Sigrec.Engine.layout_from_cache then " (cached)" else "")
+    Sigrec_layout.Layout.pp lr.Sigrec.Engine.layout
+
+let layout_cmd config input batch show_stats format trace =
+  let engine = Sigrec.Engine.make config in
+  let reports =
+    with_trace trace (fun () ->
+        if batch then
+          Sigrec.Engine.layout_all engine (read_bytecode_list input)
+        else [ Sigrec.Engine.layout engine (read_bytecode input) ])
+  in
+  (match format with
+  | `Json ->
+    List.iter
+      (fun lr -> print_endline (Sigrec.Render.layout_report lr))
+      reports
+  | `Text -> List.iter print_layout_text reports);
+  if show_stats then begin
+    match format with
+    | `Text ->
+      let stats = Sigrec.Engine.stats engine in
+      Format.printf "layouts: %d recovered, %d slots (%d unresolved ops)@."
+        (Sigrec.Stats.layouts_recovered stats)
+        (Sigrec.Stats.layout_slots stats)
+        (Sigrec.Stats.layout_unknown_ops stats)
+    | `Json -> print_stats_json (Sigrec.Engine.stats engine)
+  end;
+  0
+
+let lint_cmd input layout show_stats format trace =
   let bytecode = read_bytecode input in
   let stats = Sigrec.Stats.create () in
-  let verdicts = with_trace trace (fun () -> Sigrec.Lint.check ~stats bytecode) in
+  let verdicts, layout_verdict =
+    with_trace trace (fun () ->
+        let verdicts = Sigrec.Lint.check ~stats bytecode in
+        let lv =
+          if layout then Some (Sigrec.Lint.check_layout ~stats bytecode)
+          else None
+        in
+        (verdicts, lv))
+  in
   (match format with
   | `Json ->
     print_endline
-      (Sigrec.Json.arr (List.map Sigrec.Render.verdict verdicts))
+      (Sigrec.Json.arr (List.map Sigrec.Render.verdict verdicts));
+    Option.iter
+      (fun lv -> print_endline (Sigrec.Render.layout_verdict lv))
+      layout_verdict
   | `Text ->
     if verdicts = [] then
       Printf.printf "no public/external functions found\n"
     else
       List.iter
         (fun v -> Format.printf "%a" Sigrec.Lint.pp_verdict v)
-        verdicts);
+        verdicts;
+    Option.iter
+      (fun lv -> Format.printf "%a" Sigrec.Lint.pp_layout_verdict lv)
+      layout_verdict);
   if show_stats then begin
     match format with
     | `Text ->
@@ -194,7 +240,11 @@ let lint_cmd input show_stats format trace =
         (Sigrec.Stats.lint_disagreements stats)
     | `Json -> print_stats_json stats
   end;
-  if List.for_all Sigrec.Lint.agree verdicts then 0 else 1
+  if
+    List.for_all Sigrec.Lint.agree verdicts
+    && Option.fold ~none:true ~some:Sigrec.Lint.layout_agree layout_verdict
+  then 0
+  else 1
 
 (* ---- explain: the per-function recovery narrative ------------------- *)
 
@@ -529,6 +579,20 @@ let explain_term =
   in
   Term.(const explain_cmd $ Flags.engine_config $ input_arg $ profile)
 
+let layout_term =
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Treat $(b,BYTECODE) as a list file (one hex bytecode per \
+             line, # comments skipped) and recover every layout through \
+             the batch engine.")
+  in
+  Term.(
+    const layout_cmd $ Flags.engine_config $ input_arg $ batch $ Flags.stats
+    $ Flags.format $ Flags.trace)
+
 let serve_term =
   let socket =
     let doc =
@@ -569,6 +633,13 @@ let cmds =
             over worker domains.")
       batch_term;
     Cmd.v
+      (Cmd.info "layout"
+         ~doc:
+           "Recover the contract's storage layout: declared slots with \
+            their kind (word, packed members, mapping, dynamic array) \
+            from a static pass over the SSTORE/SLOAD patterns.")
+      layout_term;
+    Cmd.v
       (Cmd.info "serve"
          ~doc:
            "Stay resident as a recovery daemon: line-oriented JSON \
@@ -582,8 +653,19 @@ let cmds =
            "Cross-check the recovered signatures against a static \
             abstract-interpretation summary of the same bytecode; exits \
             non-zero on any disagreement.")
-      Term.(
-        const lint_cmd $ input_arg $ Flags.stats $ Flags.format $ Flags.trace);
+      (let layout =
+         Arg.(
+           value & flag
+           & info [ "layout" ]
+               ~doc:
+                 "Also diff the recovered storage layout against \
+                  interpreter-observed storage traffic: every dispatcher \
+                  entry is driven concretely and each written cell must \
+                  be explained by a recovered declaration.")
+       in
+       Term.(
+         const lint_cmd $ input_arg $ layout $ Flags.stats $ Flags.format
+         $ Flags.trace));
     Cmd.v
       (Cmd.info "explain"
          ~doc:

@@ -8,8 +8,16 @@
 let () =
   let open Abi.Abity in
   let token =
+    (* ERC-20 shape: total supply word, balances mapping, a packed
+       (decimals, owner) slot *)
     Solc.Compile.compile
       (Solc.Compile.contract_of_sigs
+         ~storage:
+           [
+             Solc.Lang.svalue 0;
+             Solc.Lang.smapping 1;
+             Solc.Lang.svalue ~widths:[ 8; 160 ] 2;
+           ]
          [
            Abi.Funsig.make "transfer" [ Address; Uint 256 ];
            Abi.Funsig.make "approve" [ Address; Uint 256 ];
@@ -20,6 +28,12 @@ let () =
   let exchange =
     Solc.Compile.compile
       (Solc.Compile.contract_of_sigs
+         ~storage:
+           [
+             Solc.Lang.smapping 0;
+             Solc.Lang.sarray 1;
+             Solc.Lang.svalue ~widths:[ 96; 160 ] 2;
+           ]
          [
            Abi.Funsig.make ~visibility:Abi.Funsig.External "swap"
              [ Address; Uint 128; Bool ];
@@ -31,6 +45,7 @@ let () =
   let registry =
     Solc.Compile.compile
       (Solc.Compile.contract_of_sigs
+         ~storage:[ Solc.Lang.sarray 0; Solc.Lang.svalue 1 ]
          [
            Abi.Funsig.make "register" [ Bytes; Int 64 ];
            Abi.Funsig.make ~visibility:Abi.Funsig.External "setMatrix"

@@ -1,0 +1,57 @@
+(** Storage-layout recovery: a second product of the same abstract
+    interpretation that resolves jumps and summarises calldata access.
+
+    The pass classifies every base slot the contract's SSTORE/SLOAD
+    traffic touches:
+
+    - a slot addressed only by a constant is a {!Word} (one full-width
+      variable), unless mask evidence — [SLOAD; SHR k; AND ones(w)]
+      reads or [AND ~(ones(w) << k)] write clears — shows sub-word
+      members, in which case it is {!Packed};
+    - a slot whose keccak([key . slot]) derivation flows to a storage
+      op is a {!Mapping};
+    - a slot whose keccak([slot]) derivation does is a {!Dyn_array}
+      (the word at the slot itself being the length).
+
+    Derivations are tracked through {!Sigrec_static.Domain.Slot}
+    values, so index arithmetic over an array's data base does not
+    widen the classification away. *)
+
+type member = { bit_offset : int; bit_width : int }
+
+type decl =
+  | Word                   (** one full-width value *)
+  | Packed of member list  (** sub-word members, offset-sorted *)
+  | Mapping
+  | Dyn_array
+
+type entry = {
+  slot : Evm.U256.t;
+  decl : decl;
+  reads : int;   (** SLOADs attributed to the slot *)
+  writes : int;  (** SSTOREs attributed to the slot *)
+}
+
+type t = {
+  entries : entry list;  (** slot-sorted *)
+  unknown_ops : int;     (** storage ops whose address stayed opaque *)
+  total_ops : int;
+  complete : bool;       (** the underlying fixpoint converged fully *)
+}
+
+val recover : string -> t
+(** [recover code] lifts the runtime bytecode, resolves jumps with a
+    whole-contract fixpoint, and classifies its storage traffic.
+    Emits a [Layout] trace span when tracing is enabled. *)
+
+val of_cfg : Evm.Cfg.t -> t
+val of_result : Sigrec_static.Absint.result -> t
+(** Classification only, over an already-run whole-contract fixpoint. *)
+
+val equal_shape : t -> t -> bool
+(** Same declared slots with the same types; access counts and
+    precision counters are not compared. *)
+
+val equal_decl : decl -> decl -> bool
+val decl_to_string : decl -> string
+val pp : Format.formatter -> t -> unit

@@ -79,6 +79,56 @@ let round_trip ?stats ?config (c : Sig_gen.case) =
       first_error c.Sig_gen.fns
   end
 
+(* -- storage-layout round trip ------------------------------------------ *)
+
+module Layout = Sigrec_layout.Layout
+
+let expected_layout_decl (v : Solc.Lang.svar) =
+  match v.Solc.Lang.kind with
+  | Solc.Lang.Svalue [ 256 ] -> Layout.Word
+  | Solc.Lang.Svalue widths ->
+    let lanes = Option.get (Solc.Storage.truth_members widths) in
+    Layout.Packed
+      (List.map
+         (fun (bit_offset, bit_width) -> { Layout.bit_offset; bit_width })
+         lanes)
+  | Solc.Lang.Smapping -> Layout.Mapping
+  | Solc.Lang.Sarray -> Layout.Dyn_array
+
+let show_layout_shape shape =
+  String.concat "; "
+    (List.map
+       (fun (slot, decl) ->
+         Printf.sprintf "0x%s:%s"
+           (Evm.U256.to_hex slot)
+           (Layout.decl_to_string decl))
+       shape)
+
+let layout_round_trip (c : Sig_gen.case) =
+  let code = Sig_gen.compile c in
+  let layout = Layout.recover code in
+  let want =
+    List.sort
+      (fun (a, _) (b, _) -> Evm.U256.compare a b)
+      (List.map
+         (fun (v : Solc.Lang.svar) ->
+           (Evm.U256.of_int v.Solc.Lang.slot, expected_layout_decl v))
+         c.Sig_gen.svars)
+  in
+  let got =
+    List.map (fun (e : Layout.entry) -> (e.Layout.slot, e.Layout.decl))
+      layout.Layout.entries
+  in
+  if not layout.Layout.complete then Error "layout analysis incomplete"
+  else if layout.Layout.unknown_ops > 0 then
+    Error
+      (Printf.sprintf "%d storage ops left unresolved" layout.Layout.unknown_ops)
+  else if show_layout_shape got <> show_layout_shape want then
+    Error
+      (Printf.sprintf "layout changed: declared [%s], recovered [%s]"
+         (show_layout_shape want) (show_layout_shape got))
+  else Ok ()
+
 (* -- drift -------------------------------------------------------------- *)
 
 let render reports =

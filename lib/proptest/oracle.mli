@@ -21,6 +21,14 @@ val round_trip :
   Sig_gen.case ->
   (unit, string) result
 
+val layout_round_trip : Sig_gen.case -> (unit, string) result
+(** [svar list -> bytecode -> Layout.recover] must reproduce the
+    declared storage layout exactly — slots, kinds, and packed lane
+    boundaries — with the analysis complete and zero unresolved
+    storage ops. Junk insertion and constant splitting are folded away
+    by the abstract domain, so the property holds at every obfuscation
+    level the generator emits. *)
+
 val drift : Sig_gen.case list -> (unit, string) result
 
 type abi_case = {

@@ -3,6 +3,7 @@ open Abi
 type case = {
   fns : Solc.Lang.fn_spec list;
   version : Solc.Version.t;
+  svars : Solc.Lang.svar list;
   obf_level : int;
   obf_seed : int;
 }
@@ -51,8 +52,17 @@ let version_index (v : Solc.Version.t) =
   in
   idx 0 vs
 
+(* The plain word [Svalue [256]] is the unique minimum, so every
+   {!shrink_svar} candidate is strictly smaller. *)
+let size_svar (v : Solc.Lang.svar) =
+  match v.Solc.Lang.kind with
+  | Solc.Lang.Svalue [ 256 ] -> 1
+  | Solc.Lang.Svalue widths -> 1 + List.length widths
+  | Solc.Lang.Smapping | Solc.Lang.Sarray -> 2
+
 let size_case c =
   List.fold_left (fun acc fn -> acc + size_fn fn) 0 c.fns
+  + List.fold_left (fun acc v -> acc + size_svar v) 0 c.svars
   + version_index c.version + c.obf_level
 
 (* -- generators -------------------------------------------------------- *)
@@ -169,6 +179,15 @@ let case : case Gen.t =
     else 1
   in
   let fns = Gen.init_in_order nfns (fun k -> gen_fn ~version ~slot:k rng size) in
+  (* storage declarations are modelled by the Solidity code generator
+     only; about half the cases declare some, so the signature
+     round-trip keeps running against storage-free contracts too *)
+  let svars =
+    if vyper || Random.State.bool rng then []
+    else
+      let n = 1 + Random.State.int rng 3 in
+      Gen.init_in_order n (fun k -> Solc.Corpus.random_svar rng k)
+  in
   (* semantics-preserving obfuscation is modelled for the Solidity
      code generator only *)
   let obf_level =
@@ -177,12 +196,14 @@ let case : case Gen.t =
       match Random.State.int rng 10 with 0 -> 1 | 1 -> 2 | _ -> 0
   in
   let obf_seed = Random.State.int rng 1_000_000 in
-  { fns; version; obf_level; obf_seed }
+  { fns; version; svars; obf_level; obf_seed }
 
 (* -- compilation and ground truth -------------------------------------- *)
 
 let compile c =
-  let contract = { Solc.Compile.fns = c.fns; version = c.version } in
+  let contract =
+    { Solc.Compile.fns = c.fns; version = c.version; storage = c.svars }
+  in
   if c.obf_level = 0 then Solc.Compile.compile contract
   else Solc.Obfuscate.compile_obfuscated ~level:c.obf_level ~seed:c.obf_seed contract
 
@@ -271,6 +292,22 @@ let shrink_fn (fn : Solc.Lang.fn_spec) : Solc.Lang.fn_spec Seq.t =
   in
   Seq.append plainer structural
 
+(* Strictly [size_svar]-decreasing: packed slots lose lanes or
+   collapse to a plain word, mappings and arrays collapse to a plain
+   word; the declared slot number is preserved throughout. *)
+let shrink_svar (v : Solc.Lang.svar) : Solc.Lang.svar Seq.t =
+  let word = Solc.Lang.svalue v.Solc.Lang.slot in
+  match v.Solc.Lang.kind with
+  | Solc.Lang.Svalue [ 256 ] -> Seq.empty
+  | Solc.Lang.Svalue widths ->
+    Seq.cons word
+      (Seq.filter_map
+         (fun ws ->
+           if ws = [] then None
+           else Some (Solc.Lang.svalue ~widths:ws v.Solc.Lang.slot))
+         (Shrink.list_drop_one widths))
+  | Solc.Lang.Smapping | Solc.Lang.Sarray -> Seq.return word
+
 let shrink_case (c : case) : case Seq.t =
   let drop_obf =
     Seq.map (fun l -> { c with obf_level = l }) (Shrink.int_toward 0 c.obf_level)
@@ -300,10 +337,14 @@ let shrink_case (c : case) : case Seq.t =
         else None)
       (Shrink.int_toward 0 (version_index c.version))
   in
+  let svars =
+    Seq.map (fun svars -> { c with svars }) (Shrink.list shrink_svar c.svars)
+  in
   let fns =
     Seq.map (fun fns -> { c with fns }) (Shrink.list ~min_length:1 shrink_fn c.fns)
   in
-  Seq.append drop_obf (Seq.append simpler_version fns)
+  Seq.append drop_obf
+    (Seq.append simpler_version (Seq.append svars fns))
 
 (* -- rendering --------------------------------------------------------- *)
 
@@ -345,6 +386,12 @@ let show_fn (fn : Solc.Lang.fn_spec) =
     (if marks = [] then "" else " [" ^ String.concat "," marks ^ "]")
 
 let show_case c =
-  Printf.sprintf "{version=%s; obf=%d/seed=%d; size=%d;\n   %s}"
-    c.version.Solc.Version.name c.obf_level c.obf_seed (size_case c)
+  let storage =
+    if c.svars = [] then ""
+    else
+      Printf.sprintf " storage=[%s];"
+        (String.concat "," (List.map Solc.Lang.show_svar c.svars))
+  in
+  Printf.sprintf "{version=%s; obf=%d/seed=%d; size=%d;%s\n   %s}"
+    c.version.Solc.Version.name c.obf_level c.obf_seed (size_case c) storage
     (String.concat ";\n   " (List.map show_fn c.fns))

@@ -17,6 +17,9 @@
 type case = {
   fns : Solc.Lang.fn_spec list;
   version : Solc.Version.t;
+  svars : Solc.Lang.svar list;
+      (** storage declarations (Solidity only) — the ground truth for
+          the layout round-trip oracle *)
   obf_level : int;  (** 0 = plain, 1 = junk insertion, 2 = + constant split *)
   obf_seed : int;
 }
@@ -47,6 +50,11 @@ val shrink_ty : Abi.Abity.t -> Abi.Abity.t Seq.t
     caller's concern; {!shrink_fn} filters with [Abity.valid_in]). *)
 
 val shrink_fn : Solc.Lang.fn_spec -> Solc.Lang.fn_spec Seq.t
+
+val shrink_svar : Solc.Lang.svar -> Solc.Lang.svar Seq.t
+(** Packed slots lose lanes or collapse to a plain word; mappings and
+    arrays collapse to a plain word. Slot numbers are preserved. *)
+
 val shrink_case : case Shrink.t
 
 val show_fn : Solc.Lang.fn_spec -> string

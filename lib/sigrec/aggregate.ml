@@ -83,17 +83,10 @@ let recover_many ?engine ?jobs bytecodes =
         | Some j -> Engine.Config.(default |> with_jobs j)
         | None -> Engine.Config.default)
   in
-  let reports =
-    (* honor a [jobs] override even on a caller-supplied engine *)
-    match jobs with
-    | Some j ->
-      if j = (Engine.config engine).Engine.Config.jobs then
-        Engine.recover_all engine bytecodes
-      else
-        (Engine.recover_all_jobs ~jobs:j engine bytecodes
-         [@ocaml.alert "-deprecated"])
-    | None -> Engine.recover_all engine bytecodes
-  in
+  (* a caller-supplied engine runs with its own configuration: the
+     fan-out is deterministic (output is byte-identical whatever the
+     parallelism), so [jobs] only matters when we build the engine *)
+  let reports = Engine.recover_all engine bytecodes in
   let table = Hashtbl.create 32 in
   List.iter
     (fun report ->

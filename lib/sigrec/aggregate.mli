@@ -37,6 +37,8 @@ val recover_many :
 (** [recover_many bytecodes] recovers every contract and returns one
     aggregated parameter list per function id (selector, joined
     types). Runs through an {!Engine}: byte-identical duplicates are
-    analyzed once, distinct bytecodes fan out over [jobs] domains.
-    Pass [engine] to reuse its cache (and read its hit/miss counters)
-    across calls. *)
+    analyzed once, distinct bytecodes fan out over [jobs] domains
+    ([jobs] shapes the engine built here; a caller-supplied [engine]
+    runs with its own configuration — the recovered output is
+    byte-identical either way). Pass [engine] to reuse its cache (and
+    read its hit/miss counters) across calls. *)

@@ -53,6 +53,7 @@ type report = {
 type t = {
   config : Config.t;
   cache : (string, report) Lru.t; (* 32-byte code hash -> report *)
+  layouts : (string, Sigrec_layout.Layout.t) Lru.t; (* code hash -> layout *)
   lock : Mutex.t;
   stats : Stats.t;
 }
@@ -61,6 +62,7 @@ let make config =
   {
     config;
     cache = Lru.create ~capacity:config.Config.cache_capacity;
+    layouts = Lru.create ~capacity:config.Config.cache_capacity;
     lock = Mutex.create ();
     stats = Stats.create ();
   }
@@ -377,25 +379,125 @@ let recover_all_n jobs t codes =
 let recover_all t codes = recover_all_n (effective_jobs t) t codes
 
 let stats t = t.stats
+
 let cache_size t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
 
-let clear t = Mutex.protect t.lock (fun () -> Lru.clear t.cache)
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Lru.clear t.cache;
+      Lru.clear t.layouts)
 
-(* ---- deprecated optional-argument surface (one release) ------------- *)
+(* ---- storage-layout recovery ---------------------------------------- *)
 
-let create ?(config = Rules.default_config) ?budget ?(static_prune = true) ()
-    =
-  make
+type layout_report = {
+  layout_code_hash : string;
+  layout : Sigrec_layout.Layout.t;
+  layout_from_cache : bool;
+}
+
+let layout_of_code ~stats code =
+  let layout = Sigrec_layout.Layout.recover code in
+  Stats.add_layout stats
+    ~slots:(List.length layout.Sigrec_layout.Layout.entries)
+    ~unknown:layout.Sigrec_layout.Layout.unknown_ops;
+  layout
+
+let layout t code =
+  let hash = Contract.hash_of_code code in
+  let cached = Mutex.protect t.lock (fun () -> Lru.find_opt t.layouts hash) in
+  match cached with
+  | Some layout ->
     {
-      Config.rules = config;
-      budget;
-      static_prune;
-      jobs = 0;
-      cache_capacity = 0;
+      layout_code_hash = Evm.Hex.encode hash;
+      layout;
+      layout_from_cache = true;
+    }
+  | None ->
+    let stats = Stats.create () in
+    let layout = layout_of_code ~stats code in
+    Mutex.protect t.lock (fun () ->
+        Stats.merge_into ~into:t.stats stats;
+        if not (Lru.mem t.layouts hash) then Lru.add t.layouts hash layout);
+    {
+      layout_code_hash = Evm.Hex.encode hash;
+      layout;
+      layout_from_cache = false;
     }
 
-let recover_all_jobs ?jobs t codes =
-  let jobs =
-    match jobs with Some j -> Stdlib.max 1 j | None -> effective_jobs t
+(* The batch sibling: deduplicate by code hash, answer from the layout
+   LRU, fan the distinct misses out over the pool. The layout pass
+   shares nothing across contracts, so the per-item results are
+   independent of the interleaving and the assembly below is
+   byte-identical whatever [jobs] resolves to. *)
+let layout_all t codes =
+  let codes = Array.of_list codes in
+  let n = Array.length codes in
+  let hashes = Array.map Contract.hash_of_code codes in
+  let by_hash = Hashtbl.create ((2 * n) + 1) in
+  let fresh = Array.make n false in
+  let work = ref [] in
+  Mutex.protect t.lock (fun () ->
+      let seen = Hashtbl.create 64 in
+      for i = 0 to n - 1 do
+        let h = hashes.(i) in
+        if not (Hashtbl.mem seen h) then begin
+          Hashtbl.replace seen h ();
+          match Lru.find_opt t.layouts h with
+          | Some layout -> Hashtbl.replace by_hash h layout
+          | None ->
+            fresh.(i) <- true;
+            work := (h, codes.(i)) :: !work
+        end
+      done);
+  let work = Array.of_list (List.rev !work) in
+  let work_n = Array.length work in
+  let results = Array.make work_n None in
+  let jobs = Stdlib.min (effective_jobs t) (Stdlib.max 1 work_n) in
+  let next = Atomic.make 0 in
+  let worker () =
+    let stats = Stats.create () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < work_n then begin
+        let _, code = work.(i) in
+        results.(i) <- Some (layout_of_code ~stats code);
+        loop ()
+      end
+    in
+    loop ();
+    stats
   in
-  recover_all_n jobs t codes
+  let worker_stats =
+    if jobs <= 1 then [ worker () ]
+    else begin
+      Pool.ensure (jobs - 1);
+      let helpers = Stdlib.min (jobs - 1) (Pool.workers ()) in
+      let collected = Array.make (Stdlib.max 1 helpers) None in
+      let batch =
+        Pool.submit
+          (List.init helpers (fun k () -> collected.(k) <- Some (worker ())))
+      in
+      let mine = worker () in
+      Pool.await batch;
+      mine :: List.filter_map Fun.id (Array.to_list collected)
+    end
+  in
+  Mutex.protect t.lock (fun () ->
+      List.iter (fun s -> Stats.merge_into ~into:t.stats s) worker_stats;
+      Array.iteri
+        (fun i (h, _) ->
+          match results.(i) with
+          | Some layout ->
+            Hashtbl.replace by_hash h layout;
+            if not (Lru.mem t.layouts h) then Lru.add t.layouts h layout
+          | None -> ())
+        work);
+  Array.to_list
+    (Array.mapi
+       (fun i _ ->
+         {
+           layout_code_hash = Evm.Hex.encode hashes.(i);
+           layout = Hashtbl.find by_hash hashes.(i);
+           layout_from_cache = not fresh.(i);
+         })
+       codes)

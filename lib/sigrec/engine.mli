@@ -18,9 +18,12 @@
     mutation happens under an internal lock.
 
     Engines are configured with one explicit {!Config.t} record
-    ({!make}) rather than a sprawl of optional arguments; the old
-    [?config ?budget ?static_prune] entry points remain as deprecated
-    wrappers for one release. *)
+    ({!make}) rather than a sprawl of optional arguments.
+
+    Besides signatures, an engine also serves the second recovery
+    product: {!layout} / {!layout_all} run the static storage-layout
+    pass ({!Sigrec_layout.Layout}) behind the same content-addressed
+    caching and pool fan-out. *)
 
 (** Everything an engine's behavior depends on, in one explicit record.
 
@@ -145,21 +148,24 @@ val outcome_elapsed_ns : outcome -> int option
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit
 
-(** {1 Deprecated optional-argument surface}
+(** {1 Storage-layout recovery} *)
 
-    Thin wrappers over {!make} / {!recover_all}, kept for one release.
-    Migration: [create ?config ?budget ?static_prune ()] becomes
-    [make Config.(default |> with_rules … |> with_budget …)];
-    [recover_all ?jobs] becomes [with_jobs] on the configuration. *)
+type layout_report = {
+  layout_code_hash : string;
+      (** lowercase hex Keccak-256 of the bytecode *)
+  layout : Sigrec_layout.Layout.t;
+  layout_from_cache : bool;
+}
 
-val create :
-  ?config:Rules.config ->
-  ?budget:Symex.Exec.budget ->
-  ?static_prune:bool ->
-  unit ->
-  t
-[@@ocaml.deprecated "Use Engine.make with an Engine.Config.t."]
+val layout : t -> string -> layout_report
+(** [layout t bytecode] recovers the contract's storage layout,
+    answering from the engine's layout cache when the same bytecode
+    was already analyzed. Layout reports live in their own LRU (same
+    {!Config.cache_capacity} bound as signature reports): the two
+    products cache independently, so interleaving them never evicts
+    the other's entries early. *)
 
-val recover_all_jobs : ?jobs:int -> t -> string list -> report list
-[@@ocaml.deprecated
-  "Use Engine.recover_all; set jobs via Engine.Config.with_jobs."]
+val layout_all : t -> string list -> layout_report list
+(** One layout report per input, in input order; distinct uncached
+    bytecodes fan out over the worker pool like {!recover_all}, with
+    byte-identical output whatever the parallelism. *)

@@ -216,6 +216,137 @@ let check_contract ?stats ?config ?static_prune ?budget contract =
 let check ?stats ?config ?static_prune ?budget code =
   check_contract ?stats ?config ?static_prune ?budget (Contract.make code)
 
+(* -- storage-layout differential -------------------------------------- *)
+
+module Layout = Sigrec_layout.Layout
+
+type layout_finding =
+  | Unexplained_write of { slot : U256.t }
+  | Unexercised_slot of { slot : U256.t }
+
+type layout_verdict = {
+  layout : Layout.t;
+  selectors_run : int;
+  selectors_ok : int;
+  writes_observed : int;
+  layout_findings : layout_finding list;
+}
+
+let layout_agree v = v.layout_findings = []
+
+(* Every slot the recovered layout can account for, as 32-byte keys:
+   direct slots themselves, the caller-keyed keccak(key . slot) cell of
+   each mapping (the concrete drive below calls with the interpreter's
+   default caller), and a small window of element cells above each
+   dynamic array's keccak(slot) data base. *)
+let explained_slots (layout : Layout.t) =
+  let key32 = U256.to_bytes_be in
+  let explained = Hashtbl.create 32 in
+  let add u = Hashtbl.replace explained (key32 u) () in
+  let caller = Interp.default_env.Interp.caller in
+  List.iter
+    (fun (e : Layout.entry) ->
+      match e.Layout.decl with
+      | Layout.Word | Layout.Packed _ -> add e.Layout.slot
+      | Layout.Mapping ->
+        add
+          (U256.of_bytes_be
+             (Keccak.digest (key32 caller ^ key32 e.Layout.slot)))
+      | Layout.Dyn_array ->
+        add e.Layout.slot;
+        let base = U256.of_bytes_be (Keccak.digest (key32 e.Layout.slot)) in
+        for k = 0 to 7 do
+          add (U256.add base (U256.of_int k))
+        done)
+    layout.Layout.entries;
+  explained
+
+let check_layout ?stats code =
+  let module Tr = Sigrec_trace.Trace in
+  let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
+  let contract = Contract.make code in
+  let layout = Layout.recover code in
+  let explained = explained_slots layout in
+  (* Drive every dispatcher entry concretely with benign word
+     arguments; each run starts from empty storage and only successful
+     outcomes contribute (a reverted frame's writes are rolled back). *)
+  let arg_word = String.make 31 '\000' ^ "\001" in
+  let calldata_tail = String.concat "" (List.init 8 (fun _ -> arg_word)) in
+  let observed = Hashtbl.create 32 in
+  let ok = ref 0 in
+  let entries = Contract.entries contract in
+  List.iter
+    (fun { Ids.selector; _ } ->
+      let r = Interp.execute ~code ~calldata:(selector ^ calldata_tail) () in
+      if Interp.succeeded r.Interp.outcome then begin
+        incr ok;
+        List.iter
+          (fun (slot, _) ->
+            Hashtbl.replace observed (U256.to_bytes_be slot) slot)
+          (Machine.Storage.bindings r.Interp.storage)
+      end)
+    entries;
+  let findings = ref [] in
+  Hashtbl.iter
+    (fun key slot ->
+      if not (Hashtbl.mem explained key) then
+        findings := Unexplained_write { slot } :: !findings)
+    observed;
+  (* A slot the static pass saw written must show concrete traffic —
+     meaningful only when every entry actually ran to completion, so
+     reverted paths cannot masquerade as missing writes. *)
+  if !ok = List.length entries then
+    List.iter
+      (fun (e : Layout.entry) ->
+        if e.Layout.writes > 0 then begin
+          let probe =
+            match e.Layout.decl with
+            | Layout.Word | Layout.Packed _ | Layout.Dyn_array ->
+              Some e.Layout.slot
+            | Layout.Mapping ->
+              Some
+                (U256.of_bytes_be
+                   (Keccak.digest
+                      (U256.to_bytes_be Interp.default_env.Interp.caller
+                      ^ U256.to_bytes_be e.Layout.slot)))
+          in
+          match probe with
+          | Some slot when not (Hashtbl.mem observed (U256.to_bytes_be slot))
+            -> findings := Unexercised_slot { slot = e.Layout.slot } :: !findings
+          | _ -> ()
+        end)
+      layout.Layout.entries;
+  let layout_findings =
+    List.sort
+      (fun a b ->
+        let key = function
+          | Unexplained_write { slot } -> (0, U256.to_bytes_be slot)
+          | Unexercised_slot { slot } -> (1, U256.to_bytes_be slot)
+        in
+        compare (key a) (key b))
+      !findings
+  in
+  let v =
+    {
+      layout;
+      selectors_run = List.length entries;
+      selectors_ok = !ok;
+      writes_observed = Hashtbl.length observed;
+      layout_findings;
+    }
+  in
+  Option.iter
+    (fun s -> if layout_agree v then Stats.lint_agree s else Stats.lint_disagree s)
+    stats;
+  if Tr.enabled () then
+    Tr.complete Tr.Layout "lint" ~t0_us
+      [
+        ("selectors", Tr.Int v.selectors_run);
+        ("writes_observed", Tr.Int v.writes_observed);
+        ("findings", Tr.Int (List.length layout_findings));
+      ];
+  v
+
 (* -- reporting -------------------------------------------------------- *)
 
 let finding_to_string = function
@@ -240,6 +371,24 @@ let finding_to_string = function
     Printf.sprintf "rule %s fired for parameter %d without its premise"
       rule param_index
   | Unreachable_entry -> "dispatcher entry unreachable in the static CFG"
+
+let layout_finding_to_string = function
+  | Unexplained_write { slot } ->
+    Printf.sprintf "concrete write to slot 0x%s unexplained by the layout"
+      (U256.to_hex slot)
+  | Unexercised_slot { slot } ->
+    Printf.sprintf
+      "declared slot 0x%s is written statically but never concretely"
+      (U256.to_hex slot)
+
+let pp_layout_verdict fmt v =
+  Format.fprintf fmt "@[<v>layout lint: %s (%d/%d selectors ok, %d cells written)@,"
+    (if layout_agree v then "agree" else "DISAGREE")
+    v.selectors_ok v.selectors_run v.writes_observed;
+  List.iter
+    (fun f -> Format.fprintf fmt "  %s@," (layout_finding_to_string f))
+    v.layout_findings;
+  Format.fprintf fmt "@]"
 
 let pp_verdict fmt v =
   Format.fprintf fmt "@[<v>0x%s entry %04x: %s@," v.selector_hex v.entry_pc

@@ -62,3 +62,40 @@ val check :
 
 val finding_to_string : finding -> string
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Storage-layout differential}
+
+    The second product's lint: recover the storage layout statically,
+    then drive every dispatcher entry through the concrete interpreter
+    and diff the observed storage traffic against what the layout can
+    explain. *)
+
+type layout_finding =
+  | Unexplained_write of { slot : Evm.U256.t }
+      (** a successful concrete execution wrote a storage cell that no
+          recovered declaration (direct slot, caller-keyed mapping
+          cell, array base or a small element window above it)
+          accounts for *)
+  | Unexercised_slot of { slot : Evm.U256.t }
+      (** the static pass saw writes to this declared slot but no
+          concrete execution touched it — reported only when every
+          dispatcher entry ran to completion, so reverting paths
+          cannot masquerade as missing writes *)
+
+type layout_verdict = {
+  layout : Sigrec_layout.Layout.t;
+  selectors_run : int;   (** dispatcher entries driven concretely *)
+  selectors_ok : int;    (** of those, executions that succeeded *)
+  writes_observed : int; (** distinct storage cells written *)
+  layout_findings : layout_finding list;
+}
+
+val layout_agree : layout_verdict -> bool
+
+val check_layout : ?stats:Stats.t -> string -> layout_verdict
+(** [stats], when given, counts one lint agreement or disagreement for
+    the whole contract. Emits a [Layout]-phase trace span when tracing
+    is enabled. *)
+
+val layout_finding_to_string : layout_finding -> string
+val pp_layout_verdict : Format.formatter -> layout_verdict -> unit

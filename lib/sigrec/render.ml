@@ -58,6 +58,57 @@ let report (r : Engine.report) =
       ("functions", Json.arr (List.map outcome r.Engine.outcomes));
     ]
 
+module Layout = Sigrec_layout.Layout
+
+let layout_entry (e : Layout.entry) =
+  let base =
+    [
+      ("slot", Json.quote ("0x" ^ Evm.U256.to_hex e.Layout.slot));
+      ( "kind",
+        Json.quote
+          (match e.Layout.decl with
+          | Layout.Word -> "word"
+          | Layout.Packed _ -> "packed"
+          | Layout.Mapping -> "mapping"
+          | Layout.Dyn_array -> "dynamic_array") );
+    ]
+  in
+  let members =
+    match e.Layout.decl with
+    | Layout.Packed ms ->
+      [
+        ( "members",
+          Json.arr
+            (List.map
+               (fun (m : Layout.member) ->
+                 Json.obj
+                   [
+                     ("bit_offset", string_of_int m.Layout.bit_offset);
+                     ("bit_width", string_of_int m.Layout.bit_width);
+                   ])
+               ms) );
+      ]
+    | _ -> []
+  in
+  Json.obj
+    (base @ members
+    @ [
+        ("reads", string_of_int e.Layout.reads);
+        ("writes", string_of_int e.Layout.writes);
+      ])
+
+let layout_report (r : Engine.layout_report) =
+  let l = r.Engine.layout in
+  Json.obj
+    [
+      ("code_hash", Json.quote ("0x" ^ r.Engine.layout_code_hash));
+      ("from_cache", string_of_bool r.Engine.layout_from_cache);
+      ("complete", string_of_bool l.Layout.complete);
+      ("slots", Json.arr (List.map layout_entry l.Layout.entries));
+      ("unknown_ops", string_of_int l.Layout.unknown_ops);
+      ("total_ops", string_of_int l.Layout.total_ops);
+    ]
+
 let finding f =
   match f with
   | Lint.Mask_conflict { offset; mask; recovered } ->
@@ -97,6 +148,32 @@ let finding f =
         ("param_index", string_of_int param_index);
       ]
   | Lint.Unreachable_entry -> Json.obj [ ("kind", Json.quote "unreachable_entry") ]
+
+let layout_finding = function
+  | Lint.Unexplained_write { slot } ->
+    Json.obj
+      [
+        ("kind", Json.quote "unexplained_write");
+        ("slot", Json.quote ("0x" ^ Evm.U256.to_hex slot));
+      ]
+  | Lint.Unexercised_slot { slot } ->
+    Json.obj
+      [
+        ("kind", Json.quote "unexercised_slot");
+        ("slot", Json.quote ("0x" ^ Evm.U256.to_hex slot));
+      ]
+
+let layout_verdict (v : Lint.layout_verdict) =
+  Json.obj
+    [
+      ("agree", string_of_bool (Lint.layout_agree v));
+      ("selectors_run", string_of_int v.Lint.selectors_run);
+      ("selectors_ok", string_of_int v.Lint.selectors_ok);
+      ("writes_observed", string_of_int v.Lint.writes_observed);
+      ( "findings",
+        Json.arr (List.map layout_finding v.Lint.layout_findings) );
+      ("slots", Json.arr (List.map layout_entry v.Lint.layout.Layout.entries));
+    ]
 
 let verdict (v : Lint.verdict) =
   Json.obj

@@ -12,5 +12,18 @@ val recovered : Recover.recovered -> (string * string) list -> string
 
 val outcome : Engine.outcome -> string
 val report : Engine.report -> string
+
+val layout_entry : Sigrec_layout.Layout.entry -> string
+(** One storage slot: its kind, packed members when present, and the
+    static read/write counts. *)
+
+val layout_report : Engine.layout_report -> string
+(** The full storage layout of one contract, slots in slot order. *)
+
 val finding : Lint.finding -> string
 val verdict : Lint.verdict -> string
+
+val layout_finding : Lint.layout_finding -> string
+val layout_verdict : Lint.layout_verdict -> string
+(** The storage-layout differential: verdict, counters, and the
+    recovered layout it judged. *)

@@ -59,6 +59,29 @@ let recover_response t id codes_json =
             Json.arr (List.map warning_json batch.Input.skipped) );
         ])
 
+let layout_response t id codes_json =
+  match Json.to_list_opt codes_json with
+  | None -> error_response id "\"codes\" must be an array of hex strings"
+  | Some items ->
+    let rec as_strings acc = function
+      | [] -> Some (List.rev acc)
+      | Json.Str s :: rest -> as_strings (s :: acc) rest
+      | _ -> None
+    in
+    (match as_strings [] items with
+    | None -> error_response id "\"codes\" must be an array of hex strings"
+    | Some entries ->
+      let batch = Input.parse_codes entries in
+      let layouts = Engine.layout_all t.engine batch.Input.codes in
+      Json.obj
+        [
+          ("id", id);
+          ("ok", "true");
+          ("layouts", Json.arr (List.map Render.layout_report layouts));
+          ( "warnings",
+            Json.arr (List.map warning_json batch.Input.skipped) );
+        ])
+
 let metrics_response t id =
   let stats = Engine.stats t.engine in
   Json.obj
@@ -111,6 +134,11 @@ let handle_line t line =
             Option.value ~default:Json.Null (Json.member "codes" req)
           in
           { response = recover_response t id codes; shutdown = false }
+        | Some "layout" ->
+          let codes =
+            Option.value ~default:Json.Null (Json.member "codes" req)
+          in
+          { response = layout_response t id codes; shutdown = false }
         | Some op ->
           {
             response = error_response id (Printf.sprintf "unknown op %S" op);

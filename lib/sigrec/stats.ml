@@ -13,6 +13,9 @@ type t = {
   mutable intern_hits : int;
   mutable intern_misses : int;
   mutable evictions : int;
+  mutable layouts : int;
+  mutable layout_slots : int;
+  mutable layout_unknown : int;
 }
 
 let create () =
@@ -29,6 +32,9 @@ let create () =
     intern_hits = 0;
     intern_misses = 0;
     evictions = 0;
+    layouts = 0;
+    layout_slots = 0;
+    layout_unknown = 0;
   }
 
 let hit_rule t name =
@@ -67,6 +73,15 @@ let intern_misses t = t.intern_misses
 let add_evictions t n = t.evictions <- t.evictions + n
 let cache_evictions t = t.evictions
 
+let add_layout t ~slots ~unknown =
+  t.layouts <- t.layouts + 1;
+  t.layout_slots <- t.layout_slots + slots;
+  t.layout_unknown <- t.layout_unknown + unknown
+
+let layouts_recovered t = t.layouts
+let layout_slots t = t.layout_slots
+let layout_unknown_ops t = t.layout_unknown
+
 let merge_into ~into src =
   List.iter
     (fun name ->
@@ -90,7 +105,10 @@ let merge_into ~into src =
   into.deduped <- into.deduped + src.deduped;
   into.intern_hits <- into.intern_hits + src.intern_hits;
   into.intern_misses <- into.intern_misses + src.intern_misses;
-  into.evictions <- into.evictions + src.evictions
+  into.evictions <- into.evictions + src.evictions;
+  into.layouts <- into.layouts + src.layouts;
+  into.layout_slots <- into.layout_slots + src.layout_slots;
+  into.layout_unknown <- into.layout_unknown + src.layout_unknown
 
 let merge a b =
   let t = create () in
@@ -115,9 +133,13 @@ let scalars : (string * (t -> int)) list =
     ("intern_misses", fun t -> t.intern_misses);
     ("lint_agreements", fun t -> t.lint_agree);
     ("lint_disagreements", fun t -> t.lint_disagree);
+    ("layouts_recovered", fun t -> t.layouts);
+    ("layout_slots", fun t -> t.layout_slots);
+    ("layout_unknown_ops", fun t -> t.layout_unknown);
   ]
 
 let scalar t key = (List.assoc key scalars) t
+let scalar_counters t = List.map (fun (key, get) -> (key, get t)) scalars
 
 let pp fmt t =
   let v key = scalar t key in
@@ -147,6 +169,9 @@ let pp fmt t =
     Format.fprintf fmt "interner: %d hits / %d misses (%.1f%% hit rate)@,"
       (v "intern_hits") (v "intern_misses")
       (100.0 *. float_of_int (v "intern_hits") /. float_of_int itotal);
+  if v "layouts_recovered" > 0 then
+    Format.fprintf fmt "layouts: %d recovered, %d slots (%d unresolved ops)@,"
+      (v "layouts_recovered") (v "layout_slots") (v "layout_unknown_ops");
   Format.fprintf fmt "@]"
 
 let to_json t =

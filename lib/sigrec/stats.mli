@@ -72,6 +72,15 @@ val cache_evictions : t -> int
     configured capacity ([Engine.Config.cache_capacity]); 0 when the
     cache is unbounded. *)
 
+val add_layout : t -> slots:int -> unknown:int -> unit
+(** Count one storage-layout recovery: [slots] declared slots found,
+    [unknown] storage operations whose slot the pass could not
+    resolve. *)
+
+val layouts_recovered : t -> int
+val layout_slots : t -> int
+val layout_unknown_ops : t -> int
+
 val merge : t -> t -> t
 (** Pointwise sum into a fresh [t]; neither argument is modified. *)
 
@@ -86,3 +95,9 @@ val to_json : t -> string
     holding all 31 canonical counters (zeros included) and then every
     scalar counter. [pp] and [to_json] read the scalars through the
     same descriptor list, so the two field sets cannot drift apart. *)
+
+val scalar_counters : t -> (string * int) list
+(** Every scalar counter with its current value, in the canonical
+    descriptor order both {!pp} and {!to_json} render through —
+    exported so tests can assert the rendered surfaces stay in sync
+    with the descriptor list. *)

@@ -1,6 +1,10 @@
 open Evm
 
-type contract = { fns : Lang.fn_spec list; version : Version.t }
+type contract = {
+  fns : Lang.fn_spec list;
+  version : Version.t;
+  storage : Lang.svar list;
+}
 
 (* A static struct's call-data layout and accessing code are those of
    its flattened fields (§2.3.1), so the emitters see the fields. *)
@@ -44,7 +48,8 @@ let emit_dispatch_entry e ~selector ~target =
   Emit.op e Opcode.EQ;
   Emit.jumpi_to e target
 
-let emit_fn_body e ~(version : Version.t) ~revert_label (fn : Lang.fn_spec) =
+let emit_fn_body e ~(version : Version.t) ~revert_label ?(svars = [])
+    (fn : Lang.fn_spec) =
   (* drop the selector copy left by the dispatcher *)
   Emit.op e Opcode.POP;
   if version.Version.callvalue_guard then begin
@@ -82,6 +87,7 @@ let emit_fn_body e ~(version : Version.t) ~revert_label (fn : Lang.fn_spec) =
     Emit.jumpi_to e skip;
     Emit.op e Opcode.INVALID;
     Emit.label e skip);
+  List.iter (Storage.emit_svar e ~version) svars;
   let specs = List.concat_map flatten_spec fn.Lang.param_specs in
   let heads = Access.head_offsets (List.map (fun s -> s.Lang.ty) specs) in
   List.iter2
@@ -110,7 +116,7 @@ let emit_fn_body e ~(version : Version.t) ~revert_label (fn : Lang.fn_spec) =
   end
   else Emit.op e Opcode.STOP
 
-let compile_items { fns; version } =
+let compile_items { fns; version; storage } =
   List.iter
     (fun fn ->
       List.iter
@@ -132,6 +138,15 @@ let compile_items { fns; version } =
       (fun fn -> (fn, Emit.fresh_label e "fn"))
       fns
   in
+  (* state variables ride along round-robin: svar [j] is accessed in
+     the body of function [j mod nfns] (all from the fallback when the
+     contract has no functions), so every declared slot is reachable
+     from the dispatcher. *)
+  let nfns = List.length fns in
+  let svars_for i =
+    if nfns = 0 then []
+    else List.filteri (fun j _ -> j mod nfns = i) storage
+  in
   emit_dispatcher_prelude e ~version ~fallback;
   List.iter
     (fun (fn, target) ->
@@ -139,11 +154,12 @@ let compile_items { fns; version } =
         ~target)
     entries;
   Emit.label e fallback;
+  if nfns = 0 then List.iter (Storage.emit_svar e ~version) storage;
   Emit.op e Opcode.STOP;
-  List.iter
-    (fun (fn, target) ->
+  List.iteri
+    (fun i (fn, target) ->
       Emit.label e target;
-      emit_fn_body e ~version ~revert_label fn)
+      emit_fn_body e ~version ~revert_label ~svars:(svars_for i) fn)
     entries;
   Emit.label e revert_label;
   Emit.push_int e 0;
@@ -164,13 +180,13 @@ let compile_fn ?version fn =
     | Some v -> v
     | None -> default_version_for fn.Lang.fsig
   in
-  compile { fns = [ fn ]; version }
+  compile { fns = [ fn ]; version; storage = [] }
 
-let contract_of_sigs ?version sigs =
+let contract_of_sigs ?version ?(storage = []) sigs =
   let version =
     match (version, sigs) with
     | Some v, _ -> v
     | None, fsig :: _ -> default_version_for fsig
     | None, [] -> Version.latest_solidity
   in
-  { fns = List.map Lang.fn_of_sig sigs; version }
+  { fns = List.map Lang.fn_of_sig sigs; version; storage }

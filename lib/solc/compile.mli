@@ -2,7 +2,14 @@
     per-function parameter-accessing code. The output is runtime
     bytecode, the only artefact SigRec ever sees. *)
 
-type contract = { fns : Lang.fn_spec list; version : Version.t }
+type contract = {
+  fns : Lang.fn_spec list;
+  version : Version.t;
+  storage : Lang.svar list;
+      (** contract-level state variables; svar [j] is accessed in the
+          body of function [j mod nfns] (from the fallback when the
+          contract has no functions) *)
+}
 
 val compile : contract -> string
 (** Runtime bytecode. Raises [Invalid_argument] on specs invalid for the
@@ -16,5 +23,6 @@ val compile_fn : ?version:Version.t -> Lang.fn_spec -> string
 (** A single-function contract with the default latest Solidity (or, for
     Vyper signatures, latest Vyper) version. *)
 
-val contract_of_sigs : ?version:Version.t -> Abi.Funsig.t list -> contract
-(** Default usages, no quirks, no bugs. *)
+val contract_of_sigs :
+  ?version:Version.t -> ?storage:Lang.svar list -> Abi.Funsig.t list -> contract
+(** Default usages, no quirks, no bugs, no storage unless given. *)

@@ -88,7 +88,11 @@ let random_fn ?(abiv2 = false) ?(vyper = false) rng counter =
 (* -- sample assembly ---------------------------------------------------- *)
 
 let compile_sample fn version =
-  { fn; version; code = Compile.compile { Compile.fns = [ fn ]; version } }
+  {
+    fn;
+    version;
+    code = Compile.compile { Compile.fns = [ fn ]; version; storage = [] };
+  }
 
 let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
 
@@ -330,6 +334,66 @@ let versioned ~seed ~per_version =
 (* One signature, many function bodies: the same function id deployed
    in several contracts whose bodies use the parameters differently
    (the aggregation study of paper sec. 7). *)
+(* -- storage-layout corpus ---------------------------------------------- *)
+
+type layout_sample = {
+  svars : Lang.svar list;
+  lversion : Version.t;
+  lcode : string;
+}
+
+(* Random lane widths that sum to at most 256 bits, 2-4 lanes, byte
+   granularity like real Solidity packing; half the time the last lane
+   is stretched to fill the word exactly, exercising the write path
+   whose clear mask degenerates to a low run. *)
+let random_widths rng =
+  let lanes = 2 + Random.State.int rng 3 in
+  let rec draw budget k =
+    if k = 0 then []
+    else
+      let max_bytes = (budget / 8) - (k - 1) in
+      let w = 8 * (1 + Random.State.int rng (Stdlib.min 20 max_bytes)) in
+      w :: draw (budget - w) (k - 1)
+  in
+  let ws = draw 256 lanes in
+  if Random.State.bool rng then
+    let used = List.fold_left ( + ) 0 ws in
+    match List.rev ws with
+    | last :: rest -> List.rev ((last + 256 - used) :: rest)
+    | [] -> ws
+  else ws
+
+let random_svar rng slot =
+  let roll = Random.State.int rng 100 in
+  if roll < 35 then Lang.svalue slot
+  else if roll < 70 then Lang.svalue ~widths:(random_widths rng) slot
+  else if roll < 85 then Lang.smapping slot
+  else Lang.sarray slot
+
+let layout_set ~seed ~n =
+  let rng = Random.State.make [| seed; 9 |] in
+  List.init n (fun i ->
+      let lversion = pick rng Version.solidity_versions in
+      let nfns = 1 + Random.State.int rng 3 in
+      let fns =
+        List.init nfns (fun j ->
+            Lang.fn_of_sig
+              (Abi.Funsig.make
+                 (random_name rng (800_000 + (10 * i) + j))
+                 [ Abi.Abity.Uint 256 ]))
+      in
+      let svars =
+        List.init
+          (1 + Random.State.int rng 6)
+          (fun slot -> random_svar rng slot)
+      in
+      {
+        svars;
+        lversion;
+        lcode =
+          Compile.compile { Compile.fns = fns; version = lversion; storage = svars };
+      })
+
 let multi_body ~seed ~n ~bodies =
   let rng = Random.State.make [| seed; 8 |] in
   List.init n (fun i ->
@@ -350,6 +414,7 @@ let multi_body ~seed ~n ~bodies =
               {
                 Compile.fns = [ Lang.fn_of_sig ~usage fsig ];
                 version;
+                storage = [];
               })
       in
       (fsig, variants))

@@ -55,6 +55,28 @@ val fuzz_set : seed:int -> n:int -> sample list
 val versioned : seed:int -> per_version:int -> (Version.t * sample list) list
 (** For Fig. 15/16: a fixed-size sample per compiler version. *)
 
+(** One contract of the storage-layout corpus: the declared state
+    variables are the ground truth the {!Sigrec_layout} pass is
+    measured against. *)
+type layout_sample = {
+  svars : Lang.svar list;  (** declaration order = slot order *)
+  lversion : Version.t;
+  lcode : string;
+}
+
+val random_svar : Random.State.t -> int -> Lang.svar
+(** One state-variable declaration for the given slot, drawn from the
+    layout-corpus shape: words dominate, then packed slots with
+    byte-granular lanes, then mappings and dynamic arrays. Exposed so
+    the property harness declares storage with the same distribution
+    {!layout_set} calibrates against. *)
+
+val layout_set : seed:int -> n:int -> layout_sample list
+(** Contracts with randomized storage declarations — words, packed
+    slots (byte-granular lanes, sometimes filling the word exactly),
+    mappings, dynamic arrays — spread round-robin over 1-3 function
+    bodies, across all Solidity versions (both shift idioms). *)
+
 val multi_body :
   seed:int -> n:int -> bodies:int -> (Abi.Funsig.t * string list) list
 (** For the §7 aggregation study: each signature compiled into several

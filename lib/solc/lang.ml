@@ -52,3 +52,40 @@ let fn_of_sig ?(usage = default_usage) ?(returns_word = false) fsig =
   }
 
 let declared_arity t = List.length t.fsig.Abi.Funsig.params
+
+(* -- state variables ---------------------------------------------------- *)
+
+(* A contract-level storage declaration. [Svalue] widths are in bits,
+   low lane first; [Svalue [256]] is a plain full-word variable, more
+   than one width is a packed slot. [Smapping] and [Sarray] occupy
+   their slot the Solidity way: the mapping slot holds nothing (it
+   only salts keccak(key . slot)), the array slot holds the length and
+   the data lives at keccak(slot). *)
+type svar_kind =
+  | Svalue of int list
+  | Smapping
+  | Sarray
+
+type svar = { slot : int; kind : svar_kind }
+
+let svalue ?(widths = [ 256 ]) slot =
+  if widths = [] then invalid_arg "Lang.svalue: empty width list";
+  let sum = List.fold_left ( + ) 0 widths in
+  if sum > 256 then invalid_arg "Lang.svalue: widths exceed one slot";
+  List.iter
+    (fun w ->
+      if w <= 0 || w > 256 then invalid_arg "Lang.svalue: bad width")
+    widths;
+  { slot; kind = Svalue widths }
+
+let smapping slot = { slot; kind = Smapping }
+let sarray slot = { slot; kind = Sarray }
+
+let show_svar v =
+  match v.kind with
+  | Svalue [ 256 ] -> Printf.sprintf "s%d:word" v.slot
+  | Svalue ws ->
+    Printf.sprintf "s%d:packed(%s)" v.slot
+      (String.concat "," (List.map string_of_int ws))
+  | Smapping -> Printf.sprintf "s%d:mapping" v.slot
+  | Sarray -> Printf.sprintf "s%d:array" v.slot

@@ -80,3 +80,22 @@ val fn_of_sig : ?usage:usage -> ?returns_word:bool -> Abi.Funsig.t -> fn_spec
 (** All parameters with the same usage and no quirks. *)
 
 val declared_arity : fn_spec -> int
+
+(** A contract-level storage declaration — the ground truth the
+    storage-layout recovery pass is measured against. *)
+type svar_kind =
+  | Svalue of int list
+      (** member widths in bits, low lane first; [[256]] is a plain
+          word, several widths share one packed slot *)
+  | Smapping  (** data at keccak(key . slot) *)
+  | Sarray    (** length at the slot, data at keccak(slot) *)
+
+type svar = { slot : int; kind : svar_kind }
+
+val svalue : ?widths:int list -> int -> svar
+(** Raises [Invalid_argument] when the widths are empty, non-positive
+    or sum past 256 bits. *)
+
+val smapping : int -> svar
+val sarray : int -> svar
+val show_svar : svar -> string

@@ -1,0 +1,150 @@
+open Evm
+
+(* Storage-access emission, mirroring the solc idioms the layout pass
+   recovers. Scratch memory at 0x00/0x20 is the keccak staging area —
+   reserved for exactly this in real solc output, and below the 0x80
+   cursor everything else allocates from. *)
+
+let ones_bits w =
+  if w >= 256 then U256.max_int else U256.sub (U256.pow2 w) U256.one
+
+(* A small per-variable value constant: derived from the slot so
+   different variables store different words, masked to the member
+   width, never zero (an SSTORE of zero is a delete and real code
+   mostly stores values). *)
+let value_const ~slot ~width =
+  let v = U256.logand (U256.of_int (0x2b + (7 * slot))) (ones_bits width) in
+  if U256.is_zero v then U256.one else v
+
+let emit_read_word e slot =
+  Emit.push_int e slot;
+  Emit.op e Opcode.SLOAD;
+  Emit.op e Opcode.POP
+
+let emit_write_word e slot =
+  Emit.push_u256 e (value_const ~slot ~width:256);
+  Emit.push_int e slot;
+  Emit.op e Opcode.SSTORE
+
+(* [SLOAD; >> k; AND ones(w)]: post-0.5 code shifts, earlier code
+   divides by a power of two — the divisor is staged under the loaded
+   word so DIV sees the numerator on top. *)
+let emit_read_member e ~(version : Version.t) ~slot ~bit_offset ~width =
+  if bit_offset > 0 && not version.Version.shr_dispatch then
+    Emit.push_u256 e (U256.pow2 bit_offset);
+  Emit.push_int e slot;
+  Emit.op e Opcode.SLOAD;
+  if bit_offset > 0 then
+    if version.Version.shr_dispatch then begin
+      Emit.push_int e bit_offset;
+      Emit.op e Opcode.SHR
+    end
+    else Emit.op e Opcode.DIV;
+  Emit.push_u256 e (ones_bits width);
+  Emit.op e Opcode.AND;
+  Emit.op e Opcode.POP
+
+(* Read-modify-write: clear the member's lane in the old word, OR in
+   the new value positioned at its bit offset. *)
+let emit_write_member e ~(version : Version.t) ~slot ~bit_offset ~width =
+  Emit.push_int e slot;
+  Emit.op e Opcode.SLOAD;
+  Emit.push_u256 e (U256.lognot (U256.shift_left (ones_bits width) bit_offset));
+  Emit.op e Opcode.AND;
+  let v = value_const ~slot:(slot + bit_offset) ~width in
+  if bit_offset > 0 && version.Version.shr_dispatch then begin
+    Emit.push_u256 e v;
+    Emit.push_int e bit_offset;
+    Emit.op e Opcode.SHL
+  end
+  else Emit.push_u256 e (U256.shift_left v bit_offset);
+  Emit.op e Opcode.OR;
+  Emit.push_int e slot;
+  Emit.op e Opcode.SSTORE
+
+(* keccak(key . slot) with the caller as key: key word at 0x00, slot
+   word at 0x20, hash of the 64-byte region. *)
+let emit_map_slot e slot =
+  Emit.op e Opcode.CALLER;
+  Emit.push_int e 0;
+  Emit.op e Opcode.MSTORE;
+  Emit.push_int e slot;
+  Emit.push_int e 0x20;
+  Emit.op e Opcode.MSTORE;
+  Emit.push_int e 0x40;
+  Emit.push_int e 0;
+  Emit.op e Opcode.SHA3
+
+let emit_map_read e slot =
+  emit_map_slot e slot;
+  Emit.op e Opcode.SLOAD;
+  Emit.op e Opcode.POP
+
+let emit_map_write e slot =
+  Emit.push_u256 e (value_const ~slot ~width:256);
+  emit_map_slot e slot;
+  Emit.op e Opcode.SSTORE
+
+(* keccak(slot): the dynamic array's data base. *)
+let emit_array_base e slot =
+  Emit.push_int e slot;
+  Emit.push_int e 0;
+  Emit.op e Opcode.MSTORE;
+  Emit.push_int e 0x20;
+  Emit.push_int e 0;
+  Emit.op e Opcode.SHA3
+
+(* arr.push: store at keccak(slot) + length, then bump the length. *)
+let emit_array_push e slot =
+  Emit.push_u256 e (value_const ~slot ~width:256);
+  Emit.push_int e slot;
+  Emit.op e Opcode.SLOAD;
+  emit_array_base e slot;
+  Emit.op e Opcode.ADD;
+  Emit.op e Opcode.SSTORE;
+  Emit.push_int e 1;
+  Emit.push_int e slot;
+  Emit.op e Opcode.SLOAD;
+  Emit.op e Opcode.ADD;
+  Emit.push_int e slot;
+  Emit.op e Opcode.SSTORE
+
+let emit_array_read e slot =
+  emit_array_base e slot;
+  Emit.op e Opcode.SLOAD;
+  Emit.op e Opcode.POP
+
+let emit_svar e ~version (v : Lang.svar) =
+  match v.Lang.kind with
+  | Lang.Svalue [ 256 ] ->
+    emit_write_word e v.Lang.slot;
+    emit_read_word e v.Lang.slot
+  | Lang.Svalue widths ->
+    let _ =
+      List.fold_left
+        (fun bit_offset width ->
+          emit_write_member e ~version ~slot:v.Lang.slot ~bit_offset ~width;
+          emit_read_member e ~version ~slot:v.Lang.slot ~bit_offset ~width;
+          bit_offset + width)
+        0 widths
+    in
+    ()
+  | Lang.Smapping ->
+    emit_map_write e v.Lang.slot;
+    emit_map_read e v.Lang.slot
+  | Lang.Sarray ->
+    emit_array_push e v.Lang.slot;
+    emit_array_read e v.Lang.slot
+
+(* The truth the oracles compare against, in the layout pass's own
+   vocabulary-free terms: (slot, kind, member lanes). *)
+let truth_members widths =
+  match widths with
+  | [ 256 ] -> None
+  | ws ->
+    let _, lanes =
+      List.fold_left
+        (fun (off, acc) w -> (off + w, (off, w) :: acc))
+        (0, []) ws
+    in
+    Some (List.rev lanes)

@@ -1,0 +1,19 @@
+(** Storage-access emission for the synthetic compiler: the solc idioms
+    (direct word access, packed read/write with shift+mask, mapping and
+    dynamic-array slot derivation through keccak) that the
+    [Sigrec_layout] pass recovers. Each emitter is stack-neutral. *)
+
+val emit_svar : Emit.t -> version:Version.t -> Lang.svar -> unit
+(** Emit one write-then-read round trip for the variable: word and
+    packed slots through SSTORE/SLOAD with mask/shift lanes, mappings
+    through keccak(caller . slot), arrays through a push at
+    keccak(slot) + length. Pre-0.5 versions use the DIV/MUL shift
+    idiom instead of SHR/SHL, following [version.shr_dispatch]. *)
+
+val value_const : slot:int -> width:int -> Evm.U256.t
+(** The (deterministic, non-zero) word the emitters store for a given
+    slot, masked to [width] bits — lets oracles predict stored values. *)
+
+val truth_members : int list -> (int * int) list option
+(** Ground-truth lanes [(bit_offset, bit_width)] for an [Svalue] width
+    list; [None] for the plain full word [[256]]. *)

@@ -17,12 +17,26 @@ type astate = {
 
 type decision = Take_jump | Take_fallthrough
 
+(* Storage traffic observed during the recording pass, the raw
+   material of the layout pass. [Smask] attributes a packed-word mask
+   to (slot, bit offset, bit width); it fires both on the read idiom
+   (SLOAD; SHR k; AND ones(w)) and on the write idiom's clear mask
+   (SLOAD; AND ~(ones(w) << k)). *)
+type storage_ev = { pc : int; ev : storage_kind }
+
+and storage_kind =
+  | Sload of Domain.slot option
+  | Sstore of Domain.slot option * Domain.t
+  | Sderive of Domain.slot
+  | Smask of Domain.slot * int * int
+
 type result = {
   cfg : Cfg.t;
   entry : int;
   entry_states : (int, astate) Hashtbl.t;
   resolved : (int, int list) Hashtbl.t;
   summary : Summary.t;
+  storage : storage_ev list;
   prune : (int, decision) Hashtbl.t;
   converged : bool;
 }
@@ -179,6 +193,7 @@ type rec_acc = {
   mutable r_byte_reads : int list;
   mutable r_copies : Summary.copy list;
   mutable r_bounds : Summary.bound_check list;
+  mutable r_storage : storage_ev list;
   mutable cdsize : bool;
   mutable tainted_branches : int;
 }
@@ -192,9 +207,27 @@ let fresh_acc () =
     r_byte_reads = [];
     r_copies = [];
     r_bounds = [];
+    r_storage = [];
     cdsize = false;
     tainted_branches = 0;
   }
+
+(* [bit_run m] decomposes a contiguous run of ones: [Some (k, w)] when
+   [m = ones(w) << k]. The storage packing idioms only ever mask with
+   such runs (or their complements). *)
+let bit_run m =
+  if U256.is_zero m then None
+  else if U256.equal m U256.max_int then Some (0, 256)
+  else
+    let hi = U256.bits m in
+    let rec lowest i = if U256.get_bit m i then i else lowest (i + 1) in
+    let k = lowest 0 in
+    let w = hi - k in
+    if
+      w < 256
+      && U256.equal m (U256.shift_left (U256.sub (U256.pow2 w) U256.one) k)
+    then Some (k, w)
+    else None
 
 (* -- transfer --------------------------------------------------------- *)
 
@@ -260,6 +293,31 @@ let interp_block ?acc st (b : Cfg.block) =
                   match Domain.to_const other with
                   | Some m -> r.r_masks <- (off, m) :: r.r_masks
                   | None -> ())
+                | Domain.Sval (sl, sh), other | other, Domain.Sval (sl, sh)
+                  -> (
+                  (* packed storage access: a low run masks the member
+                     the (already shifted) read extracts, an inverted
+                     run is the write path clearing the member's lane *)
+                  match Option.bind (Domain.to_const other) bit_run with
+                  | Some (0, w) when w < 256 ->
+                    r.r_storage <-
+                      { pc; ev = Smask (sl, sh, w) } :: r.r_storage
+                  | Some (k, w) when k > 0 && k + w = 256 ->
+                    (* keeping only bits [k..256) clears the low lane:
+                       the write path for a member at offset 0 *)
+                    r.r_storage <-
+                      { pc; ev = Smask (sl, 0, k) } :: r.r_storage
+                  | Some _ -> ()
+                  | None -> (
+                    match
+                      Option.bind
+                        (Option.map U256.lognot (Domain.to_const other))
+                        bit_run
+                    with
+                    | Some (k, w) when w < 256 ->
+                      r.r_storage <-
+                        { pc; ev = Smask (sl, k, w) } :: r.r_storage
+                    | _ -> ()))
                 | _ -> ())
               | Opcode.SIGNEXTEND -> (
                 match (Domain.to_const_int a, b) with
@@ -286,10 +344,34 @@ let interp_block ?acc st (b : Cfg.block) =
           let a, s = pop s in
           st := push (Domain.lift1 op a) s
         | Opcode.SHA3 ->
-          (* parity with the executor, which models SHA3 as a free
-             symbol: the hash is opaque, not a call-data value *)
-          let _, _, s = pop2 s in
-          st := push Domain.Untainted s
+          (* The hash is opaque to the executor (a free symbol), but
+             its derivation is not: keccak over scratch holding
+             [key . slot] is how solc addresses a mapping element, and
+             keccak over a single constant word is a dynamic array's
+             data base. Everything else stays [Untainted], in parity
+             with the executor. *)
+          let off, len, s = pop2 s in
+          let derived =
+            match (Domain.to_const_int off, Domain.to_const_int len) with
+            | Some o, Some 0x20 -> (
+              match mem_load s o with
+              | Domain.Consts [ c ] -> Some (Domain.Arr_of c)
+              | _ -> None)
+            | Some o, Some 0x40 -> (
+              match mem_load s (o + 0x20) with
+              | Domain.Consts [ c ] -> Some (Domain.Map_of c)
+              | Domain.Slot (Domain.Map_of c | Domain.Arr_of c) ->
+                (* nested mapping: keep the root declaration *)
+                Some (Domain.Map_of c)
+              | _ -> None)
+            | _ -> None
+          in
+          (match derived with
+          | Some sl ->
+            record (fun r ->
+                r.r_storage <- { pc; ev = Sderive sl } :: r.r_storage);
+            st := push (Domain.Slot sl) s
+          | None -> st := push Domain.Untainted s)
         | Opcode.CALLDATALOAD ->
           let loc, s = pop s in
           record (fun r ->
@@ -343,9 +425,20 @@ let interp_block ?acc st (b : Cfg.block) =
         | Opcode.RETURNDATASIZE | Opcode.MSIZE | Opcode.GAS ->
           st := push Domain.Untainted s
         | Opcode.BALANCE | Opcode.EXTCODESIZE | Opcode.EXTCODEHASH
-        | Opcode.BLOCKHASH | Opcode.SLOAD ->
+        | Opcode.BLOCKHASH ->
           let _, s = pop s in
           st := push Domain.Untainted s
+        | Opcode.SLOAD ->
+          let loc, s = pop s in
+          let sl = Domain.slot_of loc in
+          record (fun r ->
+              r.r_storage <- { pc; ev = Sload sl } :: r.r_storage);
+          let v =
+            match sl with
+            | Some sl -> Domain.Sval (sl, 0)
+            | None -> Domain.Untainted
+          in
+          st := push v s
         | Opcode.EXTCODECOPY ->
           st := mem_store_unknown (popn 4 s) Domain.Untainted
         | Opcode.RETURNDATACOPY ->
@@ -372,7 +465,10 @@ let interp_block ?acc st (b : Cfg.block) =
             | Some off -> mem_store_byte s off v
             | None -> mem_store_unknown s v)
         | Opcode.SSTORE ->
-          let _, _, s = pop2 s in
+          let loc, v, s = pop2 s in
+          record (fun r ->
+              r.r_storage <-
+                { pc; ev = Sstore (Domain.slot_of loc, v) } :: r.r_storage);
           st := s
         | Opcode.PC -> st := push (Domain.of_int pc) s
         | Opcode.JUMPDEST -> ()
@@ -646,6 +742,23 @@ let analyze ?(depth = 0) ~entry cfg =
       complete;
     }
   in
+  (* The recording pass iterates a hash table, so impose a canonical
+     order on the storage events; each pc yields at most one event per
+     run, making this a total order. *)
+  let storage =
+    let slot_key = function
+      | None -> "?"
+      | Some s -> Format.asprintf "%a" Domain.pp_slot s
+    in
+    let key e =
+      match e.ev with
+      | Sload sl -> (e.pc, 0, slot_key sl, 0, 0)
+      | Sstore (sl, _) -> (e.pc, 1, slot_key sl, 0, 0)
+      | Sderive sl -> (e.pc, 2, slot_key (Some sl), 0, 0)
+      | Smask (sl, k, w) -> (e.pc, 3, slot_key (Some sl), k, w)
+    in
+    List.sort (fun a b -> compare (key a) (key b)) acc.r_storage
+  in
   (* a diverged analysis has no business steering the executor *)
   if not converged then Hashtbl.reset prune;
   if Tr.enabled () then
@@ -657,7 +770,7 @@ let analyze ?(depth = 0) ~entry cfg =
         ("unresolved", Tr.Bool !unknown_jump);
         ("converged", Tr.Bool converged);
       ];
-  { cfg; entry; entry_states; resolved; summary; prune; converged }
+  { cfg; entry; entry_states; resolved; summary; storage; prune; converged }
 
 let reached t start = Hashtbl.mem t.entry_states start
 

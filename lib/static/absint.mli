@@ -36,6 +36,18 @@ type decision =
   | Take_jump          (** only the taken arm matters *)
   | Take_fallthrough   (** only the fall-through arm matters *)
 
+(** Storage traffic observed by the recording pass, in canonical
+    (pc-major) order. [Smask (slot, k, w)] is packed-member evidence:
+    a mask isolating bits [k, k+w) of the word at [slot], fired by both
+    the shifted-read and the clear-before-write idioms. *)
+type storage_ev = { pc : int; ev : storage_kind }
+
+and storage_kind =
+  | Sload of Domain.slot option     (** [None]: address not resolved *)
+  | Sstore of Domain.slot option * Domain.t  (** address, stored value *)
+  | Sderive of Domain.slot          (** SHA3 produced this derivation *)
+  | Smask of Domain.slot * int * int
+
 type result = {
   cfg : Evm.Cfg.t;                          (** the graph analyzed *)
   entry : int;
@@ -43,6 +55,7 @@ type result = {
   resolved : (int, int list) Hashtbl.t;
       (** block start -> jump targets found for its [Unresolved] edge *)
   summary : Summary.t;
+  storage : storage_ev list;                (** SSTORE/SLOAD/SHA3 traffic *)
   prune : (int, decision) Hashtbl.t;        (** JUMPI pc -> arm to keep *)
   converged : bool;
 }

@@ -6,9 +6,29 @@ open Evm
    the jumps we are here to resolve. *)
 let max_consts = 8
 
+(* Where a storage address came from. [Fixed] is a compile-time slot
+   number (those normally stay [Consts] on the stack; [Fixed] appears
+   once an SLOAD pins the provenance of the loaded word). [Map_of] and
+   [Arr_of] are the two solc derivation idioms: keccak(key . base) for
+   a mapping element and keccak(base) (+ index) for a dynamic array
+   element. Nested mappings keep the root base — the layout cares
+   which declared variable the traffic belongs to, not the path. *)
+type slot =
+  | Fixed of U256.t
+  | Map_of of U256.t
+  | Arr_of of U256.t
+
+let slot_equal a b =
+  match (a, b) with
+  | Fixed x, Fixed y | Map_of x, Map_of y | Arr_of x, Arr_of y ->
+    U256.equal x y
+  | _ -> false
+
 type t =
   | Consts of U256.t list
   | Load of int
+  | Slot of slot
+  | Sval of slot * int
   | Untainted
   | Tainted
 
@@ -17,7 +37,7 @@ let of_int n = const (U256.of_int n)
 
 let tainted = function
   | Tainted | Load _ -> true
-  | Consts _ | Untainted -> false
+  | Consts _ | Slot _ | Sval _ | Untainted -> false
 
 let norm vs =
   let sorted = List.sort_uniq U256.compare vs in
@@ -34,6 +54,8 @@ let equal a b =
     List.length xs = List.length ys
     && List.for_all2 (fun x y -> x == y || U256.equal x y) xs ys
   | Load i, Load j -> i = j
+  | Slot x, Slot y -> slot_equal x y
+  | Sval (x, i), Sval (y, j) -> i = j && slot_equal x y
   | Untainted, Untainted | Tainted, Tainted -> true
   | _ -> false
 
@@ -44,6 +66,10 @@ let join a b =
   | Tainted, _ | _, Tainted -> Tainted
   | Load i, Load j -> if i = j then Load i else Tainted
   | Load _, _ | _, Load _ -> Tainted
+  | Slot x, Slot y -> if slot_equal x y then a else Untainted
+  | Sval (x, i), Sval (y, j) ->
+    if i = j && slot_equal x y then a else Untainted
+  | (Slot _ | Sval _), _ | _, (Slot _ | Sval _) -> Untainted
   | Untainted, _ | _, Untainted -> Untainted
   | Consts xs, Consts ys -> norm (xs @ ys)
 
@@ -52,6 +78,14 @@ let to_consts = function Consts vs -> Some vs | _ -> None
 let to_const = function Consts [ v ] -> Some v | _ -> None
 
 let to_const_int d = Option.bind (to_const d) U256.to_int
+
+(* The slot a storage access at this abstract address belongs to: a
+   singleton constant is a declared slot number, a derived value keeps
+   its derivation. Multi-constant sets are ambiguous on purpose. *)
+let slot_of = function
+  | Consts [ c ] -> Some (Fixed c)
+  | Slot s -> Some s
+  | _ -> None
 
 (* Concrete single-value semantics, operand order as popped (EVM stack
    top first). Mirrors [Sexpr.eval_bin] so a branch the interpreter
@@ -108,9 +142,39 @@ let eval1 op a =
     Some (if U256.is_zero a then U256.one else U256.zero)
   | _ -> None
 
+let pow2_exponent v =
+  let n = U256.bits v in
+  if n > 0 && n <= 256 && U256.equal v (U256.pow2 (n - 1)) then Some (n - 1)
+  else None
+
 let lift2 op a b =
   match (a, b) with
   | (Tainted | Load _), _ | _, (Tainted | Load _) -> Tainted
+  (* Derived storage addresses survive element-offset arithmetic: the
+     base of keccak(slot) + i is still the same dynamic array, and a
+     struct member inside a mapping value stays in that mapping. *)
+  | Slot s, (Consts _ | Untainted | Sval _ | Slot _)
+  | (Consts _ | Untainted | Sval _), Slot s -> (
+    match op with
+    | Opcode.ADD -> Slot s
+    | Opcode.SUB when (match a with Slot _ -> true | _ -> false) -> Slot s
+    | _ -> Untainted)
+  (* A storage-loaded word keeps its provenance through the packed
+     read idiom — shifts move the tracked bit cursor, masks keep it —
+     so the recording pass can attribute the mask to (slot, offset). *)
+  | Sval (s, sh), Consts _ | Consts _, Sval (s, sh) -> (
+    match op with
+    | Opcode.AND | Opcode.OR -> Sval (s, sh)
+    | Opcode.SHR -> (
+      match (a, to_const_int a) with
+      | Consts _, Some k when k < 256 -> Sval (s, sh + k)
+      | _ -> Untainted)
+    | Opcode.DIV -> (
+      match (a, Option.bind (to_const b) pow2_exponent) with
+      | Sval _, Some k -> Sval (s, sh + k)
+      | _ -> Untainted)
+    | _ -> Untainted)
+  | Sval _, (Untainted | Sval _) | Untainted, Sval _ -> Untainted
   | Untainted, _ | _, Untainted -> Untainted
   | Consts xs, Consts ys ->
     let all =
@@ -125,7 +189,7 @@ let lift2 op a b =
 let lift1 op a =
   match a with
   | Tainted | Load _ -> Tainted
-  | Untainted -> Untainted
+  | Untainted | Slot _ | Sval _ -> Untainted
   | Consts xs -> (
     match List.filter_map (eval1 op) xs with
     | [] -> Untainted
@@ -140,10 +204,18 @@ let truth = function
     else None
   | _ -> None
 
+let pp_slot fmt = function
+  | Fixed c -> Format.fprintf fmt "0x%s" (U256.to_hex c)
+  | Map_of c -> Format.fprintf fmt "map(0x%s)" (U256.to_hex c)
+  | Arr_of c -> Format.fprintf fmt "arr(0x%s)" (U256.to_hex c)
+
 let pp fmt = function
   | Consts vs ->
     Format.fprintf fmt "{%s}"
       (String.concat "," (List.map (fun v -> "0x" ^ U256.to_hex v) vs))
   | Load off -> Format.fprintf fmt "cd[%d]" off
+  | Slot s -> Format.fprintf fmt "slot[%a]" pp_slot s
+  | Sval (s, 0) -> Format.fprintf fmt "st[%a]" pp_slot s
+  | Sval (s, sh) -> Format.fprintf fmt "st[%a]>>%d" pp_slot s sh
   | Untainted -> Format.fprintf fmt "clean"
   | Tainted -> Format.fprintf fmt "top"

@@ -10,9 +10,25 @@
     storage, hashes — unknown, but provably not derived from the call
     data, which is what both jump resolution and fork pruning need. *)
 
+(** Provenance of a storage address. [Slot]/[Sval] sit between [Consts]
+    and [Untainted]: calldata-independent like [Untainted], but they
+    remember which declared storage variable they belong to, which is
+    what the storage-layout pass consumes. They join with anything but
+    an equal self to [Untainted] (or [Tainted] across the taint line),
+    so they never make the analysis less convergent than before. *)
+type slot =
+  | Fixed of Evm.U256.t   (** a compile-time slot number *)
+  | Map_of of Evm.U256.t  (** keccak(key . base): mapping element *)
+  | Arr_of of Evm.U256.t  (** keccak(base) (+ i): dynamic-array element *)
+
+val slot_equal : slot -> slot -> bool
+val pp_slot : Format.formatter -> slot -> unit
+
 type t =
   | Consts of Evm.U256.t list  (** sorted, distinct, bounded set *)
   | Load of int                (** CALLDATALOAD at this constant offset *)
+  | Slot of slot               (** a derived storage address *)
+  | Sval of slot * int         (** word loaded from a slot, shifted right *)
   | Untainted                  (** unknown, not derived from call data *)
   | Tainted                    (** may depend on call data *)
 
@@ -33,6 +49,12 @@ val to_const : t -> Evm.U256.t option
 (** Singleton constant sets only. *)
 
 val to_const_int : t -> int option
+
+val slot_of : t -> slot option
+(** The storage slot an SLOAD/SSTORE address designates: singleton
+    constants become [Fixed], derived addresses keep their derivation,
+    everything else (including ambiguous multi-constant sets) is
+    [None]. *)
 
 val lift2 : Evm.Opcode.t -> t -> t -> t
 (** Abstract transfer of a binary instruction; operands in popped order

@@ -237,6 +237,7 @@ let phase_of_name = function
   | "symex" -> Trace.Symex
   | "rules" -> Trace.Rules
   | "lint" -> Trace.Lint
+  | "layout" -> Trace.Layout
   | "bench" -> Trace.Bench
   | p -> raise (Bad ("unknown phase " ^ p))
 
@@ -371,7 +372,7 @@ let summary events =
     (Printf.sprintf "  events: %d\n" (List.length events));
   (* span tree: phases in pipeline order, names by total time *)
   let phase_order =
-    [ "engine"; "lift"; "absint"; "symex"; "rules"; "lint"; "bench" ]
+    [ "engine"; "lift"; "absint"; "symex"; "rules"; "lint"; "layout"; "bench" ]
   in
   List.iter
     (fun phase ->

@@ -1,4 +1,4 @@
-type phase = Engine | Lift | Absint | Symex | Rules | Lint | Bench
+type phase = Engine | Lift | Absint | Symex | Rules | Lint | Layout | Bench
 
 let phase_name = function
   | Engine -> "engine"
@@ -7,6 +7,7 @@ let phase_name = function
   | Symex -> "symex"
   | Rules -> "rules"
   | Lint -> "lint"
+  | Layout -> "layout"
   | Bench -> "bench"
 
 type value = Int of int | Str of string | Bool of bool | Float of float

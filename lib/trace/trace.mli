@@ -40,6 +40,7 @@ type phase =
   | Symex   (** TASE symbolic execution *)
   | Rules   (** R1-R31 matching: attempted / fired / rejected *)
   | Lint    (** differential lint verdicts *)
+  | Layout  (** storage-layout recovery passes *)
   | Bench   (** harness-level sections *)
 
 val phase_name : phase -> string

@@ -26,6 +26,7 @@ let corpus () =
              {
                Solc.Compile.fns = [ s.Solc.Corpus.fn ];
                version = s.Solc.Corpus.version;
+               storage = [];
              })
   in
   plain @ obf

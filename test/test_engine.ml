@@ -195,6 +195,50 @@ let test_stats_merge () =
   (* neither input was modified *)
   Alcotest.(check int) "a untouched" 2 (Sigrec.Stats.rule_count a "R1")
 
+let test_stats_scalar_sync () =
+  (* both rendered surfaces must carry exactly the descriptor list's
+     counters — including the layout ones added with the second
+     product — with the descriptor's values *)
+  let s = Sigrec.Stats.create () in
+  Sigrec.Stats.add_layout s ~slots:3 ~unknown:1;
+  Sigrec.Stats.add_layout s ~slots:2 ~unknown:0;
+  Sigrec.Stats.cache_hit s;
+  let json =
+    match Sigrec.Json.parse (Sigrec.Stats.to_json s) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "stats JSON unparseable: %s" e
+  in
+  let counters = Sigrec.Stats.scalar_counters s in
+  List.iter
+    (fun (key, v) ->
+      Alcotest.(check (option int)) ("json carries " ^ key) (Some v)
+        (Option.bind (Sigrec.Json.member key json) Sigrec.Json.to_int_opt))
+    counters;
+  Alcotest.(check int) "layouts counted" 2
+    (List.assoc "layouts_recovered" counters);
+  Alcotest.(check int) "slots summed" 5 (List.assoc "layout_slots" counters);
+  Alcotest.(check int) "unknown ops summed" 1
+    (List.assoc "layout_unknown_ops" counters);
+  (* merge sums every descriptor counter pointwise *)
+  let m = Sigrec.Stats.merge s s in
+  List.iter2
+    (fun (k1, v1) (k2, v2) ->
+      Alcotest.(check string) "same descriptor order" k1 k2;
+      Alcotest.(check int) ("merge doubled " ^ k1) (2 * v1) v2)
+    counters
+    (Sigrec.Stats.scalar_counters m);
+  (* the human rendering draws from the same values *)
+  let text = Format.asprintf "%a" Sigrec.Stats.pp s in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "pp shows the layout counters" true
+    (contains "layouts: 2 recovered, 5 slots (1 unresolved ops)")
+
 let test_engine_matches_recover () =
   (* the engine's signature view is the old Recover.recover result *)
   let codes = corpus_codes ~seed:13 6 in
@@ -217,6 +261,76 @@ let test_engine_matches_recover () =
         direct via_engine)
     codes
 
+(* -- the layout product ------------------------------------------------- *)
+
+let layout_codes ?(seed = 21) n =
+  List.map
+    (fun s -> s.Solc.Corpus.lcode)
+    (Solc.Corpus.layout_set ~seed ~n)
+
+let render_layouts reports =
+  String.concat "\n"
+    (List.map
+       (fun (r : Sigrec.Engine.layout_report) ->
+         Format.asprintf "0x%s %a" r.Sigrec.Engine.layout_code_hash
+           Sigrec_layout.Layout.pp r.Sigrec.Engine.layout)
+       reports)
+
+let test_layout_parallel_matches_sequential () =
+  let codes = layout_codes 8 in
+  let seq = Sigrec.Engine.layout_all (engine ~jobs:1 ()) codes in
+  let par = Sigrec.Engine.layout_all (engine ~jobs:4 ()) codes in
+  Alcotest.(check int) "one layout per input" (List.length codes)
+    (List.length par);
+  Alcotest.(check string) "byte-identical output" (render_layouts seq)
+    (render_layouts par)
+
+let test_layout_cache_and_dedup () =
+  let distinct = layout_codes ~seed:22 4 in
+  let codes = distinct @ [ List.hd distinct ] in
+  let engine = engine ~jobs:2 () in
+  let cold = Sigrec.Engine.layout_all engine codes in
+  (* in-batch duplicate answered without re-analysis *)
+  Alcotest.(check (list bool)) "only the duplicate attributed to cache"
+    [ false; false; false; false; true ]
+    (List.map (fun r -> r.Sigrec.Engine.layout_from_cache) cold);
+  Alcotest.(check int) "one analysis per distinct bytecode"
+    (List.length distinct)
+    (Sigrec.Stats.layouts_recovered (Sigrec.Engine.stats engine));
+  let warm = Sigrec.Engine.layout_all engine codes in
+  Alcotest.(check string) "warm results identical to cold"
+    (render_layouts cold) (render_layouts warm);
+  Alcotest.(check bool) "warm batch answered from cache" true
+    (List.for_all (fun r -> r.Sigrec.Engine.layout_from_cache) warm);
+  Alcotest.(check int) "no re-analysis on the warm run"
+    (List.length distinct)
+    (Sigrec.Stats.layouts_recovered (Sigrec.Engine.stats engine));
+  (* the single-code entry point shares the same cache *)
+  let single = Sigrec.Engine.layout engine (List.hd distinct) in
+  Alcotest.(check bool) "single lookup hits the batch-filled cache" true
+    single.Sigrec.Engine.layout_from_cache
+
+let test_layout_cache_independent_of_reports () =
+  (* the two products cache independently: filling one LRU does not
+     evict or pollute the other *)
+  let code =
+    Solc.Compile.compile
+      (Solc.Compile.contract_of_sigs
+         ~storage:[ Solc.Lang.svalue 0 ]
+         [ Abi.Funsig.make "x" [ Uint 256 ] ])
+  in
+  let engine = engine () in
+  let l1 = Sigrec.Engine.layout engine code in
+  let _report = Sigrec.Engine.recover engine code in
+  let r2 = Sigrec.Engine.recover engine code in
+  let l2 = Sigrec.Engine.layout engine code in
+  Alcotest.(check bool) "layout still cached after recover" true
+    l2.Sigrec.Engine.layout_from_cache;
+  Alcotest.(check bool) "report still cached after layout" true
+    r2.Sigrec.Engine.from_cache;
+  Alcotest.(check bool) "fresh first layout" false
+    l1.Sigrec.Engine.layout_from_cache
+
 let suite =
   [
     Alcotest.test_case "parallel = sequential" `Slow
@@ -234,6 +348,14 @@ let suite =
     Alcotest.test_case "no functions /= failure" `Quick
       test_no_functions_is_empty_not_failed;
     Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "stats scalar descriptor sync" `Quick
+      test_stats_scalar_sync;
     Alcotest.test_case "engine = Recover.recover" `Quick
       test_engine_matches_recover;
+    Alcotest.test_case "layout: parallel = sequential" `Quick
+      test_layout_parallel_matches_sequential;
+    Alcotest.test_case "layout: cache and dedup" `Quick
+      test_layout_cache_and_dedup;
+    Alcotest.test_case "layout: caches are per-product" `Quick
+      test_layout_cache_independent_of_reports;
   ]

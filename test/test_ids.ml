@@ -62,7 +62,7 @@ let test_symbolic_matches_static () =
   in
   let obf =
     Solc.Obfuscate.compile_obfuscated ~level:1 ~seed:7
-      { Solc.Compile.fns; version = Solc.Version.latest_solidity }
+      { Solc.Compile.fns; version = Solc.Version.latest_solidity; storage = [] }
   in
   let after =
     List.map (fun e -> e.Sigrec.Ids.selector) (Sigrec.Ids.extract obf)

@@ -26,4 +26,5 @@ let () =
       ("trace", Test_trace.suite);
       ("drift", Test_drift.suite);
       ("proptest", Test_prop.suite);
+      ("layout", Test_layout.suite);
     ]

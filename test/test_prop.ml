@@ -33,6 +33,11 @@ let rule_coverage () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+let layout_round_trip () =
+  check_pass Oracle.arb_case
+    (Prop.run ~seed:(seed () + 4) ~count:150 ~max_size:20
+       ~name:"layout_round_trip" Oracle.arb_case Oracle.layout_round_trip)
+
 let abi_round_trip () =
   check_pass Oracle.arb_abi
     (Prop.run ~seed:(seed () + 2) ~count:300 ~max_size:24 ~name:"abi_round_trip"
@@ -153,6 +158,7 @@ let suite =
     ("round-trip: 500 seeded recoveries", `Quick, round_trip);
     ("differential: TASE vs static, zero disagreements", `Quick, differential);
     ("rule coverage: all 31 rules fired", `Quick, rule_coverage);
+    ("layout: declared storage recovered exactly", `Quick, layout_round_trip);
     ("abi: encode/decode round trip", `Quick, abi_round_trip);
     ("drift: jobs/prune/cache byte-identical", `Quick, drift);
     ("gate catches a disabled rule group", `Quick, ablation_caught);

@@ -173,6 +173,53 @@ let test_parallel_response_identical () =
   Alcotest.(check string) "jobs=4 response byte-identical to jobs=1"
     (response 1) (response 4)
 
+(* -- layout op --------------------------------------------------------- *)
+
+let layout_request ?(id = "1") codes =
+  Printf.sprintf {|{"id":%s,"op":"layout","codes":[%s]}|} id
+    (String.concat ","
+       (List.map (fun c -> "\"0x" ^ Evm.Hex.encode c ^ "\"") codes))
+
+let test_layout_op () =
+  let t = default_serve () in
+  let code =
+    Solc.Compile.compile
+      (Solc.Compile.contract_of_sigs
+         ~storage:[ Solc.Lang.svalue 0; Solc.Lang.smapping 1 ]
+         [ Abi.Funsig.make "f" [ Uint 256 ] ])
+  in
+  let kinds response =
+    match Sigrec.Json.to_list_opt (member_exn "layouts" response) with
+    | Some [ l ] -> (
+      match Sigrec.Json.to_list_opt (member_exn "slots" l) with
+      | Some slots ->
+        ( List.map
+            (fun s ->
+              match member_exn "kind" s with
+              | Sigrec.Json.Str k -> k
+              | _ -> Alcotest.fail "kind not a string")
+            slots,
+          member_exn "from_cache" l )
+      | None -> Alcotest.fail "slots not a list")
+    | _ -> Alcotest.fail "expected exactly one layout"
+  in
+  let cold = kinds (parse_exn (handle t (layout_request [ code ]))) in
+  Alcotest.(check (list string)) "slot kinds" [ "word"; "mapping" ] (fst cold);
+  Alcotest.(check bool) "cold run is fresh" true
+    (snd cold = Sigrec.Json.Bool false);
+  let warm = kinds (parse_exn (handle t (layout_request [ code ]))) in
+  Alcotest.(check bool) "repeat answered from cache" true
+    (snd warm = Sigrec.Json.Bool true);
+  (* malformed layout requests are rejected without killing the daemon *)
+  (match Sigrec.Json.parse (handle t {|{"id":5,"op":"layout"}|}) with
+  | Ok response ->
+    Alcotest.(check bool) "missing codes rejected" true
+      (Sigrec.Json.member "ok" response = Some (Sigrec.Json.Bool false))
+  | Error e -> Alcotest.failf "unparseable error response: %s" e);
+  Alcotest.(check string) "daemon still alive"
+    {|{"id":6,"ok":true,"pong":true}|}
+    (handle t {|{"id":6,"op":"ping"}|})
+
 (* -- bounded LRU ------------------------------------------------------- *)
 
 let test_lru_eviction_bound () =
@@ -263,6 +310,7 @@ let suite =
       test_cross_request_cache_hits;
     Alcotest.test_case "jobs>=2 response byte-identical" `Slow
       test_parallel_response_identical;
+    Alcotest.test_case "layout op over the wire" `Quick test_layout_op;
     Alcotest.test_case "LRU eviction bound" `Quick test_lru_eviction_bound;
     Alcotest.test_case "engine cache bounded" `Quick
       test_engine_cache_bounded;

@@ -132,7 +132,8 @@ let obfuscated_contract level =
   in
   let contract =
     { Solc.Compile.fns = [ Solc.Lang.fn_of_sig fsig ];
-      version = Solc.Version.latest_solidity }
+      version = Solc.Version.latest_solidity;
+      storage = [] }
   in
   (fsig, Solc.Obfuscate.compile_obfuscated ~level ~seed:99 contract)
 

@@ -75,6 +75,7 @@ let test_obfuscated_corpus_resolution () =
           {
             Solc.Compile.fns = [ s.Solc.Corpus.fn ];
             version = s.Solc.Corpus.version;
+            storage = [];
           }
       in
       let contract = Sigrec.Contract.make code in
@@ -288,6 +289,121 @@ let test_domain_widening () =
   Alcotest.(check bool) "still untainted" true
     (Domain.equal d Domain.Untainted)
 
+(* ---- the slot lattice (storage-layout provenance) ------------------- *)
+
+let test_domain_slot_lattice () =
+  let s3 = Domain.Slot (Domain.Fixed (U256.of_int 3)) in
+  let s4 = Domain.Slot (Domain.Fixed (U256.of_int 4)) in
+  Alcotest.(check bool) "a slot joined with itself keeps its identity" true
+    (Domain.equal (Domain.join s3 s3) s3);
+  Alcotest.(check bool) "distinct slots widen to Untainted, not Tainted" true
+    (Domain.equal (Domain.join s3 s4) Domain.Untainted);
+  let sval = Domain.Sval (Domain.Fixed (U256.of_int 1), 0) in
+  Alcotest.(check bool) "a storage read joined with Untainted widens" true
+    (Domain.equal (Domain.join sval Domain.Untainted) Domain.Untainted);
+  Alcotest.(check bool) "the taint line still dominates" true
+    (Domain.equal (Domain.join s3 Domain.Tainted) Domain.Tainted);
+  (* address classification: singleton constants name a fixed slot,
+     ambiguous sets name nothing *)
+  (match Domain.slot_of (Domain.const (U256.of_int 5)) with
+  | Some s ->
+    Alcotest.(check bool) "constant address is a fixed slot" true
+      (Domain.slot_equal s (Domain.Fixed (U256.of_int 5)))
+  | None -> Alcotest.fail "constant address not classified");
+  Alcotest.(check bool) "multi-constant address stays unclassified" true
+    (Domain.slot_of (Domain.join (Domain.of_int 1) (Domain.of_int 2)) = None);
+  Alcotest.(check bool) "untainted address stays unclassified" true
+    (Domain.slot_of Domain.Untainted = None)
+
+let test_domain_slot_arithmetic () =
+  let base = Domain.Arr_of (U256.of_int 9) in
+  (* index arithmetic over a derived base: even a counter widened past
+     max_consts does not lose the slot attribution *)
+  let widened =
+    List.fold_left
+      (fun acc i -> Domain.join acc (Domain.of_int i))
+      (Domain.of_int 0)
+      (List.init (Domain.max_consts + 4) (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "counter widened to Untainted" true
+    (Domain.equal widened Domain.Untainted);
+  Alcotest.(check bool) "base + widened index stays on the array" true
+    (Domain.equal
+       (Domain.lift2 Opcode.ADD widened (Domain.Slot base))
+       (Domain.Slot base));
+  Alcotest.(check bool) "constant - base loses the attribution" true
+    (Domain.equal
+       (Domain.lift2 Opcode.SUB (Domain.of_int 1) (Domain.Slot base))
+       Domain.Untainted);
+  (* the packed-read idiom moves the bit cursor of a loaded word *)
+  let loaded = Domain.Sval (Domain.Fixed (U256.of_int 2), 0) in
+  Alcotest.(check bool) "SHR moves the cursor" true
+    (Domain.equal
+       (Domain.lift2 Opcode.SHR (Domain.of_int 8) loaded)
+       (Domain.Sval (Domain.Fixed (U256.of_int 2), 8)));
+  Alcotest.(check bool) "DIV by 2^k moves the cursor (pre-0.5 idiom)" true
+    (Domain.equal
+       (Domain.lift2 Opcode.DIV loaded (Domain.const (U256.pow2 16)))
+       (Domain.Sval (Domain.Fixed (U256.of_int 2), 16)));
+  Alcotest.(check bool) "AND keeps the cursor" true
+    (Domain.equal
+       (Domain.lift2 Opcode.AND (Domain.of_int 255) loaded)
+       loaded);
+  Alcotest.(check bool) "other arithmetic widens the loaded word" true
+    (Domain.equal
+       (Domain.lift2 Opcode.MUL loaded (Domain.of_int 3))
+       Domain.Untainted)
+
+let test_keccak_constant_derivations () =
+  (* hand-written SHA3 idioms over constant memory: the recording pass
+     must emit the derivation and attribute the following SLOAD to it *)
+  let events prog =
+    let r = Absint.analyze ~entry:0 (Cfg.build (Asm.assemble prog)) in
+    Alcotest.(check bool) "converged" true r.Absint.converged;
+    List.map (fun (e : Absint.storage_ev) -> e.Absint.ev) r.Absint.storage
+  in
+  let has evs p = List.exists p evs in
+  (* keccak(pad32 slot): a dynamic array's data base *)
+  let arr =
+    events
+      Asm.
+        [
+          Op (Opcode.push 7); Op (Opcode.push 0); Op Opcode.MSTORE;
+          Op (Opcode.push 0x20); Op (Opcode.push 0); Op Opcode.SHA3;
+          Op Opcode.SLOAD; Op Opcode.POP; Op Opcode.STOP;
+        ]
+  in
+  let arr_slot = Domain.Arr_of (U256.of_int 7) in
+  Alcotest.(check bool) "keccak(const) derives the array base" true
+    (has arr (function
+      | Absint.Sderive s -> Domain.slot_equal s arr_slot
+      | _ -> false));
+  Alcotest.(check bool) "the load is attributed to the array" true
+    (has arr (function
+      | Absint.Sload (Some s) -> Domain.slot_equal s arr_slot
+      | _ -> false));
+  (* keccak(key . pad32 slot) with an environment-read key: a mapping
+     element — the untainted key must not widen the derivation away *)
+  let map =
+    events
+      Asm.
+        [
+          Op Opcode.CALLER; Op (Opcode.push 0); Op Opcode.MSTORE;
+          Op (Opcode.push 5); Op (Opcode.push 0x20); Op Opcode.MSTORE;
+          Op (Opcode.push 0x40); Op (Opcode.push 0); Op Opcode.SHA3;
+          Op Opcode.SLOAD; Op Opcode.POP; Op Opcode.STOP;
+        ]
+  in
+  let map_slot = Domain.Map_of (U256.of_int 5) in
+  Alcotest.(check bool) "keccak(key . const) derives the mapping" true
+    (has map (function
+      | Absint.Sderive s -> Domain.slot_equal s map_slot
+      | _ -> false));
+  Alcotest.(check bool) "the load is attributed to the mapping" true
+    (has map (function
+      | Absint.Sload (Some s) -> Domain.slot_equal s map_slot
+      | _ -> false))
+
 let test_domain_eval_parity () =
   (* the abstract evaluator must agree with the concrete semantics the
      symbolic executor uses, or resolved jump targets would be wrong *)
@@ -334,5 +450,10 @@ let suite =
     Alcotest.test_case "batch parser comments" `Quick
       test_batch_parser_empty_and_comments;
     Alcotest.test_case "domain widening" `Quick test_domain_widening;
+    Alcotest.test_case "domain slot lattice" `Quick test_domain_slot_lattice;
+    Alcotest.test_case "domain slot arithmetic" `Quick
+      test_domain_slot_arithmetic;
+    Alcotest.test_case "keccak derivations recorded" `Quick
+      test_keccak_constant_derivations;
     Alcotest.test_case "domain eval parity" `Quick test_domain_eval_parity;
   ]
