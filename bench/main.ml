@@ -1652,6 +1652,202 @@ let layout_pass ?(emit = true) ?(n = 150) () =
   end;
   ok
 
+(* ---------------------------------------------------------------- *)
+(* Chain-scale streaming (10^5-contract corpora)                     *)
+(* ---------------------------------------------------------------- *)
+
+(* Four gates, emitted to BENCH_scale.json and enforced in --smoke —
+   ratios and booleans only, never absolute timing:
+
+   - identity: recover_stream emits the same reports as recover_all
+     over the same codes (renders compared with from_cache normalized
+     away — which batch first analyzes a bytecode depends on batch
+     boundaries);
+   - memory: streaming a generated corpus (default ~90% byte-identical
+     duplicates, the mainnet profile) must cost less peak heap than the
+     non-streaming path, which materializes every input line before
+     recovering — the high-water growth of the whole cold streamed run
+     must stay below what merely materializing the same corpus adds on
+     top of it (the gap widens with n: the streamed side is bounded by
+     distinct contracts, the materialized side grows with the stream);
+   - dedup: the duplicated stream must run at a higher contracts/sec
+     than a duplicate-free stream of the same pipeline (the cache is
+     doing its job);
+   - allocation: the jobs=1 engine's minor words per contract over the
+     symex_core corpus must stay at least 25% below the pre-diet
+     baseline (54,613 words/contract, committed in BENCH_perf.json
+     before the scratch-buffer work). *)
+
+let alloc_baseline_words_per_contract = 54_613.0
+
+let scale ?(emit = true) ?(n = 10_000) ?(alloc_n = 120) () =
+  section "Chain-scale streaming recovery";
+  let dup_rate = 0.9 in
+  let domains = Domain.recommended_domain_count () in
+  let render_normalized reports =
+    String.concat "\n"
+      (List.map
+         (fun r ->
+           Format.asprintf "%a" Sigrec.Engine.pp_report
+             { r with Sigrec.Engine.from_cache = false })
+         reports)
+  in
+  (* gate 1: stream/batch identity on a prefix-sized corpus *)
+  let k = Stdlib.min n 400 in
+  let ident_codes = ref [] in
+  Solc.Corpus.stream ~seed:(seed + 13) ~n:k ~dup_rate (fun code ->
+      ident_codes := code :: !ident_codes);
+  let ident_codes = List.rev !ident_codes in
+  let batch_reports = Sigrec.Engine.recover_all (engine_with ()) ident_codes in
+  let stream_reports = ref [] in
+  let fed =
+    Sigrec.Engine.recover_stream (engine_with ()) ~batch:64
+      (List.to_seq ident_codes) ~emit:(fun r ->
+        stream_reports := r :: !stream_reports)
+  in
+  let identity_gate =
+    fed = k
+    && render_normalized batch_reports
+       = render_normalized (List.rev !stream_reports)
+  in
+  Printf.printf
+    "stream vs batch over %d contracts: %d emitted, identical: %b\n" k fed
+    identity_gate;
+  (* gates 2+3: stream the full corpus; generation happens inside the
+     feed loop (as it would from a pipe), so both the duplicated and
+     the duplicate-free run pay it identically *)
+  let top_heap_bytes () =
+    (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)
+  in
+  let run_streamed ~engine ~dup_rate ~n =
+    let bytes_seen = ref 0 in
+    let emitted = ref 0 in
+    let h0 = top_heap_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let session =
+      Sigrec.Engine.Stream.start engine ~emit:(fun _ -> incr emitted)
+    in
+    Solc.Corpus.stream ~seed:(seed + 13) ~n ~dup_rate (fun code ->
+        bytes_seen := !bytes_seen + String.length code;
+        Sigrec.Engine.Stream.feed session code);
+    let contracts = Sigrec.Engine.Stream.finish session in
+    let t = Unix.gettimeofday () -. t0 in
+    let heap_growth_bytes = top_heap_bytes () - h0 in
+    let stats = Sigrec.Engine.stats engine in
+    ( contracts,
+      float_of_int contracts /. Stdlib.max 1e-9 t,
+      !bytes_seen,
+      heap_growth_bytes,
+      Sigrec.Stats.cache_misses stats,
+      Sigrec.Stats.stream_dedup_hits stats )
+  in
+  let stream_engine = engine_with ~jobs:domains () in
+  let contracts, rate_dedup, corpus_bytes, heap_growth, distinct, dedup_hits
+      =
+    run_streamed ~engine:stream_engine ~dup_rate ~n
+  in
+  (* memory baseline: what the non-streaming path pays before analysis
+     even starts — every line of the same corpus materialized as its
+     own string (duplicates included, exactly as a file read does) plus
+     a full-corpus report list. The engine is the warm one from the
+     streamed run, so the delta isolates materialization: it must
+     exceed what the entire cold streamed run added to the high-water
+     mark. *)
+  let h0 = top_heap_bytes () in
+  let materialized = ref [] in
+  Solc.Corpus.stream ~seed:(seed + 13) ~n ~dup_rate (fun code ->
+      materialized := String.sub code 0 (String.length code) :: !materialized);
+  let batch_reports =
+    Sigrec.Engine.recover_all stream_engine (List.rev !materialized)
+  in
+  let batch_growth = top_heap_bytes () - h0 in
+  let batch_count = List.length batch_reports in
+  materialized := [];
+  let memory_gate = batch_count = n && heap_growth < batch_growth in
+  let n_cold = Stdlib.max 25 (n / 20) in
+  let _, rate_cold, _, _, _, _ =
+    run_streamed ~engine:(engine_with ~jobs:domains ()) ~dup_rate:0.0
+      ~n:n_cold
+  in
+  let dedup_gate = rate_dedup > rate_cold in
+  Printf.printf
+    "streamed %d contracts (%d distinct analyses, %d dedup hits, %.1f MB \
+     corpus):\n\
+    \  deduped (%.0f%% duplicates): %.0f contracts/s on %d domains\n\
+    \  duplicate-free (%d contracts): %.0f contracts/s\n\
+    \  peak-heap growth: streamed %.2f MB vs materialized corpus %.2f MB\n"
+    contracts distinct dedup_hits
+    (float_of_int corpus_bytes /. 1e6)
+    (dup_rate *. 100.0) rate_dedup domains n_cold rate_cold
+    (float_of_int heap_growth /. 1e6)
+    (float_of_int batch_growth /. 1e6);
+  (* gate 4: the allocation diet, measured the same way BENCH_perf.json
+     measures it (jobs=1 recover_all, symex_core corpus shape) so the
+     number is comparable to the committed pre-diet baseline *)
+  let extra = Stdlib.max 4 (alloc_n / 4) in
+  let alloc_samples =
+    Solc.Corpus.dataset3 ~seed:(seed + 9) ~n:alloc_n
+    @ Solc.Corpus.vyper_set ~seed:(seed + 9) ~n:extra
+    @ Solc.Corpus.abiv2_set ~seed:(seed + 9) ~n:extra
+  in
+  let alloc_codes = List.map (fun s -> s.Solc.Corpus.code) alloc_samples in
+  (* flush the young generation around the run: the allocated-words
+     counter only advances at minor collections, so without the flush
+     the delta is quantized to whole minor-heap units — far too coarse
+     for a small corpus *)
+  Gc.minor ();
+  let g0 = Gc.quick_stat () in
+  let (_ : Sigrec.Engine.report list) =
+    Sigrec.Engine.recover_all (engine_with ()) alloc_codes
+  in
+  Gc.minor ();
+  let g1 = Gc.quick_stat () in
+  let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let words_per_contract =
+    minor /. float_of_int (List.length alloc_codes)
+  in
+  let reduction = 1.0 -. (words_per_contract /. alloc_baseline_words_per_contract) in
+  let alloc_gate =
+    words_per_contract <= 0.75 *. alloc_baseline_words_per_contract
+  in
+  Printf.printf
+    "allocation: %.0f minor words/contract (baseline %.0f, %.0f%% \
+     reduction)\n\
+     gates: identity %s, memory %s, dedup %s, allocation %s\n"
+    words_per_contract alloc_baseline_words_per_contract
+    (reduction *. 100.0)
+    (if identity_gate then "ok" else "FAIL")
+    (if memory_gate then "ok" else "FAIL")
+    (if dedup_gate then "ok" else "FAIL")
+    (if alloc_gate then "ok" else "FAIL");
+  let ok = identity_gate && memory_gate && dedup_gate && alloc_gate in
+  if emit then begin
+    let json =
+      Printf.sprintf
+        "{\"corpus_contracts\":%d,\"distinct_analyses\":%d,\
+         \"dup_rate\":%.2f,\"stream_dedup_hits\":%d,\
+         \"hardware_domains\":%d,\
+         \"contracts_per_sec_deduped\":%.1f,\
+         \"contracts_per_sec_cold\":%.1f,\
+         \"corpus_bytes\":%d,\"stream_heap_growth_bytes\":%d,\
+         \"materialized_heap_growth_bytes\":%d,\
+         \"minor_words_per_contract\":%.0f,\
+         \"baseline_minor_words_per_contract\":%.0f,\
+         \"minor_words_reduction\":%.3f,\
+         \"identity_gate\":%b,\"memory_gate\":%b,\
+         \"dedup_gate\":%b,\"allocation_gate\":%b}"
+        contracts distinct dup_rate dedup_hits domains rate_dedup rate_cold
+        corpus_bytes heap_growth batch_growth words_per_contract
+        alloc_baseline_words_per_contract reduction identity_gate
+        memory_gate dedup_gate alloc_gate
+    in
+    Out_channel.with_open_text "BENCH_scale.json" (fun oc ->
+        output_string oc json;
+        output_char oc '\n');
+    Printf.printf "wrote BENCH_scale.json\n"
+  end;
+  ok
+
 (* --smoke: the drift checks only, on a small corpus, fast enough for
    CI. Exit status 1 when any recovery output drifts (parallel vs
    sequential, pruned vs unpruned, warm vs cold, interned vs structural
@@ -1664,10 +1860,11 @@ let smoke () =
   let trace_ok = trace_overhead ~emit:true ~n:32 () in
   let serve_ok = serve_scaling ~emit:true ~n:180 () in
   let layout_ok = layout_pass ~emit:true ~n:60 () in
-  if ok && trace_ok && serve_ok && layout_ok then
+  let scale_ok = scale ~emit:true ~n:8_000 ~alloc_n:120 () in
+  if ok && trace_ok && serve_ok && layout_ok && scale_ok then
     Printf.printf
       "\nsmoke: recovery output stable, trace overhead in budget, \
-       resident-service and layout gates hold\n"
+       resident-service, layout and chain-scale gates hold\n"
   else begin
     if not ok then Printf.printf "\nsmoke: RECOVERY OUTPUT DRIFT DETECTED\n";
     if not trace_ok then
@@ -1678,6 +1875,9 @@ let smoke () =
     if not layout_ok then
       Printf.printf
         "\nsmoke: STORAGE-LAYOUT GATE FAILED (see BENCH_layout.json)\n";
+    if not scale_ok then
+      Printf.printf
+        "\nsmoke: CHAIN-SCALE STREAMING GATE FAILED (see BENCH_scale.json)\n";
     exit 1
   end
 
@@ -1705,6 +1905,7 @@ let () =
     let (_ : bool) = trace_overhead () in
     let (_ : bool) = serve_scaling ~big:1000 () in
     let (_ : bool) = layout_pass () in
+    let (_ : bool) = scale ~n:100_000 () in
     aggregation ();
     proptest_volume ();
     run_bechamel ();

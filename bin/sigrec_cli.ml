@@ -23,18 +23,32 @@ let read_bytecode input =
   let trimmed = String.trim raw in
   if Evm.Hex.is_valid trimmed then Evm.Hex.decode trimmed else raw
 
+let with_input_channel input f =
+  try
+    if input = "-" then f In_channel.stdin
+    else In_channel.with_open_bin input f
+  with Sys_error msg ->
+    Printf.eprintf "sigrec: %s\n" msg;
+    exit 2
+
+let warn_malformed input ~line ~reason =
+  Printf.eprintf "sigrec: %s:%d: skipping malformed line (%s)\n%!" input
+    line reason
+
 (* One hex bytecode per line; blank lines, #-comments, CRLF and 0x
    prefixes tolerated; malformed lines are warned about on stderr (as
    they are found, via the warn callback — never stdout, which may be
    carrying --format json output) and skipped rather than failing the
-   whole file. *)
+   whole file. Read incrementally: the raw text is never held whole,
+   only the decoded bytecodes are. *)
 let read_bytecode_list input =
-  let warn ~line ~reason =
-    Printf.eprintf "sigrec: %s:%d: skipping malformed line (%s)\n%!" input
-      line reason
+  let codes, _totals =
+    with_input_channel input
+      (Sigrec.Input.fold_lines ~warn:(warn_malformed input)
+         ~f:(fun acc code -> code :: acc)
+         [])
   in
-  let batch = Sigrec.Input.parse_batch ~warn (read_raw input) in
-  batch.Sigrec.Input.codes
+  List.rev codes
 
 (* ---- tracing -------------------------------------------------------- *)
 
@@ -146,30 +160,77 @@ let recover_cmd config input show_stats explain format trace =
   | Some _ -> 1
   | None -> 0
 
-let batch_cmd config input show_stats format trace =
-  let bytecodes = read_bytecode_list input in
+(* Streamed batch: contracts flow from the input channel through the
+   engine's streaming session and out as they are recovered — at most
+   one internal batch of bytecodes is resident, so a 10^5-contract
+   corpus runs in constant memory. Reports still print in input
+   order. *)
+let batch_stream_cmd config input show_stats format trace =
   let engine = Sigrec.Engine.make config in
-  let reports =
-    with_trace trace (fun () -> Sigrec.Engine.recover_all engine bytecodes)
+  let print_report r =
+    match format with
+    | `Json -> print_endline (Sigrec.Render.report r)
+    | `Text -> Format.printf "%a@." Sigrec.Engine.pp_report r
   in
-  (match format with
-  | `Json ->
-    List.iter (fun r -> print_endline (Sigrec.Render.report r)) reports
-  | `Text ->
-    List.iter (fun r -> Format.printf "%a@." Sigrec.Engine.pp_report r) reports);
+  let contracts, totals =
+    with_trace trace (fun () ->
+        with_input_channel input (fun ic ->
+            let session =
+              Sigrec.Engine.Stream.start engine ~emit:print_report
+            in
+            let (), totals =
+              Sigrec.Input.fold_lines ~warn:(warn_malformed input)
+                ~f:(fun () code -> Sigrec.Engine.Stream.feed session code)
+                () ic
+            in
+            (Sigrec.Engine.Stream.finish session, totals)))
+  in
+  let stats = Sigrec.Engine.stats engine in
+  Sigrec.Stats.add_stream_lines stats ~lines:totals.Sigrec.Input.lines
+    ~skipped:totals.Sigrec.Input.skipped;
   if show_stats then begin
     match format with
     | `Text ->
-      let stats = Sigrec.Engine.stats engine in
       Format.printf
-        "@.batch: %d contracts, %d distinct analyses, %d cache hits@."
-        (List.length bytecodes)
+        "@.stream: %d contracts over %d lines (%d skipped), %d distinct \
+         analyses, %d answered from cache@."
+        contracts totals.Sigrec.Input.lines totals.Sigrec.Input.skipped
         (Sigrec.Stats.cache_misses stats)
         (Sigrec.Stats.cache_hits stats);
       print_rule_stats stats
-    | `Json -> print_stats_json (Sigrec.Engine.stats engine)
+    | `Json -> print_stats_json stats
   end;
   0
+
+let batch_cmd config input show_stats format trace stream =
+  if stream then batch_stream_cmd config input show_stats format trace
+  else begin
+    let bytecodes = read_bytecode_list input in
+    let engine = Sigrec.Engine.make config in
+    let reports =
+      with_trace trace (fun () -> Sigrec.Engine.recover_all engine bytecodes)
+    in
+    (match format with
+    | `Json ->
+      List.iter (fun r -> print_endline (Sigrec.Render.report r)) reports
+    | `Text ->
+      List.iter
+        (fun r -> Format.printf "%a@." Sigrec.Engine.pp_report r)
+        reports);
+    if show_stats then begin
+      match format with
+      | `Text ->
+        let stats = Sigrec.Engine.stats engine in
+        Format.printf
+          "@.batch: %d contracts, %d distinct analyses, %d cache hits@."
+          (List.length bytecodes)
+          (Sigrec.Stats.cache_misses stats)
+          (Sigrec.Stats.cache_hits stats);
+        print_rule_stats stats
+      | `Json -> print_stats_json (Sigrec.Engine.stats engine)
+    end;
+    0
+  end
 
 let print_layout_text (lr : Sigrec.Engine.layout_report) =
   Format.printf "code hash 0x%s%s@.%a@."
@@ -564,9 +625,19 @@ let batch_term =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LIST" ~doc)
   in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream the input instead of loading it whole: contracts are \
+             read, recovered and printed in bounded batches, so \
+             chain-scale corpora run in constant memory. Reports still \
+             appear in input order.")
+  in
   Term.(
     const batch_cmd $ Flags.engine_config $ input $ Flags.stats
-    $ Flags.format $ Flags.trace)
+    $ Flags.format $ Flags.trace $ stream)
 
 let explain_term =
   let profile =

@@ -3,9 +3,58 @@
    anyone who wants a realistic `sigrec batch` input without running
    the property harness.
 
-   Run with: dune exec examples/make_corpus.exe > examples/corpus.txt *)
+   Run with: dune exec examples/make_corpus.exe > examples/corpus.txt
 
-let () =
+   With --stream N the tool instead emits an N-contract chain-scale
+   corpus (compiled on the fly, ~90% byte-identical duplicates like a
+   mainnet dump — tune with --dup RATE, --seed S) straight to stdout,
+   line by line, for piping into `sigrec batch --stream -`:
+
+     dune exec examples/make_corpus.exe -- --stream 100000 \
+       | dune exec bin/sigrec_cli.exe -- batch --stream - *)
+
+let stream_corpus n dup_rate seed =
+  Printf.printf "# sigrec streamed corpus: %d contracts, dup rate %.2f, seed %d\n"
+    n dup_rate seed;
+  Solc.Corpus.stream ~seed ~n ~dup_rate (fun code ->
+      print_string "0x";
+      print_string (Evm.Hex.encode code);
+      print_char '\n')
+
+let usage () =
+  prerr_endline
+    "usage: make_corpus [--stream N [--dup RATE] [--seed S]]";
+  exit 2
+
+let parse_stream_args args =
+  let n = ref 0 and dup = ref 0.9 and seed = ref 20230704 in
+  let rec go = function
+    | [] -> ()
+    | "--stream" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some x when x > 0 ->
+        n := x;
+        go rest
+      | _ -> usage ())
+    | "--dup" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some x when x >= 0.0 && x < 1.0 ->
+        dup := x;
+        go rest
+      | _ -> usage ())
+    | "--seed" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some x ->
+        seed := x;
+        go rest
+      | _ -> usage ())
+    | _ -> usage ()
+  in
+  go args;
+  if !n = 0 then usage ();
+  (!n, !dup, !seed)
+
+let committed_corpus () =
   let open Abi.Abity in
   let token =
     (* ERC-20 shape: total supply word, balances mapping, a packed
@@ -64,3 +113,11 @@ let () =
          batch engine's dedup attribution in traces and stats *)
       token;
     ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> committed_corpus ()
+  | _ :: args ->
+    let n, dup_rate, seed = parse_stream_args args in
+    stream_corpus n dup_rate seed
+  | [] -> committed_corpus ()

@@ -12,7 +12,15 @@ and successor =
   | Exit
   | Unresolved
 
-type t = { by_start : (int, block) Hashtbl.t; order : int list }
+(* [arr] holds the blocks in ascending start order and [starts] mirrors
+   their start offsets, so traversal ([iter_blocks], [block_of_pc]) is
+   array-indexed instead of rebuilding lists; [by_start] keeps O(1)
+   lookup by exact offset. *)
+type t = {
+  by_start : (int, block) Hashtbl.t;
+  arr : block array;
+  starts : int array;
+}
 
 let leaders instrs =
   let set = Hashtbl.create 64 in
@@ -39,8 +47,26 @@ let static_target block_instrs =
   in
   last_two block_instrs
 
+let index_of_chunks by_start chunks =
+  let arr =
+    Array.of_list
+      (List.filter_map
+         (fun start -> Hashtbl.find_opt by_start start)
+         chunks)
+  in
+  let starts = Array.map (fun b -> b.start) arr in
+  { by_start; arr; starts }
+
 let of_instructions instrs =
   let leader_set = leaders instrs in
+  (* offset-indexed views of the instruction stream: O(1) jump-dest
+     validity and fallthrough checks instead of per-edge list scans *)
+  let jumpdests = Hashtbl.create 64 and offsets = Hashtbl.create 256 in
+  List.iter
+    (fun { Disasm.offset; op } ->
+      Hashtbl.replace offsets offset ();
+      if op = Opcode.JUMPDEST then Hashtbl.replace jumpdests offset ())
+    instrs;
   (* split into chunks at leaders / after terminators *)
   let chunks = ref [] and current = ref [] in
   let flush () =
@@ -63,17 +89,13 @@ let of_instructions instrs =
     | [] -> 0
   in
   let order = List.map (fun c -> (List.hd c).Disasm.offset) chunks in
-  let valid_dest offset =
-    List.exists
-      (fun i -> i.Disasm.offset = offset && i.Disasm.op = Opcode.JUMPDEST)
-      instrs
-  in
+  let valid_dest offset = Hashtbl.mem jumpdests offset in
   List.iter
     (fun chunk ->
       let start = (List.hd chunk).Disasm.offset in
       let last = List.nth chunk (List.length chunk - 1) in
       let after = next_offset chunk in
-      let has_next = List.exists (fun i -> i.Disasm.offset = after) instrs in
+      let has_next = Hashtbl.mem offsets after in
       let succ =
         match last.Disasm.op with
         | Opcode.JUMP -> (
@@ -100,17 +122,17 @@ let of_instructions instrs =
       in
       Hashtbl.replace by_start start { start; instrs = chunk; terminator; succ })
     chunks;
-  { by_start; order }
+  index_of_chunks by_start order
 
 let build bytecode = of_instructions (Disasm.disassemble bytecode)
 
 let unresolved_count t =
-  Hashtbl.fold
-    (fun _ b acc ->
+  Array.fold_left
+    (fun acc b ->
       acc
       + List.length
           (List.filter (function Unresolved -> true | _ -> false) b.succ))
-    t.by_start 0
+    0 t.arr
 
 (* Feed externally discovered jump targets (the static pass) back into
    the graph: every [Unresolved] edge whose block gets targets becomes
@@ -118,29 +140,32 @@ let unresolved_count t =
    partially resolved graph stays honest about what it does not know. *)
 let resolve t targets_of =
   let by_start = Hashtbl.create (Hashtbl.length t.by_start) in
-  Hashtbl.iter
-    (fun start b ->
-      let succ =
-        List.concat_map
-          (fun s ->
-            match s with
-            | Unresolved -> (
-              match targets_of b.start with
-              | [] -> [ Unresolved ]
-              | ts -> List.map (fun x -> Jump_to x) ts)
-            | s -> [ s ])
-          b.succ
-      in
-      Hashtbl.replace by_start start { b with succ })
-    t.by_start;
-  { by_start; order = t.order }
+  let arr =
+    Array.map
+      (fun b ->
+        let succ =
+          List.concat_map
+            (fun s ->
+              match s with
+              | Unresolved -> (
+                match targets_of b.start with
+                | [] -> [ Unresolved ]
+                | ts -> List.map (fun x -> Jump_to x) ts)
+              | s -> [ s ])
+            b.succ
+        in
+        let b = { b with succ } in
+        Hashtbl.replace by_start b.start b;
+        b)
+      t.arr
+  in
+  { by_start; arr; starts = t.starts }
+
 let block_at t start = Hashtbl.find_opt t.by_start start
-
-let entry t =
-  match t.order with [] -> None | start :: _ -> block_at t start
-
-let blocks t = List.filter_map (block_at t) t.order
-let block_count t = List.length t.order
+let entry t = if Array.length t.arr = 0 then None else Some t.arr.(0)
+let blocks t = Array.to_list t.arr
+let iter_blocks f t = Array.iter f t.arr
+let block_count t = Array.length t.arr
 
 let successors t block =
   List.concat_map
@@ -153,15 +178,18 @@ let successors t block =
       | Exit | Unresolved -> [])
     block.succ
 
+(* Greatest start <= pc, by binary search over the sorted start array. *)
 let block_of_pc t pc =
-  let rec best = function
-    | [] -> None
-    | b :: rest -> (
-      match rest with
-      | next :: _ when next.start <= pc -> best rest
-      | _ -> if b.start <= pc then Some b else None)
-  in
-  best (blocks t)
+  let n = Array.length t.starts in
+  if n = 0 || t.starts.(0) > pc then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.starts.(mid) <= pc then lo := mid else hi := mid - 1
+    done;
+    Some t.arr.(!lo)
+  end
 
 let branch_condition_pc block =
   match List.rev block.instrs with
@@ -172,7 +200,8 @@ let branch_condition_pc block =
    node (-1). Iterative dataflow on the reverse graph. *)
 let postdominators t =
   let exit_node = -1 in
-  let starts = List.map (fun b -> b.start) (blocks t) in
+  (* successor starts precomputed once per block; the <=64 fixpoint
+     rounds below only walk these arrays *)
   let succ_starts b =
     let concrete = List.map (fun s -> s.start) (successors t b) in
     let exits =
@@ -180,11 +209,9 @@ let postdominators t =
     in
     if exits || concrete = [] then exit_node :: concrete else concrete
   in
+  let succs_of = Array.map succ_starts t.arr in
   let ipdom = Hashtbl.create 64 in
   Hashtbl.replace ipdom exit_node exit_node;
-  (* process blocks from the exit backwards; with our forward-ordered
-     starts, iterating in descending start order converges quickly *)
-  let order = List.rev starts in
   (* Common ancestor in the (partially built) ipdom tree rooted at the
      virtual exit. Collect the ancestors of one node, then climb from
      the other until the sets meet. Bounded walks guard against the
@@ -212,29 +239,29 @@ let postdominators t =
     in
     climb b 4096
   in
+  let n = Array.length t.arr in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < 64 do
     changed := false;
     incr rounds;
-    List.iter
-      (fun s ->
-        match block_at t s with
-        | None -> ()
-        | Some b ->
-          let succs = succ_starts b in
-          let known =
-            List.filter (fun x -> x = exit_node || Hashtbl.mem ipdom x) succs
-          in
-          match known with
-          | [] -> ()
-          | first :: rest ->
-            let new_ipdom = List.fold_left intersect first rest in
-            if Hashtbl.find_opt ipdom s <> Some new_ipdom then begin
-              Hashtbl.replace ipdom s new_ipdom;
-              changed := true
-            end)
-      order
+    (* process blocks from the exit backwards; with our forward-ordered
+       starts, iterating in descending start order converges quickly *)
+    for i = n - 1 downto 0 do
+      let s = t.starts.(i) in
+      let succs = succs_of.(i) in
+      let known =
+        List.filter (fun x -> x = exit_node || Hashtbl.mem ipdom x) succs
+      in
+      match known with
+      | [] -> ()
+      | first :: rest ->
+        let new_ipdom = List.fold_left intersect first rest in
+        if Hashtbl.find_opt ipdom s <> Some new_ipdom then begin
+          Hashtbl.replace ipdom s new_ipdom;
+          changed := true
+        end
+    done
   done;
   ipdom
 
@@ -246,7 +273,7 @@ let control_deps t =
     let cur = Option.value ~default:[] (Hashtbl.find_opt deps b) in
     if not (List.mem a cur) then Hashtbl.replace deps b (a :: cur)
   in
-  List.iter
+  iter_blocks
     (fun a ->
       let succs = successors t a in
       let is_branch =
@@ -270,7 +297,7 @@ let control_deps t =
             in
             walk s.start)
           succs)
-    (blocks t);
+    t;
   deps
 
 let transitive_deps deps start =
@@ -293,7 +320,7 @@ let transitive_deps deps start =
   List.rev !out
 
 let pp fmt t =
-  List.iter
+  iter_blocks
     (fun b ->
       Format.fprintf fmt "block %04x (%d instrs) ->" b.start
         (List.length b.instrs);
@@ -308,4 +335,4 @@ let pp fmt t =
           | Unresolved -> Format.fprintf fmt " ?")
         b.succ;
       Format.fprintf fmt "@.")
-    (blocks t)
+    t

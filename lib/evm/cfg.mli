@@ -33,6 +33,11 @@ val entry : t -> block option
 val blocks : t -> block list
 (** In ascending start-offset order. *)
 
+val iter_blocks : (block -> unit) -> t -> unit
+(** Apply to every block in ascending start-offset order without
+    materializing the {!blocks} list — the traversal primitive for
+    fixpoint passes that sweep the graph repeatedly. *)
+
 val successors : t -> block -> block list
 val block_count : t -> int
 val pp : Format.formatter -> t -> unit

@@ -1,28 +1,58 @@
+let hex_chars = "0123456789abcdef"
+
 let encode s =
-  let buf = Buffer.create (2 * String.length s) in
-  String.iter
-    (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
-    s;
-  Buffer.contents buf
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let b = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_chars (b lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1)
+      (String.unsafe_get hex_chars (b land 0xf))
+  done;
+  Bytes.unsafe_to_string out
+
+(* 256-entry digit table: -1 marks a non-hex byte. Shared by the decode
+   fast path and the allocation-free [is_valid] scan. *)
+let digit_table =
+  let t = Array.make 256 (-1) in
+  for i = 0 to 9 do
+    t.(Char.code '0' + i) <- i
+  done;
+  for i = 0 to 5 do
+    t.(Char.code 'a' + i) <- 10 + i;
+    t.(Char.code 'A' + i) <- 10 + i
+  done;
+  t
 
 let digit c =
-  match c with
-  | '0' .. '9' -> Char.code c - Char.code '0'
-  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-  | _ -> invalid_arg "Hex.decode: bad digit"
+  let v = Array.unsafe_get digit_table (Char.code c) in
+  if v < 0 then invalid_arg "Hex.decode: bad digit";
+  v
 
-let strip_prefix s =
-  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
-    String.sub s 2 (String.length s - 2)
-  else s
+let prefix_len s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then 2
+  else 0
 
 let decode s =
-  let s = strip_prefix s in
-  let n = String.length s in
+  let off = prefix_len s in
+  let n = String.length s - off in
   if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
-  String.init (n / 2) (fun i ->
-      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = digit (String.unsafe_get s (off + (2 * i))) in
+    let lo = digit (String.unsafe_get s (off + (2 * i) + 1)) in
+    Bytes.unsafe_set out i (Char.unsafe_chr ((hi lsl 4) lor lo))
+  done;
+  Bytes.unsafe_to_string out
 
 let is_valid s =
-  match decode s with _ -> true | exception Invalid_argument _ -> false
+  let off = prefix_len s in
+  let n = String.length s - off in
+  if n mod 2 <> 0 then false
+  else
+    let ok = ref true in
+    for i = off to String.length s - 1 do
+      if Array.unsafe_get digit_table (Char.code (String.unsafe_get s i)) < 0
+      then ok := false
+    done;
+    !ok

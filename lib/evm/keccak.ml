@@ -1,5 +1,12 @@
 (* Keccak-f[1600] sponge with rate 1088 / capacity 512 and the original
-   Keccak domain padding (0x01 ... 0x80), which is what Ethereum uses. *)
+   Keccak domain padding (0x01 ... 0x80), which is what Ethereum uses.
+
+   Lanes are 64-bit, but OCaml's Int64 is boxed: an Int64-array state
+   would allocate a fresh box for every lane write — thousands of minor
+   words per digest, and the engine digests every contract it sees for
+   its cache key. Instead each lane is split into two 32-bit halves
+   stored in a plain int array, so the whole permutation runs on
+   immediate values and allocates nothing. *)
 
 let round_constants =
   [|
@@ -13,6 +20,16 @@ let round_constants =
     0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
   |]
 
+let rc_lo =
+  Array.map
+    (fun c -> Int64.to_int (Int64.logand c 0xffffffffL))
+    round_constants
+
+let rc_hi =
+  Array.map
+    (fun c -> Int64.to_int (Int64.shift_right_logical c 32))
+    round_constants
+
 (* Rotation offsets for the rho step, indexed by x + 5*y. *)
 let rotations =
   [|
@@ -23,55 +40,83 @@ let rotations =
     18; 2; 61; 56; 14;
   |]
 
-let rotl64 x n =
-  if n = 0 then x
-  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+let mask = 0xffffffff
 
-let keccak_f state =
-  let c = Array.make 5 0L and d = Array.make 5 0L in
-  let b = Array.make 25 0L in
+(* [st] holds lane i as st.(2i) = low 32 bits, st.(2i+1) = high. *)
+let keccak_f st =
+  let c = Array.make 10 0 and d = Array.make 10 0 in
+  let b = Array.make 50 0 in
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
-      c.(x) <-
-        Int64.logxor state.(x)
-          (Int64.logxor state.(x + 5)
-             (Int64.logxor state.(x + 10)
-                (Int64.logxor state.(x + 15) state.(x + 20))))
+      c.(2 * x) <-
+        st.(2 * x)
+        lxor st.(2 * (x + 5))
+        lxor st.(2 * (x + 10))
+        lxor st.(2 * (x + 15))
+        lxor st.(2 * (x + 20));
+      c.((2 * x) + 1) <-
+        st.((2 * x) + 1)
+        lxor st.((2 * (x + 5)) + 1)
+        lxor st.((2 * (x + 10)) + 1)
+        lxor st.((2 * (x + 15)) + 1)
+        lxor st.((2 * (x + 20)) + 1)
     done;
     for x = 0 to 4 do
-      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+      let i1 = (x + 1) mod 5 and i4 = (x + 4) mod 5 in
+      (* d.(x) = c.(x+4) xor rotl64(c.(x+1), 1) *)
+      let lo = c.(2 * i1) and hi = c.((2 * i1) + 1) in
+      d.(2 * x) <- c.(2 * i4) lxor (((lo lsl 1) lor (hi lsr 31)) land mask);
+      d.((2 * x) + 1) <-
+        c.((2 * i4) + 1) lxor (((hi lsl 1) lor (lo lsr 31)) land mask)
     done;
     for i = 0 to 24 do
-      state.(i) <- Int64.logxor state.(i) d.(i mod 5)
+      st.(2 * i) <- st.(2 * i) lxor d.(2 * (i mod 5));
+      st.((2 * i) + 1) <- st.((2 * i) + 1) lxor d.((2 * (i mod 5)) + 1)
     done;
     (* rho + pi *)
     for x = 0 to 4 do
       for y = 0 to 4 do
         let src = x + (5 * y) in
         let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
-        b.(dst) <- rotl64 state.(src) rotations.(src)
+        let n = rotations.(src) in
+        let lo = st.(2 * src) and hi = st.((2 * src) + 1) in
+        if n = 0 then begin
+          b.(2 * dst) <- lo;
+          b.((2 * dst) + 1) <- hi
+        end
+        else if n < 32 then begin
+          b.(2 * dst) <- ((lo lsl n) lor (hi lsr (32 - n))) land mask;
+          b.((2 * dst) + 1) <- ((hi lsl n) lor (lo lsr (32 - n))) land mask
+        end
+        else begin
+          let n = n - 32 in
+          b.(2 * dst) <- ((hi lsl n) lor (lo lsr (32 - n))) land mask;
+          b.((2 * dst) + 1) <- ((lo lsl n) lor (hi lsr (32 - n))) land mask
+        end
       done
     done;
-    (* chi *)
+    (* chi: b values stay within 32 bits, so masking the lnot via the
+       land against the (already masked) other operand is enough *)
     for x = 0 to 4 do
       for y = 0 to 4 do
         let i = x + (5 * y) in
-        state.(i) <-
-          Int64.logxor b.(i)
-            (Int64.logand
-               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
-               b.(((x + 2) mod 5) + (5 * y)))
+        let i1 = ((x + 1) mod 5) + (5 * y)
+        and i2 = ((x + 2) mod 5) + (5 * y) in
+        st.(2 * i) <- b.(2 * i) lxor (lnot b.(2 * i1) land b.(2 * i2));
+        st.((2 * i) + 1) <-
+          b.((2 * i) + 1) lxor (lnot b.((2 * i1) + 1) land b.((2 * i2) + 1))
       done
     done;
     (* iota *)
-    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+    st.(0) <- st.(0) lxor rc_lo.(round);
+    st.(1) <- st.(1) lxor rc_hi.(round)
   done
 
 let rate_bytes = 136 (* 1088 bits *)
 
 let digest msg =
-  let state = Array.make 25 0L in
+  let st = Array.make 50 0 in
   let len = String.length msg in
   (* Padded message: msg ^ 0x01 ^ 0x00* ^ 0x80 to a multiple of the rate. *)
   let padded_len = (len / rate_bytes * rate_bytes) + rate_bytes in
@@ -80,33 +125,33 @@ let digest msg =
   Bytes.set padded len '\001';
   Bytes.set padded (padded_len - 1)
     (Char.chr (Char.code (Bytes.get padded (padded_len - 1)) lor 0x80));
-  let lane block_off i =
-    (* little-endian 64-bit lane *)
-    let v = ref 0L in
-    for k = 7 downto 0 do
-      v :=
-        Int64.logor (Int64.shift_left !v 8)
-          (Int64.of_int (Char.code (Bytes.get padded (block_off + (i * 8) + k))))
-    done;
-    !v
-  in
+  let byte i = Char.code (Bytes.unsafe_get padded i) in
   for block = 0 to (padded_len / rate_bytes) - 1 do
     let off = block * rate_bytes in
     for i = 0 to (rate_bytes / 8) - 1 do
-      state.(i) <- Int64.logxor state.(i) (lane off i)
+      let base = off + (i * 8) in
+      (* little-endian 64-bit lane, read as two 32-bit halves *)
+      let lo =
+        byte base
+        lor (byte (base + 1) lsl 8)
+        lor (byte (base + 2) lsl 16)
+        lor (byte (base + 3) lsl 24)
+      in
+      let hi =
+        byte (base + 4)
+        lor (byte (base + 5) lsl 8)
+        lor (byte (base + 6) lsl 16)
+        lor (byte (base + 7) lsl 24)
+      in
+      st.(2 * i) <- st.(2 * i) lxor lo;
+      st.((2 * i) + 1) <- st.((2 * i) + 1) lxor hi
     done;
-    keccak_f state
+    keccak_f st
   done;
   String.init 32 (fun i ->
-      let w = state.(i / 8) in
-      Char.chr
-        (Int64.to_int
-           (Int64.logand (Int64.shift_right_logical w (8 * (i mod 8))) 0xffL)))
+      let half = st.((2 * (i / 8)) + if i land 7 < 4 then 0 else 1) in
+      Char.chr ((half lsr (8 * (i land 3))) land 0xff))
 
-let digest_hex msg =
-  let d = digest msg in
-  let buf = Buffer.create 64 in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
-  Buffer.contents buf
+let digest_hex msg = Hex.encode (digest msg)
 
 let selector signature = String.sub (digest signature) 0 4

@@ -378,6 +378,71 @@ let recover_all_n jobs t codes =
 
 let recover_all t codes = recover_all_n (effective_jobs t) t codes
 
+(* ---- streaming recovery --------------------------------------------- *)
+
+(* Push-style front end over [recover_all]: bytecodes accumulate into a
+   bounded buffer, and each full buffer goes through the batch engine —
+   worker fan-out, in-batch dedup and the report LRU all apply — with
+   the reports handed to the caller in input order. Memory is bounded
+   by the batch size, never the corpus: a million-line stream holds at
+   most [batch] bytecodes plus whatever the LRU retains. Cross-batch
+   duplicates are answered by the cache, so the stream exploits chain-
+   scale duplication exactly like one huge batch would. *)
+module Stream = struct
+  type session = {
+    s_engine : t;
+    s_batch : int;
+    s_emit : report -> unit;
+    mutable s_buf : string list; (* newest first *)
+    mutable s_len : int;
+    mutable s_total : int;
+  }
+
+  let default_batch = 256
+
+  let start ?(batch = default_batch) engine ~emit =
+    {
+      s_engine = engine;
+      s_batch = Stdlib.max 1 batch;
+      s_emit = emit;
+      s_buf = [];
+      s_len = 0;
+      s_total = 0;
+    }
+
+  let flush s =
+    if s.s_len > 0 then begin
+      let codes = List.rev s.s_buf in
+      s.s_buf <- [];
+      s.s_len <- 0;
+      let reports = recover_all s.s_engine codes in
+      let dedup =
+        List.fold_left
+          (fun acc r -> if r.from_cache then acc + 1 else acc)
+          0 reports
+      in
+      if dedup > 0 then
+        Mutex.protect s.s_engine.lock (fun () ->
+            Stats.add_stream_dedup s.s_engine.stats dedup);
+      List.iter s.s_emit reports
+    end
+
+  let feed s code =
+    s.s_buf <- code :: s.s_buf;
+    s.s_len <- s.s_len + 1;
+    s.s_total <- s.s_total + 1;
+    if s.s_len >= s.s_batch then flush s
+
+  let finish s =
+    flush s;
+    s.s_total
+end
+
+let recover_stream ?batch t codes ~emit =
+  let s = Stream.start ?batch t ~emit in
+  Seq.iter (Stream.feed s) codes;
+  Stream.finish s
+
 let stats t = t.stats
 
 let cache_size t = Mutex.protect t.lock (fun () -> Lru.length t.cache)

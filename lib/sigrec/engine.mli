@@ -127,6 +127,47 @@ val recover_all : t -> string list -> report list
     are answered without re-analysis. The result is byte-identical to
     [jobs = 1]. *)
 
+(** Streaming recovery: feed bytecodes one at a time, receive reports
+    through a callback, and never hold more than one batch in memory.
+
+    A session buffers up to [batch] bytecodes (default
+    {!Stream.default_batch}) and pushes each full buffer through
+    {!recover_all}, so worker fan-out, in-batch dedup and the report
+    LRU all apply; reports are emitted in feed order. Cross-batch
+    duplicates — ~90 % of a mainnet corpus — are answered from the
+    cache without re-analysis and counted in [Stats.stream_dedup_hits].
+    A session is not thread-safe; feed it from one thread (the engine
+    underneath still parallelizes each batch). *)
+module Stream : sig
+  type session
+
+  val default_batch : int
+  (** 256 — large enough to amortize pool fan-out and in-batch dedup,
+      small enough that buffered bytecodes stay in cache-friendly
+      memory. *)
+
+  val start : ?batch:int -> t -> emit:(report -> unit) -> session
+  (** [emit] is called once per fed bytecode, in feed order, as each
+      internal batch completes. *)
+
+  val feed : session -> string -> unit
+  (** Buffer one bytecode; runs a batch (invoking [emit]) when the
+      buffer reaches the batch size. *)
+
+  val finish : session -> int
+  (** Flush the remaining partial batch and return the total number of
+      bytecodes fed over the session's lifetime. *)
+end
+
+val recover_stream :
+  ?batch:int -> t -> string Seq.t -> emit:(report -> unit) -> int
+(** [recover_stream t codes ~emit] drains [codes] through a
+    {!Stream.session} and returns the contract count. Output (the
+    [emit] sequence) is report-for-report identical to
+    [recover_all t (List.of_seq codes)] up to [from_cache] flags —
+    which batch first analyzes a given bytecode depends on the batch
+    boundaries. *)
+
 val signatures : report -> Recover.recovered list
 (** The recovered signatures including budget-exhausted partials — the
     closest equivalent of the old [Recover.recover] result. *)

@@ -37,3 +37,35 @@ val parse_line : string -> [ `Blank | `Code of string | `Bad of string ]
     with the decoder's reason. A line that decodes to zero bytes (a
     bare ["0x"]) is malformed — [`Bad "empty bytecode"] — not a
     contract. *)
+
+(** What a streaming read saw: physical lines processed (blank and
+    comment lines included), bytecodes delivered, malformed lines
+    skipped. *)
+type totals = { lines : int; codes : int; skipped : int }
+
+val fold_lines :
+  ?warn:(line:int -> reason:string -> unit) ->
+  ?max_line_bytes:int ->
+  f:('a -> string -> 'a) ->
+  'a ->
+  in_channel ->
+  'a * totals
+(** Incremental {!parse_batch}: read the channel in fixed-size chunks
+    and fold [f] over each decoded bytecode, holding at most one line
+    in memory — a million-line corpus streams through in constant
+    space. Line classification, CRLF handling, 1-based [warn] line
+    numbers and skip semantics are identical to {!parse_batch} (the
+    property suite holds the two to agreement). A line longer than
+    [max_line_bytes] (default 4 MiB) is skipped — reported like any
+    malformed line — without ever being materialized. *)
+
+val fold_reads :
+  ?warn:(line:int -> reason:string -> unit) ->
+  ?max_line_bytes:int ->
+  read:(bytes -> int) ->
+  f:('a -> string -> 'a) ->
+  'a ->
+  'a * totals
+(** The reader underneath {!fold_lines}, over an arbitrary block
+    source: [read buf] fills [buf] from the front and returns the
+    number of bytes written, 0 at end of input. *)

@@ -27,7 +27,13 @@ let engine t = t.engine
 type reply = {
   response : string; (* one JSON line, no trailing newline *)
   shutdown : bool;
+  stream : string option;
+      (* [Some id] after a "stream" request: the caller owning the
+         channel pair should switch to corpus-line input (see
+         [run_stream]) once the ack is written *)
 }
+
+let reply response = { response; shutdown = false; stream = None }
 
 let error_response id msg =
   Json.obj [ ("id", id); ("ok", "false"); ("error", Json.quote msg) ]
@@ -102,8 +108,7 @@ let metrics_response t id =
 let handle_line t line =
   t.requests <- t.requests + 1;
   match Json.parse line with
-  | Error msg ->
-    { response = error_response "null" ("parse error " ^ msg); shutdown = false }
+  | Error msg -> reply (error_response "null" ("parse error " ^ msg))
   | Ok req ->
     let id =
       match Json.member "id" req with
@@ -112,38 +117,39 @@ let handle_line t line =
     in
     let result =
       match Json.member "op" req with
-      | None -> { response = error_response id "missing \"op\""; shutdown = false }
+      | None -> reply (error_response id "missing \"op\"")
       | Some op ->
         (match Json.to_string_opt op with
-        | None -> { response = error_response id "\"op\" must be a string"; shutdown = false }
+        | None -> reply (error_response id "\"op\" must be a string")
         | Some "ping" ->
-          {
-            response = Json.obj [ ("id", id); ("ok", "true"); ("pong", "true") ];
-            shutdown = false;
-          }
+          reply (Json.obj [ ("id", id); ("ok", "true"); ("pong", "true") ])
         | Some "shutdown" ->
           {
             response =
               Json.obj [ ("id", id); ("ok", "true"); ("shutdown", "true") ];
             shutdown = true;
+            stream = None;
           }
-        | Some "metrics" ->
-          { response = metrics_response t id; shutdown = false }
+        | Some "metrics" -> reply (metrics_response t id)
         | Some "recover" ->
           let codes =
             Option.value ~default:Json.Null (Json.member "codes" req)
           in
-          { response = recover_response t id codes; shutdown = false }
+          reply (recover_response t id codes)
         | Some "layout" ->
           let codes =
             Option.value ~default:Json.Null (Json.member "codes" req)
           in
-          { response = layout_response t id codes; shutdown = false }
-        | Some op ->
+          reply (layout_response t id codes)
+        | Some "stream" ->
           {
-            response = error_response id (Printf.sprintf "unknown op %S" op);
+            response =
+              Json.obj [ ("id", id); ("ok", "true"); ("streaming", "true") ];
             shutdown = false;
-          })
+            stream = Some id;
+          }
+        | Some op ->
+          reply (error_response id (Printf.sprintf "unknown op %S" op)))
     in
     result
 
@@ -153,10 +159,72 @@ let handle_line t line =
 let handle_line t line =
   try handle_line t line
   with e ->
-    {
-      response = error_response "null" ("internal error: " ^ Printexc.to_string e);
-      shutdown = false;
-    }
+    reply (error_response "null" ("internal error: " ^ Printexc.to_string e))
+
+(* Streaming mode: after a {"op":"stream"} ack the connection carries
+   corpus lines — the same grammar as a batch file (hex bytecodes,
+   blank lines and # comments skipped) — until a lone "." sentinel
+   (back to request mode) or EOF. Each contract's report goes out as
+   one {"id":…,"report":…} line in feed order; malformed lines become
+   in-band {"id":…,"warning":…} lines so stderr stays quiet on a
+   socket. Batching, cross-batch dedup against the engine's report
+   cache and worker fan-out all come from [Engine.Stream]. *)
+let run_stream t id ic oc =
+  let emit_line s =
+    Out_channel.output_string oc s;
+    Out_channel.output_char oc '\n';
+    Out_channel.flush oc
+  in
+  let dedup = ref 0 in
+  let emit r =
+    if r.Engine.from_cache then incr dedup;
+    emit_line (Json.obj [ ("id", id); ("report", Render.report r) ])
+  in
+  let session = Engine.Stream.start t.engine ~emit in
+  let lines = ref 0 and skipped = ref 0 in
+  let eof = ref false and ended = ref false in
+  while not !ended do
+    match In_channel.input_line ic with
+    | None ->
+      eof := true;
+      ended := true
+    | Some line ->
+      if String.trim line = "." then ended := true
+      else begin
+        incr lines;
+        match Input.parse_line line with
+        | `Blank -> ()
+        | `Code code -> Engine.Stream.feed session code
+        | `Bad reason ->
+          incr skipped;
+          emit_line
+            (Json.obj
+               [
+                 ("id", id);
+                 ( "warning",
+                   Json.obj
+                     [
+                       ("line", string_of_int !lines);
+                       ("reason", Json.quote reason);
+                     ] );
+               ])
+      end
+  done;
+  let contracts = Engine.Stream.finish session in
+  Stats.add_stream_lines (Engine.stats t.engine) ~lines:!lines
+    ~skipped:!skipped;
+  emit_line
+    (Json.obj
+       [
+         ("id", id);
+         ("ok", "true");
+         ("done", "true");
+         ("contracts", string_of_int contracts);
+         ("lines", string_of_int !lines);
+         ("skipped", string_of_int !skipped);
+         ("dedup_hits", string_of_int !dedup);
+       ]);
+  if !eof then `Eof else `Done
 
 let run t ic oc =
   let rec loop () =
@@ -169,7 +237,14 @@ let run t ic oc =
         Out_channel.output_string oc reply.response;
         Out_channel.output_char oc '\n';
         Out_channel.flush oc;
-        if reply.shutdown then `Shutdown else loop ()
+        if reply.shutdown then `Shutdown
+        else
+          match reply.stream with
+          | None -> loop ()
+          | Some id ->
+            (match run_stream t id ic oc with
+            | `Eof -> `Eof
+            | `Done -> loop ())
       end
   in
   loop ()

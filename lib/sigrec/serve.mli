@@ -7,9 +7,9 @@
     never re-pays domain spawn.
 
     Requests: [{"id": <any>, "op": "recover", "codes": ["0x…", …]}],
-    or [op] one of ["metrics"], ["ping"], ["shutdown"]. The [id] is
-    echoed verbatim in the response ([null] when absent or the request
-    was unparseable).
+    or [op] one of ["metrics"], ["ping"], ["shutdown"], ["stream"].
+    The [id] is echoed verbatim in the response ([null] when absent or
+    the request was unparseable).
 
     Responses (one line each):
     - recover: [{"id":…, "ok":true, "reports":[…], "warnings":
@@ -20,7 +20,21 @@
     - metrics: cumulative {!Stats} JSON plus request count, uptime,
       cache size/capacity and pool size;
     - any error: [{"id":…, "ok":false, "error":"…"}] — a malformed
-      request never kills the daemon. *)
+      request never kills the daemon.
+
+    {b Streaming.} [{"id":X, "op":"stream"}] is acked with
+    [{"id":X, "ok":true, "streaming":true}], after which the
+    connection carries corpus lines — the batch-file grammar: one hex
+    bytecode per line, blank lines and [#] comments skipped — until a
+    lone ["."] line (back to request mode) or EOF. The server answers
+    with one [{"id":X, "report":…}] line per contract in feed order
+    (batched through {!Engine.Stream}, so cross-batch duplicates are
+    answered from the warm cache), in-band
+    [{"id":X, "warning":{"line":N, "reason":…}}] lines for malformed
+    input, and a final
+    [{"id":X, "ok":true, "done":true, "contracts":…, "lines":…,
+    "skipped":…, "dedup_hits":…}] summary. Constant memory: at most
+    one batch of bytecodes is resident at a time. *)
 
 type t
 
@@ -30,13 +44,27 @@ val engine : t -> Engine.t
 type reply = {
   response : string; (** one JSON line, no trailing newline *)
   shutdown : bool;  (** true after a ["shutdown"] request *)
+  stream : string option;
+      (** [Some id] after a ["stream"] request: once the ack is
+          written, the channel owner must switch the connection into
+          corpus-line mode ({!run} does this internally) *)
 }
 
 val handle_line : t -> string -> reply
 (** Handle one request line. Never raises. *)
 
+val run_stream :
+  t -> string -> in_channel -> out_channel -> [ `Eof | `Done ]
+(** Drive one streaming session (after its ack has been written): read
+    corpus lines from [ic] until ["."] ([`Done] — the caller resumes
+    request mode) or EOF ([`Eof]), emitting report/warning/summary
+    lines on [oc] as described above. {!run} calls this; it is
+    exposed for channel owners that run their own request loop. *)
+
 val run : t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
 (** Serve until EOF or a ["shutdown"] request; each response line is
     flushed before the next request is read. Blank lines are skipped.
-    The result tells a socket listener whether to keep accepting
-    ([`Eof] — the client hung up) or stop the daemon ([`Shutdown]). *)
+    A ["stream"] request switches the connection into streaming mode
+    until its sentinel or EOF. The result tells a socket listener
+    whether to keep accepting ([`Eof] — the client hung up) or stop
+    the daemon ([`Shutdown]). *)

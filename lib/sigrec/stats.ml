@@ -16,6 +16,9 @@ type t = {
   mutable layouts : int;
   mutable layout_slots : int;
   mutable layout_unknown : int;
+  mutable stream_lines : int;
+  mutable stream_skipped : int;
+  mutable stream_dedup : int;
 }
 
 let create () =
@@ -35,6 +38,9 @@ let create () =
     layouts = 0;
     layout_slots = 0;
     layout_unknown = 0;
+    stream_lines = 0;
+    stream_skipped = 0;
+    stream_dedup = 0;
   }
 
 let hit_rule t name =
@@ -78,6 +84,15 @@ let add_layout t ~slots ~unknown =
   t.layout_slots <- t.layout_slots + slots;
   t.layout_unknown <- t.layout_unknown + unknown
 
+let add_stream_lines t ~lines ~skipped =
+  t.stream_lines <- t.stream_lines + lines;
+  t.stream_skipped <- t.stream_skipped + skipped
+
+let add_stream_dedup t n = t.stream_dedup <- t.stream_dedup + n
+let stream_lines t = t.stream_lines
+let stream_skipped t = t.stream_skipped
+let stream_dedup_hits t = t.stream_dedup
+
 let layouts_recovered t = t.layouts
 let layout_slots t = t.layout_slots
 let layout_unknown_ops t = t.layout_unknown
@@ -108,7 +123,10 @@ let merge_into ~into src =
   into.evictions <- into.evictions + src.evictions;
   into.layouts <- into.layouts + src.layouts;
   into.layout_slots <- into.layout_slots + src.layout_slots;
-  into.layout_unknown <- into.layout_unknown + src.layout_unknown
+  into.layout_unknown <- into.layout_unknown + src.layout_unknown;
+  into.stream_lines <- into.stream_lines + src.stream_lines;
+  into.stream_skipped <- into.stream_skipped + src.stream_skipped;
+  into.stream_dedup <- into.stream_dedup + src.stream_dedup
 
 let merge a b =
   let t = create () in
@@ -136,6 +154,9 @@ let scalars : (string * (t -> int)) list =
     ("layouts_recovered", fun t -> t.layouts);
     ("layout_slots", fun t -> t.layout_slots);
     ("layout_unknown_ops", fun t -> t.layout_unknown);
+    ("stream_lines", fun t -> t.stream_lines);
+    ("stream_skipped", fun t -> t.stream_skipped);
+    ("stream_dedup_hits", fun t -> t.stream_dedup);
   ]
 
 let scalar t key = (List.assoc key scalars) t
@@ -172,6 +193,9 @@ let pp fmt t =
   if v "layouts_recovered" > 0 then
     Format.fprintf fmt "layouts: %d recovered, %d slots (%d unresolved ops)@,"
       (v "layouts_recovered") (v "layout_slots") (v "layout_unknown_ops");
+  if v "stream_lines" > 0 then
+    Format.fprintf fmt "stream: %d lines (%d skipped, %d dedup hits)@,"
+      (v "stream_lines") (v "stream_skipped") (v "stream_dedup_hits");
   Format.fprintf fmt "@]"
 
 let to_json t =

@@ -81,6 +81,18 @@ val layouts_recovered : t -> int
 val layout_slots : t -> int
 val layout_unknown_ops : t -> int
 
+val add_stream_lines : t -> lines:int -> skipped:int -> unit
+(** Count physical input lines a streaming reader processed and how
+    many of them it skipped as malformed. *)
+
+val add_stream_dedup : t -> int -> unit
+(** Count streamed bytecodes answered from the report cache or by a
+    duplicate earlier in the stream, without a fresh analysis. *)
+
+val stream_lines : t -> int
+val stream_skipped : t -> int
+val stream_dedup_hits : t -> int
+
 val merge : t -> t -> t
 (** Pointwise sum into a fresh [t]; neither argument is modified. *)
 

@@ -418,3 +418,34 @@ let multi_body ~seed ~n ~bodies =
               })
       in
       (fsig, variants))
+
+(* -- chain-scale streaming emitter -------------------------------------- *)
+
+let stream ~seed ~n ?(dup_rate = 0.9) ?(distinct_cap = 16_384) f =
+  let rng = Random.State.make [| seed; 11 |] in
+  let pool = Array.make (Stdlib.max 1 distinct_cap) "" in
+  let filled = ref 0 in
+  let counter = ref 0 in
+  let fresh () =
+    let version = pick rng Version.solidity_versions in
+    let fn = random_fn ~abiv2:version.Version.abiv2 rng (900_000 + !counter) in
+    incr counter;
+    let code =
+      Compile.compile { Compile.fns = [ fn ]; version; storage = [] }
+    in
+    (* remember it so later emissions can duplicate it *)
+    if !filled < Array.length pool then begin
+      pool.(!filled) <- code;
+      incr filled
+    end
+    else pool.(Random.State.int rng (Array.length pool)) <- code;
+    code
+  in
+  for _ = 1 to n do
+    let code =
+      if !filled > 0 && Random.State.float rng 1.0 < dup_rate then
+        pool.(Random.State.int rng !filled)
+      else fresh ()
+    in
+    f code
+  done

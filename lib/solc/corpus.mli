@@ -83,3 +83,14 @@ val multi_body :
     contracts whose bodies use the parameters differently (and with
     different compiler versions), so individual recoveries hit the
     usage-dependent ambiguities at different parameters. *)
+
+val stream :
+  seed:int -> n:int -> ?dup_rate:float -> ?distinct_cap:int ->
+  (string -> unit) -> unit
+(** Chain-scale corpus emitter: calls the callback with [n] bytecodes,
+    one at a time, never materializing the corpus. Each emission is a
+    duplicate of an earlier contract with probability [dup_rate]
+    (default 0.9, mirroring mainnet's ~90 % bytecode-duplication rate)
+    and a freshly synthesized contract otherwise. At most
+    [distinct_cap] (default 16 384) distinct contracts are remembered
+    for re-emission, so memory stays bounded at any [n]. *)

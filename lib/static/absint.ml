@@ -49,31 +49,41 @@ let max_block_visits = 100
    whether call data flowed in survives. *)
 let smear v = if Domain.tainted v then Domain.Tainted else Domain.Untainted
 
-let underflow st = if st.clipped then Domain.Tainted else Domain.Untainted
+(* The transfer function's working state: one mutable record per
+   {!interp_block} call, so stepping through a block allocates no
+   per-instruction [astate] records. The immutable [astate] is built
+   once at block exit (which also keeps {!join_astate}'s physical-
+   equality fast path meaningful). *)
+type scratch = {
+  mutable s_stack : Domain.t list; (* top first *)
+  mutable s_mem : Domain.t Imap.t;
+  mutable s_rest : Domain.t;
+  mutable s_clipped : bool;
+}
 
-let pop st =
-  match st.stack with
-  | v :: rest -> (v, { st with stack = rest })
-  | [] -> (underflow st, st)
+let scratch_of st =
+  { s_stack = st.stack; s_mem = st.mem; s_rest = st.mem_rest;
+    s_clipped = st.clipped }
 
-let pop2 st =
-  let a, st = pop st in
-  let b, st = pop st in
-  (a, b, st)
+let astate_of_scratch s =
+  { stack = s.s_stack; mem = s.s_mem; mem_rest = s.s_rest;
+    clipped = s.s_clipped }
 
-let pop3 st =
-  let a, b, st = pop2 st in
-  let c, st = pop st in
-  (a, b, c, st)
+let underflow s = if s.s_clipped then Domain.Tainted else Domain.Untainted
 
-let popn n st =
-  let s = ref st in
+let pop s =
+  match s.s_stack with
+  | v :: rest ->
+    s.s_stack <- rest;
+    v
+  | [] -> underflow s
+
+let popn n s =
   for _ = 1 to n do
-    s := snd (pop !s)
-  done;
-  !s
+    ignore (pop s)
+  done
 
-let push v st = { st with stack = v :: st.stack }
+let push v s = s.s_stack <- v :: s.s_stack
 
 (* -- memory ----------------------------------------------------------- *)
 
@@ -81,7 +91,7 @@ let overlapping_cells mem lo hi =
   (* cell keys in (lo, hi), exclusive bounds *)
   Imap.filter (fun c _ -> c > lo && c < hi) mem
 
-let mem_store st off v =
+let mem_store s off v =
   (* strong update of the exact cell; words overlapping it partially
      are byte-mixed, so they keep only their taint class *)
   let tv = smear v in
@@ -91,60 +101,51 @@ let mem_store st off v =
         if c <> off && c > off - 32 && c < off + 32 then
           Domain.join (smear old) tv
         else old)
-      st.mem
+      s.s_mem
   in
   let mem = Imap.add off v mem in
-  if Imap.cardinal mem > max_mem_cells then
-    let rest =
-      Imap.fold (fun _ v acc -> Domain.join v acc) mem st.mem_rest
-    in
-    { st with mem = Imap.empty; mem_rest = rest }
-  else { st with mem }
+  if Imap.cardinal mem > max_mem_cells then begin
+    s.s_rest <- Imap.fold (fun _ v acc -> Domain.join v acc) mem s.s_rest;
+    s.s_mem <- Imap.empty
+  end
+  else s.s_mem <- mem
 
-let mem_store_unknown st v =
+let mem_store_unknown s v =
   let tv = smear v in
-  {
-    st with
-    mem = Imap.map (fun old -> Domain.join old tv) st.mem;
-    mem_rest = Domain.join st.mem_rest tv;
-  }
+  s.s_mem <- Imap.map (fun old -> Domain.join old tv) s.s_mem;
+  s.s_rest <- Domain.join s.s_rest tv
 
-let mem_store_byte st off v =
+let mem_store_byte s off v =
   let tv = smear v in
-  {
-    st with
-    mem =
-      Imap.mapi
-        (fun c old ->
-          if c > off - 32 && c <= off then Domain.join (smear old) tv
-          else old)
-        st.mem;
-  }
+  s.s_mem <-
+    Imap.mapi
+      (fun c old ->
+        if c > off - 32 && c <= off then Domain.join (smear old) tv
+        else old)
+      s.s_mem
 
-let mem_store_range st lo len v =
-  let st = ref st in
+let mem_store_range s lo len v =
   let off = ref lo in
   while !off < lo + len do
-    st := mem_store !st !off v;
+    mem_store s !off v;
     off := !off + 32
-  done;
-  (* a trailing partial word taints its neighbourhood via mem_store's
-     overlap smearing; nothing else to do *)
-  !st
+  done
+(* a trailing partial word taints its neighbourhood via mem_store's
+   overlap smearing; nothing else to do *)
 
-let mem_load st off =
+let mem_load s off =
   let base =
-    match Imap.find_opt off st.mem with
+    match Imap.find_opt off s.s_mem with
     | Some v -> v
-    | None -> st.mem_rest
+    | None -> s.s_rest
   in
   Imap.fold
     (fun _ v acc -> Domain.join acc (smear v))
-    (overlapping_cells (Imap.remove off st.mem) (off - 31) (off + 32))
+    (overlapping_cells (Imap.remove off s.s_mem) (off - 31) (off + 32))
     base
 
-let mem_load_unknown st =
-  Imap.fold (fun _ v acc -> Domain.join acc v) st.mem st.mem_rest
+let mem_load_unknown s =
+  Imap.fold (fun _ v acc -> Domain.join acc v) s.s_mem s.s_rest
 
 (* -- joins ------------------------------------------------------------ *)
 
@@ -255,7 +256,7 @@ let record_cmp acc op pc a b =
     | _ -> ()
 
 let interp_block ?acc st (b : Cfg.block) =
-  let st = ref st in
+  let s = scratch_of st in
   let term = ref T_fall in
   let record f = match acc with Some a -> f a | None -> () in
   List.iter
@@ -263,28 +264,27 @@ let interp_block ?acc st (b : Cfg.block) =
       match !term with
       | T_halt | T_jump _ | T_branch _ -> () (* terminator already seen *)
       | T_fall -> (
-        let s = !st in
         match op with
         | Opcode.STOP | Opcode.RETURN | Opcode.REVERT | Opcode.INVALID
         | Opcode.SELFDESTRUCT | Opcode.UNKNOWN _ ->
           term := T_halt
         | Opcode.JUMP ->
-          let t, s = pop s in
-          st := s;
+          let t = pop s in
           term := T_jump t
         | Opcode.JUMPI ->
-          let t, c, s = pop2 s in
+          let t = pop s in
+          let c = pop s in
           record (fun a ->
               if Domain.tainted c then
                 a.tainted_branches <- a.tainted_branches + 1);
-          st := s;
           term := T_branch (t, c)
         | Opcode.ADD | Opcode.MUL | Opcode.SUB | Opcode.DIV | Opcode.SDIV
         | Opcode.MOD | Opcode.SMOD | Opcode.EXP | Opcode.LT | Opcode.GT
         | Opcode.SLT | Opcode.SGT | Opcode.EQ | Opcode.AND | Opcode.OR
         | Opcode.XOR | Opcode.BYTE | Opcode.SHL | Opcode.SHR | Opcode.SAR
         | Opcode.SIGNEXTEND ->
-          let a, b, s = pop2 s in
+          let a = pop s in
+          let b = pop s in
           record (fun r ->
               (match op with
               | Opcode.AND -> (
@@ -331,18 +331,20 @@ let interp_block ?acc st (b : Cfg.block) =
                 | _ -> ())
               | _ -> ());
               record_cmp r op pc a b);
-          st := push (Domain.lift2 op a b) s
+          push (Domain.lift2 op a b) s
         | Opcode.ADDMOD | Opcode.MULMOD ->
-          let a, b, c, s = pop3 s in
+          let a = pop s in
+          let b = pop s in
+          let c = pop s in
           let v =
             if Domain.tainted a || Domain.tainted b || Domain.tainted c then
               Domain.Tainted
             else Domain.Untainted
           in
-          st := push v s
+          push v s
         | Opcode.ISZERO | Opcode.NOT ->
-          let a, s = pop s in
-          st := push (Domain.lift1 op a) s
+          let a = pop s in
+          push (Domain.lift1 op a) s
         | Opcode.SHA3 ->
           (* The hash is opaque to the executor (a free symbol), but
              its derivation is not: keccak over scratch holding
@@ -350,7 +352,8 @@ let interp_block ?acc st (b : Cfg.block) =
              keccak over a single constant word is a dynamic array's
              data base. Everything else stays [Untainted], in parity
              with the executor. *)
-          let off, len, s = pop2 s in
+          let off = pop s in
+          let len = pop s in
           let derived =
             match (Domain.to_const_int off, Domain.to_const_int len) with
             | Some o, Some 0x20 -> (
@@ -370,10 +373,10 @@ let interp_block ?acc st (b : Cfg.block) =
           | Some sl ->
             record (fun r ->
                 r.r_storage <- { pc; ev = Sderive sl } :: r.r_storage);
-            st := push (Domain.Slot sl) s
-          | None -> st := push Domain.Untainted s)
+            push (Domain.Slot sl) s
+          | None -> push Domain.Untainted s)
         | Opcode.CALLDATALOAD ->
-          let loc, s = pop s in
+          let loc = pop s in
           record (fun r ->
               match Domain.to_consts loc with
               | Some vs ->
@@ -387,12 +390,14 @@ let interp_block ?acc st (b : Cfg.block) =
             | Some off -> Domain.Load off
             | None -> Domain.Tainted
           in
-          st := push v s
+          push v s
         | Opcode.CALLDATASIZE ->
           record (fun r -> r.cdsize <- true);
-          st := push Domain.Tainted s
+          push Domain.Tainted s
         | Opcode.CALLDATACOPY ->
-          let dst, src, len, s = pop3 s in
+          let dst = pop s in
+          let src = pop s in
+          let len = pop s in
           record (fun r ->
               r.r_copies <-
                 {
@@ -401,35 +406,31 @@ let interp_block ?acc st (b : Cfg.block) =
                   len = Domain.to_const_int len;
                 }
                 :: r.r_copies);
-          let s =
-            match (Domain.to_const_int dst, Domain.to_const_int len) with
-            | Some d, Some l when l <= 0x10000 ->
-              mem_store_range s d l Domain.Tainted
-            | _ -> mem_store_unknown s Domain.Tainted
-          in
-          st := s
-        | Opcode.CODESIZE -> st := push Domain.Untainted s
-        | Opcode.CODECOPY ->
-          let dst, _, len, s = pop3 s in
-          let s =
-            match (Domain.to_const_int dst, Domain.to_const_int len) with
-            | Some d, Some l when l <= 0x10000 ->
-              mem_store_range s d l Domain.Untainted
-            | _ -> mem_store_unknown s Domain.Untainted
-          in
-          st := s
+          (match (Domain.to_const_int dst, Domain.to_const_int len) with
+          | Some d, Some l when l <= 0x10000 ->
+            mem_store_range s d l Domain.Tainted
+          | _ -> mem_store_unknown s Domain.Tainted)
+        | Opcode.CODESIZE -> push Domain.Untainted s
+        | Opcode.CODECOPY -> (
+          let dst = pop s in
+          let _ = pop s in
+          let len = pop s in
+          match (Domain.to_const_int dst, Domain.to_const_int len) with
+          | Some d, Some l when l <= 0x10000 ->
+            mem_store_range s d l Domain.Untainted
+          | _ -> mem_store_unknown s Domain.Untainted)
         | Opcode.ADDRESS | Opcode.ORIGIN | Opcode.CALLER | Opcode.CALLVALUE
         | Opcode.GASPRICE | Opcode.COINBASE | Opcode.TIMESTAMP
         | Opcode.NUMBER | Opcode.PREVRANDAO | Opcode.GASLIMIT
         | Opcode.CHAINID | Opcode.SELFBALANCE | Opcode.BASEFEE
         | Opcode.RETURNDATASIZE | Opcode.MSIZE | Opcode.GAS ->
-          st := push Domain.Untainted s
+          push Domain.Untainted s
         | Opcode.BALANCE | Opcode.EXTCODESIZE | Opcode.EXTCODEHASH
         | Opcode.BLOCKHASH ->
-          let _, s = pop s in
-          st := push Domain.Untainted s
+          ignore (pop s);
+          push Domain.Untainted s
         | Opcode.SLOAD ->
-          let loc, s = pop s in
+          let loc = pop s in
           let sl = Domain.slot_of loc in
           record (fun r ->
               r.r_storage <- { pc; ev = Sload sl } :: r.r_storage);
@@ -438,50 +439,52 @@ let interp_block ?acc st (b : Cfg.block) =
             | Some sl -> Domain.Sval (sl, 0)
             | None -> Domain.Untainted
           in
-          st := push v s
+          push v s
         | Opcode.EXTCODECOPY ->
-          st := mem_store_unknown (popn 4 s) Domain.Untainted
+          popn 4 s;
+          mem_store_unknown s Domain.Untainted
         | Opcode.RETURNDATACOPY ->
-          st := mem_store_unknown (popn 3 s) Domain.Untainted
-        | Opcode.POP -> st := snd (pop s)
+          popn 3 s;
+          mem_store_unknown s Domain.Untainted
+        | Opcode.POP -> ignore (pop s)
         | Opcode.MLOAD ->
-          let loc, s = pop s in
+          let loc = pop s in
           let v =
             match Domain.to_const_int loc with
             | Some off -> mem_load s off
             | None -> mem_load_unknown s
           in
-          st := push v s
-        | Opcode.MSTORE ->
-          let loc, v, s = pop2 s in
-          st :=
-            (match Domain.to_const_int loc with
-            | Some off -> mem_store s off v
-            | None -> mem_store_unknown s v)
-        | Opcode.MSTORE8 ->
-          let loc, v, s = pop2 s in
-          st :=
-            (match Domain.to_const_int loc with
-            | Some off -> mem_store_byte s off v
-            | None -> mem_store_unknown s v)
+          push v s
+        | Opcode.MSTORE -> (
+          let loc = pop s in
+          let v = pop s in
+          match Domain.to_const_int loc with
+          | Some off -> mem_store s off v
+          | None -> mem_store_unknown s v)
+        | Opcode.MSTORE8 -> (
+          let loc = pop s in
+          let v = pop s in
+          match Domain.to_const_int loc with
+          | Some off -> mem_store_byte s off v
+          | None -> mem_store_unknown s v)
         | Opcode.SSTORE ->
-          let loc, v, s = pop2 s in
+          let loc = pop s in
+          let v = pop s in
           record (fun r ->
               r.r_storage <-
-                { pc; ev = Sstore (Domain.slot_of loc, v) } :: r.r_storage);
-          st := s
-        | Opcode.PC -> st := push (Domain.of_int pc) s
+                { pc; ev = Sstore (Domain.slot_of loc, v) } :: r.r_storage)
+        | Opcode.PC -> push (Domain.of_int pc) s
         | Opcode.JUMPDEST -> ()
-        | Opcode.PUSH (_, v) -> st := push (Domain.const v) s
+        | Opcode.PUSH (_, v) -> push (Domain.const v) s
         | Opcode.DUP n ->
           let v =
-            match List.nth_opt s.stack (n - 1) with
+            match List.nth_opt s.s_stack (n - 1) with
             | Some v -> v
             | None -> underflow s
           in
-          st := push v s
+          push v s
         | Opcode.SWAP n ->
-          let stack = s.stack in
+          let stack = s.s_stack in
           let stack =
             if List.length stack < n + 1 then
               stack
@@ -494,20 +497,24 @@ let interp_block ?acc st (b : Cfg.block) =
           let tmp = arr.(0) in
           arr.(0) <- arr.(n);
           arr.(n) <- tmp;
-          st := { s with stack = Array.to_list arr }
-        | Opcode.LOG n -> st := popn (n + 2) s
-        | Opcode.CREATE -> st := push Domain.Untainted (popn 3 s)
-        | Opcode.CREATE2 -> st := push Domain.Untainted (popn 4 s)
+          s.s_stack <- Array.to_list arr
+        | Opcode.LOG n -> popn (n + 2) s
+        | Opcode.CREATE ->
+          popn 3 s;
+          push Domain.Untainted s
+        | Opcode.CREATE2 ->
+          popn 4 s;
+          push Domain.Untainted s
         | Opcode.CALL | Opcode.CALLCODE ->
-          st :=
-            push Domain.Untainted
-              (mem_store_unknown (popn 7 s) Domain.Untainted)
+          popn 7 s;
+          mem_store_unknown s Domain.Untainted;
+          push Domain.Untainted s
         | Opcode.DELEGATECALL | Opcode.STATICCALL ->
-          st :=
-            push Domain.Untainted
-              (mem_store_unknown (popn 6 s) Domain.Untainted)))
+          popn 6 s;
+          mem_store_unknown s Domain.Untainted;
+          push Domain.Untainted s))
     b.Cfg.instrs;
-  (!st, !term)
+  (astate_of_scratch s, !term)
 
 (* -- edges ------------------------------------------------------------ *)
 
@@ -660,22 +667,22 @@ let analyze ?(depth = 0) ~entry cfg =
     && Hashtbl.find_opt resolved b.Cfg.start = None
   in
   let relevant = Hashtbl.create 64 in
-  List.iter
+  Cfg.iter_blocks
     (fun b ->
       if uses_calldata b || still_unresolved b then
         Hashtbl.replace relevant b.Cfg.start ())
-    (Cfg.blocks cfg);
+    cfg;
   let changed = ref true in
   while !changed do
     changed := false;
-    List.iter
+    Cfg.iter_blocks
       (fun b ->
         if not (Hashtbl.mem relevant b.Cfg.start) then
           if List.exists (Hashtbl.mem relevant) (succ_starts b) then begin
             Hashtbl.replace relevant b.Cfg.start ();
             changed := true
           end)
-      (Cfg.blocks cfg)
+      cfg
   done;
 
   (* -- recording pass over the reached blocks ------------------------- *)

@@ -33,8 +33,8 @@ type recorder = {
   mutable copies : Trace.copy list;
   usage_keys : (int * Trace.subject * Trace.usage_kind, unit) Hashtbl.t;
   mutable usages : Trace.usage list;
-  jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
-  jumpi_targets : (int, int) Hashtbl.t;
+  mutable jumpi_conds : (int, Sexpr.t list) Hashtbl.t;
+  mutable jumpi_targets : (int, int) Hashtbl.t;
   regions : (int * int) Stack.t; (* (base, region id = copy pc), latest first *)
   region_bases : (int, int) Hashtbl.t; (* rid -> lowest base *)
   mutable paths : int;
@@ -59,6 +59,29 @@ let make_recorder () =
     pruned = 0;
     steps_hit = false;
   }
+
+(* One recorder per domain, reset between runs: runs within a domain
+   are sequential, so the dedup tables and region stack are scratch
+   that can keep their bucket arrays warm ([Hashtbl.clear] preserves
+   capacity). The two jumpi tables are the exception — the returned
+   {!Trace.t} aliases them directly, so each run gets fresh ones. *)
+let recorder_key = Stdlib.Domain.DLS.new_key make_recorder
+
+let reset_recorder r =
+  Hashtbl.clear r.load_ids;
+  r.loads <- [];
+  r.next_load <- 0;
+  Hashtbl.clear r.copy_keys;
+  r.copies <- [];
+  Hashtbl.clear r.usage_keys;
+  r.usages <- [];
+  r.jumpi_conds <- Hashtbl.create 64;
+  r.jumpi_targets <- Hashtbl.create 64;
+  Stack.clear r.regions;
+  Hashtbl.clear r.region_bases;
+  r.paths <- 0;
+  r.pruned <- 0;
+  r.steps_hit <- false
 
 let record_load r pc loc =
   let key = (pc, Sexpr.id loc) in
@@ -158,7 +181,8 @@ let instructions p = p.instrs
 
 let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
     ~entry ~init_stack () =
-  let r = make_recorder () in
+  let r = Stdlib.Domain.DLS.get recorder_key in
+  reset_recorder r;
   let t0 = if Tr.enabled () then Tr.now_us () else 0. in
   let { code; by_offset; jumpdests; _ } = program in
   (* free-symbol names are per-run so that a run's trace depends only on
@@ -174,85 +198,94 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
     { pc = entry; stack = init_stack; mem = Imap.empty; forks = Imap.empty;
       steps = 0 }
     worklist;
-  let pop_stack st =
-    match st.stack with
-    | v :: rest -> (v, { st with stack = rest })
+  (* The path under execution lives in mutable locals, not a [state]
+     record: the straight-line hot loop allocates nothing per step
+     beyond the expressions it builds. [state] records are only
+     materialized as fork snapshots pushed onto the worklist. *)
+  let pc = ref 0 and stack = ref [] and steps = ref 0 in
+  let mem = ref Imap.empty and forks = ref Imap.empty in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+      stack := rest;
+      v
     | [] ->
       (* robustness: an empty stack yields a fresh free symbol rather
          than ending the analysis *)
-      (fresh_env "uf", st)
+      fresh_env "uf"
   in
-  let pop2 st =
-    let a, st = pop_stack st in
-    let b, st = pop_stack st in
-    (a, b, st)
+  let push v = stack := v :: !stack in
+  let drop n =
+    for _ = 1 to n do
+      ignore (pop ())
+    done
   in
-  let pop3 st =
-    let a, st = pop_stack st in
-    let b, st = pop_stack st in
-    let c, st = pop_stack st in
-    (a, b, c, st)
-  in
-  let push v st = { st with stack = v :: st.stack } in
   while (not (Stack.is_empty worklist)) && r.paths < budget.max_paths do
-    let st = ref (Stack.pop worklist) in
+    let s0 = Stack.pop worklist in
+    pc := s0.pc;
+    stack := s0.stack;
+    mem := s0.mem;
+    forks := s0.forks;
+    steps := s0.steps;
     r.paths <- r.paths + 1;
     let running = ref true in
     while !running do
-      let s = !st in
-      if s.steps > budget.max_steps then begin
+      if !steps > budget.max_steps then begin
         r.steps_hit <- true;
         running := false
       end
       else
-        match Hashtbl.find_opt by_offset s.pc with
+        match Hashtbl.find_opt by_offset !pc with
         | None -> running := false
         | Some op ->
-          let s = { s with steps = s.steps + 1 } in
+          let cur_pc = !pc in
+          incr steps;
           (* sampled progress beacon: the mask test is one land+compare
              per step, and nothing allocates unless tracing is on *)
-          if s.steps land Tr.sample_mask () = 0 && Tr.enabled () then
-            Tr.counter Tr.Symex "steps" s.steps;
-          let next = s.pc + Opcode.size op in
-          let continue s' = st := { s' with pc = next } in
+          if !steps land Tr.sample_mask () = 0 && Tr.enabled () then
+            Tr.counter Tr.Symex "steps" !steps;
+          (* fallthrough by default; jump/halt handlers override *)
+          pc := cur_pc + Opcode.size op;
           let binop bop =
-            let a, b, s = pop2 s in
+            let a = pop () in
+            let b = pop () in
             (* usage events from direct operand shapes *)
             (match bop with
             | Sexpr.Band -> (
               match (raw_subject a, Sexpr.to_const b) with
-              | Some subj, Some m -> record_usage r s.pc subj (Trace.Mask_and m)
+              | Some subj, Some m ->
+                record_usage r cur_pc subj (Trace.Mask_and m)
               | _ -> (
                 match (raw_subject b, Sexpr.to_const a) with
                 | Some subj, Some m ->
-                  record_usage r s.pc subj (Trace.Mask_and m)
+                  record_usage r cur_pc subj (Trace.Mask_and m)
                 | _ -> ()))
             | Sexpr.Bsignext -> (
               match (Sexpr.to_const_int a, raw_subject b) with
               | Some k, Some subj ->
-                record_usage r s.pc subj (Trace.Mask_signext k)
+                record_usage r cur_pc subj (Trace.Mask_signext k)
               | _ -> ())
             | Sexpr.Bbyte -> (
               match subject_of b with
-              | Some subj -> record_usage r s.pc subj Trace.Byte_read
+              | Some subj -> record_usage r cur_pc subj Trace.Byte_read
               | None -> ())
             | Sexpr.Bsdiv | Sexpr.Bsmod -> (
               (match subject_of a with
-              | Some subj -> record_usage r s.pc subj Trace.Signed_use
+              | Some subj -> record_usage r cur_pc subj Trace.Signed_use
               | None -> ());
               match subject_of b with
-              | Some subj -> record_usage r s.pc subj Trace.Signed_use
+              | Some subj -> record_usage r cur_pc subj Trace.Signed_use
               | None -> ())
             | Sexpr.Badd | Sexpr.Bsub | Sexpr.Bmul | Sexpr.Bdiv | Sexpr.Bmod
             | Sexpr.Bexp -> (
               (match subject_of a with
-              | Some subj -> record_usage r s.pc subj Trace.Math_use
+              | Some subj -> record_usage r cur_pc subj Trace.Math_use
               | None -> ());
               match subject_of b with
-              | Some subj -> record_usage r s.pc subj Trace.Math_use
+              | Some subj -> record_usage r cur_pc subj Trace.Math_use
               | None -> ())
             | _ -> ());
-            continue (push (Sexpr.bin bop a b) s)
+            push (Sexpr.bin bop a b)
           in
           (match op with
           | Opcode.STOP | Opcode.RETURN | Opcode.REVERT | Opcode.INVALID
@@ -267,11 +300,15 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
           | Opcode.SMOD -> binop Sexpr.Bsmod
           | Opcode.EXP -> binop Sexpr.Bexp
           | Opcode.ADDMOD ->
-            let a, b, _, s = pop3 s in
-            continue (push (Sexpr.bin Sexpr.Badd a b) s)
+            let a = pop () in
+            let b = pop () in
+            drop 1;
+            push (Sexpr.bin Sexpr.Badd a b)
           | Opcode.MULMOD ->
-            let a, b, _, s = pop3 s in
-            continue (push (Sexpr.bin Sexpr.Bmul a b) s)
+            let a = pop () in
+            let b = pop () in
+            drop 1;
+            push (Sexpr.bin Sexpr.Bmul a b)
           | Opcode.SIGNEXTEND -> binop Sexpr.Bsignext
           | Opcode.LT -> binop Sexpr.Blt
           | Opcode.GT -> binop Sexpr.Bgt
@@ -286,145 +323,119 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
           | Opcode.SHR -> binop Sexpr.Bshr
           | Opcode.SAR -> binop Sexpr.Bsar
           | Opcode.ISZERO ->
-            let a, s = pop_stack s in
+            let a = pop () in
             (match Sexpr.node a with
             | Sexpr.Un (Sexpr.Uiszero, inner) -> (
               match raw_subject inner with
-              | Some subj -> record_usage r s.pc subj Trace.Mask_bool
+              | Some subj -> record_usage r cur_pc subj Trace.Mask_bool
               | None -> ())
             | _ -> ());
-            continue (push (Sexpr.un Sexpr.Uiszero a) s)
+            push (Sexpr.un Sexpr.Uiszero a)
           | Opcode.NOT ->
-            let a, s = pop_stack s in
-            continue (push (Sexpr.un Sexpr.Unot a) s)
+            let a = pop () in
+            push (Sexpr.un Sexpr.Unot a)
           | Opcode.SHA3 ->
-            let _, _, s = pop2 s in
-            continue (push (fresh_env "sha3") s)
+            drop 2;
+            push (fresh_env "sha3")
           | Opcode.CALLDATALOAD ->
-            let loc, s = pop_stack s in
-            let id = record_load r s.pc loc in
-            continue (push (Sexpr.cdload id) s)
-          | Opcode.CALLDATASIZE -> continue (push (Sexpr.cdsize ()) s)
+            let loc = pop () in
+            let id = record_load r cur_pc loc in
+            push (Sexpr.cdload id)
+          | Opcode.CALLDATASIZE -> push (Sexpr.cdsize ())
           | Opcode.CALLDATACOPY ->
-            let dst, src, len, s = pop3 s in
-            record_copy r s.pc dst src len;
-            continue s
-          | Opcode.CODESIZE ->
-            continue (push (Sexpr.of_int (String.length code)) s)
-          | Opcode.CODECOPY ->
-            let _, _, _, s = pop3 s in
-            continue s
-          | Opcode.CALLER -> continue (push (Sexpr.env "caller") s)
-          | Opcode.CALLVALUE -> continue (push (Sexpr.env "callvalue") s)
-          | Opcode.ORIGIN -> continue (push (Sexpr.env "origin") s)
-          | Opcode.ADDRESS -> continue (push (Sexpr.env "address") s)
-          | Opcode.GASPRICE -> continue (push (Sexpr.env "gasprice") s)
-          | Opcode.COINBASE -> continue (push (Sexpr.env "coinbase") s)
-          | Opcode.TIMESTAMP -> continue (push (Sexpr.env "timestamp") s)
-          | Opcode.NUMBER -> continue (push (Sexpr.env "number") s)
-          | Opcode.PREVRANDAO -> continue (push (Sexpr.env "prevrandao") s)
-          | Opcode.GASLIMIT -> continue (push (Sexpr.env "gaslimit") s)
-          | Opcode.CHAINID -> continue (push (Sexpr.env "chainid") s)
-          | Opcode.SELFBALANCE -> continue (push (Sexpr.env "selfbalance") s)
-          | Opcode.BASEFEE -> continue (push (Sexpr.env "basefee") s)
+            let dst = pop () in
+            let src = pop () in
+            let len = pop () in
+            record_copy r cur_pc dst src len
+          | Opcode.CODESIZE -> push (Sexpr.of_int (String.length code))
+          | Opcode.CODECOPY -> drop 3
+          | Opcode.CALLER -> push (Sexpr.env "caller")
+          | Opcode.CALLVALUE -> push (Sexpr.env "callvalue")
+          | Opcode.ORIGIN -> push (Sexpr.env "origin")
+          | Opcode.ADDRESS -> push (Sexpr.env "address")
+          | Opcode.GASPRICE -> push (Sexpr.env "gasprice")
+          | Opcode.COINBASE -> push (Sexpr.env "coinbase")
+          | Opcode.TIMESTAMP -> push (Sexpr.env "timestamp")
+          | Opcode.NUMBER -> push (Sexpr.env "number")
+          | Opcode.PREVRANDAO -> push (Sexpr.env "prevrandao")
+          | Opcode.GASLIMIT -> push (Sexpr.env "gaslimit")
+          | Opcode.CHAINID -> push (Sexpr.env "chainid")
+          | Opcode.SELFBALANCE -> push (Sexpr.env "selfbalance")
+          | Opcode.BASEFEE -> push (Sexpr.env "basefee")
           | Opcode.BALANCE | Opcode.EXTCODESIZE | Opcode.EXTCODEHASH
           | Opcode.BLOCKHASH ->
-            let _, s = pop_stack s in
-            continue (push (fresh_env "ext") s)
-          | Opcode.EXTCODECOPY ->
-            let _, _, _, s = pop3 s in
-            let _, s = pop_stack s in
-            continue s
-          | Opcode.RETURNDATASIZE -> continue (push (fresh_env "rds") s)
-          | Opcode.RETURNDATACOPY ->
-            let _, _, _, s = pop3 s in
-            continue s
-          | Opcode.POP ->
-            let _, s = pop_stack s in
-            continue s
+            drop 1;
+            push (fresh_env "ext")
+          | Opcode.EXTCODECOPY -> drop 4
+          | Opcode.RETURNDATASIZE -> push (fresh_env "rds")
+          | Opcode.RETURNDATACOPY -> drop 3
+          | Opcode.POP -> drop 1
           | Opcode.MLOAD -> (
-            let loc, s = pop_stack s in
+            let loc = pop () in
             match Sexpr.to_const_int loc with
             | Some off -> (
-              match Imap.find_opt off s.mem with
-              | Some v -> continue (push v s)
+              match Imap.find_opt off !mem with
+              | Some v -> push v
               | None -> (
                 match region_lookup r off with
                 | Some (rid, rel) ->
-                  continue (push (Sexpr.mem_item rid (Sexpr.of_int rel)) s)
-                | None -> continue (push (fresh_env "mload") s)))
-            | None -> continue (push (fresh_env "mload") s))
+                  push (Sexpr.mem_item rid (Sexpr.of_int rel))
+                | None -> push (fresh_env "mload")))
+            | None -> push (fresh_env "mload"))
           | Opcode.MSTORE -> (
-            let loc, v, s = pop2 s |> fun (a, b, s) -> (a, b, s) in
+            let loc = pop () in
+            let v = pop () in
             match Sexpr.to_const_int loc with
-            | Some off -> continue { s with mem = Imap.add off v s.mem }
-            | None -> continue s)
-          | Opcode.MSTORE8 ->
-            let _, _, s = pop2 s in
-            continue s
+            | Some off -> mem := Imap.add off v !mem
+            | None -> ())
+          | Opcode.MSTORE8 -> drop 2
           | Opcode.SLOAD ->
-            let _, s = pop_stack s in
-            continue (push (fresh_env "sload") s)
-          | Opcode.SSTORE ->
-            let _, _, s = pop2 s in
-            continue s
-          | Opcode.PC -> continue (push (Sexpr.of_int s.pc) s)
-          | Opcode.MSIZE -> continue (push (fresh_env "msize") s)
-          | Opcode.GAS -> continue (push (fresh_env "gas") s)
-          | Opcode.JUMPDEST -> continue s
-          | Opcode.PUSH (_, v) -> continue (push (Sexpr.const v) s)
+            drop 1;
+            push (fresh_env "sload")
+          | Opcode.SSTORE -> drop 2
+          | Opcode.PC -> push (Sexpr.of_int cur_pc)
+          | Opcode.MSIZE -> push (fresh_env "msize")
+          | Opcode.GAS -> push (fresh_env "gas")
+          | Opcode.JUMPDEST -> ()
+          | Opcode.PUSH (_, v) -> push (Sexpr.const v)
           | Opcode.DUP n ->
-            let v = try List.nth s.stack (n - 1) with _ -> fresh_env "uf" in
-            continue (push v s)
+            let v = try List.nth !stack (n - 1) with _ -> fresh_env "uf" in
+            push v
           | Opcode.SWAP n ->
-            let stack = s.stack in
-            if List.length stack < n + 1 then running := false
+            let cur = !stack in
+            if List.length cur < n + 1 then running := false
             else begin
-              let arr = Array.of_list stack in
+              let arr = Array.of_list cur in
               let tmp = arr.(0) in
               arr.(0) <- arr.(n);
               arr.(n) <- tmp;
-              continue { s with stack = Array.to_list arr }
+              stack := Array.to_list arr
             end
-          | Opcode.LOG n ->
-            let s = ref s in
-            for _ = 1 to n + 2 do
-              let _, s' = pop_stack !s in
-              s := s'
-            done;
-            continue !s
+          | Opcode.LOG n -> drop (n + 2)
           | Opcode.CREATE ->
-            let _, _, _, s = pop3 s in
-            continue (push (fresh_env "create") s)
+            drop 3;
+            push (fresh_env "create")
           | Opcode.CREATE2 ->
-            let _, _, _, s = pop3 s in
-            let _, s = pop_stack s in
-            continue (push (fresh_env "create2") s)
+            drop 4;
+            push (fresh_env "create2")
           | Opcode.CALL | Opcode.CALLCODE ->
-            let s = ref s in
-            for _ = 1 to 7 do
-              let _, s' = pop_stack !s in
-              s := s'
-            done;
-            continue (push (fresh_env "call") !s)
+            drop 7;
+            push (fresh_env "call")
           | Opcode.DELEGATECALL | Opcode.STATICCALL ->
-            let s = ref s in
-            for _ = 1 to 6 do
-              let _, s' = pop_stack !s in
-              s := s'
-            done;
-            continue (push (fresh_env "call") !s)
+            drop 6;
+            push (fresh_env "call")
           | Opcode.JUMP -> (
-            let target, s = pop_stack s in
+            let target = pop () in
             match Sexpr.to_const_int target with
-            | Some t when Hashtbl.mem jumpdests t -> st := { s with pc = t }
+            | Some t when Hashtbl.mem jumpdests t -> pc := t
             | _ -> running := false)
           | Opcode.JUMPI -> (
-            let target, cond, s = pop2 s |> fun (a, b, s) -> (a, b, s) in
+            let target = pop () in
+            let cond = pop () in
             match Sexpr.to_const_int target with
             | Some t when Hashtbl.mem jumpdests t -> (
-              record_jumpi_cond r s.pc cond;
-              Hashtbl.replace r.jumpi_targets s.pc t;
+              record_jumpi_cond r cur_pc cond;
+              Hashtbl.replace r.jumpi_targets cur_pc t;
               (* Vyper-style range checks: guard compares a raw loaded
                  value against a constant bound *)
               let core, iszeros = Sexpr.iszero_depth cond in
@@ -439,41 +450,40 @@ let run_prepared ?(budget = default_budget) ?(prune = fun _ -> None) program
                     | Sexpr.Bslt, _ -> Some (Trace.Range_slt bound)
                     | _ -> None
                   in
-                  Option.iter (fun k -> record_usage r s.pc subj k) kind
+                  Option.iter (fun k -> record_usage r cur_pc subj k) kind
                 | None -> ())
               | _ -> ());
               match Sexpr.eval_concrete cond with
-              | Some v ->
-                if U256.is_zero v then continue s else st := { s with pc = t }
+              | Some v -> if not (U256.is_zero v) then pc := t
               | None -> (
-                match prune s.pc with
+                match prune cur_pc with
                 | Some decision ->
                   (* the static pass proved only one arm can matter for
                      call-data access: follow it instead of forking *)
                   r.pruned <- r.pruned + 1;
                   if Tr.enabled () then
-                    Tr.instant Tr.Symex "prune" [ ("pc", Tr.Int s.pc) ];
+                    Tr.instant Tr.Symex "prune" [ ("pc", Tr.Int cur_pc) ];
                   (match decision with
-                  | Take_jump -> st := { s with pc = t }
-                  | Take_fallthrough -> continue s)
+                  | Take_jump -> pc := t
+                  | Take_fallthrough -> ())
                 | None ->
                   let count =
-                    match Imap.find_opt s.pc s.forks with
+                    match Imap.find_opt cur_pc !forks with
                     | Some c -> c
                     | None -> 0
                   in
-                  let s =
-                    { s with forks = Imap.add s.pc (count + 1) s.forks }
-                  in
+                  forks := Imap.add cur_pc (count + 1) !forks;
                   if count >= budget.max_forks_per_pc then
                     (* unrolling bound hit: take only the jump, which is
                        the loop exit in compiler-emitted loops *)
-                    st := { s with pc = t }
+                    pc := t
                   else begin
                     if Tr.enabled () then
-                      Tr.instant Tr.Symex "fork" [ ("pc", Tr.Int s.pc) ];
-                    Stack.push { s with pc = t } worklist;
-                    continue s
+                      Tr.instant Tr.Symex "fork" [ ("pc", Tr.Int cur_pc) ];
+                    Stack.push
+                      { pc = t; stack = !stack; mem = !mem; forks = !forks;
+                        steps = !steps }
+                      worklist
                   end))
             | _ -> running := false))
     done

@@ -261,6 +261,83 @@ let test_engine_matches_recover () =
         direct via_engine)
     codes
 
+(* -- streaming recovery -------------------------------------------------- *)
+
+let test_stream_matches_batch () =
+  (* recover_stream must emit report-for-report what recover_all
+     returns — up to from_cache flags, which depend on where the batch
+     boundaries fall — whatever the batch size, including one that
+     forces a flush on every feed and one larger than the corpus *)
+  let distinct = corpus_codes ~seed:14 6 in
+  let codes =
+    distinct @ [ List.nth distinct 2; List.hd distinct ] @ distinct
+  in
+  let batch_reports = Sigrec.Engine.recover_all (engine ()) codes in
+  List.iter
+    (fun batch ->
+      let emitted = ref [] in
+      let fed =
+        Sigrec.Engine.recover_stream ~batch (engine ()) (List.to_seq codes)
+          ~emit:(fun r -> emitted := r :: !emitted)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "batch %d: all inputs fed" batch)
+        (List.length codes) fed;
+      Alcotest.(check string)
+        (Printf.sprintf "batch %d: identical reports" batch)
+        (render batch_reports)
+        (render (List.rev !emitted)))
+    [ 1; 4; 256 ]
+
+let test_stream_dedup_counted () =
+  let distinct = corpus_codes ~seed:15 3 in
+  (* 3 distinct codes streamed 4 times each across small batches: the
+     first appearance of each is an analysis, every later one must be
+     answered from the cache and counted as a stream dedup hit *)
+  let codes = List.concat [ distinct; distinct; distinct; distinct ] in
+  let engine = engine () in
+  let emitted = ref 0 in
+  let fed =
+    Sigrec.Engine.recover_stream ~batch:2 engine (List.to_seq codes)
+      ~emit:(fun _ -> incr emitted)
+  in
+  Alcotest.(check int) "one report per fed code" fed !emitted;
+  let stats = Sigrec.Engine.stats engine in
+  Alcotest.(check int) "one analysis per distinct code"
+    (List.length distinct)
+    (Sigrec.Stats.cache_misses stats);
+  Alcotest.(check int) "every repeat is a stream dedup hit"
+    (List.length codes - List.length distinct)
+    (Sigrec.Stats.stream_dedup_hits stats)
+
+let test_stream_counters_in_descriptor_list () =
+  (* the three stream counters flow through the shared descriptor list:
+     present in scalar_counters and the JSON with the recorded values,
+     summed by merge *)
+  let s = Sigrec.Stats.create () in
+  Sigrec.Stats.add_stream_lines s ~lines:120 ~skipped:3;
+  Sigrec.Stats.add_stream_dedup s 70;
+  let counters = Sigrec.Stats.scalar_counters s in
+  Alcotest.(check int) "stream_lines" 120 (List.assoc "stream_lines" counters);
+  Alcotest.(check int) "stream_skipped" 3
+    (List.assoc "stream_skipped" counters);
+  Alcotest.(check int) "stream_dedup_hits" 70
+    (List.assoc "stream_dedup_hits" counters);
+  let json =
+    match Sigrec.Json.parse (Sigrec.Stats.to_json s) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "stats JSON unparseable: %s" e
+  in
+  List.iter
+    (fun key ->
+      Alcotest.(check (option int)) ("json carries " ^ key)
+        (Some (List.assoc key counters))
+        (Option.bind (Sigrec.Json.member key json) Sigrec.Json.to_int_opt))
+    [ "stream_lines"; "stream_skipped"; "stream_dedup_hits" ];
+  let m = Sigrec.Stats.merge s s in
+  Alcotest.(check int) "merge sums stream_lines" 240
+    (List.assoc "stream_lines" (Sigrec.Stats.scalar_counters m))
+
 (* -- the layout product ------------------------------------------------- *)
 
 let layout_codes ?(seed = 21) n =
@@ -352,6 +429,11 @@ let suite =
       test_stats_scalar_sync;
     Alcotest.test_case "engine = Recover.recover" `Quick
       test_engine_matches_recover;
+    Alcotest.test_case "stream = batch" `Quick test_stream_matches_batch;
+    Alcotest.test_case "stream dedup counted" `Quick
+      test_stream_dedup_counted;
+    Alcotest.test_case "stream counters in descriptor list" `Quick
+      test_stream_counters_in_descriptor_list;
     Alcotest.test_case "layout: parallel = sequential" `Quick
       test_layout_parallel_matches_sequential;
     Alcotest.test_case "layout: cache and dedup" `Quick

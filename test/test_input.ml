@@ -94,6 +94,139 @@ let batch_round_trip () =
       (List.length b.Sigrec.Input.skipped)
   done
 
+(* -- the streaming reader -------------------------------------------- *)
+
+(* Drive fold_reads from an in-memory string, delivering at most
+   [chunk] bytes per read, so lines spanning read boundaries are
+   exercised down to one byte per read. *)
+let fold_string ?warn ?max_line_bytes ~chunk text =
+  let pos = ref 0 in
+  let read buf =
+    let n =
+      Stdlib.min chunk
+        (Stdlib.min (Bytes.length buf) (String.length text - !pos))
+    in
+    Bytes.blit_string text !pos buf 0 n;
+    pos := !pos + n;
+    n
+  in
+  Sigrec.Input.fold_reads ?warn ?max_line_bytes ~read
+    ~f:(fun acc code -> code :: acc)
+    []
+
+let check_fold_agrees name ~chunk text =
+  let b = parse text in
+  let warned = ref [] in
+  let codes, totals =
+    fold_string
+      ~warn:(fun ~line ~reason:_ -> warned := line :: !warned)
+      ~chunk text
+  in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s (chunk %d): codes agree" name chunk)
+    (List.map Evm.Hex.encode b.Sigrec.Input.codes)
+    (List.map Evm.Hex.encode (List.rev codes));
+  Alcotest.(check (list int))
+    (Printf.sprintf "%s (chunk %d): skip lines agree" name chunk)
+    (List.map fst b.Sigrec.Input.skipped)
+    (List.rev !warned);
+  Alcotest.(check int)
+    (Printf.sprintf "%s (chunk %d): totals.codes" name chunk)
+    (List.length b.Sigrec.Input.codes)
+    totals.Sigrec.Input.codes;
+  Alcotest.(check int)
+    (Printf.sprintf "%s (chunk %d): totals.skipped" name chunk)
+    (List.length b.Sigrec.Input.skipped)
+    totals.Sigrec.Input.skipped
+
+let fold_lines_agrees_with_parse_batch () =
+  let fixtures =
+    [
+      ("plain", "0x6001\n6002\n");
+      ("noise", "# header\n\n0x6001\n   \n# tail\n");
+      ("bare 0x", "0x\n0x6001\n");
+      ("odd length", "0xabc\n6001\n");
+      ("bad digits", "0x60zz\n");
+      ("numbering", "# c\n\n0x\n0x6001\nxyz\n");
+      ("CRLF", "0x6001\r\n0x6002\r\n");
+      ("no final newline", "0x6001\n0x6002");
+      ("empty", "");
+      ("only newline", "\n");
+      ("trailing blanks", "0x6001\n\n\n");
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      List.iter
+        (fun chunk -> check_fold_agrees name ~chunk text)
+        [ 1; 2; 3; 7; 64; 65536 ])
+    fixtures
+
+(* Generator-driven agreement: the same noisy batches the round-trip
+   test feeds parse_batch, re-read through fold_reads at a random chunk
+   size each round. *)
+let fold_round_trip () =
+  let rng = Random.State.make [| 0xfeedbad |] in
+  for round = 1 to 100 do
+    let n = Random.State.int rng 8 in
+    let buf = Buffer.create 256 in
+    for _ = 1 to n do
+      (match Random.State.int rng 5 with
+      | 0 -> Buffer.add_string buf "# comment\n"
+      | 1 -> Buffer.add_string buf "\n"
+      | 2 ->
+        Buffer.add_string buf
+          (match Random.State.int rng 3 with
+          | 0 -> "0x\n"
+          | 1 -> "0xabc\n"
+          | _ -> "nothex!\n")
+      | _ -> ());
+      let len = 1 + Random.State.int rng 40 in
+      let code =
+        String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+      in
+      let hex = Evm.Hex.encode code in
+      Buffer.add_string buf (if Random.State.bool rng then "0x" ^ hex else hex);
+      Buffer.add_string buf (if Random.State.bool rng then "\r\n" else "\n")
+    done;
+    let chunk = 1 + Random.State.int rng 96 in
+    check_fold_agrees
+      (Printf.sprintf "round %d" round)
+      ~chunk (Buffer.contents buf)
+  done
+
+let oversized_lines_skipped () =
+  (* a line over the cap is reported with its line number and never
+     delivered; surrounding lines are unaffected. The cap only guards
+     lines that would otherwise be buffered, so the reads must be
+     smaller than the cap (as they always are under fold_lines, whose
+     64 KiB reads sit far below the 4 MiB default cap). *)
+  let big = String.make 200 '6' in
+  let text = "0x6001\n" ^ big ^ "\n0x6002\n" in
+  let warned = ref [] in
+  let codes, totals =
+    fold_string
+      ~warn:(fun ~line ~reason -> warned := (line, reason) :: !warned)
+      ~max_line_bytes:64 ~chunk:7 text
+  in
+  Alcotest.(check (list string)) "neighbors survive" [ "6001"; "6002" ]
+    (List.rev_map Evm.Hex.encode codes);
+  Alcotest.(check int) "one skip" 1 totals.Sigrec.Input.skipped;
+  (match !warned with
+  | [ (line, reason) ] ->
+    Alcotest.(check int) "reported on its own line" 2 line;
+    Alcotest.(check bool) "reason names the cap" true
+      (String.length reason > 0)
+  | _ -> Alcotest.fail "expected exactly one oversized warning");
+  (* an oversized final line without a newline is still reported *)
+  let _, totals =
+    fold_string ~max_line_bytes:64 ~chunk:7 ("0x6001\n" ^ big)
+  in
+  Alcotest.(check int) "unterminated oversized line skipped" 1
+    totals.Sigrec.Input.skipped;
+  Alcotest.(check int) "short line still delivered" 1
+    totals.Sigrec.Input.codes
+
 let suite =
   [
     ("well-formed lines parse", `Quick, basics);
@@ -103,4 +236,9 @@ let suite =
     ("skip numbering counts noise lines", `Quick, line_numbers_survive_noise);
     ("CRLF, EOF blanks, missing final newline", `Quick, crlf_and_eof);
     ("generated batches round-trip", `Quick, batch_round_trip);
+    ( "fold_lines agrees with parse_batch",
+      `Quick,
+      fold_lines_agrees_with_parse_batch );
+    ("generated streams agree with parse_batch", `Quick, fold_round_trip);
+    ("oversized lines are skipped, not buffered", `Quick, oversized_lines_skipped);
   ]

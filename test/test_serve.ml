@@ -220,6 +220,116 @@ let test_layout_op () =
     {|{"id":6,"ok":true,"pong":true}|}
     (handle t {|{"id":6,"op":"ping"}|})
 
+(* -- stream op --------------------------------------------------------- *)
+
+(* Drive a full [Serve.run] session from a scripted input channel and
+   capture the response lines — the only way to exercise the streaming
+   mode, which takes over the connection between its ack and the
+   sentinel. *)
+let run_session t script =
+  let in_file = Filename.temp_file "sigrec_serve" ".in" in
+  let out_file = Filename.temp_file "sigrec_serve" ".out" in
+  Out_channel.with_open_text in_file (fun oc ->
+      Out_channel.output_string oc script);
+  let ic = In_channel.open_text in_file in
+  let oc = Out_channel.open_text out_file in
+  let outcome = Sigrec.Serve.run t ic oc in
+  In_channel.close ic;
+  Out_channel.close oc;
+  let out = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove in_file;
+  Sys.remove out_file;
+  (outcome, String.split_on_char '\n' (String.trim out))
+
+let test_stream_session () =
+  let t = default_serve () in
+  let code = compile (Abi.Funsig.make "s" [ Uint 256 ]) in
+  let hex = "0x" ^ Evm.Hex.encode code in
+  let script =
+    String.concat "\n"
+      [
+        {|{"id":1,"op":"ping"}|};
+        {|{"id":"s1","op":"stream"}|};
+        hex;
+        "# a comment";
+        "";
+        "zz";
+        hex;
+        ".";
+        {|{"id":2,"op":"ping"}|};
+        {|{"id":3,"op":"shutdown"}|};
+        "";
+      ]
+  in
+  let outcome, lines = run_session t script in
+  Alcotest.(check bool) "session ends in shutdown" true
+    (outcome = `Shutdown);
+  match lines with
+  | [ ping1; ack; warning; report1; report2; done_line; ping2; shutdown ]
+    ->
+    Alcotest.(check string) "ping before the stream"
+      {|{"id":1,"ok":true,"pong":true}|} ping1;
+    Alcotest.(check string) "stream acked"
+      {|{"id":"s1","ok":true,"streaming":true}|} ack;
+    let warning = parse_exn warning in
+    Alcotest.(check bool) "warning echoes the stream id" true
+      (member_exn "id" warning = Sigrec.Json.Str "s1");
+    Alcotest.(check (option int)) "warning carries the corpus line"
+      (Some 4)
+      (Option.bind
+         (Sigrec.Json.member "line" (member_exn "warning" warning))
+         Sigrec.Json.to_int_opt);
+    let report_cached line =
+      let r = parse_exn line in
+      Alcotest.(check bool) "report echoes the stream id" true
+        (member_exn "id" r = Sigrec.Json.Str "s1");
+      member_exn "from_cache" (member_exn "report" r)
+    in
+    Alcotest.(check bool) "first appearance analyzed" true
+      (report_cached report1 = Sigrec.Json.Bool false);
+    Alcotest.(check bool) "repeat answered from cache" true
+      (report_cached report2 = Sigrec.Json.Bool true);
+    let d = parse_exn done_line in
+    List.iter
+      (fun (key, v) ->
+        Alcotest.(check (option int)) ("summary " ^ key) (Some v)
+          (Option.bind (Sigrec.Json.member key d) Sigrec.Json.to_int_opt))
+      [ ("contracts", 2); ("lines", 5); ("skipped", 1); ("dedup_hits", 1) ];
+    Alcotest.(check string) "request mode resumes after the sentinel"
+      {|{"id":2,"ok":true,"pong":true}|} ping2;
+    Alcotest.(check string) "shutdown still honored"
+      {|{"id":3,"ok":true,"shutdown":true}|} shutdown;
+    let stats = Sigrec.Engine.stats (Sigrec.Serve.engine t) in
+    Alcotest.(check int) "stream lines counted" 5
+      (Sigrec.Stats.stream_lines stats);
+    Alcotest.(check int) "stream skips counted" 1
+      (Sigrec.Stats.stream_skipped stats);
+    Alcotest.(check int) "stream dedup counted" 1
+      (Sigrec.Stats.stream_dedup_hits stats)
+  | other ->
+    Alcotest.failf "expected 8 response lines, got %d:\n%s"
+      (List.length other) (String.concat "\n" other)
+
+let test_stream_ends_at_eof () =
+  (* a stream cut off by the client hanging up still flushes what it
+     buffered and reports the summary before the server sees EOF *)
+  let t = default_serve () in
+  let code = compile (Abi.Funsig.make "e" [ Address ]) in
+  let script =
+    String.concat "\n"
+      [ {|{"id":4,"op":"stream"}|}; "0x" ^ Evm.Hex.encode code; "" ]
+  in
+  let outcome, lines = run_session t script in
+  Alcotest.(check bool) "EOF surfaces to the listener" true
+    (outcome = `Eof);
+  match List.rev lines with
+  | done_line :: _ ->
+    let d = parse_exn done_line in
+    Alcotest.(check (option int)) "buffered contract still recovered"
+      (Some 1)
+      (Option.bind (Sigrec.Json.member "contracts" d) Sigrec.Json.to_int_opt)
+  | [] -> Alcotest.fail "no response lines at all"
+
 (* -- bounded LRU ------------------------------------------------------- *)
 
 let test_lru_eviction_bound () =
@@ -311,6 +421,9 @@ let suite =
     Alcotest.test_case "jobs>=2 response byte-identical" `Slow
       test_parallel_response_identical;
     Alcotest.test_case "layout op over the wire" `Quick test_layout_op;
+    Alcotest.test_case "stream session over the wire" `Quick
+      test_stream_session;
+    Alcotest.test_case "stream flushes at EOF" `Quick test_stream_ends_at_eof;
     Alcotest.test_case "LRU eviction bound" `Quick test_lru_eviction_bound;
     Alcotest.test_case "engine cache bounded" `Quick
       test_engine_cache_bounded;
