@@ -264,6 +264,85 @@ let layout_cmd config input batch show_stats format trace =
   end;
   0
 
+let print_classify_text (cr : Sigrec.Engine.classify_report) =
+  Format.printf "code hash 0x%s%s@.%a@."
+    cr.Sigrec.Engine.classify_code_hash
+    (if cr.Sigrec.Engine.classify_from_cache then " (cached)" else "")
+    Sigrec_classify.Classify.pp cr.Sigrec.Engine.verdict
+
+let print_classify_stats stats format =
+  match format with
+  | `Text ->
+    Format.printf
+      "classify: %d verdicts (%d exact / %d partial / %d unknown), %d \
+       probes, %d cache hits@."
+      (Sigrec.Stats.classifications stats)
+      (Sigrec.Stats.classify_exact stats)
+      (Sigrec.Stats.classify_partial stats)
+      (Sigrec.Stats.classify_unknown stats)
+      (Sigrec.Stats.classify_probes stats)
+      (Sigrec.Stats.classify_cache_hits stats)
+  | `Json -> print_stats_json stats
+
+(* Streamed classification: bounded buffers through [classify_all], so
+   recovery gets the pooled batch path and verdicts print in input
+   order at constant memory, mirroring [batch --stream]. *)
+let classify_stream_cmd config input show_stats format trace =
+  let engine = Sigrec.Engine.make config in
+  let print_verdict cr =
+    match format with
+    | `Json -> print_endline (Sigrec.Render.classify_report cr)
+    | `Text -> print_classify_text cr
+  in
+  let buf = ref [] and len = ref 0 in
+  let flush () =
+    if !len > 0 then begin
+      let codes = List.rev !buf in
+      buf := [];
+      len := 0;
+      List.iter print_verdict (Sigrec.Engine.classify_all engine codes)
+    end
+  in
+  let totals =
+    with_trace trace (fun () ->
+        with_input_channel input (fun ic ->
+            let (), totals =
+              Sigrec.Input.fold_lines ~warn:(warn_malformed input)
+                ~f:(fun () code ->
+                  buf := code :: !buf;
+                  incr len;
+                  if !len >= Sigrec.Engine.Stream.default_batch then flush ())
+                () ic
+            in
+            flush ();
+            totals))
+  in
+  let stats = Sigrec.Engine.stats engine in
+  Sigrec.Stats.add_stream_lines stats ~lines:totals.Sigrec.Input.lines
+    ~skipped:totals.Sigrec.Input.skipped;
+  if show_stats then print_classify_stats stats format;
+  0
+
+let classify_cmd config input batch stream show_stats format trace =
+  if stream then classify_stream_cmd config input show_stats format trace
+  else begin
+    let engine = Sigrec.Engine.make config in
+    let reports =
+      with_trace trace (fun () ->
+          if batch then
+            Sigrec.Engine.classify_all engine (read_bytecode_list input)
+          else [ Sigrec.Engine.classify engine (read_bytecode input) ])
+    in
+    (match format with
+    | `Json ->
+      List.iter
+        (fun cr -> print_endline (Sigrec.Render.classify_report cr))
+        reports
+    | `Text -> List.iter print_classify_text reports);
+    if show_stats then print_classify_stats (Sigrec.Engine.stats engine) format;
+    0
+  end
+
 let lint_cmd input layout show_stats format trace =
   let bytecode = read_bytecode input in
   let stats = Sigrec.Stats.create () in
@@ -664,6 +743,29 @@ let layout_term =
     const layout_cmd $ Flags.engine_config $ input_arg $ batch $ Flags.stats
     $ Flags.format $ Flags.trace)
 
+let classify_term =
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Treat $(b,BYTECODE) as a list file (one hex bytecode per \
+             line, # comments skipped) and classify every contract \
+             through the batch engine.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream the input instead of loading it whole: contracts \
+             are read, classified and printed in bounded batches, in \
+             input order, at constant memory.")
+  in
+  Term.(
+    const classify_cmd $ Flags.engine_config $ input_arg $ batch $ stream
+    $ Flags.stats $ Flags.format $ Flags.trace)
+
 let serve_term =
   let socket =
     let doc =
@@ -710,6 +812,15 @@ let cmds =
             their kind (word, packed members, mapping, dynamic array) \
             from a static pass over the SSTORE/SLOAD patterns.")
       layout_term;
+    Cmd.v
+      (Cmd.info "classify"
+         ~doc:
+           "Classify the contract against the ERC token-interface \
+            specs (ERC-20/721/1155 plus extensions): recover its \
+            signatures, match selectors and parameter types with the \
+            \xc2\xa75.2 tolerance, corroborate near-misses behaviourally and \
+            with the recovered storage layout.")
+      classify_term;
     Cmd.v
       (Cmd.info "serve"
          ~doc:

@@ -21,19 +21,58 @@ let stream_corpus n dup_rate seed =
       print_string (Evm.Hex.encode code);
       print_char '\n')
 
+(* With --tokens N the tool emits a labeled token mini-corpus for the
+   classification harness: still one bytecode per line (valid `sigrec
+   classify --batch` input — labels ride in comment lines the parser
+   skips), each contract preceded by its ground truth:
+
+     dune exec examples/make_corpus.exe -- --tokens 25 > tokens.txt
+     dune exec bin/sigrec_cli.exe -- classify --batch tokens.txt *)
+
+let token_corpus n seed =
+  Printf.printf "# sigrec token corpus: %d contracts, seed %d\n" n seed;
+  print_endline
+    "# each \"expect\" comment gives the ground-truth label of the next line";
+  List.iter
+    (fun (s : Solc.Corpus.token_sample) ->
+      let expect =
+        if s.Solc.Corpus.tlabel = "none" then "unknown"
+        else if s.Solc.Corpus.texact then s.Solc.Corpus.tlabel
+        else s.Solc.Corpus.tlabel ^ " (partial)"
+      in
+      Printf.printf "# expect: %s" expect;
+      (match s.Solc.Corpus.tmissing with
+      | [] -> ()
+      | missing ->
+        Printf.printf " missing=[%s]" (String.concat "; " missing));
+      print_char '\n';
+      print_string "0x";
+      print_string (Evm.Hex.encode s.Solc.Corpus.tcode);
+      print_char '\n')
+    (Solc.Corpus.token_set ~seed ~n)
+
 let usage () =
   prerr_endline
-    "usage: make_corpus [--stream N [--dup RATE] [--seed S]]";
+    "usage: make_corpus [--stream N [--dup RATE] [--seed S]]\n\
+    \       make_corpus --tokens N [--seed S]";
   exit 2
 
 let parse_stream_args args =
   let n = ref 0 and dup = ref 0.9 and seed = ref 20230704 in
+  let tokens = ref false in
   let rec go = function
     | [] -> ()
     | "--stream" :: v :: rest -> (
       match int_of_string_opt v with
       | Some x when x > 0 ->
         n := x;
+        go rest
+      | _ -> usage ())
+    | "--tokens" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some x when x > 0 ->
+        n := x;
+        tokens := true;
         go rest
       | _ -> usage ())
     | "--dup" :: v :: rest -> (
@@ -52,7 +91,7 @@ let parse_stream_args args =
   in
   go args;
   if !n = 0 then usage ();
-  (!n, !dup, !seed)
+  (!n, !dup, !seed, !tokens)
 
 let committed_corpus () =
   let open Abi.Abity in
@@ -118,6 +157,6 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: [] -> committed_corpus ()
   | _ :: args ->
-    let n, dup_rate, seed = parse_stream_args args in
-    stream_corpus n dup_rate seed
+    let n, dup_rate, seed, tokens = parse_stream_args args in
+    if tokens then token_corpus n seed else stream_corpus n dup_rate seed
   | [] -> committed_corpus ()

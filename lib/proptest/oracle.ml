@@ -252,6 +252,62 @@ let differential ?stats (c : Sig_gen.case) =
          (String.concat "; "
             (List.map Sigrec.Lint.finding_to_string v.Sigrec.Lint.findings)))
 
+(* -- interface-classification round trip --------------------------------- *)
+
+module Classify = Sigrec_classify.Classify
+
+(* Compile a labeled token case, classify it end to end through the
+   engine, and hold the verdict to the generator's ground truth: a
+   clean case must classify exactly as its standard; a drop-one mutant
+   must demote to partial — never exact, for any standard — with the
+   dropped member on the missing list. *)
+let classify_round_trip (c : Sig_gen.token_case) =
+  let code = Sig_gen.compile_token c in
+  let engine = Sigrec.Engine.make Sigrec.Engine.Config.default in
+  let r = Sigrec.Engine.classify engine code in
+  let v = r.Sigrec.Engine.verdict in
+  let std =
+    List.find_opt
+      (fun sr -> sr.Classify.spec.Classify.spec_name = c.Sig_gen.t_standard)
+      v.Classify.results
+  in
+  match (std, c.Sig_gen.t_dropped) with
+  | None, _ ->
+    Error
+      (Printf.sprintf "standard %s absent from scored results"
+         c.Sig_gen.t_standard)
+  | Some _, [] ->
+    if Classify.label v = c.Sig_gen.t_standard then Ok ()
+    else
+      Error
+        (Printf.sprintf "clean %s classified as %S" c.Sig_gen.t_standard
+           (Classify.label v))
+  | Some std, dropped ->
+    (* extensions are excluded: a 721 mutant still carries the full
+       ERC-165 surface, and extensions never compete for the verdict *)
+    let exact_somewhere =
+      List.exists
+        (fun sr -> sr.Classify.level = Classify.Exact)
+        v.Classify.results
+    in
+    if exact_somewhere then
+      Error
+        (Printf.sprintf
+           "mutant missing [%s] still classified exact (label %S)"
+           (String.concat "," dropped) (Classify.label v))
+    else if Classify.label v <> c.Sig_gen.t_standard ^ " (partial)" then
+      Error
+        (Printf.sprintf "mutant of %s labeled %S, wanted %S"
+           c.Sig_gen.t_standard (Classify.label v)
+           (c.Sig_gen.t_standard ^ " (partial)"))
+    else if List.sort compare std.Classify.missing <> List.sort compare dropped
+    then
+      Error
+        (Printf.sprintf "missing list [%s], wanted [%s]"
+           (String.concat "," std.Classify.missing)
+           (String.concat "," dropped))
+    else Ok ()
+
 (* -- rule-coverage gate -------------------------------------------------- *)
 
 let rule_gate stats =
@@ -274,3 +330,7 @@ let arb_batch =
     (Gen.list_size (Gen.int_range 1 4) Sig_gen.case)
 
 let arb_abi = Prop.make ~shrink:shrink_abi_case ~show:show_abi_case gen_abi_case
+
+let arb_token =
+  Prop.make ~shrink:Sig_gen.shrink_token ~show:Sig_gen.show_token
+    Sig_gen.token_case

@@ -40,6 +40,13 @@ type abi_case = {
 val abi_round_trip : abi_case -> (unit, string) result
 val differential : ?stats:Sigrec.Stats.t -> Sig_gen.case -> (unit, string) result
 
+val classify_round_trip : Sig_gen.token_case -> (unit, string) result
+(** Token-standard classification against the generated ground truth: a
+    clean {!Sig_gen.token_case} must classify exactly as its standard;
+    a drop-one-required mutant must demote to ["<standard> (partial)"]
+    — never exact, for any standard — with exactly the dropped member
+    reported missing. *)
+
 val rule_gate : Sigrec.Stats.t -> (unit, string) result
 (** [Ok] iff all 31 rules fired at least once ({!Sigrec.Stats.unexercised}). *)
 
@@ -50,3 +57,4 @@ val render : Sigrec.Engine.report list -> string
 val arb_case : Sig_gen.case Prop.arbitrary
 val arb_batch : Sig_gen.case list Prop.arbitrary
 val arb_abi : abi_case Prop.arbitrary
+val arb_token : Sig_gen.token_case Prop.arbitrary

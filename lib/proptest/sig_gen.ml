@@ -395,3 +395,104 @@ let show_case c =
   Printf.sprintf "{version=%s; obf=%d/seed=%d; size=%d;%s\n   %s}"
     c.version.Solc.Version.name c.obf_level c.obf_seed (size_case c) storage
     (String.concat ";\n   " (List.map show_fn c.fns))
+
+(* -- labeled token cases (interface-classification oracle) -------------- *)
+
+module Classify = Sigrec_classify.Classify
+
+type token_case = {
+  t_standard : string;
+  t_dropped : string list;
+  t_optionals : int;
+  t_decoys : Solc.Lang.fn_spec list;
+  t_version : Solc.Version.t;
+}
+
+let token_spec c = Option.get (Classify.spec_by_name c.t_standard)
+
+let token_case : token_case Gen.t =
+ fun rng size ->
+  let t_standard =
+    Gen.oneofl [ "ERC-20"; "ERC-721"; "ERC-1155" ] rng size
+  in
+  let spec = Option.get (Classify.spec_by_name t_standard) in
+  let required = List.filter (fun m -> m.Classify.required) spec.Classify.members in
+  let optional_total =
+    List.length spec.Classify.members - List.length required
+  in
+  (* half the cases are clean, half are drop-one-required mutants — the
+     demotion half of the oracle *)
+  let t_dropped =
+    if Random.State.bool rng then []
+    else
+      let i = Random.State.int rng (List.length required) in
+      [ Funsig.canonical (List.nth required i).Classify.fsig ]
+  in
+  let t_optionals = Random.State.int rng (optional_total + 1) in
+  let t_version =
+    List.nth Solc.Version.solidity_versions
+      (Random.State.int rng (List.length Solc.Version.solidity_versions))
+  in
+  let ndecoys = Random.State.int rng (2 + Stdlib.min 2 (size / 8)) in
+  let t_decoys =
+    Gen.init_in_order ndecoys (fun k ->
+        gen_fn ~version:t_version ~slot:(20 + k) rng (Stdlib.min size 8))
+  in
+  { t_standard; t_dropped; t_optionals; t_decoys; t_version }
+
+let compile_token c =
+  let spec = token_spec c in
+  let required =
+    List.filter
+      (fun m ->
+        m.Classify.required
+        && not (List.mem (Funsig.canonical m.Classify.fsig) c.t_dropped))
+      spec.Classify.members
+  in
+  let optionals =
+    List.filteri
+      (fun i _ -> i < c.t_optionals)
+      (List.filter (fun m -> not m.Classify.required) spec.Classify.members)
+  in
+  let fns =
+    List.map
+      (fun m -> Solc.Lang.fn_of_sig m.Classify.fsig)
+      (required @ optionals)
+    @ c.t_decoys
+  in
+  Solc.Compile.compile
+    {
+      Solc.Compile.fns;
+      version = c.t_version;
+      storage = [ Solc.Lang.svalue 0; Solc.Lang.smapping 1 ];
+    }
+
+let size_token c =
+  List.length c.t_dropped + c.t_optionals
+  + List.fold_left (fun acc fn -> acc + size_fn fn) 0 c.t_decoys
+
+let shrink_token c =
+  let decoys =
+    Seq.map
+      (fun t_decoys -> { c with t_decoys })
+      (Shrink.list shrink_fn c.t_decoys)
+  in
+  let optionals =
+    Seq.map
+      (fun t_optionals -> { c with t_optionals })
+      (Shrink.int_toward 0 c.t_optionals)
+  in
+  let dropped =
+    Seq.map
+      (fun t_dropped -> { c with t_dropped })
+      (Shrink.list_drop_one c.t_dropped)
+  in
+  Seq.append decoys (Seq.append optionals dropped)
+
+let show_token c =
+  Printf.sprintf "{%s; dropped=[%s]; optionals=%d; version=%s;%s}"
+    c.t_standard
+    (String.concat "," c.t_dropped)
+    c.t_optionals c.t_version.Solc.Version.name
+    (if c.t_decoys = [] then ""
+     else "\n   decoys: " ^ String.concat ";\n   " (List.map show_fn c.t_decoys))

@@ -59,3 +59,28 @@ val shrink_case : case Shrink.t
 
 val show_fn : Solc.Lang.fn_spec -> string
 val show_case : case -> string
+
+(** {1 Labeled token cases}
+
+    Ground-truth inputs for the interface-classification oracle: the
+    full required member set of one ERC standard (or a drop-one-required
+    mutant), a prefix of its optional members, and unrelated decoy
+    functions. Shrinking drops decoys, optional members and the dropped
+    marker, all strictly [size_token]-decreasing. *)
+
+type token_case = {
+  t_standard : string;  (** ["ERC-20"], ["ERC-721"] or ["ERC-1155"] *)
+  t_dropped : string list;
+      (** canonical signatures of required members removed from the
+          contract — [[]] for a clean conformant token, one element for
+          a demotion mutant *)
+  t_optionals : int;    (** how many of the spec's optional members to keep *)
+  t_decoys : Solc.Lang.fn_spec list;
+  t_version : Solc.Version.t;
+}
+
+val token_case : token_case Gen.t
+val compile_token : token_case -> string
+val size_token : token_case -> int
+val shrink_token : token_case Shrink.t
+val show_token : token_case -> string

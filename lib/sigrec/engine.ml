@@ -54,6 +54,8 @@ type t = {
   config : Config.t;
   cache : (string, report) Lru.t; (* 32-byte code hash -> report *)
   layouts : (string, Sigrec_layout.Layout.t) Lru.t; (* code hash -> layout *)
+  verdicts : (string, Sigrec_classify.Classify.verdict) Lru.t;
+      (* code hash -> interface classification *)
   lock : Mutex.t;
   stats : Stats.t;
 }
@@ -63,6 +65,7 @@ let make config =
     config;
     cache = Lru.create ~capacity:config.Config.cache_capacity;
     layouts = Lru.create ~capacity:config.Config.cache_capacity;
+    verdicts = Lru.create ~capacity:config.Config.cache_capacity;
     lock = Mutex.create ();
     stats = Stats.create ();
   }
@@ -450,7 +453,8 @@ let cache_size t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
 let clear t =
   Mutex.protect t.lock (fun () ->
       Lru.clear t.cache;
-      Lru.clear t.layouts)
+      Lru.clear t.layouts;
+      Lru.clear t.verdicts)
 
 (* ---- storage-layout recovery ---------------------------------------- *)
 
@@ -566,3 +570,110 @@ let layout_all t codes =
            layout_from_cache = not fresh.(i);
          })
        codes)
+
+(* ---- token-standard interface classification ------------------------- *)
+
+module Classify = Sigrec_classify.Classify
+
+type classify_report = {
+  classify_code_hash : string;
+  verdict : Classify.verdict;
+  classify_from_cache : bool;
+}
+
+(* Everything a report knows that the classifier can use: full
+   recoveries with their types, budget-exhausted partials flagged as
+   such (they can lend partial credit, never an exact match), and the
+   bare selector of a per-function failure (the dispatcher proved the
+   id exists even though TASE crashed on the body). *)
+let evidence_of_report report =
+  List.filter_map
+    (function
+      | Recovered { result = r; _ } ->
+        Some
+          (Classify.evidence ~selector:r.Recover.selector r.Recover.params)
+      | Budget_exhausted { partial = r; _ } ->
+        Some
+          (Classify.evidence ~partial:true ~selector:r.Recover.selector
+             r.Recover.params)
+      | Failed e when String.length e.selector = 4 ->
+        Some (Classify.bare e.selector)
+      | Failed _ -> None)
+    report.outcomes
+
+let verdict_outcome (v : Classify.verdict) =
+  match v.Classify.best with
+  | Some r when r.Classify.level = Classify.Exact -> `Exact
+  | Some _ -> `Partial
+  | None -> `Unknown
+
+let classify_of_report t ~code report =
+  let t0_us = if Tr.enabled () then Tr.now_us () else 0. in
+  (* the layout thunk routes through the engine's layout LRU, so the
+     classifier only pays for the storage pass when the verdict needs
+     the typed-state evidence -- and at most once per bytecode *)
+  let force_layout () = (layout t code).layout in
+  let verdict =
+    Classify.run ~layout:force_layout
+      ~probe:(Classify.probe_dispatch ~code)
+      (evidence_of_report report)
+  in
+  if Tr.enabled () then
+    Tr.complete Tr.Engine "classify" ~t0_us
+      [
+        ("code_hash", Tr.Str report.code_hash);
+        ("label", Tr.Str (Classify.label verdict));
+        ("probes", Tr.Int verdict.Classify.probes_run);
+      ];
+  verdict
+
+(* The verdict LRU is keyed by the report's hex code hash: recovery
+   already paid the Keccak, so classification never rehashes the
+   bytecode. *)
+let classify_fresh t code report =
+  let verdict = classify_of_report t ~code report in
+  Mutex.protect t.lock (fun () ->
+      Stats.add_classification t.stats ~outcome:(verdict_outcome verdict)
+        ~probes:verdict.Classify.probes_run;
+      if not (Lru.mem t.verdicts report.code_hash) then
+        Lru.add t.verdicts report.code_hash verdict);
+  verdict
+
+let classify_cached t hash_hex =
+  match Mutex.protect t.lock (fun () -> Lru.find_opt t.verdicts hash_hex) with
+  | Some verdict ->
+    Mutex.protect t.lock (fun () ->
+        Stats.add_classify_cache_hits t.stats 1);
+    if Tr.enabled () then
+      Tr.instant Tr.Engine "classify_cache_hit"
+        [ ("code_hash", Tr.Str hash_hex) ];
+    Some verdict
+  | None -> None
+
+let classify_of_cached_or_fresh t code report =
+  match classify_cached t report.code_hash with
+  | Some verdict ->
+    {
+      classify_code_hash = report.code_hash;
+      verdict;
+      classify_from_cache = true;
+    }
+  | None ->
+    let verdict = classify_fresh t code report in
+    {
+      classify_code_hash = report.code_hash;
+      verdict;
+      classify_from_cache = false;
+    }
+
+let classify t code = classify_of_cached_or_fresh t code (recover t code)
+
+(* The batch sibling rides on [recover_all] -- pooled fan-out, in-batch
+   dedup and the report LRU all apply to the expensive part -- and then
+   scores the verdicts in input order. Matching is selector-set
+   arithmetic, orders of magnitude below an analysis, so scoring
+   serially keeps the output deterministic at no measurable cost;
+   duplicate bytecodes hit the verdict LRU after the first is scored. *)
+let classify_all t codes =
+  let reports = recover_all t codes in
+  List.map2 (classify_of_cached_or_fresh t) codes reports

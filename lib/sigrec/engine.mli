@@ -210,3 +210,32 @@ val layout_all : t -> string list -> layout_report list
 (** One layout report per input, in input order; distinct uncached
     bytecodes fan out over the worker pool like {!recover_all}, with
     byte-identical output whatever the parallelism. *)
+
+(** {1 Token-standard interface classification} *)
+
+type classify_report = {
+  classify_code_hash : string;
+      (** lowercase hex Keccak-256 of the bytecode *)
+  verdict : Sigrec_classify.Classify.verdict;
+  classify_from_cache : bool;
+}
+
+val classify : t -> string -> classify_report
+(** [classify t bytecode] recovers the contract's signatures (through
+    the report cache) and scores them against the ERC interface specs
+    ({!Sigrec_classify.Classify.run}), with behavioural corroboration
+    on the contract's own bytecode and the engine's layout pass as
+    lazy typed-state evidence. Verdicts live in their own LRU (same
+    {!Config.cache_capacity} bound), so a resident service answers
+    repeated classifications without re-scoring. *)
+
+val classify_all : t -> string list -> classify_report list
+(** One classification per input, in input order. Recovery fans out
+    through {!recover_all} (pool, dedup, report LRU); scoring itself
+    is cheap and runs in input order, so the output is deterministic
+    whatever the parallelism. *)
+
+val evidence_of_report : report -> Sigrec_classify.Classify.evidence list
+(** The classification evidence a report carries: full recoveries,
+    budget-exhausted partials (marked — they never support an exact
+    match), and bare selectors of per-function failures. *)

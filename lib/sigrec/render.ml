@@ -109,6 +109,42 @@ let layout_report (r : Engine.layout_report) =
       ("total_ops", string_of_int l.Layout.total_ops);
     ]
 
+module Classify = Sigrec_classify.Classify
+
+let classify_spec_result (r : Classify.spec_result) =
+  Json.obj
+    [
+      ("standard", Json.quote r.Classify.spec.Classify.spec_name);
+      ("level", Json.quote (Classify.level_to_string r.Classify.level));
+      ("required_matched", string_of_int r.Classify.required_matched);
+      ("required_total", string_of_int r.Classify.required_total);
+      ("optional_matched", string_of_int r.Classify.optional_matched);
+      ("relaxed", string_of_int r.Classify.relaxed);
+      ("corroborated", string_of_int r.Classify.corroborated);
+      ("missing", Json.arr (List.map Json.quote r.Classify.missing));
+      ("mismatched", Json.arr (List.map Json.quote r.Classify.mismatched));
+      ("layout_support", string_of_bool r.Classify.layout_support);
+    ]
+
+let classify_report (r : Engine.classify_report) =
+  let v = r.Engine.verdict in
+  Json.obj
+    [
+      ("code_hash", Json.quote ("0x" ^ r.Engine.classify_code_hash));
+      ("from_cache", string_of_bool r.Engine.classify_from_cache);
+      ("label", Json.quote (Classify.label v));
+      ( "best",
+        match v.Classify.best with
+        | None -> "null"
+        | Some b -> classify_spec_result b );
+      ( "standards",
+        Json.arr (List.map classify_spec_result v.Classify.results) );
+      ( "extensions",
+        Json.arr
+          (List.map classify_spec_result v.Classify.matched_extensions) );
+      ("probes", string_of_int v.Classify.probes_run);
+    ]
+
 let finding f =
   match f with
   | Lint.Mask_conflict { offset; mask; recovered } ->

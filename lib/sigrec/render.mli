@@ -20,6 +20,15 @@ val layout_entry : Sigrec_layout.Layout.entry -> string
 val layout_report : Engine.layout_report -> string
 (** The full storage layout of one contract, slots in slot order. *)
 
+val classify_spec_result : Sigrec_classify.Classify.spec_result -> string
+(** One standard's score: level, member counts, missing/mismatched
+    canonical signatures, typed-state support. *)
+
+val classify_report : Engine.classify_report -> string
+(** The full interface classification of one contract: headline label,
+    best standard (or [null]), every standard's score, matched
+    extensions, probe count. *)
+
 val finding : Lint.finding -> string
 val verdict : Lint.verdict -> string
 

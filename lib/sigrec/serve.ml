@@ -88,6 +88,30 @@ let layout_response t id codes_json =
             Json.arr (List.map warning_json batch.Input.skipped) );
         ])
 
+let classify_response t id codes_json =
+  match Json.to_list_opt codes_json with
+  | None -> error_response id "\"codes\" must be an array of hex strings"
+  | Some items ->
+    let rec as_strings acc = function
+      | [] -> Some (List.rev acc)
+      | Json.Str s :: rest -> as_strings (s :: acc) rest
+      | _ -> None
+    in
+    (match as_strings [] items with
+    | None -> error_response id "\"codes\" must be an array of hex strings"
+    | Some entries ->
+      let batch = Input.parse_codes entries in
+      let verdicts = Engine.classify_all t.engine batch.Input.codes in
+      Json.obj
+        [
+          ("id", id);
+          ("ok", "true");
+          ( "classifications",
+            Json.arr (List.map Render.classify_report verdicts) );
+          ( "warnings",
+            Json.arr (List.map warning_json batch.Input.skipped) );
+        ])
+
 let metrics_response t id =
   let stats = Engine.stats t.engine in
   Json.obj
@@ -141,6 +165,11 @@ let handle_line t line =
             Option.value ~default:Json.Null (Json.member "codes" req)
           in
           reply (layout_response t id codes)
+        | Some "classify" ->
+          let codes =
+            Option.value ~default:Json.Null (Json.member "codes" req)
+          in
+          reply (classify_response t id codes)
         | Some "stream" ->
           {
             response =

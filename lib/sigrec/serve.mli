@@ -7,7 +7,8 @@
     never re-pays domain spawn.
 
     Requests: [{"id": <any>, "op": "recover", "codes": ["0x…", …]}],
-    or [op] one of ["metrics"], ["ping"], ["shutdown"], ["stream"].
+    or [op] one of ["layout"], ["classify"], ["metrics"], ["ping"],
+    ["shutdown"], ["stream"].
     The [id] is echoed verbatim in the response ([null] when absent or
     the request was unparseable).
 
@@ -17,6 +18,12 @@
       {!Render.report} in input order (skipped entries excluded);
       warnings carry the 0-based index of each malformed ["codes"]
       entry, routed into the response stream rather than stderr;
+    - layout / classify: same shape with ["layouts"]
+      ({!Render.layout_report}) / ["classifications"]
+      ({!Render.classify_report}) instead of ["reports"] — repeated
+      classifications of the same bytecode are answered from the
+      engine's verdict LRU ([from_cache] flips to [true] and
+      [Stats.classify_cache_hits] counts them);
     - metrics: cumulative {!Stats} JSON plus request count, uptime,
       cache size/capacity and pool size;
     - any error: [{"id":…, "ok":false, "error":"…"}] — a malformed

@@ -19,6 +19,12 @@ type t = {
   mutable stream_lines : int;
   mutable stream_skipped : int;
   mutable stream_dedup : int;
+  mutable classifications : int;
+  mutable classify_exact : int;
+  mutable classify_partial : int;
+  mutable classify_unknown : int;
+  mutable classify_probes : int;
+  mutable classify_cache : int;
 }
 
 let create () =
@@ -41,6 +47,12 @@ let create () =
     stream_lines = 0;
     stream_skipped = 0;
     stream_dedup = 0;
+    classifications = 0;
+    classify_exact = 0;
+    classify_partial = 0;
+    classify_unknown = 0;
+    classify_probes = 0;
+    classify_cache = 0;
   }
 
 let hit_rule t name =
@@ -93,6 +105,22 @@ let stream_lines t = t.stream_lines
 let stream_skipped t = t.stream_skipped
 let stream_dedup_hits t = t.stream_dedup
 
+let add_classification t ~outcome ~probes =
+  t.classifications <- t.classifications + 1;
+  (match outcome with
+  | `Exact -> t.classify_exact <- t.classify_exact + 1
+  | `Partial -> t.classify_partial <- t.classify_partial + 1
+  | `Unknown -> t.classify_unknown <- t.classify_unknown + 1);
+  t.classify_probes <- t.classify_probes + probes
+
+let add_classify_cache_hits t n = t.classify_cache <- t.classify_cache + n
+let classifications t = t.classifications
+let classify_exact t = t.classify_exact
+let classify_partial t = t.classify_partial
+let classify_unknown t = t.classify_unknown
+let classify_probes t = t.classify_probes
+let classify_cache_hits t = t.classify_cache
+
 let layouts_recovered t = t.layouts
 let layout_slots t = t.layout_slots
 let layout_unknown_ops t = t.layout_unknown
@@ -126,7 +154,13 @@ let merge_into ~into src =
   into.layout_unknown <- into.layout_unknown + src.layout_unknown;
   into.stream_lines <- into.stream_lines + src.stream_lines;
   into.stream_skipped <- into.stream_skipped + src.stream_skipped;
-  into.stream_dedup <- into.stream_dedup + src.stream_dedup
+  into.stream_dedup <- into.stream_dedup + src.stream_dedup;
+  into.classifications <- into.classifications + src.classifications;
+  into.classify_exact <- into.classify_exact + src.classify_exact;
+  into.classify_partial <- into.classify_partial + src.classify_partial;
+  into.classify_unknown <- into.classify_unknown + src.classify_unknown;
+  into.classify_probes <- into.classify_probes + src.classify_probes;
+  into.classify_cache <- into.classify_cache + src.classify_cache
 
 let merge a b =
   let t = create () in
@@ -157,6 +191,12 @@ let scalars : (string * (t -> int)) list =
     ("stream_lines", fun t -> t.stream_lines);
     ("stream_skipped", fun t -> t.stream_skipped);
     ("stream_dedup_hits", fun t -> t.stream_dedup);
+    ("classifications", fun t -> t.classifications);
+    ("classify_exact", fun t -> t.classify_exact);
+    ("classify_partial", fun t -> t.classify_partial);
+    ("classify_unknown", fun t -> t.classify_unknown);
+    ("classify_probes", fun t -> t.classify_probes);
+    ("classify_cache_hits", fun t -> t.classify_cache);
   ]
 
 let scalar t key = (List.assoc key scalars) t
@@ -196,6 +236,12 @@ let pp fmt t =
   if v "stream_lines" > 0 then
     Format.fprintf fmt "stream: %d lines (%d skipped, %d dedup hits)@,"
       (v "stream_lines") (v "stream_skipped") (v "stream_dedup_hits");
+  if v "classifications" + v "classify_cache_hits" > 0 then
+    Format.fprintf fmt
+      "classify: %d verdicts (%d exact / %d partial / %d unknown), %d        probes, %d cache hits@,"
+      (v "classifications") (v "classify_exact") (v "classify_partial")
+      (v "classify_unknown") (v "classify_probes")
+      (v "classify_cache_hits");
   Format.fprintf fmt "@]"
 
 let to_json t =

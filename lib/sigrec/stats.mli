@@ -93,6 +93,21 @@ val stream_lines : t -> int
 val stream_skipped : t -> int
 val stream_dedup_hits : t -> int
 
+val add_classification :
+  t -> outcome:[ `Exact | `Partial | `Unknown ] -> probes:int -> unit
+(** Count one fresh interface classification by its verdict level,
+    plus the behavioural probes it spent. *)
+
+val add_classify_cache_hits : t -> int -> unit
+(** Count classifications answered from the verdict LRU. *)
+
+val classifications : t -> int
+val classify_exact : t -> int
+val classify_partial : t -> int
+val classify_unknown : t -> int
+val classify_probes : t -> int
+val classify_cache_hits : t -> int
+
 val merge : t -> t -> t
 (** Pointwise sum into a fresh [t]; neither argument is modified. *)
 

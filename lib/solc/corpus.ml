@@ -419,6 +419,199 @@ let multi_body ~seed ~n ~bodies =
       in
       (fsig, variants))
 
+(* -- token-classification corpus ---------------------------------------- *)
+
+type token_sample = {
+  tcode : string;
+  tlabel : string;
+  texact : bool;
+  tmissing : string list;
+  tversion : Version.t;
+}
+
+module Classify = Sigrec_classify.Classify
+
+(* Per-holder state every token shape implies: a value slot (supply),
+   the balances mapping, sometimes a packed (decimals, owner) slot. *)
+let token_storage rng =
+  let base = [ Lang.svalue 0; Lang.smapping 1 ] in
+  if Random.State.bool rng then base @ [ Lang.svalue ~widths:[ 8; 160 ] 2 ]
+  else base
+
+(* Replace one parameter of the member with a §5.2-convertible cast:
+   the declared type (and so the selector) is unchanged, the body only
+   uses the converted value, so recovery reports the converted type.
+   [to_] compatible with the declaration keeps the sample exact under
+   the classifier's relaxation; an incompatible [to_] is a planted
+   selector collision. *)
+let convert_param ~param_ty ~to_ (fsig : Abi.Funsig.t) =
+  let specs =
+    let converted = ref false in
+    List.map
+      (fun ty ->
+        if (not !converted) && Abi.Abity.equal ty param_ty then begin
+          converted := true;
+          Lang.param ~quirk:(Lang.Converted to_) ty
+        end
+        else Lang.param ty)
+      fsig.Abi.Funsig.params
+  in
+  Lang.fn fsig specs
+
+let has_param ty (fsig : Abi.Funsig.t) =
+  List.exists (Abi.Abity.equal ty) fsig.Abi.Funsig.params
+
+let member_sigs ms = List.map (fun (m : Classify.member) -> m.Classify.fsig) ms
+
+(* Labeled token corpus for the classification accuracy harness.
+
+   Mix per sample (salt 12):
+   - exact positives: the full required set of ERC-20/721/1155, random
+     optional members, sometimes Ownable/ERC-2612 extensions, 0-2
+     decoy functions — a quarter carry a compatible [Converted] cast so
+     the relaxation path is exercised with [texact = true];
+   - "almost" negatives: 1-2 required members dropped ([tmissing]),
+     [texact = false] — these must never classify exact;
+   - collision negatives: the full set but one member's [address]
+     parameter cast to [uint8], so the selector matches with genuinely
+     wrong types;
+   - non-tokens ([tlabel = "none"]): a few random functions. *)
+let token_set ~seed ~n =
+  let rng = Random.State.make [| seed; 12 |] in
+  let spec name = Option.get (Classify.spec_by_name name) in
+  List.init n (fun i ->
+      let tversion = pick rng Version.solidity_versions in
+      let standard =
+        pick rng
+          [ "ERC-20"; "ERC-20"; "ERC-20"; "ERC-721"; "ERC-721"; "ERC-1155" ]
+      in
+      let sp = spec standard in
+      let required = member_sigs (Classify.required_members sp) in
+      let optional =
+        List.filter_map
+          (fun (m : Classify.member) ->
+            if (not m.Classify.required) && Random.State.int rng 100 < 50
+            then Some m.Classify.fsig
+            else None)
+          sp.Classify.members
+      in
+      let exts =
+        List.concat_map
+          (fun (name, pct) ->
+            if Random.State.int rng 100 < pct then
+              member_sigs (Classify.required_members (spec name))
+            else [])
+          [ ("Ownable", 30); ("ERC-2612", if standard = "ERC-20" then 20 else 0) ]
+      in
+      let decoys =
+        List.init (Random.State.int rng 3) (fun j ->
+            Abi.Funsig.make
+              (random_name rng (950_000 + (10 * i) + j))
+              [ Abi.Valgen.sol_basic rng ])
+      in
+      let storage = token_storage rng in
+      let compile_sigs fns extra_fns =
+        Compile.compile
+          {
+            Compile.fns = List.map Lang.fn_of_sig fns @ extra_fns;
+            version = tversion;
+            storage;
+          }
+      in
+      let roll = Random.State.int rng 100 in
+      if roll < 52 then begin
+        (* exact positive; a quarter with a compatible conversion *)
+        let convertible =
+          List.filter (has_param (Abi.Abity.Uint 256)) required
+        in
+        if Random.State.int rng 100 < 25 && convertible <> [] then begin
+          let target = pick rng convertible in
+          let rest =
+            List.filter (fun f -> not (Abi.Funsig.equal f target)) required
+          in
+          let converted =
+            convert_param ~param_ty:(Abi.Abity.Uint 256)
+              ~to_:(Abi.Abity.Uint (if Random.State.bool rng then 128 else 64))
+              target
+          in
+          {
+            tcode = compile_sigs (rest @ optional @ exts @ decoys) [ converted ];
+            tlabel = standard;
+            texact = true;
+            tmissing = [];
+            tversion;
+          }
+        end
+        else
+          {
+            tcode = compile_sigs (required @ optional @ exts @ decoys) [];
+            tlabel = standard;
+            texact = true;
+            tmissing = [];
+            tversion;
+          }
+      end
+      else if roll < 78 then begin
+        (* almost: drop 1-2 required members *)
+        let k = 1 + Random.State.int rng 2 in
+        let dropped = ref [] in
+        let kept = ref required in
+        for _ = 1 to k do
+          match !kept with
+          | [] -> ()
+          | kept_now ->
+            let victim = pick rng kept_now in
+            dropped := victim :: !dropped;
+            kept :=
+              List.filter (fun f -> not (Abi.Funsig.equal f victim)) kept_now
+        done;
+        {
+          tcode = compile_sigs (!kept @ optional @ decoys) [];
+          tlabel = standard;
+          texact = false;
+          tmissing = List.map Abi.Funsig.canonical !dropped;
+          tversion;
+        }
+      end
+      else if roll < 88 then begin
+        (* selector collision: full set, one address param cast away *)
+        let collidable = List.filter (has_param Abi.Abity.Address) required in
+        let target = pick rng collidable in
+        let rest =
+          List.filter (fun f -> not (Abi.Funsig.equal f target)) required
+        in
+        let collided =
+          convert_param ~param_ty:Abi.Abity.Address ~to_:(Abi.Abity.Uint 8)
+            target
+        in
+        {
+          tcode = compile_sigs (rest @ optional) [ collided ];
+          tlabel = standard;
+          texact = false;
+          tmissing = [];
+          tversion;
+        }
+      end
+      else
+        (* not a token at all *)
+        let fns =
+          List.init
+            (1 + Random.State.int rng 3)
+            (fun j ->
+              Lang.fn_of_sig
+                (Abi.Funsig.make
+                   (random_name rng (960_000 + (10 * i) + j))
+                   [ Abi.Valgen.sol_basic rng ]))
+        in
+        {
+          tcode =
+            Compile.compile { Compile.fns = fns; version = tversion; storage };
+          tlabel = "none";
+          texact = false;
+          tmissing = [];
+          tversion;
+        })
+
 (* -- chain-scale streaming emitter -------------------------------------- *)
 
 let stream ~seed ~n ?(dup_rate = 0.9) ?(distinct_cap = 16_384) f =

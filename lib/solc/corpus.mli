@@ -84,6 +84,30 @@ val multi_body :
     different compiler versions), so individual recoveries hit the
     usage-dependent ambiguities at different parameters. *)
 
+(** One contract of the token-classification corpus, with its ground
+    truth: the standard whose members it was built from ([tlabel];
+    ["none"] for a non-token), whether the full required set is present
+    ([texact]) and which required members were deliberately dropped
+    ([tmissing], canonical signatures). *)
+type token_sample = {
+  tcode : string;
+  tlabel : string;
+  texact : bool;
+  tmissing : string list;
+  tversion : Version.t;
+}
+
+val token_set : seed:int -> n:int -> token_sample list
+(** Labeled token contracts for the classification harness: exact
+    ERC-20/721/1155 positives (random optional members, occasional
+    Ownable/ERC-2612 extensions, decoy functions, a quarter with a
+    §5.2-compatible parameter cast so relaxation is exercised),
+    "almost" negatives missing 1-2 required members, planted selector
+    collisions (an [address] parameter cast to [uint8] — same 4-byte
+    id, wrong types), and plain non-tokens. Every member signature
+    comes from the {!Sigrec_classify.Classify} spec table, so the
+    corpus can never drift from the specs it measures. *)
+
 val stream :
   seed:int -> n:int -> ?dup_rate:float -> ?distinct_cap:int ->
   (string -> unit) -> unit

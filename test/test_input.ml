@@ -227,6 +227,35 @@ let oversized_lines_skipped () =
   Alcotest.(check int) "short line still delivered" 1
     totals.Sigrec.Input.codes
 
+let final_line_exactly_at_cap () =
+  (* a final line of exactly [max_line_bytes] with no trailing newline
+     sits right on the cap: it must be delivered, not skipped, and the
+     streaming read must agree with parse_batch — the cap rejects
+     strictly longer lines only *)
+  let exact = "0x" ^ String.make 62 '6' in
+  Alcotest.(check int) "fixture is cap-sized" 64 (String.length exact);
+  List.iter
+    (fun (name, text) ->
+      let b = parse text in
+      List.iter
+        (fun chunk ->
+          let codes, totals = fold_string ~max_line_bytes:64 ~chunk text in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s (chunk %d): codes agree" name chunk)
+            (List.map Evm.Hex.encode b.Sigrec.Input.codes)
+            (List.rev_map Evm.Hex.encode codes);
+          Alcotest.(check int)
+            (Printf.sprintf "%s (chunk %d): nothing skipped" name chunk)
+            0 totals.Sigrec.Input.skipped)
+        [ 1; 7; 63; 64; 65; 65536 ])
+    [ ("cap-sized only line", exact); ("after a neighbor", "0x6001\n" ^ exact) ];
+  (* one byte past the cap, same unterminated shape, is skipped *)
+  let over = "0x" ^ String.make 63 '6' in
+  let codes, totals = fold_string ~max_line_bytes:64 ~chunk:7 ("0x6001\n" ^ over) in
+  Alcotest.(check (list string)) "neighbor survives" [ "6001" ]
+    (List.rev_map Evm.Hex.encode codes);
+  Alcotest.(check int) "cap+1 skipped" 1 totals.Sigrec.Input.skipped
+
 let suite =
   [
     ("well-formed lines parse", `Quick, basics);
@@ -241,4 +270,5 @@ let suite =
       fold_lines_agrees_with_parse_batch );
     ("generated streams agree with parse_batch", `Quick, fold_round_trip);
     ("oversized lines are skipped, not buffered", `Quick, oversized_lines_skipped);
+    ("final line exactly at the cap survives", `Quick, final_line_exactly_at_cap);
   ]

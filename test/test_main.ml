@@ -27,4 +27,5 @@ let () =
       ("drift", Test_drift.suite);
       ("proptest", Test_prop.suite);
       ("layout", Test_layout.suite);
+      ("classify", Test_classify.suite);
     ]

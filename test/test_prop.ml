@@ -38,6 +38,30 @@ let layout_round_trip () =
     (Prop.run ~seed:(seed () + 4) ~count:150 ~max_size:20
        ~name:"layout_round_trip" Oracle.arb_case Oracle.layout_round_trip)
 
+let classify_round_trip () =
+  check_pass Oracle.arb_token
+    (Prop.run ~seed:(seed () + 5) ~count:80 ~max_size:16
+       ~name:"classify_round_trip" Oracle.arb_token Oracle.classify_round_trip)
+
+(* The token-case shrinker obeys the same strict-measure contract as
+   the signature-case one. *)
+let token_shrink_strictly_smaller () =
+  let rng = Random.State.make [| seed (); 979 |] in
+  for i = 1 to 200 do
+    let c = Sig_gen.token_case rng (1 + (i mod 16)) in
+    let n = Sig_gen.size_token c in
+    Seq.iter
+      (fun c' ->
+        let n' = Sig_gen.size_token c' in
+        if n' >= n then
+          Alcotest.failf
+            "token shrink candidate not smaller (%d >= %d):
+%s
+-> %s" n' n
+            (Sig_gen.show_token c) (Sig_gen.show_token c'))
+      (Sig_gen.shrink_token c)
+  done
+
 let abi_round_trip () =
   check_pass Oracle.arb_abi
     (Prop.run ~seed:(seed () + 2) ~count:300 ~max_size:24 ~name:"abi_round_trip"
@@ -159,12 +183,18 @@ let suite =
     ("differential: TASE vs static, zero disagreements", `Quick, differential);
     ("rule coverage: all 31 rules fired", `Quick, rule_coverage);
     ("layout: declared storage recovered exactly", `Quick, layout_round_trip);
+    ( "classify: token labels recovered, mutants demoted",
+      `Quick,
+      classify_round_trip );
     ("abi: encode/decode round trip", `Quick, abi_round_trip);
     ("drift: jobs/prune/cache byte-identical", `Quick, drift);
     ("gate catches a disabled rule group", `Quick, ablation_caught);
     ("failure replays to the same minimum", `Quick, replay_determinism);
     ("minimal counterexample still fails", `Quick, minimal_still_fails);
     ("shrink candidates strictly smaller", `Quick, shrink_strictly_smaller);
+    ( "token shrink candidates strictly smaller",
+      `Quick,
+      token_shrink_strictly_smaller );
     ("type shrink candidates strictly smaller", `Quick, shrink_types_smaller);
     ("generators are seed-deterministic", `Quick, generator_deterministic);
   ]

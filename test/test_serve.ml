@@ -220,6 +220,81 @@ let test_layout_op () =
     {|{"id":6,"ok":true,"pong":true}|}
     (handle t {|{"id":6,"op":"ping"}|})
 
+(* -- classify op ------------------------------------------------------- *)
+
+let classify_request ?(id = "1") codes =
+  Printf.sprintf {|{"id":%s,"op":"classify","codes":[%s]}|} id
+    (String.concat ","
+       (List.map (fun c -> "\"0x" ^ Evm.Hex.encode c ^ "\"") codes))
+
+let test_classify_op () =
+  let t = default_serve () in
+  let spec =
+    match Sigrec_classify.Classify.spec_by_name "ERC-20" with
+    | Some s -> s
+    | None -> Alcotest.fail "ERC-20 spec missing"
+  in
+  let code =
+    Solc.Compile.compile
+      (Solc.Compile.contract_of_sigs
+         ~storage:[ Solc.Lang.svalue 0; Solc.Lang.smapping 1 ]
+         (List.map
+            (fun m -> m.Sigrec_classify.Classify.fsig)
+            (Sigrec_classify.Classify.required_members spec)))
+  in
+  let verdict response =
+    match Sigrec.Json.to_list_opt (member_exn "classifications" response) with
+    | Some [ c ] ->
+      ( member_exn "label" c,
+        member_exn "from_cache" c,
+        member_exn "best" c )
+    | _ -> Alcotest.fail "expected exactly one classification"
+  in
+  let label, cold_cached, best =
+    verdict (parse_exn (handle t (classify_request [ code ])))
+  in
+  Alcotest.(check bool) "full ERC-20 surface labelled exact" true
+    (label = Sigrec.Json.Str "ERC-20");
+  Alcotest.(check bool) "cold run is fresh" true
+    (cold_cached = Sigrec.Json.Bool false);
+  Alcotest.(check bool) "best verdict is not null" true (best <> Sigrec.Json.Null);
+  let _, warm_cached, _ =
+    verdict (parse_exn (handle t (classify_request [ code ])))
+  in
+  Alcotest.(check bool) "repeat answered from verdict cache" true
+    (warm_cached = Sigrec.Json.Bool true);
+  (* the metrics op reports the classification counters, live *)
+  let metrics = parse_exn (handle t {|{"id":2,"op":"metrics"}|}) in
+  let stats_json = member_exn "stats" metrics in
+  let counter name =
+    Option.bind (Sigrec.Json.member name stats_json) Sigrec.Json.to_int_opt
+  in
+  Alcotest.(check (option int)) "one fresh classification" (Some 1)
+    (counter "classifications");
+  Alcotest.(check (option int)) "one exact verdict" (Some 1)
+    (counter "classify_exact");
+  Alcotest.(check (option int)) "repeat served from the verdict cache"
+    (Some 1)
+    (counter "classify_cache_hits");
+  (* malformed classify requests are rejected without killing the daemon *)
+  List.iter
+    (fun line ->
+      match Sigrec.Json.parse (handle t line) with
+      | Ok response ->
+        Alcotest.(check bool)
+          (Printf.sprintf "ok:false for %S" line)
+          true
+          (Sigrec.Json.member "ok" response = Some (Sigrec.Json.Bool false))
+      | Error e -> Alcotest.failf "unparseable error response: %s" e)
+    [
+      {|{"id":5,"op":"classify"}|};
+      {|{"id":5,"op":"classify","codes":"0x60"}|};
+      {|{"id":5,"op":"classify","codes":[42]}|};
+    ];
+  Alcotest.(check string) "daemon still alive"
+    {|{"id":6,"ok":true,"pong":true}|}
+    (handle t {|{"id":6,"op":"ping"}|})
+
 (* -- stream op --------------------------------------------------------- *)
 
 (* Drive a full [Serve.run] session from a scripted input channel and
@@ -421,6 +496,7 @@ let suite =
     Alcotest.test_case "jobs>=2 response byte-identical" `Slow
       test_parallel_response_identical;
     Alcotest.test_case "layout op over the wire" `Quick test_layout_op;
+    Alcotest.test_case "classify op over the wire" `Quick test_classify_op;
     Alcotest.test_case "stream session over the wire" `Quick
       test_stream_session;
     Alcotest.test_case "stream flushes at EOF" `Quick test_stream_ends_at_eof;
