@@ -165,7 +165,27 @@ let recover_cmd config input show_stats explain format trace =
    one internal batch of bytecodes is resident, so a 10^5-contract
    corpus runs in constant memory. Reports still print in input
    order. *)
-let batch_stream_cmd config input show_stats format trace =
+(* Census heartbeat on stderr — never stdout, which may be carrying
+   --format json report lines. *)
+let print_progress (p : Sigrec.Engine.Stream.progress) =
+  let eta =
+    match p.Sigrec.Engine.Stream.eta_ns with
+    | Some ns -> Printf.sprintf ", eta %.0fs" (float_of_int ns *. 1e-9)
+    | None -> ""
+  in
+  Printf.eprintf
+    "sigrec: progress %d contracts (%d distinct, %.1f%% dedup), %.1f/s, \
+     heap %.1f MB%s\n\
+     %!"
+    p.Sigrec.Engine.Stream.contracts p.Sigrec.Engine.Stream.distinct
+    (if p.Sigrec.Engine.Stream.contracts = 0 then 0.0
+     else
+       100.0
+       *. float_of_int p.Sigrec.Engine.Stream.dedup_hits
+       /. float_of_int p.Sigrec.Engine.Stream.contracts)
+    p.Sigrec.Engine.Stream.rate p.Sigrec.Engine.Stream.heap_mb eta
+
+let batch_stream_cmd config input show_stats format trace progress =
   let engine = Sigrec.Engine.make config in
   let print_report r =
     match format with
@@ -176,7 +196,9 @@ let batch_stream_cmd config input show_stats format trace =
     with_trace trace (fun () ->
         with_input_channel input (fun ic ->
             let session =
-              Sigrec.Engine.Stream.start engine ~emit:print_report
+              Sigrec.Engine.Stream.start
+                ?progress:(if progress then Some print_progress else None)
+                engine ~emit:print_report
             in
             let (), totals =
               Sigrec.Input.fold_lines ~warn:(warn_malformed input)
@@ -188,23 +210,43 @@ let batch_stream_cmd config input show_stats format trace =
   let stats = Sigrec.Engine.stats engine in
   Sigrec.Stats.add_stream_lines stats ~lines:totals.Sigrec.Input.lines
     ~skipped:totals.Sigrec.Input.skipped;
+  (* The summary is unconditional — census scripts parse the final line
+     of a streamed run, so it must exist even for zero-line input. *)
+  (match format with
+  | `Text ->
+    Format.printf
+      "@.stream: %d contracts over %d lines (%d skipped), %d distinct \
+       analyses, %d answered from cache@."
+      contracts totals.Sigrec.Input.lines totals.Sigrec.Input.skipped
+      (Sigrec.Stats.cache_misses stats)
+      (Sigrec.Stats.cache_hits stats)
+  | `Json ->
+    print_endline
+      (Sigrec.Json.obj
+         [
+           ( "summary",
+             Sigrec.Json.obj
+               [
+                 ("contracts", string_of_int contracts);
+                 ("lines", string_of_int totals.Sigrec.Input.lines);
+                 ("skipped", string_of_int totals.Sigrec.Input.skipped);
+                 ("distinct", string_of_int (Sigrec.Stats.cache_misses stats));
+                 ("cached", string_of_int (Sigrec.Stats.cache_hits stats));
+               ] );
+         ]));
   if show_stats then begin
     match format with
-    | `Text ->
-      Format.printf
-        "@.stream: %d contracts over %d lines (%d skipped), %d distinct \
-         analyses, %d answered from cache@."
-        contracts totals.Sigrec.Input.lines totals.Sigrec.Input.skipped
-        (Sigrec.Stats.cache_misses stats)
-        (Sigrec.Stats.cache_hits stats);
-      print_rule_stats stats
+    | `Text -> print_rule_stats stats
     | `Json -> print_stats_json stats
   end;
   0
 
-let batch_cmd config input show_stats format trace stream =
-  if stream then batch_stream_cmd config input show_stats format trace
+let batch_cmd config input show_stats format trace stream progress =
+  if stream then
+    batch_stream_cmd config input show_stats format trace progress
   else begin
+    if progress then
+      Printf.eprintf "sigrec: --progress has no effect without --stream\n%!";
     let bytecodes = read_bytecode_list input in
     let engine = Sigrec.Engine.make config in
     let reports =
@@ -473,6 +515,11 @@ let serve_cmd config socket trace =
      this connection, not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  (* a resident service is exactly what the metric registry is for:
+     phase-latency histograms, pool/LRU/GC gauges and the slowest-
+     contracts ring, scraped via {"op":"metrics","format":"openmetrics"}
+     or the [sigrec metrics] subcommand *)
+  Sigrec_metrics.Metrics.enable ();
   with_trace trace (fun () ->
       let t = Sigrec.Serve.create config in
       match socket with
@@ -502,6 +549,105 @@ let serve_cmd config socket trace =
             (try Sys.remove path with Sys_error _ -> ()))
           accept_loop;
         0)
+
+(* ---- metrics: scrape a resident daemon ------------------------------ *)
+
+(* One request over the daemon's Unix socket, one response line back.
+   Default: the OpenMetrics exposition, printed raw (pipe it to a
+   Prometheus textfile collector or a node-exporter sidecar). --top:
+   the slowest-contracts table instead. *)
+let metrics_cmd socket top =
+  match socket with
+  | None ->
+    Printf.eprintf
+      "sigrec: metrics needs --socket PATH (the socket of a running \
+       'sigrec serve --socket PATH' daemon)\n";
+    2
+  | Some path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "sigrec: cannot connect to %s: %s\n" path
+        (Unix.error_message e);
+      3
+    | () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let req =
+        if top <> None then
+          {|{"id":"metrics","op":"metrics","top":true}|}
+        else {|{"id":"metrics","op":"metrics","format":"openmetrics"}|}
+      in
+      Out_channel.output_string oc (req ^ "\n");
+      Out_channel.flush oc;
+      let code =
+        match In_channel.input_line ic with
+        | None ->
+          Printf.eprintf "sigrec: daemon closed the connection\n";
+          3
+        | Some line ->
+          (match Sigrec.Json.parse line with
+          | Error msg ->
+            Printf.eprintf "sigrec: unparseable response (%s)\n" msg;
+            3
+          | Ok resp ->
+            (match top with
+            | Some n ->
+              (match Sigrec.Json.member "slowest" resp with
+              | Some (Sigrec.Json.Arr entries) ->
+                Printf.printf "%-64s %12s  %s\n" "code hash" "elapsed"
+                  "breakdown";
+                List.iteri
+                  (fun i e ->
+                    if i < n then begin
+                      let str k =
+                        match Sigrec.Json.member k e with
+                        | Some (Sigrec.Json.Str s) -> s
+                        | _ -> "?"
+                      in
+                      let elapsed =
+                        match Sigrec.Json.member "elapsed_ns" e with
+                        | Some v ->
+                          (match Sigrec.Json.to_int_opt v with
+                          | Some ns ->
+                            Printf.sprintf "%.2f ms"
+                              (float_of_int ns /. 1e6)
+                          | None -> "?")
+                        | None -> "?"
+                      in
+                      let detail =
+                        match Sigrec.Json.member "detail" e with
+                        | Some (Sigrec.Json.Obj fields) ->
+                          String.concat ", "
+                            (List.map
+                               (fun (k, v) ->
+                                 Printf.sprintf "%s=%s" k
+                                   (match Sigrec.Json.to_int_opt v with
+                                   | Some i -> string_of_int i
+                                   | None -> "?"))
+                               fields)
+                        | _ -> ""
+                      in
+                      Printf.printf "%-64s %12s  %s\n" (str "code_hash")
+                        elapsed detail
+                    end)
+                  entries;
+                0
+              | _ ->
+                Printf.eprintf "sigrec: response carries no \"slowest\"\n";
+                3)
+            | None ->
+              (match Sigrec.Json.member "exposition" resp with
+              | Some (Sigrec.Json.Str text) ->
+                print_string text;
+                0
+              | _ ->
+                Printf.eprintf
+                  "sigrec: response carries no \"exposition\"\n";
+                3)))
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      code)
 
 let find_selector bytecode calldata k =
   if String.length calldata < 4 then begin
@@ -714,9 +860,18 @@ let batch_term =
              chain-scale corpora run in constant memory. Reports still \
              appear in input order.")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "With --stream: print a census heartbeat to stderr every \
+             1000 contracts (rate, dedup ratio, live heap) and once at \
+             the end.")
+  in
   Term.(
     const batch_cmd $ Flags.engine_config $ input $ Flags.stats
-    $ Flags.format $ Flags.trace $ stream)
+    $ Flags.format $ Flags.trace $ stream $ progress)
 
 let explain_term =
   let profile =
@@ -777,6 +932,27 @@ let serve_term =
   in
   Term.(const serve_cmd $ Flags.engine_config $ socket $ Flags.trace)
 
+let metrics_term =
+  let socket =
+    let doc =
+      "Socket of the running daemon (the $(b,--socket) path it was \
+       started with)."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let top =
+    let doc =
+      "Show the $(docv) slowest contracts the daemon has analyzed \
+       (code hash, elapsed time, phase breakdown) instead of the \
+       OpenMetrics exposition."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some 16) (some int) None
+      & info [ "top" ] ~docv:"N" ~doc)
+  in
+  Term.(const metrics_cmd $ socket $ top)
+
 let check_term =
   let calldata =
     let doc = "Hex call data of the invocation to validate." in
@@ -829,6 +1005,14 @@ let cmds =
             report cache and worker-domain pool kept warm across \
             requests.")
       serve_term;
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Scrape a resident daemon's metrics over its Unix socket: \
+            the OpenMetrics exposition (phase-latency histograms, \
+            pool/cache/GC gauges, analysis counters) by default, or \
+            the slowest-contracts table with --top.")
+      metrics_term;
     Cmd.v
       (Cmd.info "lint"
          ~doc:

@@ -1,4 +1,5 @@
 module Tr = Sigrec_trace.Trace
+module Mx = Sigrec_metrics.Metrics
 
 module Config = struct
   type t = {
@@ -116,6 +117,7 @@ let pp_report fmt report =
    reified into the outcome instead of yielding a silently shorter
    list. *)
 let analyze_uncounted ~cfg ~stats code =
+  let lift0 = Tr.now_ns () in
   match Contract.make code with
   | exception e ->
     {
@@ -133,6 +135,7 @@ let analyze_uncounted ~cfg ~stats code =
       from_cache = false;
     }
   | contract ->
+    let lift_ns = Tr.now_ns () - lift0 in
     let outcomes =
       List.map
         (fun { Ids.selector; entry_pc; entry_stack_depth = _ } ->
@@ -192,11 +195,25 @@ let analyze_uncounted ~cfg ~stats code =
     Stats.add_functions stats
       (List.length
          (List.filter (function Recovered _ -> true | _ -> false) outcomes));
-    {
-      code_hash = Contract.code_hash_hex contract;
-      outcomes;
-      from_cache = false;
-    }
+    let code_hash = Contract.code_hash_hex contract in
+    if Mx.enabled () then begin
+      (* top-K slowest ring: the adversarial tail by code hash, with
+         enough phase breakdown to tell a slow lift from a slow TASE *)
+      let analysis_ns =
+        List.fold_left
+          (fun acc o ->
+            match outcome_elapsed_ns o with Some ns -> acc + ns | None -> acc)
+          0 outcomes
+      in
+      Mx.Top.record ~key:code_hash ~elapsed_ns:(lift_ns + analysis_ns)
+        ~detail:
+          [
+            ("lift_ns", lift_ns);
+            ("analysis_ns", analysis_ns);
+            ("functions", List.length outcomes);
+          ]
+    end;
+    { code_hash; outcomes; from_cache = false }
 
 let analyze ~cfg ~stats code =
   Stats.cache_miss stats;
@@ -377,6 +394,9 @@ let recover_all_n jobs t codes =
         for _ = 1 to !hits do
           Stats.cache_hit t.stats
         done);
+  (* per-batch runtime-health sample: one Gc.quick_stat against a batch
+     of analyses, so a scraping service sees heap growth between polls *)
+  if Mx.enabled () then Mx.sample_gc ();
   reports
 
 let recover_all t codes = recover_all_n (effective_jobs t) t codes
@@ -392,26 +412,83 @@ let recover_all t codes = recover_all_n (effective_jobs t) t codes
    duplicates are answered by the cache, so the stream exploits chain-
    scale duplication exactly like one huge batch would. *)
 module Stream = struct
+  type progress = {
+    contracts : int;  (** bytecodes fed so far *)
+    distinct : int;  (** contracts answered by a fresh analysis *)
+    dedup_hits : int;  (** contracts answered from cache / in-batch dedup *)
+    elapsed_ns : int;
+    rate : float;  (** contracts per second since [start] *)
+    heap_mb : float;  (** live major-heap size right now *)
+    eta_ns : int option;  (** remaining time at current rate, when the
+                              caller declared [expected] *)
+  }
+
   type session = {
     s_engine : t;
     s_batch : int;
     s_emit : report -> unit;
+    s_progress : (progress -> unit) option;
+    s_every : int;
+    s_expected : int option;
     mutable s_buf : string list; (* newest first *)
     mutable s_len : int;
     mutable s_total : int;
+    mutable s_dedup : int;
+    mutable s_last_report : int; (* s_total at the last heartbeat *)
+    s_t0_ns : int;
   }
 
   let default_batch = 256
 
-  let start ?(batch = default_batch) engine ~emit =
+  let start ?(batch = default_batch) ?(progress_every = 1000) ?progress
+      ?expected engine ~emit =
     {
       s_engine = engine;
       s_batch = Stdlib.max 1 batch;
       s_emit = emit;
+      s_progress = progress;
+      s_every = Stdlib.max 1 progress_every;
+      s_expected = expected;
       s_buf = [];
       s_len = 0;
       s_total = 0;
+      s_dedup = 0;
+      s_last_report = 0;
+      s_t0_ns = Tr.now_ns ();
     }
+
+  (* Heartbeats fire at flush boundaries, not per contract: the batch is
+     the unit of work, so the rate and heap numbers describe completed
+     analyses, and the callback can never observe a half-flushed
+     buffer. *)
+  let report_progress s report =
+    match s.s_progress with
+    | Some f when report ->
+      s.s_last_report <- s.s_total;
+      let elapsed_ns = Stdlib.max 1 (Tr.now_ns () - s.s_t0_ns) in
+      let rate = float_of_int s.s_total /. (float_of_int elapsed_ns *. 1e-9) in
+      let heap_mb =
+        float_of_int ((Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8))
+        /. 1048576.0
+      in
+      let eta_ns =
+        match s.s_expected with
+        | Some total when total > s.s_total && rate > 0.0 ->
+          Some
+            (int_of_float (float_of_int (total - s.s_total) /. rate *. 1e9))
+        | _ -> None
+      in
+      f
+        {
+          contracts = s.s_total;
+          distinct = s.s_total - s.s_dedup;
+          dedup_hits = s.s_dedup;
+          elapsed_ns;
+          rate;
+          heap_mb;
+          eta_ns;
+        }
+    | _ -> ()
 
   let flush s =
     if s.s_len > 0 then begin
@@ -424,10 +501,12 @@ module Stream = struct
           (fun acc r -> if r.from_cache then acc + 1 else acc)
           0 reports
       in
+      s.s_dedup <- s.s_dedup + dedup;
       if dedup > 0 then
         Mutex.protect s.s_engine.lock (fun () ->
             Stats.add_stream_dedup s.s_engine.stats dedup);
-      List.iter s.s_emit reports
+      List.iter s.s_emit reports;
+      report_progress s (s.s_total - s.s_last_report >= s.s_every)
     end
 
   let feed s code =
@@ -438,6 +517,9 @@ module Stream = struct
 
   let finish s =
     flush s;
+    (* closing heartbeat, so a consumer always sees the final totals
+       even when the stream length is not a multiple of the cadence *)
+    if s.s_total > s.s_last_report then report_progress s true;
     s.s_total
 end
 
@@ -449,6 +531,17 @@ let recover_stream ?batch t codes ~emit =
 let stats t = t.stats
 
 let cache_size t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
+
+let cache_stats t =
+  let row name lru =
+    (name, Lru.length lru, Lru.capacity lru, Lru.evictions lru)
+  in
+  Mutex.protect t.lock (fun () ->
+      [
+        row "reports" t.cache;
+        row "layouts" t.layouts;
+        row "verdicts" t.verdicts;
+      ])
 
 let clear t =
   Mutex.protect t.lock (fun () ->

@@ -141,14 +141,40 @@ val recover_all : t -> string list -> report list
 module Stream : sig
   type session
 
+  (** One census heartbeat: a monotonic snapshot of the session so far,
+      delivered at batch boundaries. *)
+  type progress = {
+    contracts : int;  (** bytecodes fed so far *)
+    distinct : int;  (** answered by a fresh analysis *)
+    dedup_hits : int;  (** answered from cache / in-batch dedup *)
+    elapsed_ns : int;
+    rate : float;  (** contracts per second since [start] *)
+    heap_mb : float;  (** live major-heap size at the heartbeat *)
+    eta_ns : int option;
+        (** remaining time at the current rate; [None] unless the
+            caller declared [expected] and it is still ahead *)
+  }
+
   val default_batch : int
   (** 256 — large enough to amortize pool fan-out and in-batch dedup,
       small enough that buffered bytecodes stay in cache-friendly
       memory. *)
 
-  val start : ?batch:int -> t -> emit:(report -> unit) -> session
+  val start :
+    ?batch:int ->
+    ?progress_every:int ->
+    ?progress:(progress -> unit) ->
+    ?expected:int ->
+    t ->
+    emit:(report -> unit) ->
+    session
   (** [emit] is called once per fed bytecode, in feed order, as each
-      internal batch completes. *)
+      internal batch completes. When [progress] is given it fires at
+      the first batch boundary after every [progress_every] contracts
+      (default 1000) — never mid-batch, so the numbers always describe
+      completed analyses — plus once at {!finish} if anything was fed
+      since the last heartbeat. [expected] (a known corpus size)
+      enables the [eta_ns] field. *)
 
   val feed : session -> string -> unit
   (** Buffer one bytecode; runs a batch (invoking [emit]) when the
@@ -179,6 +205,18 @@ val stats : t -> Stats.t
 
 val cache_size : t -> int
 val clear : t -> unit
+
+val effective_jobs : t -> int
+(** The worker-domain count {!recover_all} actually uses: [Config.jobs]
+    clamped to the hardware ([Domain.recommended_domain_count ()]), or
+    the hardware count when [jobs = 0]. The ["workers"] field a serve
+    [metrics] reply reports. *)
+
+val cache_stats : t -> (string * int * int * int) list
+(** Every LRU the engine owns as [(name, length, capacity, evictions)]
+    — [("reports", …); ("layouts", …); ("verdicts", …)] — read under
+    the engine lock. Capacity 0 means unbounded. Feeds the cache gauges
+    on the metrics surface. *)
 
 val outcome_selector_hex : outcome -> string
 

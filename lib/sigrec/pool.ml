@@ -14,6 +14,9 @@
    enough that test suites create hundreds. Workers are generic — they
    run closures — so any number of engines share them safely. *)
 
+module Tr = Sigrec_trace.Trace
+module Mx = Sigrec_metrics.Metrics
+
 let max_workers = 30 (* hard cap, well under the runtime's domain limit *)
 
 type batch = {
@@ -21,9 +24,31 @@ type batch = {
   bcv : Condition.t;
   mutable remaining : int;
   mutable failed : exn option; (* first task exception, re-raised by await *)
+  submitted_ns : int; (* for the hand-off histogram; 0 when metrics off *)
 }
 
-type task = { run : unit -> unit; batch : batch }
+type task = {
+  run : unit -> unit;
+  batch : batch;
+  queued_ns : int; (* push time; 0 when metrics off *)
+}
+
+(* Health histograms for the resident-service story: how long tasks
+   sit in the queue before a worker picks them up, and how long a full
+   submit→await round trip takes (hand-off plus the work itself).
+   Created lazily so a process that never enables metrics never builds
+   them. *)
+let queue_wait_hist =
+  lazy
+    (Mx.histogram
+       ~help:"time a pool task waits in the queue before a worker dequeues it"
+       "sigrec_pool_queue_wait_seconds")
+
+let handoff_hist =
+  lazy
+    (Mx.histogram
+       ~help:"pool submit-to-await round trip, including task run time"
+       "sigrec_pool_handoff_seconds")
 
 let lock = Mutex.create ()
 let work_available = Condition.create ()
@@ -44,6 +69,8 @@ let worker_main warm () =
     done;
     let task = Queue.pop queue in
     Mutex.unlock lock;
+    if task.queued_ns <> 0 && Mx.enabled () then
+      Mx.observe (Lazy.force queue_wait_hist) (Tr.now_ns () - task.queued_ns);
     (try task.run ()
      with e ->
        Mutex.lock task.batch.bm;
@@ -79,6 +106,7 @@ let ensure n =
   end
 
 let submit tasks =
+  let now = if Mx.enabled () then Tr.now_ns () else 0 in
   match tasks with
   | [] ->
     {
@@ -86,6 +114,7 @@ let submit tasks =
       bcv = Condition.create ();
       remaining = 0;
       failed = None;
+      submitted_ns = now;
     }
   | _ ->
     let batch =
@@ -94,10 +123,13 @@ let submit tasks =
         bcv = Condition.create ();
         remaining = List.length tasks;
         failed = None;
+        submitted_ns = now;
       }
     in
     Mutex.protect lock (fun () ->
-        List.iter (fun run -> Queue.push { run; batch } queue) tasks;
+        List.iter
+          (fun run -> Queue.push { run; batch; queued_ns = now } queue)
+          tasks;
         Condition.broadcast work_available);
     batch
 
@@ -108,4 +140,6 @@ let await batch =
   done;
   let failed = batch.failed in
   Mutex.unlock batch.bm;
+  if batch.submitted_ns <> 0 && Mx.enabled () then
+    Mx.observe (Lazy.force handoff_hist) (Tr.now_ns () - batch.submitted_ns);
   match failed with Some e -> raise e | None -> ()

@@ -12,15 +12,75 @@
    daemon: [handle_line] catches everything. *)
 
 module Tr = Sigrec_trace.Trace
+module Mx = Sigrec_metrics.Metrics
 
 type t = {
   engine : Engine.t;
   started_ns : int;
   mutable requests : int; (* requests answered, including failed ones *)
+  mutable last_op : string; (* op of the request being handled, for the
+                               per-op latency histogram *)
 }
 
+(* The engine-side exposition chunk: the Stats descriptor list rendered
+   as counter families, plus the LRU/pool/service gauges that live in
+   engine or serve state rather than the metric registry. Registered as
+   a collector so [Metrics.expose] emits one self-contained surface. *)
+let engine_exposition t () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Stats.to_openmetrics (Engine.stats t.engine));
+  (* [lru] prefix, not [cache]: the Stats descriptor list already owns
+     the sigrec_cache_* family names (hits/misses/evictions of the
+     report cache), and a family must not appear twice in one
+     exposition *)
+  let caches = Engine.cache_stats t.engine in
+  Buffer.add_string b "# TYPE sigrec_lru_entries gauge\n";
+  List.iter
+    (fun (name, len, _, _) ->
+      Buffer.add_string b
+        (Printf.sprintf "sigrec_lru_entries{cache=%S} %d\n" name len))
+    caches;
+  Buffer.add_string b "# TYPE sigrec_lru_capacity gauge\n";
+  List.iter
+    (fun (name, _, cap, _) ->
+      Buffer.add_string b
+        (Printf.sprintf "sigrec_lru_capacity{cache=%S} %d\n" name cap))
+    caches;
+  Buffer.add_string b "# TYPE sigrec_lru_evictions counter\n";
+  List.iter
+    (fun (name, _, _, ev) ->
+      Buffer.add_string b
+        (Printf.sprintf "sigrec_lru_evictions_total{cache=%S} %d\n" name ev))
+    caches;
+  Buffer.add_string b "# TYPE sigrec_pool_workers gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "sigrec_pool_workers %d\n" (Pool.workers ()));
+  Buffer.add_string b "# TYPE sigrec_engine_workers gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "sigrec_engine_workers %d\n"
+       (Engine.effective_jobs t.engine));
+  Buffer.add_string b "# TYPE sigrec_serve_requests counter\n";
+  Buffer.add_string b
+    (Printf.sprintf "sigrec_serve_requests_total %d\n" t.requests);
+  Buffer.add_string b "# TYPE sigrec_serve_uptime_seconds gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "sigrec_serve_uptime_seconds %.3f\n"
+       (float_of_int (Tr.now_ns () - t.started_ns) *. 1e-9));
+  Buffer.contents b
+
 let create config =
-  { engine = Engine.make config; started_ns = Tr.now_ns (); requests = 0 }
+  let t =
+    {
+      engine = Engine.make config;
+      started_ns = Tr.now_ns ();
+      requests = 0;
+      last_op = "other";
+    }
+  in
+  (* replace-by-name: the newest service owns the process-wide chunk,
+     so tests creating many services stay well-defined *)
+  Mx.register_collector ~name:"engine" (engine_exposition t);
+  t
 
 let engine t = t.engine
 
@@ -125,8 +185,45 @@ let metrics_response t id =
         string_of_int (Engine.config t.engine).Engine.Config.cache_capacity
       );
       ("pool_workers", string_of_int (Pool.workers ()));
-      ("trace_enabled", string_of_bool (Tr.enabled ()));
+      ("workers", string_of_int (Engine.effective_jobs t.engine));
+      ("trace_enabled", string_of_bool (Tr.recording ()));
       ("stats", Stats.to_json stats);
+    ]
+
+(* v2 of the metrics op: {"op":"metrics","format":"openmetrics"} gets
+   the full Prometheus-scrapeable exposition (registry histograms and
+   gauges plus the engine collector chunk) as one JSON-escaped string
+   field; the legacy JSON shape above stays the default. *)
+let openmetrics_response id =
+  Mx.sample_gc ();
+  Json.obj
+    [
+      ("id", id);
+      ("ok", "true");
+      ("format", Json.quote "openmetrics");
+      ("exposition", Json.quote (Mx.expose ()));
+    ]
+
+let top_response id =
+  Json.obj
+    [
+      ("id", id);
+      ("ok", "true");
+      ( "slowest",
+        Json.arr
+          (List.map
+             (fun (e : Mx.Top.entry) ->
+               Json.obj
+                 [
+                   ("code_hash", Json.quote e.Mx.Top.key);
+                   ("elapsed_ns", string_of_int e.Mx.Top.elapsed_ns);
+                   ( "detail",
+                     Json.obj
+                       (List.map
+                          (fun (k, v) -> (k, string_of_int v))
+                          e.Mx.Top.detail) );
+                 ])
+             (Mx.Top.slowest ())) );
     ]
 
 let handle_line t line =
@@ -145,50 +242,84 @@ let handle_line t line =
       | Some op ->
         (match Json.to_string_opt op with
         | None -> reply (error_response id "\"op\" must be a string")
-        | Some "ping" ->
-          reply (Json.obj [ ("id", id); ("ok", "true"); ("pong", "true") ])
-        | Some "shutdown" ->
-          {
-            response =
-              Json.obj [ ("id", id); ("ok", "true"); ("shutdown", "true") ];
-            shutdown = true;
-            stream = None;
-          }
-        | Some "metrics" -> reply (metrics_response t id)
-        | Some "recover" ->
-          let codes =
-            Option.value ~default:Json.Null (Json.member "codes" req)
-          in
-          reply (recover_response t id codes)
-        | Some "layout" ->
-          let codes =
-            Option.value ~default:Json.Null (Json.member "codes" req)
-          in
-          reply (layout_response t id codes)
-        | Some "classify" ->
-          let codes =
-            Option.value ~default:Json.Null (Json.member "codes" req)
-          in
-          reply (classify_response t id codes)
-        | Some "stream" ->
-          {
-            response =
-              Json.obj [ ("id", id); ("ok", "true"); ("streaming", "true") ];
-            shutdown = false;
-            stream = Some id;
-          }
-        | Some op ->
-          reply (error_response id (Printf.sprintf "unknown op %S" op)))
+        | Some opname ->
+          t.last_op <-
+            (match opname with
+            | "ping" | "shutdown" | "metrics" | "recover" | "layout"
+            | "classify" | "stream" ->
+              opname
+            | _ -> "other");
+          (match opname with
+          | "ping" ->
+            reply (Json.obj [ ("id", id); ("ok", "true"); ("pong", "true") ])
+          | "shutdown" ->
+            {
+              response =
+                Json.obj [ ("id", id); ("ok", "true"); ("shutdown", "true") ];
+              shutdown = true;
+              stream = None;
+            }
+          | "metrics" ->
+            (match Json.member "top" req with
+            | Some _ -> reply (top_response id)
+            | None ->
+              (match Json.member "format" req with
+              | Some f when Json.to_string_opt f = Some "openmetrics" ->
+                reply (openmetrics_response id)
+              | Some _ ->
+                reply
+                  (error_response id
+                     "unknown \"format\" (expected \"openmetrics\")")
+              | None -> reply (metrics_response t id)))
+          | "recover" ->
+            let codes =
+              Option.value ~default:Json.Null (Json.member "codes" req)
+            in
+            reply (recover_response t id codes)
+          | "layout" ->
+            let codes =
+              Option.value ~default:Json.Null (Json.member "codes" req)
+            in
+            reply (layout_response t id codes)
+          | "classify" ->
+            let codes =
+              Option.value ~default:Json.Null (Json.member "codes" req)
+            in
+            reply (classify_response t id codes)
+          | "stream" ->
+            {
+              response =
+                Json.obj
+                  [ ("id", id); ("ok", "true"); ("streaming", "true") ];
+              shutdown = false;
+              stream = Some id;
+            }
+          | op ->
+            reply (error_response id (Printf.sprintf "unknown op %S" op))))
     in
     result
 
 (* Belt and braces: the engine reifies analysis failures into Failed
    outcomes already, so exceptions here mean a bug in the protocol
-   layer itself — answer with ok:false rather than killing the daemon. *)
+   layer itself — answer with ok:false rather than killing the daemon.
+   This wrapper also owns the per-request latency histogram: one
+   observation per line, labelled by the op the dispatch resolved. *)
 let handle_line t line =
-  try handle_line t line
-  with e ->
-    reply (error_response "null" ("internal error: " ^ Printexc.to_string e))
+  t.last_op <- "other";
+  let t0 = if Mx.enabled () then Tr.now_ns () else 0 in
+  let result =
+    try handle_line t line
+    with e ->
+      reply
+        (error_response "null" ("internal error: " ^ Printexc.to_string e))
+  in
+  if t0 <> 0 && Mx.enabled () then
+    Mx.observe
+      (Mx.histogram ~help:"serve request latency by op"
+         ~labels:[ ("op", t.last_op) ]
+         "sigrec_request_duration_seconds")
+      (Tr.now_ns () - t0);
+  result
 
 (* Streaming mode: after a {"op":"stream"} ack the connection carries
    corpus lines — the same grammar as a batch file (hex bytecodes,

@@ -25,7 +25,16 @@
       engine's verdict LRU ([from_cache] flips to [true] and
       [Stats.classify_cache_hits] counts them);
     - metrics: cumulative {!Stats} JSON plus request count, uptime,
-      cache size/capacity and pool size;
+      cache size/capacity, pool size and ["workers"] (the effective,
+      hardware-clamped worker count — {!Engine.effective_jobs}). Two
+      v2 variants select alternate shapes:
+      [{"op":"metrics","format":"openmetrics"}] answers with the full
+      OpenMetrics exposition ({!Sigrec_metrics.Metrics.expose} —
+      phase-latency histograms, pool/LRU/GC gauges, the {!Stats}
+      counter families) as one JSON-escaped ["exposition"] string;
+      [{"op":"metrics","top":true}] answers with ["slowest"], the
+      top-K slowest-contracts ring ([code_hash] / [elapsed_ns] /
+      per-phase [detail]);
     - any error: [{"id":…, "ok":false, "error":"…"}] — a malformed
       request never kills the daemon.
 
@@ -46,6 +55,12 @@
 type t
 
 val create : Engine.Config.t -> t
+(** A fresh service around a fresh engine. Also registers the engine's
+    exposition chunk as the process-wide ["engine"] metrics collector
+    (replace-by-name: the newest service owns it), so a subsequent
+    {!Sigrec_metrics.Metrics.expose} includes the Stats counters and
+    LRU/pool gauges without further wiring. *)
+
 val engine : t -> Engine.t
 
 type reply = {

@@ -244,6 +244,29 @@ let pp fmt t =
       (v "classify_cache_hits");
   Format.fprintf fmt "@]"
 
+(* The third renderer off the same descriptor list: an OpenMetrics
+   exposition chunk, so the metrics registry absorbs every stats
+   counter (and the per-rule counts as one labelled family) without a
+   second list to keep in sync. *)
+let to_openmetrics ?(prefix = "sigrec_") t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (key, get) ->
+      let name = prefix ^ key in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_total %d\n" name (get t)))
+    scalars;
+  let rule_family = prefix ^ "rule_fired" in
+  Buffer.add_string buf
+    (Printf.sprintf "# TYPE %s counter\n" rule_family);
+  List.iter
+    (fun (name, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s_total{rule=\"%s\"} %d\n" rule_family name n))
+    (rule_counts t);
+  Buffer.contents buf
+
 let to_json t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\"rules\":{";

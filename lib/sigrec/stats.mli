@@ -128,3 +128,12 @@ val scalar_counters : t -> (string * int) list
     descriptor order both {!pp} and {!to_json} render through —
     exported so tests can assert the rendered surfaces stay in sync
     with the descriptor list. *)
+
+val to_openmetrics : ?prefix:string -> t -> string
+(** The third renderer off the same descriptor list: an OpenMetrics
+    exposition chunk — one [counter] family per scalar ([prefix ^ key],
+    default prefix ["sigrec_"], with the [_total] sample suffix) plus
+    one [prefix ^ "rule_fired"] family carrying all 31 canonical rule
+    counters under a [rule] label. Fed to the metrics registry as a
+    collector so stats render through the same surface as histograms
+    and gauges. *)

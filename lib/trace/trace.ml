@@ -30,8 +30,27 @@ let default_config = { capacity = 65536; sample_every = 1024 }
 
 (* -- global switches ------------------------------------------------- *)
 
+(* Two consumers share the span instrumentation: the ring buffers
+   (tracing proper, gated by [on]) and an optional span-close observer
+   (the metrics layer's histogram feed). [active] caches their
+   disjunction so the hot-path guard stays a single atomic load
+   whichever combination is live. *)
 let on = Atomic.make false
-let enabled () = Atomic.get on
+
+let observer : (phase -> string -> float -> unit) option Atomic.t =
+  Atomic.make None
+
+let active = Atomic.make false
+
+let refresh_active () =
+  Atomic.set active (Atomic.get on || Atomic.get observer <> None)
+
+let enabled () = Atomic.get active
+let recording () = Atomic.get on
+
+let set_observer f =
+  Atomic.set observer f;
+  refresh_active ()
 
 (* Plain (non-atomic) reads: a torn read of an immutable int is
    impossible, and these only change under [enable]. *)
@@ -98,16 +117,22 @@ let record phase name kind ~ts ~dur args =
 
 (* -- emission --------------------------------------------------------- *)
 
+(* Instants and counters only exist for the rings, so they gate on
+   [recording]: with just the observer live, the probe costs the same
+   two loads and still allocates nothing. *)
 let instant phase name args =
-  if enabled () then record phase name Instant ~ts:(now_us ()) ~dur:0. args
+  if recording () then record phase name Instant ~ts:(now_us ()) ~dur:0. args
 
 let counter phase name v =
-  if enabled () then
+  if recording () then
     record phase name Counter ~ts:(now_us ()) ~dur:0. [ (name, Int v) ]
 
 let complete phase name ~t0_us args =
-  if enabled () then
-    record phase name Complete ~ts:t0_us ~dur:(now_us () -. t0_us) args
+  if recording () then
+    record phase name Complete ~ts:t0_us ~dur:(now_us () -. t0_us) args;
+  match Atomic.get observer with
+  | Some f -> f phase name (now_us () -. t0_us)
+  | None -> ()
 
 let with_span phase ?args name f =
   if not (enabled ()) then f ()
@@ -142,9 +167,12 @@ let enable ?(config = default_config) () =
   mask := pow2 1 - 1;
   reset ();
   Atomic.set epoch (Unix.gettimeofday ());
-  Atomic.set on true
+  Atomic.set on true;
+  refresh_active ()
 
-let disable () = Atomic.set on false
+let disable () =
+  Atomic.set on false;
+  refresh_active ()
 
 let buffer_events b =
   let cap = Array.length b.ring in

@@ -80,7 +80,22 @@ val disable : unit -> unit
 (** Stop recording. Buffered events remain available to {!collect}. *)
 
 val enabled : unit -> bool
-(** One atomic load; the guard for every hot-path emission. *)
+(** One atomic load; the guard for every hot-path emission. True when
+    ring recording is on {e or} a span observer is installed — either
+    consumer needs the call sites to take their instrumented paths. *)
+
+val recording : unit -> bool
+(** Ring recording specifically (what {!enable}/{!disable} toggle),
+    independent of any installed span observer. *)
+
+val set_observer : (phase -> string -> float -> unit) option -> unit
+(** Install (or remove, with [None]) the span-close observer: called as
+    [f phase name dur_us] every time a span completes — {!complete} or
+    the end of {!with_span} — whether or not ring recording is on.
+    Installing one flips {!enabled} so guarded call sites reach the
+    span close; instants and counters stay ring-only and still allocate
+    nothing. One slot, last writer wins: this is the metrics layer's
+    histogram feed, not a general subscription surface. *)
 
 val sample_mask : unit -> int
 (** [sample_every - 1] (a power-of-two mask); hot loops test

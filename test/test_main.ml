@@ -24,6 +24,7 @@ let () =
       ("serve", Test_serve.suite);
       ("pool", Test_pool.suite);
       ("trace", Test_trace.suite);
+      ("metrics", Test_metrics.suite);
       ("drift", Test_drift.suite);
       ("proptest", Test_prop.suite);
       ("layout", Test_layout.suite);
